@@ -1,0 +1,5 @@
+//! Bench target for Appendix A (NIC memory footprint).
+
+fn main() {
+    erpc_bench::experiments::nic_footprint::run();
+}

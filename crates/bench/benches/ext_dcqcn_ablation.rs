@@ -1,0 +1,6 @@
+//! Extension bench: DCQCN-vs-Timely incast ablation (see the experiment
+//! module for why the paper could not run this).
+
+fn main() {
+    erpc_bench::experiments::ext_dcqcn_ablation::run();
+}

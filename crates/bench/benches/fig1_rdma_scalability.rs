@@ -1,0 +1,6 @@
+//! Bench target regenerating this experiment; see
+//! `erpc_bench::experiments::fig1_rdma_scalability` for the paper mapping.
+
+fn main() {
+    erpc_bench::experiments::fig1_rdma_scalability::run();
+}

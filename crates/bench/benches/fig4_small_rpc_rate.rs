@@ -1,0 +1,6 @@
+//! Bench target regenerating this experiment; see
+//! `erpc_bench::experiments::fig4_small_rpc_rate` for the paper mapping.
+
+fn main() {
+    erpc_bench::experiments::fig4_small_rpc_rate::run();
+}

@@ -1,0 +1,6 @@
+//! Bench target regenerating this experiment; see
+//! `erpc_bench::experiments::fig6_large_rpc_bw` for the paper mapping.
+
+fn main() {
+    erpc_bench::experiments::fig6_large_rpc_bw::run();
+}

@@ -1,0 +1,128 @@
+//! Criterion micro-benchmarks for the hot datapath pieces: header codec,
+//! msgbuf pool, timing wheel, packet ring, Timely, and the stores.
+//!
+//! These are sanity gauges for the common-case-optimization story (§4/§5):
+//! everything on the per-packet path should be tens of nanoseconds.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use erpc::msgbuf::BufPool;
+use erpc::pkthdr::{PktHdr, PktType};
+use erpc_congestion::{Timely, TimelyConfig, TimingWheel};
+use erpc_store::{Masstree, Mica};
+use erpc_transport::PacketRing;
+
+fn bench_pkthdr(c: &mut Criterion) {
+    let hdr = PktHdr {
+        pkt_type: PktType::Req,
+        ecn: false,
+        req_type: 3,
+        dest_session: 77,
+        msg_size: 32,
+        req_num: 1234,
+        pkt_num: 0,
+    };
+    c.bench_function("pkthdr_encode", |b| b.iter(|| black_box(hdr).encode()));
+    let bytes = hdr.encode();
+    c.bench_function("pkthdr_decode", |b| {
+        b.iter(|| PktHdr::decode(black_box(&bytes)).unwrap())
+    });
+}
+
+fn bench_bufpool(c: &mut Criterion) {
+    let mut pool = BufPool::new(1024);
+    c.bench_function("bufpool_alloc_free_32B", |b| {
+        b.iter(|| {
+            let m = pool.alloc(black_box(32));
+            pool.free(m);
+        })
+    });
+}
+
+fn bench_wheel(c: &mut Criterion) {
+    c.bench_function("timing_wheel_insert_reap", |b| {
+        let mut wheel = TimingWheel::new(4096, 100, 0);
+        let mut now = 0u64;
+        b.iter(|| {
+            now += 50;
+            wheel.insert(now + 500, black_box(1u32));
+            wheel.reap(now, |v| {
+                black_box(v);
+            });
+        })
+    });
+}
+
+fn bench_ring(c: &mut Criterion) {
+    let ring = PacketRing::new(1024, 128);
+    let payload = [7u8; 92];
+    c.bench_function("packet_ring_push_claim_release", |b| {
+        b.iter(|| {
+            assert!(ring.push(&[black_box(&payload)]));
+            let (pos, len) = ring.try_claim().unwrap();
+            black_box(ring.claimed_bytes(pos, len));
+            ring.release(pos);
+        })
+    });
+}
+
+fn bench_timely(c: &mut Criterion) {
+    let mut t = Timely::new(TimelyConfig::for_link(25e9));
+    let mut now = 0u64;
+    c.bench_function("timely_update", |b| {
+        b.iter(|| {
+            now += 1000;
+            t.update(black_box(60_000), now);
+        })
+    });
+    c.bench_function("timely_bypass_check", |b| {
+        b.iter(|| t.can_bypass_update(black_box(10_000)))
+    });
+}
+
+fn bench_stores(c: &mut Criterion) {
+    let mut mica = Mica::new(1 << 16);
+    for i in 0..10_000u64 {
+        mica.put(&i.to_le_bytes(), &[0u8; 64]);
+    }
+    let mut i = 0u64;
+    c.bench_function("mica_get", |b| {
+        b.iter(|| {
+            i = (i + 7) % 10_000;
+            black_box(mica.get(&i.to_le_bytes()))
+        })
+    });
+    let mut tree: Masstree<u64> = Masstree::new();
+    for i in 0..100_000u64 {
+        tree.put(&i.to_be_bytes(), i);
+    }
+    let mut j = 0u64;
+    c.bench_function("masstree_get", |b| {
+        b.iter(|| {
+            j = (j + 13) % 100_000;
+            black_box(tree.get(&j.to_be_bytes()))
+        })
+    });
+    c.bench_function("masstree_scan_128", |b| {
+        b.iter(|| {
+            j = (j + 13) % 100_000;
+            let mut n = 0u32;
+            let mut sum = 0u64;
+            tree.scan_from(&j.to_be_bytes(), |_k, v| {
+                sum = sum.wrapping_add(*v);
+                n += 1;
+                n < 128
+            });
+            black_box(sum)
+        })
+    });
+}
+
+criterion_group! {
+    name = micro;
+    config = Criterion::default()
+        .sample_size(20)
+        .measurement_time(std::time::Duration::from_millis(500))
+        .warm_up_time(std::time::Duration::from_millis(200));
+    targets = bench_pkthdr, bench_bufpool, bench_wheel, bench_ring, bench_timely, bench_stores
+}
+criterion_main!(micro);

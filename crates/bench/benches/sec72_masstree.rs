@@ -1,0 +1,6 @@
+//! Bench target regenerating this experiment; see
+//! `erpc_bench::experiments::sec72_masstree` for the paper mapping.
+
+fn main() {
+    erpc_bench::experiments::sec72_masstree::run();
+}

@@ -1,0 +1,6 @@
+//! Bench target regenerating this experiment; see
+//! `erpc_bench::experiments::tab4_loss_tolerance` for the paper mapping.
+
+fn main() {
+    erpc_bench::experiments::tab4_loss_tolerance::run();
+}

@@ -1,0 +1,6 @@
+//! Bench target regenerating this experiment; see
+//! `erpc_bench::experiments::tab5_incast` for the paper mapping.
+
+fn main() {
+    erpc_bench::experiments::tab5_incast::run();
+}

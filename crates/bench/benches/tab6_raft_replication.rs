@@ -1,0 +1,6 @@
+//! Bench target regenerating this experiment; see
+//! `erpc_bench::experiments::tab6_raft_replication` for the paper mapping.
+
+fn main() {
+    erpc_bench::experiments::tab6_raft_replication::run();
+}

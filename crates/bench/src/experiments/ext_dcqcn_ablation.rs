@@ -1,0 +1,40 @@
+//! **Extension** — the ablation the paper could not run: DCQCN over ECN.
+//!
+//! §5.2.1: "eRPC includes the hooks and mechanisms to easily implement
+//! either Timely or DCQCN. Unfortunately, we are unable to implement
+//! DCQCN because none of our clusters performs ECN marking." Our
+//! simulated switches *do* mark (RED ramp on egress queues), and the
+//! server echoes marks on credit returns and responses (the CNP role), so
+//! the comparison the paper wished for is runnable here.
+//!
+//! Expectation from the congestion-control literature (ECN-or-Delay,
+//! CoNEXT 2016): DCQCN's explicit marks give it tighter queue control
+//! than Timely's delay gradients at comparable utilization.
+
+use crate::experiments::tab5_incast::{run_incast_cc, CcMode};
+use crate::table::{us, Table};
+
+pub fn run() -> String {
+    let mut t = Table::new(
+        "Extension: congestion-control ablation under incast (CX4, 8 MB flows)",
+        &["incast", "cc", "total bw", "RTT p50", "RTT p99", "ECN marks", "drops"],
+    );
+    for &m in &[20usize, 50] {
+        for mode in [CcMode::None, CcMode::Timely, CcMode::Dcqcn] {
+            let r = run_incast_cc(m, mode, false, 10_000_000);
+            t.row(&[
+                m.to_string(),
+                format!("{mode:?}"),
+                format!("{:.1} Gbps", r.total_goodput_bps / 1e9),
+                us(r.rtt.percentile(50.0)),
+                us(r.rtt.percentile(99.0)),
+                r.ecn_marks_seen.to_string(),
+                r.switch_drops.to_string(),
+            ]);
+        }
+    }
+    t.note("the paper ships DCQCN hooks but could not evaluate them (no ECN marking, §5.2.1 fn.1)");
+    t.note("shape: both controllers cut queueing far below the no-cc credit-window plateau");
+    t.print();
+    t.render()
+}

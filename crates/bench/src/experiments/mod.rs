@@ -1,0 +1,16 @@
+//! One module per paper table/figure. Each exposes `run() -> String`
+//! (the rendered table, also printed) so bench targets stay one-liners
+//! and integration tests can smoke-run scaled-down versions.
+
+pub mod ext_dcqcn_ablation;
+pub mod fig1_rdma_scalability;
+pub mod fig4_small_rpc_rate;
+pub mod fig5_scalability;
+pub mod fig6_large_rpc_bw;
+pub mod nic_footprint;
+pub mod sec72_masstree;
+pub mod tab2_small_rpc_latency;
+pub mod tab3_factor_analysis;
+pub mod tab4_loss_tolerance;
+pub mod tab5_incast;
+pub mod tab6_raft_replication;

@@ -1,0 +1,33 @@
+//! **Appendix A** — eRPC's NIC memory footprint is constant per core.
+//!
+//! Four on-NIC structures matter: TX queue (64 entries suffice), TX CQ
+//! (64), RQ descriptors (÷512 with multi-packet RQs), RX CQ (8, allowed
+//! to overrun). None grows with cluster size — unlike RDMA's per-
+//! connection state.
+
+use crate::table::Table;
+use erpc_sim::NicFootprintConfig;
+
+pub fn run() -> String {
+    let cfg = NicFootprintConfig::default();
+    let mut t = Table::new(
+        "Appendix A: on-NIC memory footprint per core",
+        &["cluster connections", "eRPC (B)", "RDMA verbs (B)"],
+    );
+    for &conns in &[10usize, 100, 1_000, 5_000, 20_000] {
+        t.row(&[
+            conns.to_string(),
+            cfg.erpc_bytes().to_string(),
+            cfg.rdma_bytes(conns).to_string(),
+        ]);
+    }
+    let trad = NicFootprintConfig { rq_multi_packet: 1, ..cfg.clone() };
+    t.note(format!(
+        "multi-packet RQ (512-way): {} B; traditional RQ descriptors: {} B",
+        cfg.erpc_bytes(),
+        trad.erpc_bytes()
+    ));
+    t.note("paper: eRPC footprint independent of cluster size; 5000 RDMA conns ≈ 1.8 MB > NIC SRAM");
+    t.print();
+    t.render()
+}

@@ -1,0 +1,259 @@
+//! **§7.2** — Masstree over eRPC: a networked ordered index serving
+//! latency-critical GETs alongside longer-running SCANs.
+//!
+//! Paper (CX3): one server (14 dispatch threads + 2 worker threads),
+//! 1 M random 8 B keys → 8 B values; workload = 99 % GET, 1 % SCAN(128);
+//! 64 client threads, 2 outstanding each. Results: 14.3 M GET/s,
+//! p99 GET = 12 µs with SCANs in worker threads — rising to 26 µs if
+//! SCANs run in dispatch threads (head-of-line blocking). Low-load median
+//! GET = 2.7 µs.
+//!
+//! Mode: wall-clock, one polling thread hosting the server dispatch loop
+//! and all clients (per-core numbers, like the paper's per-core rate);
+//! worker threads are real OS threads that park when idle. The headline
+//! *shape*: moving SCANs from dispatch to worker threads cuts the GET
+//! tail.
+
+use std::cell::{Cell, RefCell};
+use std::rc::Rc;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use erpc::{LatencyHistogram, Rpc, RpcConfig};
+use erpc_store::Masstree;
+use erpc_transport::{Addr, MemFabric, MemFabricConfig, MemTransport};
+use parking_lot::RwLock;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+use crate::table::{us, Table};
+
+const GET: u8 = 1;
+const SCAN: u8 = 2;
+const CONT: u8 = 3;
+const KEYS: u64 = 1_000_000;
+
+fn key_bytes(i: u64) -> [u8; 8] {
+    // SplitMix64: deterministic "random" keys both sides can generate.
+    let mut z = i.wrapping_add(0x9E3779B97F4A7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+    (z ^ (z >> 31)).to_be_bytes()
+}
+
+pub struct MasstreeResult {
+    pub gets_per_sec: f64,
+    pub get_latency: LatencyHistogram,
+    pub scans: u64,
+}
+
+/// Run the workload; `scans_in_worker` selects the §3.2 threading choice
+/// under test.
+pub fn run_masstree(
+    clients: usize,
+    scans_in_worker: bool,
+    measure_ms: u64,
+    scan_pct: u32,
+    scan_len: usize,
+) -> MasstreeResult {
+    let fabric = MemFabric::new(MemFabricConfig::default());
+
+    // Build and load the index once.
+    let tree: Arc<RwLock<Masstree<u64>>> = Arc::new(RwLock::new(Masstree::new()));
+    {
+        let mut t = tree.write();
+        for i in 0..KEYS {
+            t.put(&key_bytes(i), i);
+        }
+    }
+
+    // Server endpoint (dispatch loop polled below; SCAN workers are real
+    // threads that park when idle).
+    let mut server = Rpc::new(
+        fabric.create_transport(Addr::new(0, 0)),
+        RpcConfig {
+            ping_interval_ns: 0,
+            num_worker_threads: if scans_in_worker { 2 } else { 0 },
+            ..RpcConfig::default()
+        },
+    );
+    let t_get = Arc::clone(&tree);
+    server.register_request_handler(
+        GET,
+        Box::new(move |ctx, req| {
+            let key: [u8; 8] = req.try_into().expect("8 B key");
+            match t_get.read().get(&key) {
+                Some(v) => ctx.respond(&v.to_le_bytes()),
+                None => ctx.respond(&[]),
+            }
+        }),
+    );
+    // SCAN: sum the values of the next 128 keys. Registered as a worker
+    // handler; with num_worker_threads = 0 the registration transparently
+    // degrades to dispatch mode — exactly the ablation we want.
+    let t_scan = Arc::clone(&tree);
+    server.register_worker_handler(
+        SCAN,
+        Arc::new(move |req: &[u8], out: &mut Vec<u8>| {
+            let mut sum = 0u64;
+            let mut n = 0;
+            t_scan.read().scan_from(req, |_k, v| {
+                sum = sum.wrapping_add(*v);
+                n += 1;
+                n < scan_len
+            });
+            out.extend_from_slice(&sum.to_le_bytes());
+        }),
+    );
+
+    // Client endpoints, 2 outstanding each (paper's setting).
+    struct Client {
+        rpc: Rpc<MemTransport>,
+        sess: erpc::SessionHandle,
+        outstanding: Rc<Cell<usize>>,
+        rng: SmallRng,
+    }
+    let gets = Rc::new(Cell::new(0u64));
+    let scans = Rc::new(Cell::new(0u64));
+    let measuring = Rc::new(Cell::new(false));
+    let hist = Rc::new(RefCell::new(LatencyHistogram::new()));
+    let mut cs: Vec<Client> = Vec::new();
+    for cid in 0..clients {
+        let mut rpc = Rpc::new(
+            fabric.create_transport(Addr::new(1 + cid as u16, 0)),
+            RpcConfig { ping_interval_ns: 0, ..RpcConfig::default() },
+        );
+        let outstanding = Rc::new(Cell::new(0usize));
+        let (g, s, o, m, h) = (
+            gets.clone(),
+            scans.clone(),
+            outstanding.clone(),
+            measuring.clone(),
+            hist.clone(),
+        );
+        rpc.register_continuation(
+            CONT,
+            Box::new(move |ctx, comp| {
+                assert!(comp.result.is_ok());
+                o.set(o.get() - 1);
+                if comp.tag == GET as u64 {
+                    if m.get() {
+                        g.set(g.get() + 1);
+                        h.borrow_mut().record(comp.latency_ns);
+                    }
+                } else {
+                    s.set(s.get() + 1);
+                }
+                ctx.free_msg_buffer(comp.req);
+                ctx.free_msg_buffer(comp.resp);
+            }),
+        );
+        let sess = rpc.create_session(Addr::new(0, 0)).expect("session");
+        cs.push(Client {
+            rpc,
+            sess,
+            outstanding,
+            rng: SmallRng::seed_from_u64(0x5EC72 ^ cid as u64),
+        });
+    }
+    loop {
+        server.run_event_loop_once();
+        let mut all = true;
+        for c in &mut cs {
+            c.rpc.run_event_loop_once();
+            all &= c.rpc.is_connected(c.sess);
+        }
+        if all {
+            break;
+        }
+    }
+
+    let phase = |deadline: Instant, server: &mut Rpc<MemTransport>, cs: &mut [Client]| loop {
+        for _ in 0..32 {
+            for c in cs.iter_mut() {
+                while c.outstanding.get() < 2 {
+                    let is_scan = scan_pct > 0 && c.rng.gen_ratio(scan_pct, 100);
+                    let ty = if is_scan { SCAN } else { GET };
+                    let mut req = c.rpc.alloc_msg_buffer(8);
+                    req.fill(&key_bytes(c.rng.gen_range(0..KEYS)));
+                    let resp = c.rpc.alloc_msg_buffer(16);
+                    if c.rpc
+                        .enqueue_request(c.sess, ty, req, resp, CONT, ty as u64)
+                        .is_ok()
+                    {
+                        c.outstanding.set(c.outstanding.get() + 1);
+                    }
+                }
+                c.rpc.run_event_loop_once();
+            }
+            server.run_event_loop_once();
+        }
+        if Instant::now() >= deadline {
+            return;
+        }
+    };
+
+    phase(Instant::now() + Duration::from_millis(50), &mut server, &mut cs);
+    measuring.set(true);
+    let t0 = Instant::now();
+    phase(
+        t0 + Duration::from_millis(measure_ms),
+        &mut server,
+        &mut cs,
+    );
+    let secs = t0.elapsed().as_secs_f64();
+    measuring.set(false);
+
+    let get_latency = hist.borrow().clone();
+    MasstreeResult {
+        gets_per_sec: gets.get() as f64 / secs,
+        get_latency,
+        scans: scans.get(),
+    }
+}
+
+pub fn run() -> String {
+    let clients = 4;
+    let measure_ms = crate::bench_millis();
+    let mut t = Table::new(
+        format!("§7.2: Masstree over eRPC ({clients} clients, 99 % GET / 1 % SCAN, one core)"),
+        &["scan len", "SCAN placement", "GET rate", "GET p50", "GET p99", "SCANs run"],
+    );
+    // SCAN(128) is the paper's workload; SCAN(2048) makes the dispatch-
+    // blocking effect visible above this host's scheduler noise (on one
+    // core, waking a worker thread costs a context switch comparable to a
+    // 128-key scan — on the paper's multi-core server workers run
+    // elsewhere).
+    for scan_len in [128usize, 2048] {
+        for (worker, label) in [(true, "worker threads"), (false, "dispatch thread")] {
+            let r = run_masstree(clients, worker, measure_ms, 1, scan_len);
+            t.row(&[
+                scan_len.to_string(),
+                label.to_string(),
+                format!("{:.2} M/s", r.gets_per_sec / 1e6),
+                us(r.get_latency.percentile(50.0)),
+                us(r.get_latency.percentile(99.0)),
+                r.scans.to_string(),
+            ]);
+        }
+    }
+    // Low-load median (paper: 2.7 µs): one client, GETs only, 1 in flight.
+    let low = run_masstree(1, true, measure_ms.min(200), 0, 128);
+    t.note(format!(
+        "low-load GET p50 (1 client, no scans): {} (paper: 2.7 µs)",
+        us(low.get_latency.percentile(50.0))
+    ));
+    t.note("paper: 14.3 M GET/s over 14 dispatch cores; GET p99 12 µs (workers) vs 26 µs (dispatch-only)");
+    let cores = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+    if cores <= 1 {
+        t.note(format!(
+            "CAVEAT: this host has {cores} core — worker threads preempt the dispatch loop instead \
+             of running elsewhere, so the worker-mode tail *inverts* here; on multi-core hosts \
+             worker rows show the paper's shape (workers shield the GET tail, §3.2)"
+        ));
+    } else {
+        t.note("shape to hold: dispatch-mode scans inflate the GET tail; worker threads shield it (§3.2)");
+    }
+    t.print();
+    t.render()
+}

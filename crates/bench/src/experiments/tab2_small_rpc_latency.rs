@@ -1,0 +1,117 @@
+//! **Table 2** — Median latency of 32 B RPCs vs. RDMA reads, same-ToR
+//! pairs on each cluster (§6.1).
+//!
+//! Paper:  CX3 (IB)  eRPC 2.1 µs / RDMA 1.7 µs
+//!         CX4 (Eth) eRPC 3.7 µs / RDMA 2.9 µs
+//!         CX5 (Eth) eRPC 2.3 µs / RDMA 2.0 µs
+//!
+//! Mode: virtual time. eRPC runs for real on the simulated fabric (every
+//! packet simulated); the RDMA baseline is the NIC model.
+
+use std::cell::RefCell;
+use std::rc::Rc;
+
+use erpc::{LatencyHistogram, RpcConfig};
+use erpc_sim::{Cluster, Topology};
+use erpc_transport::Addr;
+
+use crate::sim_harness::SimCluster;
+use crate::table::{us, Table};
+
+const ECHO: u8 = 1;
+const CONT: u8 = 2;
+
+/// Measured median eRPC latency on a cluster preset, virtual ns.
+pub fn erpc_median_latency_ns(cluster: Cluster, rpcs: u64) -> u64 {
+    let mut cfg = cluster.config();
+    cfg.topology = Topology::SingleSwitch { hosts: 2 };
+    let mut sim = SimCluster::new(cfg);
+    let cpu = cluster.cpu_model();
+    let rpc_cfg = RpcConfig {
+        ping_interval_ns: 0,
+        link_bps: cluster.config().link_bps,
+        ..RpcConfig::default()
+    };
+    sim.add_endpoint(Addr::new(0, 0), rpc_cfg.clone(), cpu.clone(), Box::new(|_, _| {}));
+    sim.endpoints[0].rpc.register_request_handler(
+        ECHO,
+        Box::new(|ctx, req| {
+            debug_assert_eq!(req.len(), 32);
+            ctx.respond(&[0u8; 32]);
+        }),
+    );
+
+    // Client: closed loop, one outstanding (latency mode).
+    let hist = Rc::new(RefCell::new(LatencyHistogram::new()));
+    let pending = Rc::new(std::cell::Cell::new(false));
+    let h2 = hist.clone();
+    let p2 = pending.clone();
+    let sess_cell: Rc<std::cell::Cell<Option<erpc::SessionHandle>>> =
+        Rc::new(std::cell::Cell::new(None));
+    let s2 = sess_cell.clone();
+    let ci = sim.add_endpoint(
+        Addr::new(1, 0),
+        rpc_cfg,
+        cpu,
+        Box::new(move |rpc, _now| {
+            let Some(sess) = s2.get() else { return };
+            if !p2.get() && rpc.is_connected(sess) {
+                let mut req = rpc.alloc_msg_buffer(32);
+                req.resize(32);
+                let resp = rpc.alloc_msg_buffer(32);
+                if rpc.enqueue_request(sess, ECHO, req, resp, CONT, 0).is_ok() {
+                    p2.set(true);
+                }
+            }
+        }),
+    );
+    let p3 = pending.clone();
+    sim.endpoints[ci].rpc.register_continuation(
+        CONT,
+        Box::new(move |ctx, comp| {
+            assert!(comp.result.is_ok());
+            h2.borrow_mut().record(comp.latency_ns);
+            ctx.free_msg_buffer(comp.req);
+            ctx.free_msg_buffer(comp.resp);
+            p3.set(false);
+        }),
+    );
+    let sess = sim.endpoints[ci].rpc.create_session(Addr::new(0, 0)).unwrap();
+    sess_cell.set(Some(sess));
+    sim.run_until_connected(&[(ci, sess)], 100_000_000);
+
+    let mut t = sim.now_ns();
+    while hist.borrow().count() < rpcs {
+        t += 1_000_000;
+        sim.run(t);
+        assert!(t < 60_000_000_000, "latency run stalled");
+    }
+    let p50 = hist.borrow().percentile(50.0);
+    p50
+}
+
+pub fn run() -> String {
+    let mut t = Table::new(
+        "Table 2: median small-RPC latency vs. RDMA read (same ToR)",
+        &["cluster", "eRPC (sim)", "eRPC (paper)", "RDMA read (model)", "RDMA read (paper)"],
+    );
+    let rows = [
+        (Cluster::Cx3, "CX3 (InfiniBand)", "2.1 µs", "1.7 µs"),
+        (Cluster::Cx4, "CX4 (Ethernet)", "3.7 µs", "2.9 µs"),
+        (Cluster::Cx5, "CX5 (Ethernet)", "2.3 µs", "2.0 µs"),
+    ];
+    for (cluster, name, paper_erpc, paper_rdma) in rows {
+        let e = erpc_median_latency_ns(cluster, 300);
+        let r = cluster.rdma_read_latency_ns();
+        t.row(&[
+            name.to_string(),
+            us(e),
+            paper_erpc.to_string(),
+            us(r),
+            paper_rdma.to_string(),
+        ]);
+    }
+    t.note("shape to hold: both µs-scale; eRPC within ≈0.8 µs of RDMA reads on every cluster");
+    t.print();
+    t.render()
+}

@@ -1,0 +1,55 @@
+//! # erpc-bench
+//!
+//! The benchmark harness that regenerates every table and figure of the
+//! eRPC paper's evaluation (§6–§7). Each `benches/` target is one
+//! experiment; it prints the paper's reported rows next to our measured
+//! values. See DESIGN.md for the experiment index and EXPERIMENTS.md for
+//! recorded results.
+//!
+//! Two execution modes (see DESIGN.md "Hardware substitution"):
+//!
+//! * **wall-clock** — real threads over the lock-free in-process fabric;
+//!   used where the paper's numbers are CPU-bound (message rate, factor
+//!   analysis, large-message bandwidth, loss tolerance).
+//! * **virtual time** — the deterministic discrete-event simulator; used
+//!   where the numbers are network-bound or cluster-scale (latency
+//!   tables, incast, 100-node scalability, Raft replication).
+//!
+//! Scaling knobs (environment variables):
+//! * `ERPC_BENCH_THREADS` — worker threads for wall-clock runs (default:
+//!   min(available_parallelism − 1, 6)).
+//! * `ERPC_BENCH_MILLIS` — measurement window per wall-clock data point
+//!   (default 500 ms).
+//! * `ERPC_BENCH_FULL=1` — run full-scale configurations (100-node
+//!   Figure 5, 100-way incast); several minutes.
+
+pub mod experiments;
+pub mod sim_harness;
+pub mod table;
+pub mod thread_cluster;
+
+/// Wall-clock measurement window.
+pub fn bench_millis() -> u64 {
+    std::env::var("ERPC_BENCH_MILLIS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(500)
+}
+
+/// Threads for wall-clock experiments.
+pub fn bench_threads() -> usize {
+    std::env::var("ERPC_BENCH_THREADS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or_else(|| {
+            let cores = std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(4);
+            (cores.saturating_sub(1)).clamp(2, 6)
+        })
+}
+
+/// Whether to run full-scale (paper-sized) configurations.
+pub fn bench_full() -> bool {
+    std::env::var("ERPC_BENCH_FULL").map(|v| v == "1").unwrap_or(false)
+}

@@ -1,0 +1,164 @@
+//! Virtual-time harness: eRPC endpoints on the discrete-event fabric,
+//! polled by the sim driver with a CPU cost model.
+
+use erpc::{Rpc, RpcConfig};
+use erpc_sim::{config::CpuModel, driver, NetHandle, SimConfig, SimNet, SimTransport};
+use erpc_transport::Addr;
+
+/// One polled endpoint: an `Rpc` plus an application step and CPU model.
+pub struct Endpoint {
+    pub rpc: Rpc<SimTransport>,
+    pub cpu: CpuModel,
+    /// Extra virtual CPU per handler/continuation (application work).
+    pub handler_extra_ns: u64,
+    /// Application logic run before each event-loop pass (issue requests,
+    /// check deadlines, …).
+    pub app: Box<dyn FnMut(&mut Rpc<SimTransport>, u64)>,
+}
+
+impl driver::PolledEndpoint for Endpoint {
+    fn poll(&mut self, now_ns: u64) -> u64 {
+        (self.app)(&mut self.rpc, now_ns);
+        self.rpc.run_event_loop_once();
+        let w = self.rpc.take_work();
+        let penalty = self.rpc.transport_mut().take_cpu_penalty_ns();
+        self.cpu.idle_poll_ns
+            + w.tx_pkts * self.cpu.per_tx_pkt_ns
+            + w.rx_pkts * self.cpu.per_rx_pkt_ns
+            + w.callbacks * (self.cpu.per_callback_ns + self.handler_extra_ns)
+            + (w.rx_bytes as f64 * self.cpu.per_rx_byte_ns) as u64
+            + penalty
+    }
+}
+
+/// A cluster under simulation.
+pub struct SimCluster {
+    pub net: NetHandle,
+    pub endpoints: Vec<Endpoint>,
+}
+
+impl SimCluster {
+    pub fn new(cfg: SimConfig) -> Self {
+        Self {
+            net: SimNet::new(cfg).into_handle(),
+            endpoints: Vec::new(),
+        }
+    }
+
+    /// Add an endpoint at `addr`. Returns its index.
+    pub fn add_endpoint(
+        &mut self,
+        addr: Addr,
+        rpc_cfg: RpcConfig,
+        cpu: CpuModel,
+        app: Box<dyn FnMut(&mut Rpc<SimTransport>, u64)>,
+    ) -> usize {
+        let t = SimTransport::new(self.net.clone(), addr);
+        self.endpoints.push(Endpoint {
+            rpc: Rpc::new(t, rpc_cfg),
+            cpu,
+            handler_extra_ns: 0,
+            app,
+        });
+        self.endpoints.len() - 1
+    }
+
+    /// Run until every listed (endpoint, session) pair is connected;
+    /// panics if that takes longer than `budget_ns` of virtual time.
+    /// Stepped in 100 µs slices so connect retries get to fire.
+    pub fn run_until_connected(
+        &mut self,
+        sessions: &[(usize, erpc::SessionHandle)],
+        budget_ns: u64,
+    ) {
+        let mut pending: Vec<(usize, erpc::SessionHandle)> = sessions.to_vec();
+        let mut now = self.net.borrow().now_ns();
+        loop {
+            pending.retain(|&(i, s)| !self.endpoints[i].rpc.is_connected(s));
+            if pending.is_empty() {
+                return;
+            }
+            assert!(now < budget_ns, "sessions failed to connect in budget");
+            now += 100_000;
+            driver::run(&self.net, &mut self.endpoints, now);
+        }
+    }
+
+    /// Advance the cluster to virtual time `until_ns`.
+    pub fn run(&mut self, until_ns: u64) {
+        driver::run(&self.net, &mut self.endpoints, until_ns);
+    }
+
+    pub fn now_ns(&self) -> u64 {
+        self.net.borrow().now_ns()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use erpc_sim::{Cluster, Topology};
+    use std::cell::Cell;
+    use std::rc::Rc;
+
+    #[test]
+    fn rpc_over_sim_cluster_roundtrip() {
+        let mut cfg = Cluster::Cx5.config();
+        cfg.topology = Topology::SingleSwitch { hosts: 2 };
+        let mut cluster = SimCluster::new(cfg);
+        let cpu = Cluster::Cx5.cpu_model();
+        let rpc_cfg = RpcConfig { ping_interval_ns: 0, ..RpcConfig::default() };
+
+        cluster.add_endpoint(
+            Addr::new(0, 0),
+            rpc_cfg.clone(),
+            cpu.clone(),
+            Box::new(|_rpc, _now| {}),
+        );
+        let ci = cluster.add_endpoint(
+            Addr::new(1, 0),
+            rpc_cfg,
+            cpu,
+            Box::new(|_rpc, _now| {}),
+        );
+        // Server: echo handler.
+        cluster.endpoints[0].rpc.register_request_handler(
+            1,
+            Box::new(|ctx, req| {
+                let mut v = req.to_vec();
+                v.reverse();
+                ctx.respond(&v);
+            }),
+        );
+        // Client: session + one request.
+        let sess = cluster.endpoints[ci].rpc.create_session(Addr::new(0, 0)).unwrap();
+        cluster.run_until_connected(&[(ci, sess)], 50_000_000);
+
+        let done = Rc::new(Cell::new(0u64));
+        let d2 = done.clone();
+        cluster.endpoints[ci].rpc.register_continuation(
+            7,
+            Box::new(move |_ctx, comp| {
+                assert!(comp.result.is_ok());
+                assert_eq!(comp.resp.data(), b"cba");
+                d2.set(comp.latency_ns);
+            }),
+        );
+        let mut req = cluster.endpoints[ci].rpc.alloc_msg_buffer(3);
+        req.fill(b"abc");
+        let resp = cluster.endpoints[ci].rpc.alloc_msg_buffer(8);
+        cluster.endpoints[ci]
+            .rpc
+            .enqueue_request(sess, 1, req, resp, 7, 0)
+            .unwrap();
+        let start = cluster.now_ns();
+        while done.get() == 0 {
+            let next = cluster.now_ns() + 10_000;
+            cluster.run(next);
+            assert!(cluster.now_ns() - start < 100_000_000, "rpc stalled in sim");
+        }
+        // Round trip in virtual time: microseconds, not milliseconds.
+        let lat = done.get();
+        assert!((1_000..50_000).contains(&lat), "latency {lat} ns");
+    }
+}

@@ -1,0 +1,114 @@
+//! Minimal aligned-column table printer for paper-style output.
+
+/// A table under construction.
+pub struct Table {
+    title: String,
+    header: Vec<String>,
+    rows: Vec<Vec<String>>,
+    notes: Vec<String>,
+}
+
+impl Table {
+    pub fn new(title: impl Into<String>, header: &[&str]) -> Self {
+        Self {
+            title: title.into(),
+            header: header.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+            notes: Vec::new(),
+        }
+    }
+
+    pub fn row(&mut self, cells: &[String]) -> &mut Self {
+        assert_eq!(cells.len(), self.header.len(), "row arity");
+        self.rows.push(cells.to_vec());
+        self
+    }
+
+    pub fn note(&mut self, note: impl Into<String>) -> &mut Self {
+        self.notes.push(note.into());
+        self
+    }
+
+    /// Render with aligned columns.
+    pub fn render(&self) -> String {
+        let mut widths: Vec<usize> = self.header.iter().map(|h| h.len()).collect();
+        for row in &self.rows {
+            for (i, c) in row.iter().enumerate() {
+                widths[i] = widths[i].max(c.len());
+            }
+        }
+        let mut out = String::new();
+        out.push_str(&format!("\n== {} ==\n", self.title));
+        let fmt_row = |cells: &[String]| -> String {
+            let mut line = String::new();
+            for (i, c) in cells.iter().enumerate() {
+                if i > 0 {
+                    line.push_str("  ");
+                }
+                line.push_str(&format!("{:<width$}", c, width = widths[i]));
+            }
+            line.trim_end().to_string()
+        };
+        out.push_str(&fmt_row(&self.header));
+        out.push('\n');
+        out.push_str(&"-".repeat(widths.iter().sum::<usize>() + 2 * (widths.len() - 1)));
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&fmt_row(row));
+            out.push('\n');
+        }
+        for n in &self.notes {
+            out.push_str(&format!("  note: {n}\n"));
+        }
+        out
+    }
+
+    /// Render to stdout.
+    pub fn print(&self) {
+        print!("{}", self.render());
+    }
+}
+
+/// Format helpers.
+pub fn us(ns: u64) -> String {
+    format!("{:.1} µs", ns as f64 / 1e3)
+}
+
+pub fn gbps(bits_per_sec: f64) -> String {
+    format!("{:.1} Gbps", bits_per_sec / 1e9)
+}
+
+pub fn mrps(rate: f64) -> String {
+    format!("{:.2} Mrps", rate / 1e6)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_aligned() {
+        let mut t = Table::new("T", &["a", "bbbb", "c"]);
+        t.row(&["1".into(), "2".into(), "3".into()]);
+        t.row(&["xxx".into(), "y".into(), "zz".into()]);
+        t.note("hello");
+        let r = t.render();
+        assert!(r.contains("== T =="));
+        assert!(r.contains("xxx  y     zz"));
+        assert!(r.contains("note: hello"));
+    }
+
+    #[test]
+    fn formatters() {
+        assert_eq!(us(2_300), "2.3 µs");
+        assert_eq!(gbps(75.2e9), "75.2 Gbps");
+        assert_eq!(mrps(4_960_000.0), "4.96 Mrps");
+    }
+
+    #[test]
+    #[should_panic(expected = "row arity")]
+    fn arity_checked() {
+        let mut t = Table::new("T", &["a", "b"]);
+        t.row(&["1".into()]);
+    }
+}

@@ -1,0 +1,229 @@
+//! DCQCN: ECN-based congestion control for datacenter networks (Zhu et
+//! al., SIGCOMM 2015).
+//!
+//! The eRPC paper could not evaluate DCQCN because none of its clusters
+//! performs ECN marking (§5.2.1, footnote 1); it ships the hooks instead.
+//! Our simulated switches *can* ECN-mark, so this implementation lets the
+//! benches run the ablation the paper describes as future-possible.
+//!
+//! The reaction point (sender) state machine follows the paper: a marked
+//! packet ratio estimate `alpha`, multiplicative decrease on congestion
+//! notification, then fast recovery toward the pre-decrease target followed
+//! by additive and hyper-additive probing.
+
+/// DCQCN parameters (paper notation in comments).
+#[derive(Debug, Clone)]
+pub struct DcqcnConfig {
+    /// Link rate, bits/sec.
+    pub link_bps: f64,
+    /// Minimum rate floor, bits/sec.
+    pub min_rate_bps: f64,
+    /// `g`: EWMA gain for the alpha (marked fraction) estimator.
+    pub g: f64,
+    /// Additive increase step `R_AI`, bits/sec.
+    pub rate_ai_bps: f64,
+    /// Hyper increase step `R_HAI`, bits/sec.
+    pub rate_hai_bps: f64,
+    /// Alpha-update timer period (55 µs in the paper).
+    pub alpha_update_ns: u64,
+    /// Rate-increase timer period (300 µs in the paper, we scale down for
+    /// microsecond-scale fabrics).
+    pub increase_timer_ns: u64,
+    /// Fast-recovery stages before additive increase (`F = 5`).
+    pub fast_recovery_stages: u32,
+}
+
+impl DcqcnConfig {
+    pub fn for_link(link_bps: f64) -> Self {
+        Self {
+            link_bps,
+            min_rate_bps: link_bps / 256.0,
+            g: 1.0 / 16.0,
+            rate_ai_bps: link_bps / 64.0,
+            rate_hai_bps: link_bps / 16.0,
+            alpha_update_ns: 55_000,
+            increase_timer_ns: 55_000,
+            fast_recovery_stages: 5,
+        }
+    }
+}
+
+impl Default for DcqcnConfig {
+    fn default() -> Self {
+        Self::for_link(25e9)
+    }
+}
+
+/// Per-session DCQCN reaction-point state.
+#[derive(Debug, Clone)]
+pub struct Dcqcn {
+    cfg: DcqcnConfig,
+    /// Current sending rate `R_C`.
+    rate_bps: f64,
+    /// Target rate `R_T` (pre-decrease rate, recovered toward).
+    target_bps: f64,
+    /// Marked-fraction estimate.
+    alpha: f64,
+    /// Whether any CNP arrived in the current alpha period.
+    marked_this_period: bool,
+    last_alpha_update_ns: u64,
+    last_increase_ns: u64,
+    /// Consecutive increase events since last decrease.
+    increase_stage: u32,
+    /// Congestion notifications received (stats).
+    cnps: u64,
+}
+
+impl Dcqcn {
+    pub fn new(cfg: DcqcnConfig) -> Self {
+        let rate = cfg.link_bps;
+        Self {
+            cfg,
+            rate_bps: rate,
+            target_bps: rate,
+            alpha: 1.0,
+            marked_this_period: false,
+            last_alpha_update_ns: 0,
+            last_increase_ns: 0,
+            increase_stage: 0,
+            cnps: 0,
+        }
+    }
+
+    /// Current allowed sending rate, bits/sec.
+    #[inline]
+    pub fn rate_bps(&self) -> f64 {
+        self.rate_bps
+    }
+
+    /// Sessions at line rate bypass the rate limiter, mirroring the Timely
+    /// common-case optimization.
+    #[inline]
+    pub fn is_uncongested(&self) -> bool {
+        self.rate_bps >= self.cfg.link_bps
+    }
+
+    /// Congestion notifications seen (stats).
+    pub fn cnps(&self) -> u64 {
+        self.cnps
+    }
+
+    /// Called when an ECN-marked packet (or an explicit CNP) is observed.
+    pub fn on_congestion_notification(&mut self, _now_ns: u64) {
+        self.cnps += 1;
+        self.marked_this_period = true;
+        self.target_bps = self.rate_bps;
+        self.rate_bps =
+            (self.rate_bps * (1.0 - self.alpha / 2.0)).max(self.cfg.min_rate_bps);
+        self.increase_stage = 0;
+    }
+
+    /// Called periodically (e.g. once per event-loop pass) to run the alpha
+    /// and rate-increase timers.
+    pub fn on_timer(&mut self, now_ns: u64) {
+        if now_ns.saturating_sub(self.last_alpha_update_ns) >= self.cfg.alpha_update_ns {
+            self.last_alpha_update_ns = now_ns;
+            let g = self.cfg.g;
+            let mark = if self.marked_this_period { 1.0 } else { 0.0 };
+            self.alpha = (1.0 - g) * self.alpha + g * mark;
+            self.marked_this_period = false;
+        }
+        if now_ns.saturating_sub(self.last_increase_ns) >= self.cfg.increase_timer_ns {
+            self.last_increase_ns = now_ns;
+            self.increase(now_ns);
+        }
+    }
+
+    fn increase(&mut self, _now_ns: u64) {
+        self.increase_stage += 1;
+        if self.increase_stage <= self.cfg.fast_recovery_stages {
+            // Fast recovery: halve the gap to the target.
+            self.rate_bps = (self.rate_bps + self.target_bps) / 2.0;
+        } else if self.increase_stage <= 2 * self.cfg.fast_recovery_stages {
+            // Additive increase: probe past the target.
+            self.target_bps =
+                (self.target_bps + self.cfg.rate_ai_bps).min(self.cfg.link_bps);
+            self.rate_bps = (self.rate_bps + self.target_bps) / 2.0;
+        } else {
+            // Hyper increase.
+            self.target_bps =
+                (self.target_bps + self.cfg.rate_hai_bps).min(self.cfg.link_bps);
+            self.rate_bps = (self.rate_bps + self.target_bps) / 2.0;
+        }
+        self.rate_bps = self.rate_bps.clamp(self.cfg.min_rate_bps, self.cfg.link_bps);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cnp_cuts_rate() {
+        let mut d = Dcqcn::new(DcqcnConfig::for_link(25e9));
+        assert!(d.is_uncongested());
+        d.on_congestion_notification(0);
+        assert!(d.rate_bps() < 25e9);
+        assert_eq!(d.cnps(), 1);
+    }
+
+    #[test]
+    fn repeated_cnps_cut_harder_as_alpha_grows() {
+        let mut d = Dcqcn::new(DcqcnConfig::for_link(25e9));
+        // alpha starts at 1.0: first CNP halves the rate.
+        d.on_congestion_notification(0);
+        let after_one = d.rate_bps();
+        assert!((after_one - 12.5e9).abs() < 1e6);
+        for t in 1..10u64 {
+            d.on_congestion_notification(t * 1000);
+        }
+        assert!(d.rate_bps() < after_one);
+        assert!(d.rate_bps() >= DcqcnConfig::for_link(25e9).min_rate_bps);
+    }
+
+    #[test]
+    fn recovery_returns_to_line_rate() {
+        let cfg = DcqcnConfig::for_link(25e9);
+        let period = cfg.increase_timer_ns;
+        let mut d = Dcqcn::new(cfg);
+        d.on_congestion_notification(0);
+        let depressed = d.rate_bps();
+        let mut now = 0;
+        for _ in 0..2000 {
+            now += period;
+            d.on_timer(now);
+        }
+        assert!(d.rate_bps() > depressed);
+        assert!(d.is_uncongested(), "rate {:.3e}", d.rate_bps());
+    }
+
+    #[test]
+    fn alpha_decays_without_marks() {
+        let cfg = DcqcnConfig::for_link(25e9);
+        let period = cfg.alpha_update_ns;
+        let mut d = Dcqcn::new(cfg);
+        d.on_congestion_notification(0);
+        let mut now = 0;
+        for _ in 0..100 {
+            now += period;
+            d.on_timer(now);
+        }
+        // After 100 unmarked periods alpha ≈ 0 so a new CNP barely cuts.
+        let before = d.rate_bps();
+        d.on_congestion_notification(now);
+        assert!(d.rate_bps() > before * 0.9);
+    }
+
+    #[test]
+    fn fast_recovery_halves_gap_each_stage() {
+        let cfg = DcqcnConfig::for_link(10e9);
+        let period = cfg.increase_timer_ns;
+        let mut d = Dcqcn::new(cfg);
+        d.on_congestion_notification(0);
+        let target = 10e9; // pre-decrease rate
+        let r0 = d.rate_bps();
+        d.on_timer(period);
+        let r1 = d.rate_bps();
+        assert!((r1 - (r0 + target) / 2.0).abs() < 1.0);
+    }
+}

@@ -1,0 +1,54 @@
+//! # erpc-congestion
+//!
+//! Congestion control building blocks for eRPC (§5.2).
+//!
+//! The paper's requirements: rate-based congestion control that has been
+//! shown to work at datacenter scale, imposing near-zero cost on
+//! *uncongested* sessions (the common case). eRPC ships hooks for both
+//! deployed algorithms and implements Timely (RTT-based) because its
+//! testbeds cannot ECN-mark; our simulator *can* ECN-mark, so both are
+//! provided and benchmarked:
+//!
+//! * [`Timely`] — RTT-gradient rate control (SIGCOMM'15), the paper's
+//!   default. Runs entirely at client session endpoints from per-packet RTT
+//!   samples.
+//! * [`Dcqcn`] — ECN-based rate control (SIGCOMM'15), usable in simulated
+//!   fabrics with ECN marking (an ablation the paper wished it could run).
+//! * [`TimingWheel`] — a Carousel-style (SIGCOMM'17) hashed timing wheel
+//!   used as the per-endpoint rate limiter / pacer. Carousel's key property
+//!   is O(1) insertion and reaping with a bounded scheduling horizon, which
+//!   is what lets software pacing scale to thousands of sessions.
+
+pub mod dcqcn;
+pub mod timely;
+pub mod wheel;
+
+pub use dcqcn::{Dcqcn, DcqcnConfig};
+pub use timely::{Timely, TimelyConfig};
+pub use wheel::TimingWheel;
+
+/// Convert a rate in bits/second to nanoseconds required per byte.
+#[inline]
+pub fn ns_per_byte(rate_bps: f64) -> f64 {
+    debug_assert!(rate_bps > 0.0);
+    8e9 / rate_bps
+}
+
+/// Serialization delay of `bytes` at `rate_bps`, in nanoseconds.
+#[inline]
+pub fn tx_ns(bytes: usize, rate_bps: f64) -> u64 {
+    (bytes as f64 * ns_per_byte(rate_bps)) as u64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rate_conversions() {
+        // 1 Gbps = 8 ns per byte.
+        assert!((ns_per_byte(1e9) - 8.0).abs() < 1e-9);
+        // 1500 B at 25 Gbps = 480 ns.
+        assert_eq!(tx_ns(1500, 25e9), 480);
+    }
+}

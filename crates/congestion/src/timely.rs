@@ -1,0 +1,265 @@
+//! Timely: RTT-gradient congestion control (Mittal et al., SIGCOMM 2015),
+//! with the patched gradient handling analysed in "ECN or Delay" (Zhu et
+//! al., CoNEXT 2016) that eRPC's implementation follows.
+//!
+//! One instance per *client* session. Per-packet RTT samples drive a rate
+//! in bits/second; the pacer ([`crate::TimingWheel`]) enforces it. The
+//! paper's common-case optimization — the *Timely bypass* (§5.2.2): when a
+//! session is uncongested (rate at line rate) and a sample is below
+//! `t_low`, skip the update entirely — is implemented by the caller (the
+//! eRPC event loop) via [`Timely::can_bypass_update`], so the cost of the
+//! skipped floating-point work is honestly saved/incurred in benchmarks.
+
+/// Timely parameters. Defaults follow the eRPC/TIMELY values, scaled by the
+/// link rate where the original paper used absolute numbers for 10 GbE.
+#[derive(Debug, Clone)]
+pub struct TimelyConfig {
+    /// Link (maximum) rate in bits/sec.
+    pub link_bps: f64,
+    /// Minimum sending rate floor, bits/sec.
+    pub min_rate_bps: f64,
+    /// Low RTT threshold: below this, additive increase (50 µs, §5.2.2).
+    pub t_low_ns: u64,
+    /// High RTT threshold: above this, multiplicative decrease (1 ms).
+    pub t_high_ns: u64,
+    /// Wire/base RTT used to normalize the gradient.
+    pub min_rtt_ns: u64,
+    /// EWMA weight for the RTT-difference filter.
+    pub ewma_alpha: f64,
+    /// Multiplicative-decrease factor.
+    pub beta: f64,
+    /// Additive-increase step, bits/sec.
+    pub add_rate_bps: f64,
+    /// Consecutive negative-gradient samples before hyperactive increase.
+    pub hai_after: u32,
+}
+
+impl TimelyConfig {
+    /// Sensible defaults for a link of `link_bps` bits/sec.
+    pub fn for_link(link_bps: f64) -> Self {
+        Self {
+            link_bps,
+            min_rate_bps: link_bps / 256.0,
+            t_low_ns: 50_000,
+            t_high_ns: 1_000_000,
+            min_rtt_ns: 6_000,
+            ewma_alpha: 0.46,
+            beta: 0.5,
+            add_rate_bps: link_bps / 256.0,
+            hai_after: 5,
+        }
+    }
+}
+
+impl Default for TimelyConfig {
+    fn default() -> Self {
+        Self::for_link(25e9) // CX4: 25 GbE
+    }
+}
+
+/// Per-session Timely state.
+///
+/// ```
+/// use erpc_congestion::{Timely, TimelyConfig};
+/// let mut t = Timely::new(TimelyConfig::for_link(25e9));
+/// assert!(t.is_uncongested()); // starts at line rate
+/// for i in 0..50 {
+///     t.update(2_000_000, i * 10_000); // 2 ms RTTs: congestion
+/// }
+/// assert!(t.rate_bps() < 25e9);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Timely {
+    cfg: TimelyConfig,
+    rate_bps: f64,
+    prev_rtt_ns: u64,
+    avg_rtt_diff_ns: f64,
+    neg_gradient_count: u32,
+    last_update_ns: u64,
+    samples: u64,
+}
+
+impl Timely {
+    pub fn new(cfg: TimelyConfig) -> Self {
+        let rate = cfg.link_bps;
+        Self {
+            prev_rtt_ns: cfg.min_rtt_ns,
+            cfg,
+            rate_bps: rate,
+            avg_rtt_diff_ns: 0.0,
+            neg_gradient_count: 0,
+            last_update_ns: 0,
+            samples: 0,
+        }
+    }
+
+    /// Current allowed sending rate, bits/sec.
+    #[inline]
+    pub fn rate_bps(&self) -> f64 {
+        self.rate_bps
+    }
+
+    /// An *uncongested* session sends at line rate (§5.2.2). Such sessions
+    /// bypass the rate limiter entirely.
+    #[inline]
+    pub fn is_uncongested(&self) -> bool {
+        self.rate_bps >= self.cfg.link_bps
+    }
+
+    /// Timely-bypass predicate (§5.2.2, optimization 1): if the session is
+    /// uncongested and the new sample is under `t_low`, the rate update is
+    /// a no-op by construction (additive increase is clamped at line rate),
+    /// so it can be skipped without changing behaviour.
+    #[inline]
+    pub fn can_bypass_update(&self, sample_rtt_ns: u64) -> bool {
+        self.is_uncongested() && sample_rtt_ns < self.cfg.t_low_ns
+    }
+
+    /// RTT samples consumed (for stats/tests).
+    pub fn samples(&self) -> u64 {
+        self.samples
+    }
+
+    /// Feed one RTT sample taken at `now_ns`.
+    pub fn update(&mut self, sample_rtt_ns: u64, now_ns: u64) {
+        self.samples += 1;
+        let cfg = &self.cfg;
+        let rtt_diff = sample_rtt_ns as f64 - self.prev_rtt_ns as f64;
+        self.prev_rtt_ns = sample_rtt_ns;
+        self.avg_rtt_diff_ns =
+            (1.0 - cfg.ewma_alpha) * self.avg_rtt_diff_ns + cfg.ewma_alpha * rtt_diff;
+        // Scale the additive step by elapsed time so update frequency does
+        // not change aggressiveness (Timely's "delta factor").
+        let elapsed = now_ns.saturating_sub(self.last_update_ns);
+        self.last_update_ns = now_ns;
+        let delta_factor = (elapsed as f64 / cfg.min_rtt_ns as f64).clamp(0.0, 1.0);
+
+        let new_rate = if sample_rtt_ns < cfg.t_low_ns {
+            // Below t_low: the network is clearly underloaded.
+            self.neg_gradient_count = 0;
+            self.rate_bps + delta_factor * cfg.add_rate_bps
+        } else if sample_rtt_ns > cfg.t_high_ns {
+            // Above t_high: decrease regardless of gradient to bound queues.
+            self.neg_gradient_count = 0;
+            self.rate_bps
+                * (1.0 - delta_factor * cfg.beta * (1.0 - cfg.t_high_ns as f64 / sample_rtt_ns as f64))
+        } else {
+            let norm_gradient = self.avg_rtt_diff_ns / cfg.min_rtt_ns as f64;
+            if norm_gradient <= 0.0 {
+                // Queues draining: increase; hyperactively after a run of
+                // negative gradients (HAI mode).
+                self.neg_gradient_count += 1;
+                let n = if self.neg_gradient_count >= cfg.hai_after { 5.0 } else { 1.0 };
+                self.rate_bps + n * delta_factor * cfg.add_rate_bps
+            } else {
+                // Queues building: multiplicative decrease ∝ gradient.
+                self.neg_gradient_count = 0;
+                self.rate_bps * (1.0 - cfg.beta * norm_gradient.min(1.0))
+            }
+        };
+        self.rate_bps = new_rate.clamp(cfg.min_rate_bps, cfg.link_bps);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn timely() -> Timely {
+        Timely::new(TimelyConfig::for_link(25e9))
+    }
+
+    #[test]
+    fn starts_at_line_rate_and_uncongested() {
+        let t = timely();
+        assert_eq!(t.rate_bps(), 25e9);
+        assert!(t.is_uncongested());
+        assert!(t.can_bypass_update(10_000));
+        assert!(!t.can_bypass_update(60_000));
+    }
+
+    #[test]
+    fn high_rtt_decreases_rate() {
+        let mut t = timely();
+        let mut now = 0;
+        for _ in 0..50 {
+            now += 10_000;
+            t.update(2_000_000, now); // 2 ms >> t_high
+        }
+        assert!(t.rate_bps() < 25e9 * 0.5, "rate {:.2e}", t.rate_bps());
+        assert!(!t.is_uncongested());
+    }
+
+    #[test]
+    fn low_rtt_recovers_to_line_rate() {
+        let mut t = timely();
+        let mut now = 0;
+        for _ in 0..50 {
+            now += 10_000;
+            t.update(2_000_000, now);
+        }
+        let depressed = t.rate_bps();
+        for _ in 0..2000 {
+            now += 10_000;
+            t.update(10_000, now); // 10 µs < t_low
+        }
+        assert!(t.rate_bps() > depressed);
+        assert!(t.is_uncongested(), "rate {:.2e}", t.rate_bps());
+    }
+
+    #[test]
+    fn rate_never_leaves_bounds() {
+        let cfg = TimelyConfig::for_link(25e9);
+        let (lo, hi) = (cfg.min_rate_bps, cfg.link_bps);
+        let mut t = Timely::new(cfg);
+        let mut now = 0;
+        // Alternate extreme samples.
+        for i in 0..10_000u64 {
+            now += 5_000;
+            let rtt = if i % 3 == 0 { 5_000 } else { 5_000_000 };
+            t.update(rtt, now);
+            assert!(t.rate_bps() >= lo && t.rate_bps() <= hi);
+        }
+    }
+
+    #[test]
+    fn gradient_decrease_between_thresholds() {
+        let mut t = timely();
+        let mut now = 0;
+        // Rising RTTs inside [t_low, t_high] → positive gradient → decrease.
+        let mut rtt = 60_000;
+        for _ in 0..30 {
+            now += 10_000;
+            rtt += 20_000;
+            t.update(rtt, now);
+        }
+        assert!(t.rate_bps() < 25e9);
+    }
+
+    #[test]
+    fn hai_mode_accelerates_increase() {
+        // After depressing the rate, falling RTTs within the band should
+        // recover faster once the HAI run kicks in than fresh single steps.
+        let cfg = TimelyConfig::for_link(25e9);
+        let mut t = Timely::new(cfg.clone());
+        let mut now = 0;
+        for _ in 0..200 {
+            now += 10_000;
+            t.update(3_000_000, now);
+        }
+        let base = t.rate_bps();
+        // Falling RTTs inside the band: negative gradient accumulates.
+        let mut rtt = 900_000u64;
+        let mut gains = Vec::new();
+        for _ in 0..12 {
+            now += 10_000;
+            rtt -= 30_000;
+            let before = t.rate_bps();
+            t.update(rtt, now);
+            gains.push(t.rate_bps() - before);
+        }
+        assert!(t.rate_bps() > base);
+        // Later steps (HAI engaged) are bigger than the first.
+        assert!(gains[10] > gains[0] * 2.0, "gains: {gains:?}");
+    }
+}

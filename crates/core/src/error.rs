@@ -1,0 +1,43 @@
+//! Error types for the eRPC public API.
+
+/// Errors surfaced to applications.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RpcError {
+    /// The session is not in the connected state.
+    NotConnected,
+    /// The session handle does not name a live client session.
+    InvalidSession,
+    /// Request or response exceeds the configured maximum message size.
+    MsgTooLarge,
+    /// No request type handler/continuation registered under this id.
+    UnknownType,
+    /// The remote endpoint was declared failed (management timeout); the
+    /// continuation for every pending request on its sessions gets this
+    /// (Appendix B).
+    RemoteFailure,
+    /// The session was disconnected while requests were pending.
+    Disconnected,
+    /// `create_session` would exceed the credit-implied session limit
+    /// (§4.3.1: an Rpc may participate in at most |RQ|/C sessions).
+    TooManySessions,
+    /// All 8 request slots are busy and the transparent backlog is full.
+    BacklogFull,
+}
+
+impl core::fmt::Display for RpcError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        let s = match self {
+            RpcError::NotConnected => "session not connected",
+            RpcError::InvalidSession => "invalid session handle",
+            RpcError::MsgTooLarge => "message exceeds maximum size",
+            RpcError::UnknownType => "unregistered request/continuation type",
+            RpcError::RemoteFailure => "remote endpoint failed",
+            RpcError::Disconnected => "session disconnected",
+            RpcError::TooManySessions => "session limit reached (|RQ|/C)",
+            RpcError::BacklogFull => "request backlog full",
+        };
+        f.write_str(s)
+    }
+}
+
+impl std::error::Error for RpcError {}

@@ -1,0 +1,77 @@
+//! # erpc — Datacenter RPCs can be General and Fast, in Rust
+//!
+//! A reproduction of eRPC (Kalia, Kaminsky, Andersen — NSDI 2019): a fast,
+//! general-purpose RPC library for datacenter networks that needs nothing
+//! from the network but unreliable datagrams — no RDMA, no lossless
+//! fabric, no programmable switches.
+//!
+//! ## Design pillars (paper § references throughout the modules)
+//!
+//! 1. **Optimize for the common case**: small messages, short handlers,
+//!    uncongested network. The fast path does no allocation, no copies on
+//!    RX dispatch, one clock read per batch, and skips the congestion-
+//!    control machinery entirely while the network is quiet (§5.2.2).
+//! 2. **One BDP per flow**: session credits cap outstanding data, so
+//!    switch buffers (MBs) can absorb even heavy incast without drops,
+//!    because the datacenter BDP is tiny (kBs) by comparison (§2.1).
+//!
+//! ## Quick start
+//!
+//! ```
+//! use erpc::{Rpc, RpcConfig};
+//! use erpc_transport::{Addr, MemFabric, MemFabricConfig};
+//!
+//! let fabric = MemFabric::new(MemFabricConfig::default());
+//! let mut server = Rpc::new(fabric.create_transport(Addr::new(0, 0)), RpcConfig::default());
+//! let mut client = Rpc::new(fabric.create_transport(Addr::new(1, 0)), RpcConfig::default());
+//!
+//! // Server: register a dispatch-mode handler for request type 1.
+//! server.register_request_handler(1, Box::new(|ctx, req| {
+//!     let mut out = req.to_vec();
+//!     out.reverse();
+//!     ctx.respond(&out);
+//! }));
+//!
+//! // Client: register a continuation, connect, send.
+//! let done = std::rc::Rc::new(std::cell::Cell::new(false));
+//! let done2 = done.clone();
+//! client.register_continuation(7, Box::new(move |_ctx, c| {
+//!     assert_eq!(c.resp.data(), b"cba");
+//!     done2.set(true);
+//! }));
+//! let sess = client.create_session(Addr::new(0, 0)).unwrap();
+//! let mut req = client.alloc_msg_buffer(3);
+//! req.fill(b"abc");
+//! let resp = client.alloc_msg_buffer(64);
+//! client.enqueue_request(sess, 1, req, resp, 7, 0).unwrap();
+//!
+//! while !done.get() {
+//!     client.run_event_loop_once();
+//!     server.run_event_loop_once();
+//! }
+//! ```
+
+pub mod config;
+pub mod error;
+pub mod mgmt;
+pub mod msgbuf;
+pub mod pkthdr;
+pub mod rpc;
+pub mod session;
+pub mod stats;
+pub mod worker;
+
+pub use config::{CcAlgorithm, RpcConfig};
+pub use error::RpcError;
+pub use msgbuf::{BufPool, MsgBuf};
+pub use pkthdr::{PktHdr, PktType, ECN_BYTE, ECN_MASK, PKT_HDR_SIZE};
+pub use rpc::{
+    Completion, ContContext, ContinuationFn, DeferredHandle, DispatchFn, EnqueueError,
+    ReqContext, Rpc, SessionInfo, WorkCounts,
+};
+pub use session::{SessionHandle, SessionState};
+pub use stats::{LatencyHistogram, RpcStats};
+pub use worker::WorkerFn;
+
+// Re-export the transport façade so applications need one import.
+pub use erpc_transport as transport;

@@ -1,0 +1,112 @@
+//! Session-management message bodies.
+//!
+//! The paper runs session management over a sockets-based side channel
+//! driven by a management thread (Appendix B). We keep management
+//! *in-band* — tiny packets on the same unreliable transport, retried by
+//! timers — which preserves the semantics (connect/disconnect handshakes,
+//! ping-based failure detection) without a second socket layer. Bodies are
+//! encoded with the little-endian codec and follow the 16 B packet header.
+
+use erpc_transport::codec::{ByteReader, ByteWriter, Truncated};
+use erpc_transport::Addr;
+
+/// `ConnectReq` body: everything the server needs to build the matching
+/// server-mode session.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) struct ConnectReq {
+    /// Client endpoint address (so the server can route replies).
+    pub client_addr: Addr,
+    /// Client's session number (echoed in the response).
+    pub client_session: u16,
+    /// Session credits C the client will honor.
+    pub credits: u32,
+    /// Slots per session (must match on both ends).
+    pub num_slots: u8,
+}
+
+impl ConnectReq {
+    pub fn encode(&self, out: &mut Vec<u8>) {
+        ByteWriter::new(out)
+            .u32(self.client_addr.key())
+            .u16(self.client_session)
+            .u32(self.credits)
+            .u8(self.num_slots);
+    }
+
+    pub fn decode(b: &[u8]) -> Result<Self, Truncated> {
+        let mut r = ByteReader::new(b);
+        Ok(Self {
+            client_addr: Addr::from_key(r.u32()?),
+            client_session: r.u16()?,
+            credits: r.u32()?,
+            num_slots: r.u8()?,
+        })
+    }
+}
+
+/// `ConnectResp` body.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) struct ConnectResp {
+    pub client_session: u16,
+    /// Server's session number; the client addresses all future packets to
+    /// it. Meaningless when `ok` is false.
+    pub server_session: u16,
+    /// False when the server refused (session limit, config mismatch).
+    pub ok: bool,
+}
+
+impl ConnectResp {
+    pub fn encode(&self, out: &mut Vec<u8>) {
+        ByteWriter::new(out)
+            .u16(self.client_session)
+            .u16(self.server_session)
+            .bool(self.ok);
+    }
+
+    pub fn decode(b: &[u8]) -> Result<Self, Truncated> {
+        let mut r = ByteReader::new(b);
+        Ok(Self {
+            client_session: r.u16()?,
+            server_session: r.u16()?,
+            ok: r.bool()?,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn connect_req_roundtrip() {
+        let m = ConnectReq {
+            client_addr: Addr::new(42, 3),
+            client_session: 7,
+            credits: 32,
+            num_slots: 8,
+        };
+        let mut buf = Vec::new();
+        m.encode(&mut buf);
+        assert_eq!(ConnectReq::decode(&buf).unwrap(), m);
+    }
+
+    #[test]
+    fn connect_resp_roundtrip() {
+        for ok in [true, false] {
+            let m = ConnectResp {
+                client_session: 1,
+                server_session: 900,
+                ok,
+            };
+            let mut buf = Vec::new();
+            m.encode(&mut buf);
+            assert_eq!(ConnectResp::decode(&buf).unwrap(), m);
+        }
+    }
+
+    #[test]
+    fn truncated_bodies_rejected() {
+        assert!(ConnectReq::decode(&[1, 2, 3]).is_err());
+        assert!(ConnectResp::decode(&[9]).is_err());
+    }
+}

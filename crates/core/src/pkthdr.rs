@@ -1,0 +1,226 @@
+//! The 16-byte eRPC packet header (§4.2.1).
+//!
+//! Every packet on the wire starts with this header; CR and RFR packets are
+//! *only* this header ("CRs and RFRs are tiny 16 B packets", §5.1). Layout
+//! (little-endian):
+//!
+//! ```text
+//! byte 0      : pkt_type (4 bits) | ECN (1 bit) | magic (3 bits)
+//! byte 1      : req_type — the registered handler id
+//! bytes 2-3   : dest_session — session number at the receiver
+//! bytes 4-7   : msg_size — total app-data bytes of the message
+//! bytes 8-13  : req_num — 48-bit request number (slot-strided, §4.3)
+//! bytes 14-15 : pkt_num — packet index within request or response
+//! ```
+
+use crate::error::RpcError;
+
+/// Size of the header on every packet.
+pub const PKT_HDR_SIZE: usize = 16;
+
+/// 3-bit constant to reject stray packets.
+pub const MAGIC: u8 = 0b101;
+
+/// Byte offset and mask of the ECN flag (the simulator's switches set this
+/// in flight; see `erpc_sim::EcnConfig`).
+pub const ECN_BYTE: usize = 0;
+pub const ECN_MASK: u8 = 0x10;
+
+/// Packet types of the wire protocol (§5.1) plus in-band session
+/// management (the paper uses a sockets side channel; we stay in-band).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[repr(u8)]
+pub enum PktType {
+    /// Request data packet (client → server).
+    Req = 0,
+    /// Response data packet (server → client).
+    Resp = 1,
+    /// Explicit credit return (server → client).
+    CreditReturn = 2,
+    /// Request-for-response (client → server).
+    Rfr = 3,
+    /// Session management (payload is a codec-encoded body).
+    ConnectReq = 4,
+    ConnectResp = 5,
+    DisconnectReq = 6,
+    DisconnectResp = 7,
+    /// Liveness probe for failure detection (Appendix B).
+    Ping = 8,
+    Pong = 9,
+}
+
+impl PktType {
+    fn from_bits(v: u8) -> Option<Self> {
+        Some(match v {
+            0 => PktType::Req,
+            1 => PktType::Resp,
+            2 => PktType::CreditReturn,
+            3 => PktType::Rfr,
+            4 => PktType::ConnectReq,
+            5 => PktType::ConnectResp,
+            6 => PktType::DisconnectReq,
+            7 => PktType::DisconnectResp,
+            8 => PktType::Ping,
+            9 => PktType::Pong,
+            _ => return None,
+        })
+    }
+}
+
+/// Decoded packet header.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PktHdr {
+    pub pkt_type: PktType,
+    pub ecn: bool,
+    /// Request-handler type id.
+    pub req_type: u8,
+    /// Session number at the destination endpoint.
+    pub dest_session: u16,
+    /// Total message size in bytes (request size for Req, response size
+    /// for Resp; 0 for control packets).
+    pub msg_size: u32,
+    /// 48-bit request number.
+    pub req_num: u64,
+    /// Index of this packet within its message, or the requested response
+    /// packet index for RFR, or the acknowledged request packet index for
+    /// CR.
+    pub pkt_num: u16,
+}
+
+impl PktHdr {
+    /// Encode into a 16-byte array.
+    pub fn encode(&self) -> [u8; PKT_HDR_SIZE] {
+        debug_assert!(self.req_num < (1u64 << 48));
+        let mut b = [0u8; PKT_HDR_SIZE];
+        b[0] = (self.pkt_type as u8)
+            | if self.ecn { ECN_MASK } else { 0 }
+            | (MAGIC << 5);
+        b[1] = self.req_type;
+        b[2..4].copy_from_slice(&self.dest_session.to_le_bytes());
+        b[4..8].copy_from_slice(&self.msg_size.to_le_bytes());
+        b[8..14].copy_from_slice(&self.req_num.to_le_bytes()[..6]);
+        b[14..16].copy_from_slice(&self.pkt_num.to_le_bytes());
+        b
+    }
+
+    /// Encode directly into the first 16 bytes of `out`.
+    pub fn encode_into(&self, out: &mut [u8]) {
+        out[..PKT_HDR_SIZE].copy_from_slice(&self.encode());
+    }
+
+    /// Decode a header from the front of `b`. Fails on short input, bad
+    /// magic, or unknown packet type.
+    pub fn decode(b: &[u8]) -> Result<Self, RpcError> {
+        if b.len() < PKT_HDR_SIZE {
+            return Err(RpcError::UnknownType);
+        }
+        if b[0] >> 5 != MAGIC {
+            return Err(RpcError::UnknownType);
+        }
+        let pkt_type = PktType::from_bits(b[0] & 0x0F).ok_or(RpcError::UnknownType)?;
+        let mut req_num_bytes = [0u8; 8];
+        req_num_bytes[..6].copy_from_slice(&b[8..14]);
+        Ok(Self {
+            pkt_type,
+            ecn: b[0] & ECN_MASK != 0,
+            req_type: b[1],
+            dest_session: u16::from_le_bytes(b[2..4].try_into().unwrap()),
+            msg_size: u32::from_le_bytes(b[4..8].try_into().unwrap()),
+            req_num: u64::from_le_bytes(req_num_bytes),
+            pkt_num: u16::from_le_bytes(b[14..16].try_into().unwrap()),
+        })
+    }
+
+    /// A control header (CR / RFR / management) with no message payload.
+    pub fn control(pkt_type: PktType, dest_session: u16, req_num: u64, pkt_num: u16) -> Self {
+        Self {
+            pkt_type,
+            ecn: false,
+            req_type: 0,
+            dest_session,
+            msg_size: 0,
+            req_num,
+            pkt_num,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> PktHdr {
+        PktHdr {
+            pkt_type: PktType::Req,
+            ecn: false,
+            req_type: 7,
+            dest_session: 0xABCD,
+            msg_size: 1_000_000,
+            req_num: 0x1234_5678_9ABC,
+            pkt_num: 977,
+        }
+    }
+
+    #[test]
+    fn roundtrip() {
+        let h = sample();
+        let b = h.encode();
+        assert_eq!(PktHdr::decode(&b).unwrap(), h);
+    }
+
+    #[test]
+    fn roundtrip_all_types() {
+        for t in [
+            PktType::Req,
+            PktType::Resp,
+            PktType::CreditReturn,
+            PktType::Rfr,
+            PktType::ConnectReq,
+            PktType::ConnectResp,
+            PktType::DisconnectReq,
+            PktType::DisconnectResp,
+            PktType::Ping,
+            PktType::Pong,
+        ] {
+            let mut h = sample();
+            h.pkt_type = t;
+            assert_eq!(PktHdr::decode(&h.encode()).unwrap().pkt_type, t);
+        }
+    }
+
+    #[test]
+    fn ecn_flag_roundtrip_and_offsets() {
+        let mut h = sample();
+        h.ecn = true;
+        let b = h.encode();
+        assert!(b[ECN_BYTE] & ECN_MASK != 0);
+        assert!(PktHdr::decode(&b).unwrap().ecn);
+        // A switch setting the bit in flight is decoded as ECN.
+        let mut b2 = sample().encode();
+        b2[ECN_BYTE] |= ECN_MASK;
+        assert!(PktHdr::decode(&b2).unwrap().ecn);
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        assert!(PktHdr::decode(&[0u8; 4]).is_err()); // short
+        let mut b = sample().encode();
+        b[0] = 0x00; // kills magic
+        assert!(PktHdr::decode(&b).is_err());
+        let mut b = sample().encode();
+        b[0] = (MAGIC << 5) | 0x0F; // bad type with good magic
+        assert!(PktHdr::decode(&b).is_err());
+    }
+
+    #[test]
+    fn req_num_48_bits() {
+        let mut h = sample();
+        h.req_num = (1 << 48) - 1;
+        assert_eq!(PktHdr::decode(&h.encode()).unwrap().req_num, (1 << 48) - 1);
+    }
+
+    #[test]
+    fn header_is_16_bytes() {
+        assert_eq!(sample().encode().len(), 16);
+    }
+}

@@ -1,0 +1,1912 @@
+//! The `Rpc` endpoint: event loop, wire protocol, and public API (§3, §5).
+//!
+//! One `Rpc` per user thread, exclusive (eRPC's threading model). The
+//! owning thread must call [`Rpc::run_event_loop_once`] periodically; the
+//! event loop performs all datapath work: packet RX/TX, congestion
+//! control, retransmission, session management, and handler/continuation
+//! dispatch.
+//!
+//! ## Wire protocol (§5.1, client-driven)
+//!
+//! Every server packet responds to a client packet. A request of N packets
+//! and response of M packets exchanges:
+//!
+//! ```text
+//! client → server : N request data packets        (paced, credit-limited)
+//! server → client : N−1 credit returns (CR)       (16 B)
+//! server → client : response packet 0             (implicitly returns the
+//!                                                  last request credit)
+//! client → server : M−1 request-for-response (RFR)
+//! server → client : response packets 1..M−1
+//! ```
+//!
+//! Loss handling is go-back-N at the client only (§5.3): the client rolls
+//! its two protocol counters back, reclaims credits, flushes the TX DMA
+//! queue (§4.2.2), and retransmits. Servers never run a handler twice for
+//! one request number (at-most-once).
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use erpc_congestion::{ns_per_byte, Dcqcn, Timely, TimingWheel};
+use erpc_transport::{Addr, RxToken, Transport, TxPacket};
+use parking_lot::RwLock;
+
+use crate::config::{CcAlgorithm, RpcConfig};
+use crate::error::RpcError;
+use crate::mgmt::{ConnectReq, ConnectResp};
+use crate::msgbuf::{BufPool, MsgBuf};
+use crate::pkthdr::{PktHdr, PktType, PKT_HDR_SIZE};
+use crate::session::{
+    PendingReq, Role, ServerSlot, Session, SessionHandle, SessionState, Slot,
+    SrvPhase,
+};
+use crate::stats::RpcStats;
+use crate::worker::{WorkDone, WorkItem, WorkerFn, WorkerPool, WorkerTable};
+
+/// Sentinel `dest_session` for packets that precede session establishment.
+const MGMT_SESSION: u16 = u16::MAX;
+
+/// Dispatch-mode request handler: runs inside the event loop on the
+/// dispatch thread (§3.2). For single-packet requests the payload slice
+/// borrows the transport RX ring directly (zero-copy RX, §4.2.3).
+pub type DispatchFn = Box<dyn FnMut(&mut ReqContext<'_>, &[u8])>;
+
+/// Continuation: invoked on RPC completion (or failure) with ownership of
+/// both msgbufs returned to the application (§4.2.2's ownership rule).
+/// Registered once and reused, so the datapath allocates nothing per call;
+/// `tag` carries per-request context.
+pub type ContinuationFn = Box<dyn FnMut(&mut ContContext<'_>, Completion)>;
+
+enum HandlerEntry {
+    None,
+    Dispatch(DispatchFn),
+    Worker,
+}
+
+/// Delivered to a continuation when its RPC completes.
+pub struct Completion {
+    /// The request msgbuf, ownership returned.
+    pub req: MsgBuf,
+    /// The response msgbuf; on success its length is the response size.
+    pub resp: MsgBuf,
+    /// `Ok` or the failure reason (e.g. [`RpcError::RemoteFailure`]).
+    pub result: Result<(), RpcError>,
+    /// Completion latency (enqueue → continuation), transport clock.
+    pub latency_ns: u64,
+    /// The session the request ran on.
+    pub session: SessionHandle,
+    /// The caller's tag from `enqueue_request`.
+    pub tag: u64,
+}
+
+/// Handle to a request whose response will be enqueued later (nested /
+/// long-running RPCs, §3.1: "the handler need not enqueue a response
+/// before returning").
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DeferredHandle {
+    sess: u16,
+    slot: u8,
+    req_num: u64,
+}
+
+/// Operations queued by handlers/continuations (executed by the event loop
+/// right after the callback returns, avoiding reentrancy).
+enum QueuedOp {
+    Request {
+        sess: SessionHandle,
+        req_type: u8,
+        req: MsgBuf,
+        resp: MsgBuf,
+        cont_id: u8,
+        tag: u64,
+    },
+    Response {
+        handle: DeferredHandle,
+        data: Vec<u8>,
+    },
+}
+
+/// Context available to dispatch-mode request handlers.
+pub struct ReqContext<'a> {
+    pool: &'a mut BufPool,
+    ops: &'a mut Vec<QueuedOp>,
+    prealloc: Option<MsgBuf>,
+    prealloc_enabled: bool,
+    resp_built: Option<(MsgBuf, bool)>,
+    deferred: bool,
+    handle: DeferredHandle,
+    max_msg_size: usize,
+}
+
+impl ReqContext<'_> {
+    /// Enqueue the response for this request. The common case: small
+    /// responses are served from the slot's preallocated msgbuf with no
+    /// allocator traffic (§4.3).
+    pub fn respond(&mut self, data: &[u8]) {
+        assert!(!self.deferred, "respond() after defer()");
+        assert!(self.resp_built.is_none(), "respond() called twice");
+        assert!(data.len() <= self.max_msg_size, "response exceeds max size");
+        let (mut buf, is_prealloc) = match self.prealloc.take() {
+            Some(p) if self.prealloc_enabled && data.len() <= p.capacity() => (p, true),
+            other => {
+                // Put an unsuitable prealloc back for future requests.
+                self.prealloc = other;
+                (self.pool.alloc(data.len()), false)
+            }
+        };
+        buf.fill(data);
+        self.resp_built = Some((buf, is_prealloc));
+    }
+
+    /// Defer the response: the handler returns without responding, and the
+    /// application calls [`Rpc::enqueue_response`] (or
+    /// [`ContContext::enqueue_response`]) with this handle later.
+    pub fn defer(&mut self) -> DeferredHandle {
+        assert!(self.resp_built.is_none(), "defer() after respond()");
+        self.deferred = true;
+        self.handle
+    }
+
+    /// This request's handle (for logging / correlation).
+    pub fn handle(&self) -> DeferredHandle {
+        self.handle
+    }
+
+    /// Issue a nested RPC from inside the handler; it is enqueued when the
+    /// handler returns.
+    #[allow(clippy::too_many_arguments)]
+    pub fn enqueue_request(
+        &mut self,
+        sess: SessionHandle,
+        req_type: u8,
+        req: MsgBuf,
+        resp: MsgBuf,
+        cont_id: u8,
+        tag: u64,
+    ) {
+        self.ops.push(QueuedOp::Request { sess, req_type, req, resp, cont_id, tag });
+    }
+
+    /// Allocate a msgbuf (for nested requests).
+    pub fn alloc_msg_buffer(&mut self, size: usize) -> MsgBuf {
+        self.pool.alloc(size)
+    }
+
+    /// Return a msgbuf to the pool.
+    pub fn free_msg_buffer(&mut self, m: MsgBuf) {
+        self.pool.free(m);
+    }
+}
+
+/// Context available to continuations.
+pub struct ContContext<'a> {
+    pool: &'a mut BufPool,
+    ops: &'a mut Vec<QueuedOp>,
+}
+
+impl ContContext<'_> {
+    /// Issue a follow-up RPC (the closed-loop pattern: re-enqueue from the
+    /// continuation, reusing the completed msgbufs).
+    #[allow(clippy::too_many_arguments)]
+    pub fn enqueue_request(
+        &mut self,
+        sess: SessionHandle,
+        req_type: u8,
+        req: MsgBuf,
+        resp: MsgBuf,
+        cont_id: u8,
+        tag: u64,
+    ) {
+        self.ops.push(QueuedOp::Request { sess, req_type, req, resp, cont_id, tag });
+    }
+
+    /// Enqueue a deferred response from within a continuation (the nested-
+    /// RPC pattern: parent response depends on a child RPC's completion).
+    pub fn enqueue_response(&mut self, handle: DeferredHandle, data: &[u8]) {
+        self.ops.push(QueuedOp::Response { handle, data: data.to_vec() });
+    }
+
+    pub fn alloc_msg_buffer(&mut self, size: usize) -> MsgBuf {
+        self.pool.alloc(size)
+    }
+
+    pub fn free_msg_buffer(&mut self, m: MsgBuf) {
+        self.pool.free(m);
+    }
+}
+
+/// Failed `enqueue_request`, returning buffer ownership with the reason.
+pub struct EnqueueError {
+    pub err: RpcError,
+    pub req: MsgBuf,
+    pub resp: MsgBuf,
+}
+
+impl core::fmt::Debug for EnqueueError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(f, "EnqueueError({})", self.err)
+    }
+}
+
+/// Entry in the pacing wheel: a *descriptor* of a packet to send, never a
+/// buffer reference — so rollback invalidation is a generation bump and
+/// the msgbuf-ownership invariant of §4.2.2/App. C holds structurally.
+#[derive(Debug, Clone, Copy)]
+struct WheelEntry {
+    sess: u16,
+    slot: u8,
+    req_num: u64,
+    epoch: u32,
+    seq: u32,
+}
+
+/// Point-in-time view of a session's health (see [`Rpc::session_info`]).
+#[derive(Debug, Clone)]
+pub struct SessionInfo {
+    pub state: SessionState,
+    /// True for client-mode sessions.
+    pub is_client: bool,
+    pub peer: Addr,
+    /// Credits currently available (client side).
+    pub credits_available: u32,
+    /// Requests enqueued but not completed (slots + backlog).
+    pub outstanding_requests: u32,
+    /// Requests waiting for a free slot.
+    pub backlogged: usize,
+    /// Packets in flight (unacknowledged) across all slots.
+    pub in_flight_pkts: u32,
+    /// Congestion-controlled rate, if a controller is attached.
+    pub rate_bps: Option<f64>,
+    /// Whether the pacer is currently bypassed (§5.2.2).
+    pub uncongested: bool,
+}
+
+/// Work performed since the last [`Rpc::take_work`] (the simulator's
+/// CPU-cost driver consumes this).
+#[derive(Debug, Default, Clone, Copy)]
+pub struct WorkCounts {
+    pub tx_pkts: u64,
+    pub rx_pkts: u64,
+    pub callbacks: u64,
+    pub rx_bytes: u64,
+}
+
+/// An eRPC endpoint. Generic over the transport; `!Sync` by design.
+pub struct Rpc<T: Transport> {
+    transport: T,
+    cfg: RpcConfig,
+    pool: BufPool,
+    sessions: Vec<Option<Session>>,
+    /// (peer key, peer's client session num) → local server session num.
+    connect_map: HashMap<(u32, u16), u16>,
+    handlers: Vec<HandlerEntry>,
+    conts: Vec<Option<ContinuationFn>>,
+    wheel: TimingWheel<WheelEntry>,
+    wheel_scratch: Vec<WheelEntry>,
+    pending_ops: Vec<QueuedOp>,
+    worker_pool: Option<WorkerPool>,
+    worker_table: WorkerTable,
+    worker_done_scratch: Vec<WorkDone>,
+    stats: RpcStats,
+    work: WorkCounts,
+    /// Batched timestamp (§5.2.2 opt 3): refreshed once per loop pass.
+    now_cache: u64,
+    last_timer_scan_ns: u64,
+    rx_tokens: Vec<RxToken>,
+    /// Per-packet RTT samples (enabled by `record_rtt_samples`).
+    rtt_hist: crate::stats::LatencyHistogram,
+    /// Emulated RX descriptor ring for the multi-packet-RQ cost model.
+    desc_scratch: Vec<u8>,
+    desc_counter: u64,
+    /// Data bytes per packet: transport MTU − 16 B header.
+    dpp: usize,
+}
+
+impl<T: Transport> Rpc<T> {
+    pub fn new(transport: T, cfg: RpcConfig) -> Self {
+        let dpp = transport.mtu() - PKT_HDR_SIZE;
+        assert!(dpp > 0, "transport MTU too small for the packet header");
+        let worker_table: WorkerTable = Arc::new(RwLock::new(HashMap::new()));
+        let worker_pool = if cfg.num_worker_threads > 0 {
+            Some(WorkerPool::spawn(cfg.num_worker_threads, Arc::clone(&worker_table)))
+        } else {
+            None
+        };
+        let now = transport.now_ns();
+        Self {
+            pool: BufPool::new(dpp),
+            sessions: Vec::new(),
+            connect_map: HashMap::new(),
+            handlers: (0..256).map(|_| HandlerEntry::None).collect(),
+            conts: (0..256).map(|_| None).collect(),
+            wheel: TimingWheel::new(cfg.wheel_slots, cfg.wheel_granularity_ns, now),
+            wheel_scratch: Vec::new(),
+            pending_ops: Vec::new(),
+            worker_pool,
+            worker_table,
+            worker_done_scratch: Vec::new(),
+            stats: RpcStats::default(),
+            work: WorkCounts::default(),
+            now_cache: now,
+            last_timer_scan_ns: now,
+            rx_tokens: Vec::with_capacity(cfg.rx_batch),
+            rtt_hist: crate::stats::LatencyHistogram::new(),
+            desc_scratch: vec![0u8; 64 * 64],
+            desc_counter: 0,
+            dpp,
+            transport,
+            cfg,
+        }
+    }
+
+    // ── Accessors ───────────────────────────────────────────────────────
+
+    pub fn addr(&self) -> Addr {
+        self.transport.addr()
+    }
+
+    pub fn config(&self) -> &RpcConfig {
+        &self.cfg
+    }
+
+    pub fn stats(&self) -> &RpcStats {
+        &self.stats
+    }
+
+    pub fn transport(&self) -> &T {
+        &self.transport
+    }
+
+    pub fn transport_mut(&mut self) -> &mut T {
+        &mut self.transport
+    }
+
+    /// Data bytes carried per packet.
+    pub fn data_per_pkt(&self) -> usize {
+        self.dpp
+    }
+
+    /// Maximum sessions this endpoint supports: |RQ| / C (§4.3.1).
+    pub fn session_limit(&self) -> usize {
+        (self.transport.rx_ring_size() / self.cfg.session_credits as usize).max(1)
+    }
+
+    fn live_sessions(&self) -> usize {
+        self.sessions.iter().flatten().count()
+    }
+
+    /// Number of live sessions (client + server roles) on this endpoint.
+    pub fn active_sessions(&self) -> usize {
+        self.live_sessions()
+    }
+
+    /// Drain the work counters (simulator CPU charging).
+    pub fn take_work(&mut self) -> WorkCounts {
+        std::mem::take(&mut self.work)
+    }
+
+    /// Client-side per-packet RTT samples (when `record_rtt_samples`).
+    pub fn rtt_histogram(&self) -> &crate::stats::LatencyHistogram {
+        &self.rtt_hist
+    }
+
+    /// Reset the RTT histogram (e.g. after a warmup window).
+    pub fn clear_rtt_histogram(&mut self) {
+        self.rtt_hist.clear();
+    }
+
+    // ── Buffers, handlers, continuations ───────────────────────────────
+
+    /// Allocate a DMA-capable msgbuf holding up to `size` bytes.
+    pub fn alloc_msg_buffer(&mut self, size: usize) -> MsgBuf {
+        assert!(size <= self.cfg.max_msg_size, "msgbuf beyond max_msg_size");
+        self.pool.alloc(size)
+    }
+
+    pub fn free_msg_buffer(&mut self, m: MsgBuf) {
+        self.pool.free(m);
+    }
+
+    /// Register a dispatch-mode handler for `req_type` (§3.2: handlers of
+    /// up to a few hundred nanoseconds belong here).
+    pub fn register_request_handler(&mut self, req_type: u8, f: DispatchFn) {
+        self.handlers[req_type as usize] = HandlerEntry::Dispatch(f);
+    }
+
+    /// Register a worker-mode handler for `req_type` (long-running
+    /// handlers; requires `num_worker_threads > 0`, otherwise it runs in
+    /// dispatch as a degraded mode).
+    pub fn register_worker_handler(&mut self, req_type: u8, f: WorkerFn) {
+        if self.worker_pool.is_some() {
+            self.worker_table.write().insert(req_type, Arc::clone(&f));
+            self.handlers[req_type as usize] = HandlerEntry::Worker;
+        } else {
+            let g = f;
+            self.handlers[req_type as usize] = HandlerEntry::Dispatch(Box::new(
+                move |ctx: &mut ReqContext<'_>, req: &[u8]| {
+                    let mut out = Vec::new();
+                    g(req, &mut out);
+                    ctx.respond(&out);
+                },
+            ));
+        }
+    }
+
+    /// Register the continuation invoked for completions enqueued with
+    /// `cont_id`.
+    pub fn register_continuation(&mut self, cont_id: u8, f: ContinuationFn) {
+        self.conts[cont_id as usize] = Some(f);
+    }
+
+    // ── Sessions ────────────────────────────────────────────────────────
+
+    /// Start connecting a client session to the endpoint at `peer`. Poll
+    /// [`Rpc::is_connected`] (while running the event loop) to learn when
+    /// the handshake completes.
+    pub fn create_session(&mut self, peer: Addr) -> Result<SessionHandle, RpcError> {
+        if self.live_sessions() + 1 > self.session_limit() {
+            return Err(RpcError::TooManySessions);
+        }
+        let num = self.alloc_session_slot();
+        let now = self.now_cache;
+        let sess = Session::new_client(
+            num,
+            peer,
+            self.cfg.session_credits,
+            self.cfg.slots_per_session,
+            now,
+        );
+        self.sessions[num as usize] = Some(sess);
+        self.init_session_cc(num);
+        self.tx_connect_req(num);
+        Ok(SessionHandle(num))
+    }
+
+    fn alloc_session_slot(&mut self) -> u16 {
+        if let Some(i) = self.sessions.iter().position(|s| s.is_none()) {
+            i as u16
+        } else {
+            self.sessions.push(None);
+            (self.sessions.len() - 1) as u16
+        }
+    }
+
+    fn init_session_cc(&mut self, num: u16) {
+        let cc = &self.cfg.cc;
+        let sess = self.sessions[num as usize].as_mut().unwrap();
+        match cc {
+            CcAlgorithm::None => {}
+            CcAlgorithm::Timely(tc) => sess.cc.timely = Some(Timely::new(tc.clone())),
+            CcAlgorithm::Dcqcn(dc) => sess.cc.dcqcn = Some(Dcqcn::new(dc.clone())),
+        }
+    }
+
+    pub fn session_state(&self, h: SessionHandle) -> Option<SessionState> {
+        self.sessions
+            .get(h.0 as usize)
+            .and_then(|s| s.as_ref())
+            .map(|s| s.state)
+    }
+
+    pub fn is_connected(&self, h: SessionHandle) -> bool {
+        self.session_state(h) == Some(SessionState::Connected)
+    }
+
+    /// Credits currently available on a session (tests/diagnostics).
+    pub fn session_credits_available(&self, h: SessionHandle) -> Option<u32> {
+        self.sessions
+            .get(h.0 as usize)
+            .and_then(|s| s.as_ref())
+            .map(|s| s.credits)
+    }
+
+    /// Introspection snapshot of one session (diagnostics/monitoring).
+    pub fn session_info(&self, h: SessionHandle) -> Option<SessionInfo> {
+        let sess = self.sessions.get(h.0 as usize)?.as_ref()?;
+        let in_flight = sess
+            .slots
+            .iter()
+            .map(|s| match s {
+                Slot::Client(c) if c.active => c.in_flight(),
+                _ => 0,
+            })
+            .sum();
+        Some(SessionInfo {
+            state: sess.state,
+            is_client: sess.role == Role::Client,
+            peer: sess.peer,
+            credits_available: sess.credits,
+            outstanding_requests: sess.outstanding,
+            backlogged: sess.backlog.len(),
+            in_flight_pkts: in_flight,
+            rate_bps: sess.cc.rate_bps(),
+            uncongested: sess.cc.is_uncongested(),
+        })
+    }
+
+    /// Begin disconnecting an idle client session.
+    pub fn disconnect(&mut self, h: SessionHandle) -> Result<(), RpcError> {
+        let sess = self
+            .sessions
+            .get_mut(h.0 as usize)
+            .and_then(|s| s.as_mut())
+            .ok_or(RpcError::InvalidSession)?;
+        if sess.role != Role::Client || sess.state != SessionState::Connected {
+            return Err(RpcError::NotConnected);
+        }
+        if sess.outstanding > 0 {
+            return Err(RpcError::NotConnected);
+        }
+        sess.state = SessionState::Disconnecting;
+        let hdr = PktHdr::control(PktType::DisconnectReq, sess.remote_num, 0, 0);
+        let dst = sess.peer;
+        self.tx_mgmt(dst, hdr, &[]);
+        Ok(())
+    }
+
+    // ── Request enqueue ────────────────────────────────────────────────
+
+    /// Queue a request on a session. Asynchronous: the continuation
+    /// registered under `cont_id` fires on completion with `tag`.
+    ///
+    /// If all slots are busy the request is transparently backlogged
+    /// (§4.3). Requests enqueued while the session is still connecting are
+    /// also backlogged and sent once the handshake completes.
+    #[allow(clippy::too_many_arguments)]
+    pub fn enqueue_request(
+        &mut self,
+        h: SessionHandle,
+        req_type: u8,
+        req: MsgBuf,
+        resp: MsgBuf,
+        cont_id: u8,
+        tag: u64,
+    ) -> Result<(), EnqueueError> {
+        let err = |err, req, resp| Err(EnqueueError { err, req, resp });
+        if req.len() > self.cfg.max_msg_size {
+            return err(RpcError::MsgTooLarge, req, resp);
+        }
+        if self.sessions.get(h.0 as usize).and_then(|s| s.as_ref()).is_none() {
+            return err(RpcError::InvalidSession, req, resp);
+        }
+        if self.conts[cont_id as usize].is_none() {
+            return err(RpcError::UnknownType, req, resp);
+        }
+        let Some(sess) = self.sessions.get_mut(h.0 as usize).and_then(|s| s.as_mut()) else {
+            return err(RpcError::InvalidSession, req, resp);
+        };
+        if sess.role != Role::Client {
+            return err(RpcError::InvalidSession, req, resp);
+        }
+        match sess.state {
+            SessionState::Connected | SessionState::Connecting => {}
+            SessionState::Failed => return err(RpcError::RemoteFailure, req, resp),
+            SessionState::Disconnecting => return err(RpcError::Disconnected, req, resp),
+        }
+        if sess.backlog.len() >= self.cfg.backlog_cap {
+            return err(RpcError::BacklogFull, req, resp);
+        }
+        sess.outstanding += 1;
+        self.stats.requests_sent += 1;
+        sess.backlog.push_back(PendingReq { req_type, req, resp, cont_id, tag });
+        let idx = h.0;
+        if self.sessions[idx as usize].as_ref().unwrap().state == SessionState::Connected {
+            self.pump_session(idx);
+        }
+        Ok(())
+    }
+
+    /// Enqueue the response for a previously deferred request (§3.1's
+    /// nested-RPC flow). Call between event-loop iterations or from a
+    /// continuation via [`ContContext::enqueue_response`].
+    pub fn enqueue_response(
+        &mut self,
+        handle: DeferredHandle,
+        data: &[u8],
+    ) -> Result<(), RpcError> {
+        let Some(sess) = self
+            .sessions
+            .get_mut(handle.sess as usize)
+            .and_then(|s| s.as_mut())
+        else {
+            return Err(RpcError::InvalidSession);
+        };
+        if sess.role != Role::Server {
+            return Err(RpcError::InvalidSession);
+        }
+        let slot = sess.slots[handle.slot as usize].server_mut();
+        if slot.req_num != handle.req_num || slot.phase != SrvPhase::Processing {
+            return Err(RpcError::InvalidSession);
+        }
+        // Build the response msgbuf: preallocated when it fits (§4.3).
+        let (mut buf, is_prealloc) = match slot.prealloc.take() {
+            Some(p) if self.cfg.opt_preallocated_responses && data.len() <= p.capacity() => {
+                (p, true)
+            }
+            other => {
+                slot.prealloc = other;
+                (self.pool.alloc(data.len()), false)
+            }
+        };
+        buf.fill(data);
+        slot.resp = Some(buf);
+        slot.resp_is_prealloc = is_prealloc;
+        slot.phase = SrvPhase::Responding;
+        self.tx_resp_pkt(handle.sess, handle.slot as usize, 0);
+        Ok(())
+    }
+
+    // ── Event loop ─────────────────────────────────────────────────────
+
+    /// One pass: RX burst → worker completions → pacing wheel → queued
+    /// ops → timers.
+    pub fn run_event_loop_once(&mut self) {
+        // Batched timestamp: one clock read per pass (§5.2.2 opt 3).
+        self.now_cache = self.transport.now_ns();
+        self.stats.clock_reads += 1;
+
+        self.process_rx();
+        self.process_worker_completions();
+        self.reap_wheel();
+        self.drain_pending_ops();
+        if self.now_cache.saturating_sub(self.last_timer_scan_ns)
+            >= self.cfg.timer_scan_interval_ns
+        {
+            self.last_timer_scan_ns = self.now_cache;
+            self.run_timers();
+        }
+    }
+
+    /// Run the event loop for (at least) `duration_ns` of transport time.
+    /// Only meaningful on wall-clock transports; simulations use
+    /// `erpc_sim::driver` instead.
+    pub fn run_event_loop(&mut self, duration_ns: u64) {
+        let start = self.transport.now_ns();
+        while self.transport.now_ns() - start < duration_ns {
+            self.run_event_loop_once();
+        }
+    }
+
+    /// Per-packet timestamp: cached when batching is on, a real clock read
+    /// when off (Table 3's "disable batched RTT timestamps").
+    #[inline]
+    fn pkt_now(&mut self) -> u64 {
+        if self.cfg.opt_batched_timestamps {
+            self.now_cache
+        } else {
+            self.stats.clock_reads += 1;
+            self.transport.now_ns()
+        }
+    }
+
+    // ── RX path ────────────────────────────────────────────────────────
+
+    fn process_rx(&mut self) {
+        debug_assert!(self.rx_tokens.is_empty());
+        let mut toks = std::mem::take(&mut self.rx_tokens);
+        let n = self.transport.rx_burst(self.cfg.rx_batch, &mut toks);
+        if n == 0 {
+            self.rx_tokens = toks;
+            return;
+        }
+        for tok in toks.drain(..) {
+            self.emulate_rq_descriptor_repost();
+            self.process_one_pkt(tok);
+        }
+        self.transport.rx_release();
+        self.rx_tokens = toks;
+    }
+
+    /// The multi-packet RQ cost model (§4.1.1, Table 3): with 512-way
+    /// descriptors the CPU re-posts one descriptor per 512 packets; with
+    /// traditional RQs it writes one descriptor per packet. The descriptor
+    /// write is real work (64 B into the emulated ring).
+    #[inline]
+    fn emulate_rq_descriptor_repost(&mut self) {
+        self.desc_counter += 1;
+        let factor = if self.cfg.opt_multi_packet_rq {
+            self.cfg.rq_multi_packet_factor as u64
+        } else {
+            1
+        };
+        if self.desc_counter % factor == 0 {
+            let idx = ((self.desc_counter / factor) % 64) as usize * 64;
+            let ctr = self.desc_counter;
+            for (i, b) in self.desc_scratch[idx..idx + 64].iter_mut().enumerate() {
+                *b = (ctr as u8).wrapping_add(i as u8);
+            }
+            std::hint::black_box(&mut self.desc_scratch[idx]);
+        }
+    }
+
+    fn process_one_pkt(&mut self, tok: RxToken) {
+        self.stats.pkts_rx += 1;
+        self.work.rx_pkts += 1;
+        self.work.rx_bytes += tok.len() as u64;
+        let hdr = {
+            let b = self.transport.rx_bytes(&tok);
+            match PktHdr::decode(b) {
+                Ok(h) => h,
+                Err(_) => {
+                    self.stats.rx_dropped_stale += 1;
+                    return;
+                }
+            }
+        };
+        match hdr.pkt_type {
+            PktType::Req => self.server_rx_req(hdr, tok),
+            PktType::Resp => self.client_rx_resp(hdr, tok),
+            PktType::CreditReturn => self.client_rx_cr(hdr),
+            PktType::Rfr => self.server_rx_rfr(hdr),
+            PktType::ConnectReq => self.rx_connect_req(hdr, tok),
+            PktType::ConnectResp => self.rx_connect_resp(hdr, tok),
+            PktType::DisconnectReq => self.rx_disconnect_req(hdr),
+            PktType::DisconnectResp => self.rx_disconnect_resp(hdr),
+            PktType::Ping => self.rx_ping(hdr),
+            PktType::Pong => self.rx_pong(hdr),
+        }
+    }
+
+    fn touch_session_rx(&mut self, sess_idx: u16) {
+        let now = self.now_cache;
+        if let Some(Some(s)) = self.sessions.get_mut(sess_idx as usize) {
+            s.last_rx_ns = now;
+        }
+    }
+
+    // ── Client RX: credit returns and responses ────────────────────────
+
+    /// Validate a client-session/slot pair for an incoming packet; returns
+    /// the session index if the packet is current.
+    fn client_slot_current(&mut self, hdr: &PktHdr) -> Option<u16> {
+        let sess = self
+            .sessions
+            .get(hdr.dest_session as usize)?
+            .as_ref()
+            .filter(|s| s.role == Role::Client && s.state == SessionState::Connected)?;
+        let slot_idx = (hdr.req_num % sess.slots.len() as u64) as usize;
+        let c = sess.slots[slot_idx].client();
+        if !c.active || c.req_num != hdr.req_num {
+            return None;
+        }
+        Some(hdr.dest_session)
+    }
+
+    fn client_rx_cr(&mut self, hdr: PktHdr) {
+        self.touch_session_rx(hdr.dest_session);
+        let Some(sess_idx) = self.client_slot_current(&hdr) else {
+            self.stats.rx_dropped_stale += 1;
+            return;
+        };
+        let now = self.pkt_now();
+        let n_slots = self.cfg.slots_per_session as u64;
+        let sess = self.sessions[sess_idx as usize].as_mut().unwrap();
+        let slot_idx = (hdr.req_num % n_slots) as usize;
+        let c = sess.slots[slot_idx].client_mut();
+        // A CR acknowledges request packet `pkt_num`; in-order fabrics make
+        // this cumulative. RX sequence for request pkt k is k.
+        let rx_seq = hdr.pkt_num as u32;
+        if rx_seq >= c.num_tx || rx_seq + 1 <= c.num_rx || rx_seq as u32 >= c.req_total {
+            self.stats.rx_dropped_stale += 1;
+            return;
+        }
+        let newly = rx_seq + 1 - c.num_rx;
+        c.num_rx = rx_seq + 1;
+        c.last_progress_ns = now;
+        c.retries = 0;
+        let rtt = c.rtt_sample(rx_seq, now);
+        sess.credits += newly;
+        self.cc_on_ack(sess_idx, rtt, hdr.ecn, now);
+        self.pump_session(sess_idx);
+    }
+
+    fn client_rx_resp(&mut self, hdr: PktHdr, tok: RxToken) {
+        self.touch_session_rx(hdr.dest_session);
+        let Some(sess_idx) = self.client_slot_current(&hdr) else {
+            self.stats.rx_dropped_stale += 1;
+            return;
+        };
+        let now = self.pkt_now();
+        let dpp = self.dpp;
+        let n_slots = self.cfg.slots_per_session as u64;
+        let slot_idx = (hdr.req_num % n_slots) as usize;
+
+        // Split borrows: payload from transport, slot from sessions.
+        let this = &mut *self;
+        let sess = this.sessions[sess_idx as usize].as_mut().unwrap();
+        let c = sess.slots[slot_idx].client_mut();
+        let p = hdr.pkt_num as u32;
+
+        // First response packet: reveals size, acks all request packets.
+        if p == 0 && c.resp_rcvd == 0 {
+            if c.num_rx >= c.req_total {
+                this.stats.rx_dropped_stale += 1;
+                return;
+            }
+            let resp_pkts = if hdr.msg_size == 0 {
+                1
+            } else {
+                (hdr.msg_size as usize).div_ceil(dpp) as u32
+            };
+            let rtt = c.rtt_sample(c.req_total - 1, now);
+            if hdr.msg_size as usize > c.resp.as_ref().unwrap().capacity() {
+                // Response doesn't fit the application's buffer: complete
+                // with an error (buffers returned to the app).
+                let returned = c.num_tx - c.num_rx;
+                c.num_rx = c.num_tx;
+                sess.credits += returned;
+                this.cc_on_ack(sess_idx, rtt, hdr.ecn, now);
+                this.complete_slot(sess_idx, slot_idx, Err(RpcError::MsgTooLarge));
+                return;
+            }
+            let returned = c.req_total - c.num_rx;
+            c.num_rx = c.req_total;
+            c.resp_total = resp_pkts;
+            c.resp_rcvd = 1;
+            c.last_progress_ns = now;
+            c.retries = 0;
+            let resp_buf = c.resp.as_mut().unwrap();
+            resp_buf.resize(hdr.msg_size as usize);
+            let payload = &this.transport.rx_bytes(&tok)[PKT_HDR_SIZE..];
+            resp_buf.write_pkt_data(0, payload);
+            sess.credits += returned;
+            this.cc_on_ack(sess_idx, rtt, hdr.ecn, now);
+            if this.sessions[sess_idx as usize].as_ref().unwrap().slots[slot_idx]
+                .client()
+                .done()
+            {
+                this.complete_slot(sess_idx, slot_idx, Ok(()));
+            } else {
+                this.pump_session(sess_idx);
+            }
+            return;
+        }
+
+        // Later response packets must arrive in order (§5.3: reordered
+        // packets are treated as losses and dropped).
+        if c.resp_total == 0 || p != c.resp_rcvd || p >= c.resp_total {
+            this.stats.rx_dropped_stale += 1;
+            return;
+        }
+        let rx_seq = c.req_total + p - 1; // RFR for pkt p had TX seq N+p-1
+        if rx_seq >= c.num_tx {
+            this.stats.rx_dropped_stale += 1;
+            return;
+        }
+        let rtt = c.rtt_sample(rx_seq, now);
+        c.num_rx += 1;
+        c.resp_rcvd += 1;
+        c.last_progress_ns = now;
+        c.retries = 0;
+        let payload = &this.transport.rx_bytes(&tok)[PKT_HDR_SIZE..];
+        c.resp.as_mut().unwrap().write_pkt_data(p as usize, payload);
+        sess.credits += 1;
+        this.cc_on_ack(sess_idx, rtt, hdr.ecn, now);
+        if this.sessions[sess_idx as usize].as_ref().unwrap().slots[slot_idx]
+            .client()
+            .done()
+        {
+            this.complete_slot(sess_idx, slot_idx, Ok(()));
+        } else {
+            this.pump_session(sess_idx);
+        }
+    }
+
+    /// Congestion-control reaction to an acked packet (client side only,
+    /// §5.2.1). ECN feeds DCQCN; RTT feeds Timely, subject to the Timely
+    /// bypass (§5.2.2 opt 1).
+    fn cc_on_ack(&mut self, sess_idx: u16, rtt_ns: u64, ecn: bool, now: u64) {
+        if self.cfg.record_rtt_samples {
+            self.rtt_hist.record(rtt_ns);
+        }
+        let sess = self.sessions[sess_idx as usize].as_mut().unwrap();
+        if ecn {
+            self.stats.ecn_marks_seen += 1;
+        }
+        if let Some(d) = sess.cc.dcqcn.as_mut() {
+            if ecn {
+                d.on_congestion_notification(now);
+            }
+        }
+        if let Some(t) = sess.cc.timely.as_mut() {
+            if self.cfg.opt_timely_bypass && t.can_bypass_update(rtt_ns) {
+                self.stats.timely_bypasses += 1;
+            } else {
+                t.update(rtt_ns, now);
+                self.stats.timely_updates += 1;
+            }
+        }
+    }
+
+    /// Complete a client slot: free it, advance its request number, and
+    /// invoke the continuation with buffer ownership.
+    fn complete_slot(&mut self, sess_idx: u16, slot_idx: usize, result: Result<(), RpcError>) {
+        let n_slots = self.cfg.slots_per_session as u64;
+        let now = self.now_cache;
+        let sess = self.sessions[sess_idx as usize].as_mut().unwrap();
+        let c = sess.slots[slot_idx].client_mut();
+        debug_assert!(c.active);
+        let req = c.req.take().unwrap();
+        let resp = c.resp.take().unwrap();
+        let cont_id = c.cont_id;
+        let tag = c.tag;
+        let latency_ns = now.saturating_sub(c.start_ns);
+        c.active = false;
+        c.req_num += n_slots;
+        c.tx_epoch = c.tx_epoch.wrapping_add(1); // kill any paced leftovers
+        sess.outstanding -= 1;
+        match result {
+            Ok(()) => self.stats.responses_completed += 1,
+            Err(_) => self.stats.requests_failed += 1,
+        }
+        self.invoke_continuation(
+            cont_id,
+            Completion {
+                req,
+                resp,
+                result,
+                latency_ns,
+                session: SessionHandle(sess_idx),
+                tag,
+            },
+        );
+        // A slot freed: promote the backlog.
+        self.pump_session(sess_idx);
+    }
+
+    fn invoke_continuation(&mut self, cont_id: u8, completion: Completion) {
+        self.work.callbacks += 1;
+        let this = &mut *self;
+        let Some(f) = this.conts[cont_id as usize].as_mut() else {
+            // Unregistered continuation: drop buffers into the pool.
+            this.pool.free(completion.req);
+            this.pool.free(completion.resp);
+            return;
+        };
+        let mut ctx = ContContext {
+            pool: &mut this.pool,
+            ops: &mut this.pending_ops,
+        };
+        f(&mut ctx, completion);
+    }
+
+    // ── Server RX: requests and RFRs ────────────────────────────────────
+
+    fn server_rx_req(&mut self, hdr: PktHdr, tok: RxToken) {
+        self.touch_session_rx(hdr.dest_session);
+        let dpp = self.dpp;
+        let n_slots = self.cfg.slots_per_session;
+        let Some(Some(sess)) = self.sessions.get_mut(hdr.dest_session as usize) else {
+            self.stats.rx_dropped_stale += 1;
+            return;
+        };
+        if sess.role != Role::Server {
+            self.stats.rx_dropped_stale += 1;
+            return;
+        }
+        let sess_idx = hdr.dest_session;
+        let slot_idx = (hdr.req_num % n_slots as u64) as usize;
+        let peer = sess.peer;
+        let remote = sess.remote_num;
+        let s = sess.slots[slot_idx].server_mut();
+
+        let req_pkts = if hdr.msg_size == 0 {
+            1
+        } else {
+            (hdr.msg_size as usize).div_ceil(dpp) as u32
+        };
+
+        // New request for this slot?
+        let is_new = s.req_num == u64::MAX || hdr.req_num > s.req_num;
+        if is_new {
+            // The client only reuses a slot after completing its previous
+            // request, so the previous response can be reclaimed.
+            if s.phase == SrvPhase::Processing {
+                // Should not happen with a correct client; drop.
+                self.stats.rx_dropped_stale += 1;
+                return;
+            }
+            if let Some(old) = s.resp.take() {
+                if s.resp_is_prealloc {
+                    s.prealloc = Some(old);
+                } else {
+                    self.pool.free(old);
+                }
+            }
+            if hdr.msg_size as usize > self.cfg.max_msg_size {
+                self.stats.rx_dropped_stale += 1;
+                return;
+            }
+            s.phase = SrvPhase::Receiving;
+            s.req_num = hdr.req_num;
+            s.req_type = hdr.req_type;
+            s.req_rcvd = 0;
+            s.req_total = req_pkts;
+            s.echo_ecn = false;
+            if req_pkts > 1 {
+                let mut buf = self.pool.alloc(hdr.msg_size as usize);
+                buf.resize(hdr.msg_size as usize);
+                s.req_buf = Some(buf);
+            }
+        } else if hdr.req_num < s.req_num {
+            self.stats.rx_dropped_stale += 1;
+            return;
+        }
+
+        let (phase, req_rcvd, req_total) = {
+            let s =
+                self.sessions[sess_idx as usize].as_mut().unwrap().slots[slot_idx].server_mut();
+            (s.phase, s.req_rcvd, s.req_total)
+        };
+        let p = hdr.pkt_num as u32;
+
+        // Duplicate (retransmitted) packet handling.
+        if phase != SrvPhase::Receiving || p < req_rcvd {
+            if phase == SrvPhase::Responding && p + 1 == req_total {
+                // Retransmitted last request packet: the client lost our
+                // first response packet; resend it (§5.3 via go-back-N).
+                self.tx_resp_pkt(sess_idx, slot_idx, 0);
+            } else if p + 1 < req_total
+                && matches!(phase, SrvPhase::Receiving | SrvPhase::Processing | SrvPhase::Responding)
+            {
+                // Lost CR: resend it.
+                let cr = PktHdr::control(PktType::CreditReturn, remote, hdr.req_num, p as u16);
+                self.tx_ctrl(peer, cr);
+            } else {
+                self.stats.rx_dropped_stale += 1;
+            }
+            return;
+        }
+
+        // In-order new request packet?
+        if p != req_rcvd {
+            self.stats.rx_dropped_stale += 1; // reordering == loss (§5.3)
+            return;
+        }
+        {
+            let s =
+                self.sessions[sess_idx as usize].as_mut().unwrap().slots[slot_idx].server_mut();
+            s.req_rcvd += 1;
+        }
+
+        // Multi-packet requests are assembled by copying; single-packet
+        // requests stay zero-copy (§4.2.3).
+        if req_total > 1 {
+            let this = &mut *self;
+            let sess = this.sessions[sess_idx as usize].as_mut().unwrap();
+            let s = sess.slots[slot_idx].server_mut();
+            let payload = &this.transport.rx_bytes(&tok)[PKT_HDR_SIZE..];
+            s.req_buf.as_mut().unwrap().write_pkt_data(p as usize, payload);
+        }
+
+        // CR for request packets before the last (§5.1). An ECN mark on
+        // the request packet is echoed on its CR — the receiver-side half
+        // of DCQCN's congestion notification path. With `cr_batch` > 1,
+        // CRs are sent cumulatively every batch-th packet (§6.4's
+        // future-work optimization); the batch is capped at C/2 so the
+        // client's credit window keeps sliding.
+        if p + 1 < req_pkts {
+            let batch = {
+                let sess = self.sessions[sess_idx as usize].as_ref().unwrap();
+                self.cfg
+                    .cr_batch
+                    .clamp(1, (sess.credits as usize / 2).max(1))
+            };
+            if (p as usize + 1) % batch == 0 {
+                let mut cr =
+                    PktHdr::control(PktType::CreditReturn, remote, hdr.req_num, p as u16);
+                cr.ecn = hdr.ecn;
+                self.tx_ctrl(peer, cr);
+            }
+            return;
+        }
+        if hdr.ecn {
+            let s =
+                self.sessions[sess_idx as usize].as_mut().unwrap().slots[slot_idx].server_mut();
+            s.echo_ecn = true;
+        }
+
+        // Last packet: the request is complete once req_rcvd == req_total.
+        let complete = {
+            let s =
+                self.sessions[sess_idx as usize].as_mut().unwrap().slots[slot_idx].server_mut();
+            s.req_rcvd == s.req_total
+        };
+        if complete {
+            self.dispatch_request(sess_idx, slot_idx, hdr, tok);
+        }
+    }
+
+    /// Run (or dispatch) the request handler for a fully received request.
+    fn dispatch_request(&mut self, sess_idx: u16, slot_idx: usize, hdr: PktHdr, tok: RxToken) {
+        self.stats.handlers_invoked += 1;
+        self.work.callbacks += 1;
+        let req_num = hdr.req_num;
+        let handle = DeferredHandle { sess: sess_idx, slot: slot_idx as u8, req_num };
+
+        // Extract what the handler needs from the slot.
+        let (multi_buf, prealloc) = {
+            let s =
+                self.sessions[sess_idx as usize].as_mut().unwrap().slots[slot_idx].server_mut();
+            s.phase = SrvPhase::Processing;
+            (s.req_buf.take(), s.prealloc.take())
+        };
+
+        // What remains to do once the handler-table borrow ends.
+        enum After {
+            SendRespPkt0,
+            RespondEmpty,
+            Nothing,
+        }
+        let after = {
+            let this = &mut *self;
+            match &mut this.handlers[hdr.req_type as usize] {
+                HandlerEntry::None => {
+                    // Unknown request type: respond empty so the client
+                    // completes (the application sees a 0-byte response).
+                    if let Some(b) = multi_buf {
+                        this.pool.free(b);
+                    }
+                    let s = this.sessions[sess_idx as usize].as_mut().unwrap().slots[slot_idx]
+                        .server_mut();
+                    s.prealloc = prealloc;
+                    After::RespondEmpty
+                }
+                HandlerEntry::Dispatch(f) => {
+                    let mut ctx = ReqContext {
+                        pool: &mut this.pool,
+                        ops: &mut this.pending_ops,
+                        prealloc,
+                        prealloc_enabled: this.cfg.opt_preallocated_responses,
+                        resp_built: None,
+                        deferred: false,
+                        handle,
+                        max_msg_size: this.cfg.max_msg_size,
+                    };
+                    match &multi_buf {
+                        Some(b) => f(&mut ctx, b.data()),
+                        None if this.cfg.opt_zero_copy_rx => {
+                            // Zero-copy: handler reads the RX ring directly.
+                            let payload = &this.transport.rx_bytes(&tok)[PKT_HDR_SIZE..];
+                            f(&mut ctx, payload);
+                        }
+                        None => {
+                            // Table 3's "disable 0-copy request processing":
+                            // copy into a pooled msgbuf first.
+                            let payload_len = tok.len() - PKT_HDR_SIZE;
+                            let mut copy = ctx.pool.alloc(payload_len);
+                            {
+                                let payload = &this.transport.rx_bytes(&tok)[PKT_HDR_SIZE..];
+                                copy.fill(payload);
+                            }
+                            f(&mut ctx, copy.data());
+                            ctx.pool.free(copy);
+                        }
+                    }
+                    let ReqContext { prealloc, resp_built, deferred, .. } = ctx;
+                    if let Some(b) = multi_buf {
+                        this.pool.free(b);
+                    }
+                    let s = this.sessions[sess_idx as usize].as_mut().unwrap().slots[slot_idx]
+                        .server_mut();
+                    s.prealloc = prealloc;
+                    match resp_built {
+                        Some((buf, is_prealloc)) => {
+                            s.resp = Some(buf);
+                            s.resp_is_prealloc = is_prealloc;
+                            s.phase = SrvPhase::Responding;
+                            After::SendRespPkt0
+                        }
+                        None => {
+                            assert!(
+                                deferred,
+                                "dispatch handler must respond() or defer() (req_type {})",
+                                hdr.req_type
+                            );
+                            After::Nothing // stays Processing until enqueue_response
+                        }
+                    }
+                }
+                HandlerEntry::Worker => {
+                    this.stats.handlers_to_workers += 1;
+                    // Copy the payload out of the RX ring (zero-copy cannot
+                    // cross threads; §4.2.3 applies to dispatch mode only).
+                    let data = match &multi_buf {
+                        Some(b) => b.data().to_vec(),
+                        None => this.transport.rx_bytes(&tok)[PKT_HDR_SIZE..].to_vec(),
+                    };
+                    if let Some(b) = multi_buf {
+                        this.pool.free(b);
+                    }
+                    let s = this.sessions[sess_idx as usize].as_mut().unwrap().slots[slot_idx]
+                        .server_mut();
+                    s.prealloc = prealloc;
+                    this.worker_pool.as_ref().unwrap().submit(WorkItem {
+                        sess: sess_idx,
+                        slot: slot_idx as u8,
+                        req_num,
+                        req_type: hdr.req_type,
+                        data,
+                    });
+                    After::Nothing
+                }
+            }
+        };
+        match after {
+            After::SendRespPkt0 => self.tx_resp_pkt(sess_idx, slot_idx, 0),
+            After::RespondEmpty => {
+                let _ = self.finish_response(handle, &[]);
+            }
+            After::Nothing => {}
+        }
+    }
+
+    /// Install a built response and send its first packet (shared by the
+    /// unknown-type path and worker completions).
+    fn finish_response(&mut self, handle: DeferredHandle, data: &[u8]) -> Result<(), RpcError> {
+        let Some(sess) = self
+            .sessions
+            .get_mut(handle.sess as usize)
+            .and_then(|s| s.as_mut())
+        else {
+            return Err(RpcError::InvalidSession);
+        };
+        let slot = sess.slots[handle.slot as usize].server_mut();
+        if slot.req_num != handle.req_num || slot.phase != SrvPhase::Processing {
+            return Err(RpcError::InvalidSession);
+        }
+        let (mut buf, is_prealloc) = match slot.prealloc.take() {
+            Some(p) if self.cfg.opt_preallocated_responses && data.len() <= p.capacity() => {
+                (p, true)
+            }
+            other => {
+                slot.prealloc = other;
+                (self.pool.alloc(data.len()), false)
+            }
+        };
+        buf.fill(data);
+        slot.resp = Some(buf);
+        slot.resp_is_prealloc = is_prealloc;
+        slot.phase = SrvPhase::Responding;
+        self.tx_resp_pkt(handle.sess, handle.slot as usize, 0);
+        Ok(())
+    }
+
+    fn server_rx_rfr(&mut self, hdr: PktHdr) {
+        self.touch_session_rx(hdr.dest_session);
+        let n_slots = self.cfg.slots_per_session;
+        let Some(Some(sess)) = self.sessions.get_mut(hdr.dest_session as usize) else {
+            self.stats.rx_dropped_stale += 1;
+            return;
+        };
+        if sess.role != Role::Server {
+            self.stats.rx_dropped_stale += 1;
+            return;
+        }
+        let slot_idx = (hdr.req_num % n_slots as u64) as usize;
+        let s = sess.slots[slot_idx].server_mut();
+        if s.req_num != hdr.req_num || s.phase != SrvPhase::Responding {
+            self.stats.rx_dropped_stale += 1;
+            return;
+        }
+        let total = s.resp.as_ref().unwrap().num_pkts() as u32;
+        let p = hdr.pkt_num as u32;
+        if p == 0 || p >= total {
+            self.stats.rx_dropped_stale += 1;
+            return;
+        }
+        // RFRs are idempotent: duplicates (from go-back-N) re-send.
+        self.tx_resp_pkt(hdr.dest_session, slot_idx, p as usize);
+    }
+
+    // ── Management RX ───────────────────────────────────────────────────
+
+    fn rx_connect_req(&mut self, _hdr: PktHdr, tok: RxToken) {
+        let body = {
+            let b = self.transport.rx_bytes(&tok);
+            match ConnectReq::decode(&b[PKT_HDR_SIZE..]) {
+                Ok(m) => m,
+                Err(_) => return,
+            }
+        };
+        let key = (body.client_addr.key(), body.client_session);
+        // Duplicate ConnectReq (retry): re-send the stored answer.
+        if let Some(&num) = self.connect_map.get(&key) {
+            let resp = ConnectResp {
+                client_session: body.client_session,
+                server_session: num,
+                ok: true,
+            };
+            self.tx_connect_resp(body.client_addr, resp);
+            return;
+        }
+        // Config compatibility and capacity checks (§4.3.1 session limit).
+        let acceptable = body.num_slots as usize == self.cfg.slots_per_session
+            && self.live_sessions() + 1 <= self.session_limit();
+        if !acceptable {
+            let resp = ConnectResp {
+                client_session: body.client_session,
+                server_session: u16::MAX,
+                ok: false,
+            };
+            self.tx_connect_resp(body.client_addr, resp);
+            return;
+        }
+        let num = self.alloc_session_slot();
+        let dpp = self.dpp;
+        let slots: Vec<Slot> = (0..self.cfg.slots_per_session)
+            .map(|_| Slot::Server(ServerSlot::new(self.pool.alloc(dpp))))
+            .collect();
+        let sess = Session::new_server(
+            num,
+            body.client_addr,
+            body.client_session,
+            body.credits,
+            slots,
+            self.now_cache,
+        );
+        self.sessions[num as usize] = Some(sess);
+        self.connect_map.insert(key, num);
+        let resp = ConnectResp {
+            client_session: body.client_session,
+            server_session: num,
+            ok: true,
+        };
+        self.tx_connect_resp(body.client_addr, resp);
+    }
+
+    fn rx_connect_resp(&mut self, hdr: PktHdr, tok: RxToken) {
+        let body = {
+            let b = self.transport.rx_bytes(&tok);
+            match ConnectResp::decode(&b[PKT_HDR_SIZE..]) {
+                Ok(m) => m,
+                Err(_) => return,
+            }
+        };
+        let _ = hdr;
+        let Some(Some(sess)) = self.sessions.get_mut(body.client_session as usize) else {
+            return;
+        };
+        if sess.role != Role::Client || sess.state != SessionState::Connecting {
+            return; // duplicate
+        }
+        if !body.ok {
+            self.fail_session(body.client_session, RpcError::TooManySessions);
+            return;
+        }
+        sess.state = SessionState::Connected;
+        sess.remote_num = body.server_session;
+        sess.last_rx_ns = self.now_cache;
+        self.pump_session(body.client_session);
+    }
+
+    fn rx_disconnect_req(&mut self, hdr: PktHdr) {
+        // Server side: free the session and confirm.
+        let Some(Some(sess)) = self.sessions.get(hdr.dest_session as usize) else {
+            return;
+        };
+        if sess.role != Role::Server {
+            return;
+        }
+        let peer = sess.peer;
+        let remote = sess.remote_num;
+        self.free_server_session(hdr.dest_session);
+        let resp_hdr = PktHdr::control(PktType::DisconnectResp, remote, 0, 0);
+        self.tx_mgmt(peer, resp_hdr, &[]);
+    }
+
+    fn rx_disconnect_resp(&mut self, hdr: PktHdr) {
+        let Some(Some(sess)) = self.sessions.get_mut(hdr.dest_session as usize) else {
+            return;
+        };
+        if sess.role != Role::Client || sess.state != SessionState::Disconnecting {
+            return;
+        }
+        // Return slot msgbufs (none should be active) and free.
+        self.sessions[hdr.dest_session as usize] = None;
+    }
+
+    fn rx_ping(&mut self, hdr: PktHdr) {
+        self.touch_session_rx(hdr.dest_session);
+        let Some(Some(sess)) = self.sessions.get(hdr.dest_session as usize) else {
+            return;
+        };
+        let pong = PktHdr::control(PktType::Pong, sess.remote_num, 0, 0);
+        let dst = sess.peer;
+        self.tx_ctrl(dst, pong);
+    }
+
+    fn rx_pong(&mut self, hdr: PktHdr) {
+        self.touch_session_rx(hdr.dest_session);
+    }
+
+    fn free_server_session(&mut self, idx: u16) {
+        if let Some(sess) = self.sessions[idx as usize].take() {
+            self.connect_map.remove(&(sess.peer.key(), sess.remote_num));
+            for slot in sess.slots {
+                if let Slot::Server(mut s) = slot {
+                    if let Some(b) = s.resp.take() {
+                        if !s.resp_is_prealloc {
+                            self.pool.free(b);
+                        }
+                    }
+                    if let Some(b) = s.req_buf.take() {
+                        self.pool.free(b);
+                    }
+                    if let Some(b) = s.prealloc.take() {
+                        self.pool.free(b);
+                    }
+                }
+            }
+        }
+    }
+
+    // ── Worker completions ─────────────────────────────────────────────
+
+    fn process_worker_completions(&mut self) {
+        let Some(pool) = &self.worker_pool else { return };
+        let mut done = std::mem::take(&mut self.worker_done_scratch);
+        pool.drain_completed(&mut done);
+        for d in done.drain(..) {
+            let handle = DeferredHandle { sess: d.sess, slot: d.slot, req_num: d.req_num };
+            // The session may have been freed while the worker ran; ignore.
+            let _ = self.finish_response(handle, &d.resp);
+        }
+        self.worker_done_scratch = done;
+    }
+
+    // ── TX path ────────────────────────────────────────────────────────
+
+    fn tx_ctrl(&mut self, dst: Addr, hdr: PktHdr) {
+        let b = hdr.encode();
+        self.transport.tx_burst(&[TxPacket { dst, hdr: &b, data: &[] }]);
+        self.stats.ctrl_pkts_tx += 1;
+        self.work.tx_pkts += 1;
+    }
+
+    fn tx_mgmt(&mut self, dst: Addr, hdr: PktHdr, body: &[u8]) {
+        let b = hdr.encode();
+        self.transport.tx_burst(&[TxPacket { dst, hdr: &b, data: body }]);
+        self.stats.mgmt_pkts_tx += 1;
+        self.work.tx_pkts += 1;
+    }
+
+    fn tx_connect_req(&mut self, sess_idx: u16) {
+        let now = self.now_cache;
+        let sess = self.sessions[sess_idx as usize].as_mut().unwrap();
+        sess.connect_sent_ns = now;
+        let body = ConnectReq {
+            client_addr: self.transport.addr(),
+            client_session: sess.local_num,
+            credits: self.cfg.session_credits,
+            num_slots: self.cfg.slots_per_session as u8,
+        };
+        let dst = sess.peer;
+        let mut buf = Vec::with_capacity(16);
+        body.encode(&mut buf);
+        let hdr = PktHdr::control(PktType::ConnectReq, MGMT_SESSION, 0, 0);
+        self.tx_mgmt(dst, hdr, &buf);
+    }
+
+    fn tx_connect_resp(&mut self, dst: Addr, body: ConnectResp) {
+        let mut buf = Vec::with_capacity(8);
+        body.encode(&mut buf);
+        let hdr = PktHdr::control(PktType::ConnectResp, body.client_session, 0, 0);
+        self.tx_mgmt(dst, hdr, &buf);
+    }
+
+    /// Send response packet `p` of a server slot (direct, unpaced: servers
+    /// are passive, §5).
+    fn tx_resp_pkt(&mut self, sess_idx: u16, slot_idx: usize, p: usize) {
+        let this = &mut *self;
+        let sess = this.sessions[sess_idx as usize].as_mut().unwrap();
+        let dst = sess.peer;
+        let remote = sess.remote_num;
+        let s = sess.slots[slot_idx].server_mut();
+        let echo_ecn = std::mem::take(&mut s.echo_ecn);
+        let resp = s.resp.as_mut().unwrap();
+        let hdr = PktHdr {
+            pkt_type: PktType::Resp,
+            ecn: echo_ecn,
+            req_type: s.req_type,
+            dest_session: remote,
+            msg_size: resp.len() as u32,
+            req_num: s.req_num,
+            pkt_num: p as u16,
+        };
+        resp.write_hdr(p, &hdr);
+        let (h, d) = resp.tx_view(p);
+        this.transport.tx_burst(&[TxPacket { dst, hdr: h, data: d }]);
+        this.stats.data_pkts_tx += 1;
+        this.work.tx_pkts += 1;
+    }
+
+    /// Advance all transmittable work on a client session: send request
+    /// packets and RFRs while credits allow, then promote the backlog into
+    /// free slots.
+    fn pump_session(&mut self, sess_idx: u16) {
+        let n_slots = self.cfg.slots_per_session;
+        loop {
+            let sess = match self.sessions[sess_idx as usize].as_mut() {
+                Some(s) if s.role == Role::Client && s.state == SessionState::Connected => s,
+                _ => return,
+            };
+            // Promote backlogged requests into free slots first.
+            if let Some(slot_idx) = sess.free_slot() {
+                if let Some(p) = sess.backlog.pop_front() {
+                    self.start_request(sess_idx, slot_idx, p);
+                    continue;
+                }
+            }
+            // Transmit pending sequences, round-robin across slots.
+            let mut sent_any = false;
+            for slot_idx in 0..n_slots {
+                loop {
+                    let sess = self.sessions[sess_idx as usize].as_mut().unwrap();
+                    if sess.credits == 0 {
+                        break;
+                    }
+                    let c = sess.slots[slot_idx].client_mut();
+                    if !c.active || c.num_tx >= c.tx_target() {
+                        break;
+                    }
+                    let seq = c.num_tx;
+                    c.num_tx += 1;
+                    sess.credits -= 1;
+                    self.pace_or_send(sess_idx, slot_idx, seq);
+                    sent_any = true;
+                }
+            }
+            if !sent_any {
+                return;
+            }
+            // Loop again: sends may have been the last packets needed to
+            // free a slot? (No — slots free on RX.) Backlog may still have
+            // entries but no free slot; exit.
+            return;
+        }
+    }
+
+    fn start_request(&mut self, sess_idx: u16, slot_idx: usize, p: PendingReq) {
+        let now = self.now_cache;
+        let dpp = self.dpp;
+        let sess = self.sessions[sess_idx as usize].as_mut().unwrap();
+        let c = sess.slots[slot_idx].client_mut();
+        debug_assert!(!c.active);
+        c.active = true;
+        c.req_type = p.req_type;
+        c.req_total = if p.req.is_empty() {
+            1
+        } else {
+            p.req.len().div_ceil(dpp) as u32
+        };
+        c.req = Some(p.req);
+        c.resp = Some(p.resp);
+        c.cont_id = p.cont_id;
+        c.tag = p.tag;
+        c.start_ns = now;
+        c.num_tx = 0;
+        c.num_rx = 0;
+        c.resp_rcvd = 0;
+        c.resp_total = 0;
+        c.last_progress_ns = now;
+        c.retries = 0;
+    }
+
+    /// Send TX sequence `seq` of a slot now, or schedule it in the pacing
+    /// wheel (§5.2's rate limiter with the §5.2.2 bypass).
+    fn pace_or_send(&mut self, sess_idx: u16, slot_idx: usize, seq: u32) {
+        let now = self.pkt_now();
+        let uncontrolled = matches!(self.cfg.cc, CcAlgorithm::None);
+        let sess = self.sessions[sess_idx as usize].as_mut().unwrap();
+        if uncontrolled || (self.cfg.opt_rate_limiter_bypass && sess.cc.is_uncongested()) {
+            self.stats.pkts_bypassed_pacer += 1;
+            self.tx_client_seq(sess_idx, slot_idx, seq, now);
+            return;
+        }
+        // Paced path: reserve wire time at the session's allowed rate.
+        // Reservations are bounded to a wide safety horizon (16× the wheel
+        // span): deadlines past the wheel re-insert correctly, but an
+        // unbounded reservation backlog — e.g. repeated rollbacks at the
+        // minimum rate — must not be able to push a slot past its RTO
+        // budget forever. (Rollback also releases its reservations.)
+        let horizon = 16 * self.cfg.wheel_slots as u64 * self.cfg.wheel_granularity_ns;
+        let rate = sess.cc.rate_bps().unwrap_or(self.cfg.link_bps);
+        let c = sess.slots[slot_idx].client_mut();
+        let bytes = if seq < c.req_total {
+            let chunk = c.req.as_ref().unwrap().pkt_data_len(seq as usize);
+            PKT_HDR_SIZE + chunk
+        } else {
+            PKT_HDR_SIZE
+        };
+        let slot_epoch = c.tx_epoch;
+        let req_num = c.req_num;
+        let t = sess.cc.next_tx_ns.max(now);
+        sess.cc.next_tx_ns =
+            (t + (bytes as f64 * ns_per_byte(rate)) as u64).min(now + horizon);
+        if t <= now {
+            self.stats.pkts_paced += 1;
+            self.tx_client_seq(sess_idx, slot_idx, seq, now);
+        } else {
+            self.stats.pkts_paced += 1;
+            self.wheel.insert(
+                t,
+                WheelEntry {
+                    sess: sess_idx,
+                    slot: slot_idx as u8,
+                    req_num,
+                    epoch: slot_epoch,
+                    seq,
+                },
+            );
+        }
+    }
+
+    /// Transmit TX sequence `seq`: request packet `seq` when `seq < N`,
+    /// otherwise the RFR for response packet `seq − N + 1`.
+    fn tx_client_seq(&mut self, sess_idx: u16, slot_idx: usize, seq: u32, now: u64) {
+        let this = &mut *self;
+        let sess = this.sessions[sess_idx as usize].as_mut().unwrap();
+        let dst = sess.peer;
+        let remote = sess.remote_num;
+        let c = sess.slots[slot_idx].client_mut();
+        c.stamp_tx(seq, now);
+        if seq < c.req_total {
+            let req = c.req.as_mut().unwrap();
+            let hdr = PktHdr {
+                pkt_type: PktType::Req,
+                ecn: false,
+                req_type: c.req_type,
+                dest_session: remote,
+                msg_size: req.len() as u32,
+                req_num: c.req_num,
+                pkt_num: seq as u16,
+            };
+            req.write_hdr(seq as usize, &hdr);
+            let (h, d) = req.tx_view(seq as usize);
+            this.transport.tx_burst(&[TxPacket { dst, hdr: h, data: d }]);
+            this.stats.data_pkts_tx += 1;
+            this.work.tx_pkts += 1;
+        } else {
+            let p = seq - c.req_total + 1;
+            let hdr = PktHdr::control(PktType::Rfr, remote, c.req_num, p as u16);
+            let b = hdr.encode();
+            this.transport.tx_burst(&[TxPacket { dst, hdr: &b, data: &[] }]);
+            this.stats.ctrl_pkts_tx += 1;
+            this.work.tx_pkts += 1;
+        }
+    }
+
+    // ── Pacing wheel ───────────────────────────────────────────────────
+
+    fn reap_wheel(&mut self) {
+        if self.wheel.is_empty() {
+            return;
+        }
+        let now = self.now_cache;
+        let mut scratch = std::mem::take(&mut self.wheel_scratch);
+        self.wheel.reap(now, |e| scratch.push(e));
+        for e in scratch.drain(..) {
+            // Validate against slot state: stale epochs (rollback) and
+            // reused slots are silently skipped.
+            let valid = self.sessions[e.sess as usize].as_ref().is_some_and(|s| {
+                if s.state != SessionState::Connected {
+                    return false;
+                }
+                let c = s.slots[e.slot as usize].client();
+                c.active && c.req_num == e.req_num && c.tx_epoch == e.epoch && e.seq < c.num_tx
+            });
+            if valid {
+                let now = self.pkt_now();
+                self.tx_client_seq(e.sess, e.slot as usize, e.seq, now);
+            }
+        }
+        self.wheel_scratch = scratch;
+    }
+
+    // ── Queued ops from callbacks ──────────────────────────────────────
+
+    fn drain_pending_ops(&mut self) {
+        let mut guard = 0u32;
+        while !self.pending_ops.is_empty() {
+            guard += 1;
+            assert!(guard < 1_000_000, "callback op livelock");
+            let ops = std::mem::take(&mut self.pending_ops);
+            for op in ops {
+                match op {
+                    QueuedOp::Request { sess, req_type, req, resp, cont_id, tag } => {
+                        if let Err(e) = self.enqueue_request(sess, req_type, req, resp, cont_id, tag)
+                        {
+                            // Deliver the failure through the continuation.
+                            let completion = Completion {
+                                req: e.req,
+                                resp: e.resp,
+                                result: Err(e.err),
+                                latency_ns: 0,
+                                session: sess,
+                                tag,
+                            };
+                            self.stats.requests_failed += 1;
+                            self.invoke_continuation(cont_id, completion);
+                        }
+                    }
+                    QueuedOp::Response { handle, data } => {
+                        let _ = self.finish_response(handle, &data);
+                    }
+                }
+            }
+        }
+    }
+
+    // ── Timers: RTO, connects, pings, failure detection ─────────────────
+
+    fn run_timers(&mut self) {
+        let now = self.now_cache;
+        for idx in 0..self.sessions.len() as u16 {
+            let Some(sess) = self.sessions[idx as usize].as_ref() else { continue };
+            match (sess.role, sess.state) {
+                (Role::Client, SessionState::Connecting) => {
+                    if now.saturating_sub(sess.connect_sent_ns) >= self.cfg.connect_retry_ns {
+                        let give_up = {
+                            let s = self.sessions[idx as usize].as_mut().unwrap();
+                            s.last_ping_tx_ns = now; // reuse as retry counter base
+                            now.saturating_sub(s.last_rx_ns) >= self.cfg.failure_timeout_ns
+                                && self.cfg.ping_interval_ns > 0
+                        };
+                        if give_up {
+                            self.fail_session(idx, RpcError::RemoteFailure);
+                        } else {
+                            self.tx_connect_req(idx);
+                        }
+                    }
+                }
+                (Role::Client, SessionState::Connected) => {
+                    self.client_session_timers(idx, now);
+                }
+                (Role::Server, SessionState::Connected) => {
+                    if self.cfg.ping_interval_ns > 0
+                        && now.saturating_sub(sess.last_rx_ns) >= self.cfg.failure_timeout_ns
+                    {
+                        // Client vanished: reclaim resources (Appendix B).
+                        self.stats.sessions_failed += 1;
+                        self.free_server_session(idx);
+                    }
+                }
+                _ => {}
+            }
+        }
+    }
+
+    fn client_session_timers(&mut self, idx: u16, now: u64) {
+        // DCQCN timers.
+        {
+            let sess = self.sessions[idx as usize].as_mut().unwrap();
+            if let Some(d) = sess.cc.dcqcn.as_mut() {
+                d.on_timer(now);
+            }
+        }
+        // Failure detection (Appendix B).
+        let (idle, last_rx, last_ping) = {
+            let sess = self.sessions[idx as usize].as_ref().unwrap();
+            (sess.outstanding == 0, sess.last_rx_ns, sess.last_ping_tx_ns)
+        };
+        if self.cfg.ping_interval_ns > 0 {
+            if now.saturating_sub(last_rx) >= self.cfg.failure_timeout_ns {
+                self.fail_session(idx, RpcError::RemoteFailure);
+                return;
+            }
+            if idle && now.saturating_sub(last_ping) >= self.cfg.ping_interval_ns {
+                let sess = self.sessions[idx as usize].as_mut().unwrap();
+                sess.last_ping_tx_ns = now;
+                let hdr = PktHdr::control(PktType::Ping, sess.remote_num, 0, 0);
+                let dst = sess.peer;
+                self.tx_ctrl(dst, hdr);
+            }
+        }
+        // RTO scan (go-back-N, §5.3).
+        if idle {
+            return;
+        }
+        for slot_idx in 0..self.cfg.slots_per_session {
+            let needs_rto = {
+                let sess = self.sessions[idx as usize].as_ref().unwrap();
+                let c = sess.slots[slot_idx].client();
+                c.active
+                    && c.in_flight() > 0
+                    && now.saturating_sub(c.last_progress_ns) >= self.cfg.rto_ns
+            };
+            if needs_rto {
+                self.rollback_and_retransmit(idx, slot_idx, now);
+            }
+        }
+    }
+
+    /// Go-back-N rollback (§5.3): reclaim credits for unacked packets,
+    /// flush the TX DMA queue so no msgbuf references linger (§4.2.2),
+    /// and retransmit from the last acknowledged state.
+    fn rollback_and_retransmit(&mut self, sess_idx: u16, slot_idx: usize, now: u64) {
+        self.stats.retransmissions += 1;
+        let give_up = {
+            let sess = self.sessions[sess_idx as usize].as_mut().unwrap();
+            let c = sess.slots[slot_idx].client_mut();
+            c.retries += 1;
+            c.retries > self.cfg.max_retransmissions
+        };
+        if give_up {
+            self.fail_session(sess_idx, RpcError::RemoteFailure);
+            return;
+        }
+        // Flush the DMA queue: afterwards no queued TX references the
+        // msgbuf (the invariant processing the response relies on).
+        self.transport.tx_flush();
+        self.stats.tx_flushes += 1;
+        {
+            let sess = self.sessions[sess_idx as usize].as_mut().unwrap();
+            let c = sess.slots[slot_idx].client_mut();
+            let reclaimed = c.in_flight();
+            c.num_tx = c.num_rx;
+            c.tx_epoch = c.tx_epoch.wrapping_add(1); // invalidate wheel refs
+            c.last_progress_ns = now;
+            sess.credits += reclaimed;
+            // The rolled-back packets' pacing reservations are void: release
+            // the horizon so retransmissions aren't scheduled behind wire
+            // time that will never be used.
+            sess.cc.next_tx_ns = now;
+        }
+        self.pump_session(sess_idx);
+    }
+
+    /// Declare the remote dead for one session (Appendix B): flush TX,
+    /// error out every pending request, clear the backlog.
+    fn fail_session(&mut self, sess_idx: u16, err: RpcError) {
+        self.stats.sessions_failed += 1;
+        self.transport.tx_flush();
+        self.stats.tx_flushes += 1;
+        let n_slots = self.cfg.slots_per_session;
+        {
+            let sess = self.sessions[sess_idx as usize].as_mut().unwrap();
+            sess.state = SessionState::Failed;
+        }
+        // Error out active slots.
+        for slot_idx in 0..n_slots {
+            let active = {
+                let sess = self.sessions[sess_idx as usize].as_ref().unwrap();
+                matches!(&sess.slots[slot_idx], Slot::Client(c) if c.active)
+            };
+            if active {
+                self.complete_slot(sess_idx, slot_idx, Err(err));
+            }
+        }
+        // Error out the backlog.
+        loop {
+            let p = {
+                let sess = self.sessions[sess_idx as usize].as_mut().unwrap();
+                sess.backlog.pop_front()
+            };
+            let Some(p) = p else { break };
+            {
+                let sess = self.sessions[sess_idx as usize].as_mut().unwrap();
+                sess.outstanding -= 1;
+            }
+            self.stats.requests_failed += 1;
+            self.invoke_continuation(
+                p.cont_id,
+                Completion {
+                    req: p.req,
+                    resp: p.resp,
+                    result: Err(err),
+                    latency_ns: 0,
+                    session: SessionHandle(sess_idx),
+                    tag: p.tag,
+                },
+            );
+        }
+    }
+}
+
+impl<T: Transport> Drop for Rpc<T> {
+    fn drop(&mut self) {
+        // Workers joined by WorkerPool::drop; buffers freed with the pool.
+    }
+}

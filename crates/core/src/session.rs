@@ -1,0 +1,435 @@
+//! Sessions and request slots (§4.3).
+//!
+//! A session is a one-to-one connection between two `Rpc` endpoints (two
+//! user threads). Each session supports a constant number of concurrent
+//! outstanding requests tracked in *slots* (default 8); further requests
+//! are transparently queued in a backlog. Packet-level flow control uses
+//! *session credits* (§4.3.1): a client may have at most `C` packets
+//! un-replied-to per session, which (a) can never overflow the server's RX
+//! descriptors if sessions ≤ |RQ|/C, and (b) bounds in-flight data to one
+//! BDP when C = BDP/MTU, which is the paper's loss-avoidance mechanism.
+
+use std::collections::VecDeque;
+
+use erpc_congestion::{Dcqcn, Timely};
+use erpc_transport::Addr;
+
+use crate::msgbuf::MsgBuf;
+
+/// Opaque handle to a client session, returned by `Rpc::create_session`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct SessionHandle(pub(crate) u16);
+
+impl SessionHandle {
+    /// The endpoint-local session number.
+    pub fn num(&self) -> u16 {
+        self.0
+    }
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SessionState {
+    /// ConnectReq sent, awaiting ConnectResp.
+    Connecting,
+    Connected,
+    /// DisconnectReq sent, awaiting DisconnectResp.
+    Disconnecting,
+    /// Management layer declared the peer dead (Appendix B).
+    Failed,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Role {
+    Client,
+    Server,
+}
+
+/// A request queued because all slots were busy (§4.3: "additional
+/// requests are transparently queued by eRPC").
+pub(crate) struct PendingReq {
+    pub req_type: u8,
+    pub req: MsgBuf,
+    pub resp: MsgBuf,
+    pub cont_id: u8,
+    pub tag: u64,
+}
+
+/// Client-side slot: wire-protocol state for one outstanding request.
+///
+/// Following eRPC, the whole client protocol state is two counters over a
+/// unified packet sequence (§5.3 makes rollback "simple go-back-N" exactly
+/// because of this):
+///
+/// * TX sequence `k` is request packet `k` while `k < N` (N = request
+///   packets), and the RFR for response packet `k − N + 1` otherwise.
+/// * RX sequence `k` is the CR for request packet `k` while `k < N − 1`,
+///   and response packet `k − N + 1` otherwise. The first response packet
+///   jumps `num_rx` to `N` because it acknowledges every request packet
+///   (§5.1: implicit credit return).
+///
+/// Invariants:
+/// * `num_rx ≤ num_tx ≤ num_rx + C` — in-flight packets consume session
+///   credits, so `num_tx − num_rx` is exactly this slot's credit hold.
+/// * Rollback = `num_tx ← num_rx` plus returning that many credits.
+#[derive(Debug)]
+pub(crate) struct ClientSlot {
+    pub active: bool,
+    /// Request number: starts at the slot index and advances by the slot
+    /// count, so (session, slot) → monotone non-overlapping req_nums.
+    pub req_num: u64,
+    pub req_type: u8,
+    pub req: Option<MsgBuf>,
+    pub resp: Option<MsgBuf>,
+    pub cont_id: u8,
+    pub tag: u64,
+    /// Virtual/wall time the request was enqueued (latency accounting).
+    pub start_ns: u64,
+    /// Unified TX sequence consumed (request packets, then RFRs).
+    pub num_tx: u32,
+    /// Unified RX sequence consumed (CRs, then response packets).
+    pub num_rx: u32,
+    /// Request packets (known at enqueue).
+    pub req_total: u32,
+    /// Response packets received (data copied).
+    pub resp_rcvd: u32,
+    /// Total response packets (0 until the first response packet reveals
+    /// the response size).
+    pub resp_total: u32,
+    /// Last time an ack/response packet for this slot arrived.
+    pub last_progress_ns: u64,
+    /// Consecutive rollbacks without progress.
+    pub retries: u32,
+    /// Invalidates timing-wheel entries scheduled before a rollback.
+    pub tx_epoch: u32,
+    /// TX timestamps of in-flight packets for RTT sampling, indexed by
+    /// `tx_seq % credits`.
+    pub tx_ts: Vec<u64>,
+}
+
+impl ClientSlot {
+    pub fn new(slot_idx: usize, credits: u32) -> Self {
+        Self {
+            active: false,
+            req_num: slot_idx as u64,
+            req_type: 0,
+            req: None,
+            resp: None,
+            cont_id: 0,
+            tag: 0,
+            start_ns: 0,
+            num_tx: 0,
+            num_rx: 0,
+            req_total: 0,
+            resp_rcvd: 0,
+            resp_total: 0,
+            last_progress_ns: 0,
+            retries: 0,
+            tx_epoch: 0,
+            tx_ts: vec![0; credits.max(1) as usize],
+        }
+    }
+
+    /// Credits this slot currently holds (in-flight packets).
+    #[inline]
+    pub fn in_flight(&self) -> u32 {
+        self.num_tx - self.num_rx
+    }
+
+    /// Total TX sequences this request needs given what we know: all
+    /// request packets, plus one RFR per response packet after the first
+    /// (sendable only once the response size is known).
+    #[inline]
+    pub fn tx_target(&self) -> u32 {
+        if self.resp_total == 0 {
+            self.req_total
+        } else {
+            self.req_total + self.resp_total - 1
+        }
+    }
+
+    /// Completion condition: every expected RX sequence arrived.
+    #[inline]
+    pub fn done(&self) -> bool {
+        self.resp_total > 0 && self.num_rx == self.req_total + self.resp_total - 1
+    }
+
+    /// Stamp the TX time of sequence `tx_seq` for later RTT sampling.
+    #[inline]
+    pub fn stamp_tx(&mut self, tx_seq: u32, now_ns: u64) {
+        let n = self.tx_ts.len();
+        self.tx_ts[tx_seq as usize % n] = now_ns;
+    }
+
+    /// RTT sample for an acked TX sequence.
+    #[inline]
+    pub fn rtt_sample(&self, tx_seq: u32, now_ns: u64) -> u64 {
+        let n = self.tx_ts.len();
+        now_ns.saturating_sub(self.tx_ts[tx_seq as usize % n])
+    }
+}
+
+/// Server-side request execution phase.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum SrvPhase {
+    /// No request in flight for this slot.
+    Idle,
+    /// Collecting request packets.
+    Receiving,
+    /// Handler running (or dispatched to a worker); response not enqueued
+    /// yet. At-most-once: a slot in this phase never re-invokes the
+    /// handler (§5.3).
+    Processing,
+    /// Response enqueued; serving response packets / RFRs.
+    Responding,
+}
+
+/// Server-side slot.
+#[derive(Debug)]
+pub(crate) struct ServerSlot {
+    pub phase: SrvPhase,
+    /// Request number currently owning the slot.
+    pub req_num: u64,
+    pub req_type: u8,
+    /// Assembly buffer for multi-packet requests.
+    pub req_buf: Option<MsgBuf>,
+    pub req_rcvd: u32,
+    pub req_total: u32,
+    /// The response message (preallocated or pooled).
+    pub resp: Option<MsgBuf>,
+    pub resp_is_prealloc: bool,
+    /// MTU-sized preallocated response buffer (§4.3 optimization).
+    pub prealloc: Option<MsgBuf>,
+    /// An ECN mark arrived on a request packet that gets no CR (e.g. the
+    /// last one): echo it on the next response packet so the client's
+    /// DCQCN sees the congestion notification.
+    pub echo_ecn: bool,
+}
+
+impl ServerSlot {
+    pub fn new(prealloc: MsgBuf) -> Self {
+        Self {
+            phase: SrvPhase::Idle,
+            req_num: u64::MAX,
+            req_type: 0,
+            req_buf: None,
+            req_rcvd: 0,
+            req_total: 0,
+            resp: None,
+            resp_is_prealloc: false,
+            prealloc: Some(prealloc),
+            echo_ecn: false,
+        }
+    }
+}
+
+#[derive(Debug)]
+pub(crate) enum Slot {
+    Client(ClientSlot),
+    Server(ServerSlot),
+}
+
+impl Slot {
+    pub fn client_mut(&mut self) -> &mut ClientSlot {
+        match self {
+            Slot::Client(c) => c,
+            Slot::Server(_) => panic!("server slot in client session"),
+        }
+    }
+
+    pub fn client(&self) -> &ClientSlot {
+        match self {
+            Slot::Client(c) => c,
+            Slot::Server(_) => panic!("server slot in client session"),
+        }
+    }
+
+    pub fn server_mut(&mut self) -> &mut ServerSlot {
+        match self {
+            Slot::Server(s) => s,
+            Slot::Client(_) => panic!("client slot in server session"),
+        }
+    }
+}
+
+/// Per-session congestion-control state (client sessions only; "for Rpc's
+/// that host only server-mode endpoints, there is no overhead due to
+/// congestion control", §5.2.1).
+#[derive(Debug, Default)]
+pub(crate) struct SessionCc {
+    pub timely: Option<Timely>,
+    pub dcqcn: Option<Dcqcn>,
+    /// Pacing horizon: earliest time the next paced packet may leave.
+    pub next_tx_ns: u64,
+}
+
+impl SessionCc {
+    /// Allowed rate in bits/sec, or `None` when uncontrolled.
+    pub fn rate_bps(&self) -> Option<f64> {
+        if let Some(t) = &self.timely {
+            Some(t.rate_bps())
+        } else {
+            self.dcqcn.as_ref().map(|d| d.rate_bps())
+        }
+    }
+
+    /// Uncongested sessions bypass pacing (§5.2.2 opt 2).
+    pub fn is_uncongested(&self) -> bool {
+        match (&self.timely, &self.dcqcn) {
+            (Some(t), _) => t.is_uncongested(),
+            (_, Some(d)) => d.is_uncongested(),
+            _ => true,
+        }
+    }
+}
+
+/// One session (client or server end).
+pub(crate) struct Session {
+    pub role: Role,
+    pub state: SessionState,
+    pub peer: Addr,
+    /// Our session number (index in the owning Rpc's session table).
+    pub local_num: u16,
+    /// Peer's session number (learned during connect).
+    pub remote_num: u16,
+    /// Available credits (client side).
+    pub credits: u32,
+    pub slots: Vec<Slot>,
+    pub backlog: VecDeque<PendingReq>,
+    pub cc: SessionCc,
+    /// Last packet of any kind from the peer (failure detection).
+    pub last_rx_ns: u64,
+    pub last_ping_tx_ns: u64,
+    /// When the last ConnectReq went out (for retry).
+    pub connect_sent_ns: u64,
+    /// Requests enqueued on this session that have not completed.
+    pub outstanding: u32,
+}
+
+impl Session {
+    pub fn new_client(
+        local_num: u16,
+        peer: Addr,
+        credits: u32,
+        num_slots: usize,
+        now_ns: u64,
+    ) -> Self {
+        Self {
+            role: Role::Client,
+            state: SessionState::Connecting,
+            peer,
+            local_num,
+            remote_num: u16::MAX,
+            credits,
+            slots: (0..num_slots)
+                .map(|i| Slot::Client(ClientSlot::new(i, credits)))
+                .collect(),
+            backlog: VecDeque::new(),
+            cc: SessionCc::default(),
+            last_rx_ns: now_ns,
+            last_ping_tx_ns: now_ns,
+            connect_sent_ns: now_ns,
+            outstanding: 0,
+        }
+    }
+
+    pub fn new_server(
+        local_num: u16,
+        peer: Addr,
+        remote_num: u16,
+        credits: u32,
+        slots: Vec<Slot>,
+        now_ns: u64,
+    ) -> Self {
+        Self {
+            role: Role::Server,
+            state: SessionState::Connected,
+            peer,
+            local_num,
+            remote_num,
+            credits,
+            slots,
+            backlog: VecDeque::new(),
+            cc: SessionCc::default(),
+            last_rx_ns: now_ns,
+            last_ping_tx_ns: now_ns,
+            connect_sent_ns: now_ns,
+            outstanding: 0,
+        }
+    }
+
+    /// A free client slot index, if any.
+    pub fn free_slot(&self) -> Option<usize> {
+        self.slots.iter().position(|s| match s {
+            Slot::Client(c) => !c.active,
+            Slot::Server(_) => false,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn req_num_space_is_slot_strided() {
+        let s = Session::new_client(0, Addr::new(1, 0), 8, 8, 0);
+        let nums: Vec<u64> = s.slots.iter().map(|x| x.client().req_num).collect();
+        assert_eq!(nums, vec![0, 1, 2, 3, 4, 5, 6, 7]);
+        // Advancing by slot count keeps the spaces disjoint.
+        let next: Vec<u64> = nums.iter().map(|n| n + 8).collect();
+        for (a, b) in nums.iter().zip(&next) {
+            assert_eq!(a % 8, b % 8);
+        }
+    }
+
+    #[test]
+    fn free_slot_tracking() {
+        let mut s = Session::new_client(0, Addr::new(1, 0), 8, 2, 0);
+        assert_eq!(s.free_slot(), Some(0));
+        s.slots[0].client_mut().active = true;
+        assert_eq!(s.free_slot(), Some(1));
+        s.slots[1].client_mut().active = true;
+        assert_eq!(s.free_slot(), None);
+    }
+
+    #[test]
+    fn rtt_stamps_wrap_by_credits() {
+        let mut c = ClientSlot::new(0, 4);
+        c.stamp_tx(0, 100);
+        c.stamp_tx(5, 900); // 5 % 4 == 1
+        assert_eq!(c.rtt_sample(0, 150), 50);
+        assert_eq!(c.rtt_sample(5, 1000), 100);
+        // Slot 4 aliases slot 0's entry (stamped at 100).
+        assert_eq!(c.rtt_sample(4, 150), 50);
+    }
+
+    #[test]
+    fn client_slot_protocol_arithmetic() {
+        let mut c = ClientSlot::new(0, 8);
+        c.active = true;
+        c.req_total = 3;
+        // Before the response size is known, only request packets count.
+        assert_eq!(c.tx_target(), 3);
+        c.num_tx = 3;
+        c.num_rx = 2; // two CRs
+        assert_eq!(c.in_flight(), 1);
+        assert!(!c.done());
+        // First response packet: num_rx jumps to N, size revealed.
+        c.num_rx = 3;
+        c.resp_total = 3;
+        c.resp_rcvd = 1;
+        assert_eq!(c.tx_target(), 5); // 3 req pkts + 2 RFRs
+        c.num_tx = 5;
+        c.num_rx = 5;
+        c.resp_rcvd = 3;
+        assert!(c.done());
+        assert_eq!(c.in_flight(), 0);
+    }
+
+    #[test]
+    fn uncontrolled_session_is_uncongested() {
+        let cc = SessionCc::default();
+        assert!(cc.is_uncongested());
+        assert!(cc.rate_bps().is_none());
+    }
+}

@@ -1,0 +1,258 @@
+//! Endpoint statistics: datapath counters and a log-bucketed latency
+//! histogram (HDR-histogram style) used throughout the benchmarks for
+//! median/99/99.9/99.99th percentiles (Figure 5, Tables 2/5/6).
+
+/// Datapath counters for one `Rpc` endpoint.
+#[derive(Debug, Default, Clone)]
+pub struct RpcStats {
+    /// Requests issued by this endpoint (client role).
+    pub requests_sent: u64,
+    /// Responses completed (continuations invoked with success).
+    pub responses_completed: u64,
+    /// Requests failed (continuations invoked with an error).
+    pub requests_failed: u64,
+    /// Request handlers invoked (server role).
+    pub handlers_invoked: u64,
+    /// Handlers dispatched to worker threads.
+    pub handlers_to_workers: u64,
+    /// Data packets transmitted (Req/Resp).
+    pub data_pkts_tx: u64,
+    /// Control packets transmitted (CR/RFR).
+    pub ctrl_pkts_tx: u64,
+    /// Management packets transmitted.
+    pub mgmt_pkts_tx: u64,
+    /// Packets received and accepted.
+    pub pkts_rx: u64,
+    /// Received packets dropped as stale/out-of-order (§5.3 treats
+    /// reordering as loss).
+    pub rx_dropped_stale: u64,
+    /// Go-back-N rollbacks (retransmission events).
+    pub retransmissions: u64,
+    /// TX DMA queue flushes (rare path, §4.2.2).
+    pub tx_flushes: u64,
+    /// Packets that went through the timing wheel (not bypassed).
+    pub pkts_paced: u64,
+    /// Packets that bypassed the rate limiter (§5.2.2 opt 2).
+    pub pkts_bypassed_pacer: u64,
+    /// Timely updates performed / bypassed (§5.2.2 opt 1).
+    pub timely_updates: u64,
+    pub timely_bypasses: u64,
+    /// Clock reads (to verify the batched-timestamp optimization).
+    pub clock_reads: u64,
+    /// Sessions declared failed by the management layer.
+    pub sessions_failed: u64,
+    /// ECN-marked packets observed (DCQCN mode).
+    pub ecn_marks_seen: u64,
+}
+
+/// Log-bucketed latency histogram: 2 % worst-case relative error, constant
+/// memory, O(1) record.
+#[derive(Clone)]
+pub struct LatencyHistogram {
+    /// `buckets[major][minor]`: major = log2(value), minor = next 6 bits.
+    buckets: Vec<u64>,
+    count: u64,
+    max: u64,
+    min: u64,
+    sum: u64,
+}
+
+const MINOR_BITS: u32 = 6;
+const MINORS: usize = 1 << MINOR_BITS;
+const MAJORS: usize = 40; // up to ~2^40 ns ≈ 18 minutes
+
+impl LatencyHistogram {
+    pub fn new() -> Self {
+        Self {
+            buckets: vec![0; MAJORS * MINORS],
+            count: 0,
+            max: 0,
+            min: u64::MAX,
+            sum: 0,
+        }
+    }
+
+    fn index(value: u64) -> usize {
+        let v = value.max(1);
+        let major = (63 - v.leading_zeros()) as usize;
+        let major = major.min(MAJORS - 1);
+        let minor = if major >= MINOR_BITS as usize {
+            ((v >> (major - MINOR_BITS as usize)) as usize) & (MINORS - 1)
+        } else {
+            (v as usize) & (MINORS - 1)
+        };
+        major * MINORS + minor
+    }
+
+    fn bucket_value(idx: usize) -> u64 {
+        let major = (idx / MINORS) as u32;
+        let minor = (idx % MINORS) as u64;
+        if major >= MINOR_BITS {
+            (1u64 << major) + (minor << (major - MINOR_BITS))
+        } else {
+            minor.max(1)
+        }
+    }
+
+    /// Record one sample (nanoseconds, but any unit works).
+    #[inline]
+    pub fn record(&mut self, value: u64) {
+        self.buckets[Self::index(value)] += 1;
+        self.count += 1;
+        self.sum += value;
+        self.max = self.max.max(value);
+        self.min = self.min.min(value);
+    }
+
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    pub fn max(&self) -> u64 {
+        self.max
+    }
+
+    pub fn min(&self) -> u64 {
+        if self.count == 0 {
+            0
+        } else {
+            self.min
+        }
+    }
+
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// Value at percentile `p` in [0, 100].
+    pub fn percentile(&self, p: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let rank = ((p / 100.0) * self.count as f64).ceil().max(1.0) as u64;
+        let mut seen = 0u64;
+        for (i, &c) in self.buckets.iter().enumerate() {
+            seen += c;
+            if seen >= rank {
+                return Self::bucket_value(i).min(self.max);
+            }
+        }
+        self.max
+    }
+
+    /// Merge another histogram into this one.
+    pub fn merge(&mut self, other: &Self) {
+        for (a, b) in self.buckets.iter_mut().zip(&other.buckets) {
+            *a += b;
+        }
+        self.count += other.count;
+        self.sum += other.sum;
+        self.max = self.max.max(other.max);
+        self.min = self.min.min(other.min);
+    }
+
+    pub fn clear(&mut self) {
+        self.buckets.iter_mut().for_each(|b| *b = 0);
+        self.count = 0;
+        self.sum = 0;
+        self.max = 0;
+        self.min = u64::MAX;
+    }
+}
+
+impl Default for LatencyHistogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl core::fmt::Debug for LatencyHistogram {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        f.debug_struct("LatencyHistogram")
+            .field("count", &self.count)
+            .field("p50", &self.percentile(50.0))
+            .field("p99", &self.percentile(99.0))
+            .field("max", &self.max)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_histogram() {
+        let h = LatencyHistogram::new();
+        assert_eq!(h.percentile(50.0), 0);
+        assert_eq!(h.count(), 0);
+        assert_eq!(h.min(), 0);
+    }
+
+    #[test]
+    fn single_value() {
+        let mut h = LatencyHistogram::new();
+        h.record(1234);
+        assert_eq!(h.count(), 1);
+        let p50 = h.percentile(50.0);
+        assert!((1210..=1234).contains(&p50), "p50 = {p50}");
+        assert_eq!(h.max(), 1234);
+        assert_eq!(h.min(), 1234);
+    }
+
+    #[test]
+    fn percentiles_within_relative_error() {
+        let mut h = LatencyHistogram::new();
+        for v in 1..=100_000u64 {
+            h.record(v);
+        }
+        for (p, expect) in [(50.0, 50_000u64), (99.0, 99_000), (99.9, 99_900)] {
+            let got = h.percentile(p);
+            let err = (got as f64 - expect as f64).abs() / expect as f64;
+            assert!(err < 0.025, "p{p}: got {got}, expect ~{expect}");
+        }
+    }
+
+    #[test]
+    fn merge_equals_combined_recording() {
+        let mut a = LatencyHistogram::new();
+        let mut b = LatencyHistogram::new();
+        let mut c = LatencyHistogram::new();
+        for v in [5u64, 100, 2_000, 80_000, 1_000_000] {
+            a.record(v);
+            c.record(v);
+        }
+        for v in [7u64, 300, 9_000, 700_000] {
+            b.record(v);
+            c.record(v);
+        }
+        a.merge(&b);
+        assert_eq!(a.count(), c.count());
+        for p in [10.0, 50.0, 90.0, 99.0] {
+            assert_eq!(a.percentile(p), c.percentile(p));
+        }
+    }
+
+    #[test]
+    fn tiny_values() {
+        let mut h = LatencyHistogram::new();
+        for v in [0u64, 1, 2, 3] {
+            h.record(v);
+        }
+        assert_eq!(h.count(), 4);
+        assert!(h.percentile(100.0) <= 3);
+    }
+
+    #[test]
+    fn mean_is_exact() {
+        let mut h = LatencyHistogram::new();
+        for v in [10u64, 20, 30] {
+            h.record(v);
+        }
+        assert!((h.mean() - 20.0).abs() < 1e-9);
+    }
+}

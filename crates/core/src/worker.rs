@@ -1,0 +1,196 @@
+//! Worker threads for long-running request handlers (§3.2).
+//!
+//! eRPC's threading compromise: short handlers run directly in the
+//! dispatch thread (no inter-thread hop, unlike RAMCloud); long handlers
+//! run in worker threads so they neither block dispatch processing nor
+//! stall server-to-client congestion feedback. The programmer chooses per
+//! request type at registration — "the only additional user input required
+//! in eRPC".
+//!
+//! The dispatch thread copies the request payload (zero-copy RX cannot
+//! outlive the RX descriptor re-post) and sends a [`WorkItem`] through an
+//! unbounded channel; a worker runs the registered function and returns a
+//! [`WorkDone`], which the event loop turns into `enqueue_response`.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use crossbeam::channel::{unbounded, Receiver, Sender};
+use parking_lot::RwLock;
+
+/// Worker-mode handler: pure function from request bytes to response
+/// bytes. Runs outside the dispatch thread, so it must be `Send + Sync`
+/// and cannot issue nested RPCs (use a dispatch handler with `defer` for
+/// that).
+pub type WorkerFn = Arc<dyn Fn(&[u8], &mut Vec<u8>) + Send + Sync>;
+
+/// A request dispatched to the worker pool.
+pub(crate) struct WorkItem {
+    pub sess: u16,
+    pub slot: u8,
+    pub req_num: u64,
+    pub req_type: u8,
+    pub data: Vec<u8>,
+}
+
+/// A completed worker invocation.
+pub(crate) struct WorkDone {
+    pub sess: u16,
+    pub slot: u8,
+    pub req_num: u64,
+    pub resp: Vec<u8>,
+}
+
+/// Shared registry of worker handlers, readable from worker threads.
+pub(crate) type WorkerTable = Arc<RwLock<HashMap<u8, WorkerFn>>>;
+
+pub(crate) struct WorkerPool {
+    tx: Sender<WorkItem>,
+    rx: Receiver<WorkDone>,
+    threads: Vec<std::thread::JoinHandle<()>>,
+}
+
+impl WorkerPool {
+    pub fn spawn(num_threads: usize, table: WorkerTable) -> Self {
+        let (item_tx, item_rx) = unbounded::<WorkItem>();
+        let (done_tx, done_rx) = unbounded::<WorkDone>();
+        let mut threads = Vec::with_capacity(num_threads);
+        for i in 0..num_threads {
+            let rx = item_rx.clone();
+            let tx = done_tx.clone();
+            let table = Arc::clone(&table);
+            threads.push(
+                std::thread::Builder::new()
+                    .name(format!("erpc-worker-{i}"))
+                    .spawn(move || {
+                        // Exits when the Rpc drops the item sender.
+                        while let Ok(item) = rx.recv() {
+                            let handler = table.read().get(&item.req_type).cloned();
+                            let mut resp = Vec::new();
+                            if let Some(h) = handler {
+                                h(&item.data, &mut resp);
+                            }
+                            // Receiver gone ⇒ Rpc dropped; just exit.
+                            if tx
+                                .send(WorkDone {
+                                    sess: item.sess,
+                                    slot: item.slot,
+                                    req_num: item.req_num,
+                                    resp,
+                                })
+                                .is_err()
+                            {
+                                break;
+                            }
+                        }
+                    })
+                    .expect("spawn worker thread"),
+            );
+        }
+        Self {
+            tx: item_tx,
+            rx: done_rx,
+            threads,
+        }
+    }
+
+    pub fn submit(&self, item: WorkItem) {
+        // Unbounded channel: cannot fail while workers live.
+        let _ = self.tx.send(item);
+    }
+
+    /// Drain completed work without blocking.
+    pub fn drain_completed(&self, out: &mut Vec<WorkDone>) {
+        while let Ok(done) = self.rx.try_recv() {
+            out.push(done);
+        }
+    }
+}
+
+impl Drop for WorkerPool {
+    fn drop(&mut self) {
+        // Close the item channel so workers exit, then join them.
+        let (dead_tx, _) = unbounded();
+        self.tx = dead_tx;
+        for t in self.threads.drain(..) {
+            let _ = t.join();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn table_with_echo() -> WorkerTable {
+        let table: WorkerTable = Arc::new(RwLock::new(HashMap::new()));
+        table.write().insert(
+            1,
+            Arc::new(|req: &[u8], resp: &mut Vec<u8>| {
+                resp.extend_from_slice(req);
+                resp.reverse();
+            }) as WorkerFn,
+        );
+        table
+    }
+
+    #[test]
+    fn worker_roundtrip() {
+        let pool = WorkerPool::spawn(2, table_with_echo());
+        pool.submit(WorkItem {
+            sess: 3,
+            slot: 1,
+            req_num: 9,
+            req_type: 1,
+            data: b"abc".to_vec(),
+        });
+        let mut done = Vec::new();
+        for _ in 0..1000 {
+            pool.drain_completed(&mut done);
+            if !done.is_empty() {
+                break;
+            }
+            std::thread::sleep(std::time::Duration::from_millis(1));
+        }
+        assert_eq!(done.len(), 1);
+        assert_eq!(done[0].resp, b"cba");
+        assert_eq!((done[0].sess, done[0].slot, done[0].req_num), (3, 1, 9));
+    }
+
+    #[test]
+    fn unknown_type_returns_empty() {
+        let pool = WorkerPool::spawn(1, table_with_echo());
+        pool.submit(WorkItem {
+            sess: 0,
+            slot: 0,
+            req_num: 0,
+            req_type: 99,
+            data: b"x".to_vec(),
+        });
+        let mut done = Vec::new();
+        for _ in 0..1000 {
+            pool.drain_completed(&mut done);
+            if !done.is_empty() {
+                break;
+            }
+            std::thread::sleep(std::time::Duration::from_millis(1));
+        }
+        assert_eq!(done.len(), 1);
+        assert!(done[0].resp.is_empty());
+    }
+
+    #[test]
+    fn pool_drop_joins_cleanly() {
+        let pool = WorkerPool::spawn(4, table_with_echo());
+        for i in 0..100 {
+            pool.submit(WorkItem {
+                sess: 0,
+                slot: 0,
+                req_num: i,
+                req_type: 1,
+                data: vec![1, 2, 3],
+            });
+        }
+        drop(pool); // must not hang
+    }
+}

@@ -1,0 +1,30 @@
+//! # erpc-raft
+//!
+//! Raft state-machine replication over eRPC — the paper's §7.1 system.
+//!
+//! The paper ports an existing production-grade Raft (LibRaft, used in
+//! Intel's DAOS) to eRPC *without modifying the core Raft source*: LibRaft
+//! only asks for send/receive callbacks. We mirror that boundary:
+//!
+//! * [`node::RaftNode`] — the consensus core. Pure message-passing state
+//!   machine (elections, log replication, commitment); no I/O, no clock,
+//!   fully deterministic under test harnesses.
+//! * [`msg::RaftMsg`] — the wire messages with a compact byte codec.
+//! * [`service::Replica`] — the eRPC adapter + MICA-backed replicated KV:
+//!   Raft messages ride eRPC requests (their responses carry the Raft
+//!   reply), client PUTs use eRPC's deferred responses so the reply is
+//!   sent exactly when the entry commits.
+//!
+//! Table 6's experiment (3-way replicated PUT latency) runs this stack on
+//! the simulated CX5 cluster; see `erpc-bench`.
+
+pub mod msg;
+pub mod node;
+pub mod service;
+
+pub use msg::{LogEntry, NodeId, RaftMsg};
+pub use node::{NotLeader, RaftConfig, RaftNode, Role};
+pub use service::{
+    decode_put, encode_put, Replica, KV_GET, KV_PUT, RAFT_MSG, ST_NOT_FOUND, ST_NOT_LEADER,
+    ST_OK,
+};

@@ -1,0 +1,165 @@
+//! Raft wire messages and their byte codec.
+//!
+//! The Raft core is transport-agnostic (like the paper's LibRaft, whose
+//! "only requirement is that the user provide callbacks for sending and
+//! handling RPCs", §7.1). Messages serialize with the little-endian codec
+//! so the eRPC adapter can ship them as msgbuf payloads.
+
+use erpc_transport::codec::{ByteReader, ByteWriter, Truncated};
+
+/// Raft node identifier.
+pub type NodeId = u32;
+
+/// One replicated log entry.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LogEntry {
+    pub term: u64,
+    pub data: Vec<u8>,
+}
+
+/// Raft protocol messages (Ongaro & Ousterhout, ATC 2014, Figure 2).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RaftMsg {
+    RequestVote {
+        term: u64,
+        candidate: NodeId,
+        last_log_idx: u64,
+        last_log_term: u64,
+    },
+    RequestVoteResp {
+        term: u64,
+        granted: bool,
+    },
+    AppendEntries {
+        term: u64,
+        leader: NodeId,
+        prev_idx: u64,
+        prev_term: u64,
+        entries: Vec<LogEntry>,
+        leader_commit: u64,
+    },
+    AppendEntriesResp {
+        term: u64,
+        success: bool,
+        /// Highest log index known replicated on the follower (valid when
+        /// `success`); hint for next_idx backtracking otherwise.
+        match_idx: u64,
+    },
+}
+
+impl RaftMsg {
+    pub fn encode(&self, out: &mut Vec<u8>) {
+        let mut w = ByteWriter::new(out);
+        match self {
+            RaftMsg::RequestVote { term, candidate, last_log_idx, last_log_term } => {
+                w.u8(0).u64(*term).u32(*candidate).u64(*last_log_idx).u64(*last_log_term);
+            }
+            RaftMsg::RequestVoteResp { term, granted } => {
+                w.u8(1).u64(*term).bool(*granted);
+            }
+            RaftMsg::AppendEntries { term, leader, prev_idx, prev_term, entries, leader_commit } => {
+                w.u8(2)
+                    .u64(*term)
+                    .u32(*leader)
+                    .u64(*prev_idx)
+                    .u64(*prev_term)
+                    .u64(*leader_commit)
+                    .u32(entries.len() as u32);
+                for e in entries {
+                    w.u64(e.term).bytes(&e.data);
+                }
+            }
+            RaftMsg::AppendEntriesResp { term, success, match_idx } => {
+                w.u8(3).u64(*term).bool(*success).u64(*match_idx);
+            }
+        }
+    }
+
+    pub fn decode(b: &[u8]) -> Result<Self, Truncated> {
+        let mut r = ByteReader::new(b);
+        Ok(match r.u8()? {
+            0 => RaftMsg::RequestVote {
+                term: r.u64()?,
+                candidate: r.u32()?,
+                last_log_idx: r.u64()?,
+                last_log_term: r.u64()?,
+            },
+            1 => RaftMsg::RequestVoteResp { term: r.u64()?, granted: r.bool()? },
+            2 => {
+                let term = r.u64()?;
+                let leader = r.u32()?;
+                let prev_idx = r.u64()?;
+                let prev_term = r.u64()?;
+                let leader_commit = r.u64()?;
+                let n = r.u32()? as usize;
+                let mut entries = Vec::with_capacity(n.min(4096));
+                for _ in 0..n {
+                    let term = r.u64()?;
+                    let data = r.bytes()?.to_vec();
+                    entries.push(LogEntry { term, data });
+                }
+                RaftMsg::AppendEntries { term, leader, prev_idx, prev_term, entries, leader_commit }
+            }
+            3 => RaftMsg::AppendEntriesResp {
+                term: r.u64()?,
+                success: r.bool()?,
+                match_idx: r.u64()?,
+            },
+            _ => {
+                return Err(Truncated { needed: 1, remaining: 0 });
+            }
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip(m: RaftMsg) {
+        let mut buf = Vec::new();
+        m.encode(&mut buf);
+        assert_eq!(RaftMsg::decode(&buf).unwrap(), m);
+    }
+
+    #[test]
+    fn roundtrip_all_variants() {
+        roundtrip(RaftMsg::RequestVote {
+            term: 3,
+            candidate: 1,
+            last_log_idx: 10,
+            last_log_term: 2,
+        });
+        roundtrip(RaftMsg::RequestVoteResp { term: 3, granted: true });
+        roundtrip(RaftMsg::AppendEntries {
+            term: 4,
+            leader: 0,
+            prev_idx: 9,
+            prev_term: 3,
+            entries: vec![
+                LogEntry { term: 4, data: b"put k v".to_vec() },
+                LogEntry { term: 4, data: vec![] },
+            ],
+            leader_commit: 8,
+        });
+        roundtrip(RaftMsg::AppendEntriesResp { term: 4, success: false, match_idx: 7 });
+    }
+
+    #[test]
+    fn decode_garbage_fails() {
+        assert!(RaftMsg::decode(&[]).is_err());
+        assert!(RaftMsg::decode(&[9, 0, 0]).is_err());
+        // Truncated AppendEntries.
+        let mut buf = Vec::new();
+        RaftMsg::AppendEntries {
+            term: 1,
+            leader: 0,
+            prev_idx: 0,
+            prev_term: 0,
+            entries: vec![LogEntry { term: 1, data: b"xyz".to_vec() }],
+            leader_commit: 0,
+        }
+        .encode(&mut buf);
+        assert!(RaftMsg::decode(&buf[..buf.len() - 2]).is_err());
+    }
+}

@@ -1,0 +1,514 @@
+//! Raft over eRPC: the §7.1 system — a replicated in-memory key-value
+//! store where Raft messages travel as eRPC requests and the Raft
+//! response rides the RPC response, "without modifying the core Raft
+//! source code".
+//!
+//! Structure mirrors the paper's port of LibRaft: the consensus core
+//! ([`crate::node::RaftNode`]) only knows about messages and time; this
+//! module implements its send/receive callbacks with eRPC sessions, and
+//! builds the MICA-backed KV state machine on top.
+//!
+//! Client-visible RPC types:
+//! * [`KV_PUT`] — leader: replicate via Raft, respond after commit (the
+//!   Table 6 "replicated PUT"). Followers redirect with a leader hint.
+//! * [`KV_GET`] — served from the local store (benchmarks query the
+//!   leader, matching the paper's measurement).
+//! * [`RAFT_MSG`] — inter-replica Raft traffic.
+
+use std::cell::RefCell;
+use std::collections::HashMap;
+use std::rc::Rc;
+
+use erpc::{DeferredHandle, LatencyHistogram, Rpc, RpcConfig, SessionHandle};
+use erpc_store::Mica;
+use erpc_transport::codec::{ByteReader, ByteWriter};
+use erpc_transport::{Addr, Transport};
+
+use crate::msg::{NodeId, RaftMsg};
+use crate::node::{RaftConfig, RaftNode};
+
+/// eRPC request type for inter-replica Raft messages.
+pub const RAFT_MSG: u8 = 10;
+/// Replicated PUT (client → any replica; committed by Raft).
+pub const KV_PUT: u8 = 11;
+/// Local GET (client → leader).
+pub const KV_GET: u8 = 12;
+/// Continuation id used internally for Raft message RPCs.
+const RAFT_CONT: u8 = 100;
+
+/// PUT/GET response status byte.
+pub const ST_OK: u8 = 0;
+pub const ST_NOT_LEADER: u8 = 1;
+pub const ST_NOT_FOUND: u8 = 2;
+
+/// Encode a PUT request (also the Raft log entry format).
+pub fn encode_put(key: &[u8], val: &[u8], out: &mut Vec<u8>) {
+    ByteWriter::new(out).bytes(key).bytes(val);
+}
+
+/// Decode a PUT body.
+pub fn decode_put(b: &[u8]) -> Option<(&[u8], &[u8])> {
+    let mut r = ByteReader::new(b);
+    let k = r.bytes().ok()?;
+    let v = r.bytes().ok()?;
+    Some((k, v))
+}
+
+/// One replica: an eRPC endpoint + Raft node + MICA store.
+pub struct Replica<T: Transport> {
+    pub rpc: Rpc<T>,
+    raft: Rc<RefCell<RaftNode>>,
+    store: Rc<RefCell<Mica>>,
+    /// Log index → (deferred client response, propose time) — completed
+    /// on commit.
+    pending: Rc<RefCell<HashMap<u64, (DeferredHandle, u64)>>>,
+    /// Leader-side propose→commit latency (ZabFPGA's "measured at leader"
+    /// comparison in Table 6).
+    commit_hist: Rc<RefCell<LatencyHistogram>>,
+    peer_sessions: HashMap<NodeId, SessionHandle>,
+    /// Transport time shared with the RPC handlers (updated every poll),
+    /// so Raft's election timers see one consistent clock.
+    now_cell: Rc<std::cell::Cell<u64>>,
+    id: NodeId,
+}
+
+impl<T: Transport> Replica<T> {
+    /// Build a replica. `peers` maps the other replicas' node ids to their
+    /// endpoint addresses; call [`Replica::connect`] + poll until
+    /// [`Replica::connected`] before expecting elections to finish.
+    pub fn new(
+        transport: T,
+        rpc_cfg: RpcConfig,
+        raft_cfg: RaftConfig,
+        id: NodeId,
+        peers: &HashMap<NodeId, Addr>,
+        seed: u64,
+    ) -> Self {
+        let mut rpc = Rpc::new(transport, rpc_cfg);
+        let now = rpc.transport().now_ns();
+        let now_cell = Rc::new(std::cell::Cell::new(now));
+        let peer_ids: Vec<NodeId> = peers.keys().copied().collect();
+        let raft = Rc::new(RefCell::new(RaftNode::new(id, peer_ids, raft_cfg, seed, now)));
+        let store = Rc::new(RefCell::new(Mica::new(1 << 20)));
+        let pending: Rc<RefCell<HashMap<u64, (DeferredHandle, u64)>>> =
+            Rc::new(RefCell::new(HashMap::new()));
+        let commit_hist = Rc::new(RefCell::new(LatencyHistogram::new()));
+
+        // ── RAFT_MSG handler: feed the core, reply with its direct answer.
+        let raft_h = Rc::clone(&raft);
+        let now_h = Rc::clone(&now_cell);
+        rpc.register_request_handler(
+            RAFT_MSG,
+            Box::new(move |ctx, req| {
+                let mut r = ByteReader::new(req);
+                let Ok(from) = r.u32() else {
+                    ctx.respond(&[]);
+                    return;
+                };
+                let Ok(msg) = RaftMsg::decode(&req[4..]) else {
+                    ctx.respond(&[]);
+                    return;
+                };
+                // The poll loop refreshes this cell every pass, so the
+                // handler sees the same clock as the election timers.
+                let now = now_h.get();
+                let reply = raft_h.borrow_mut().handle_message(from, msg, now);
+                match reply {
+                    Some(m) => {
+                        let mut buf = Vec::with_capacity(64);
+                        m.encode(&mut buf);
+                        ctx.respond(&buf);
+                    }
+                    None => ctx.respond(&[]),
+                }
+            }),
+        );
+
+        // ── KV_PUT handler: leader proposes and defers; follower redirects.
+        let raft_h = Rc::clone(&raft);
+        let pending_h = Rc::clone(&pending);
+        let now_h = Rc::clone(&now_cell);
+        rpc.register_request_handler(
+            KV_PUT,
+            Box::new(move |ctx, req| {
+                let mut raft = raft_h.borrow_mut();
+                match raft.propose(req.to_vec(), now_h.get()) {
+                    Ok(idx) => {
+                        let handle = ctx.defer();
+                        pending_h.borrow_mut().insert(idx, (handle, now_h.get()));
+                    }
+                    Err(e) => {
+                        let mut buf = Vec::with_capacity(8);
+                        ByteWriter::new(&mut buf)
+                            .u8(ST_NOT_LEADER)
+                            .u32(e.hint.unwrap_or(u32::MAX));
+                        ctx.respond(&buf);
+                    }
+                }
+            }),
+        );
+
+        // ── KV_GET handler: local read.
+        let store_h = Rc::clone(&store);
+        rpc.register_request_handler(
+            KV_GET,
+            Box::new(move |ctx, req| {
+                let store = store_h.borrow();
+                let mut buf = Vec::with_capacity(80);
+                match store.get(req) {
+                    Some(v) => {
+                        ByteWriter::new(&mut buf).u8(ST_OK).raw(v);
+                    }
+                    None => {
+                        ByteWriter::new(&mut buf).u8(ST_NOT_FOUND);
+                    }
+                }
+                ctx.respond(&buf);
+            }),
+        );
+
+        // ── Continuation for our outbound Raft messages: feed replies back.
+        let raft_h = Rc::clone(&raft);
+        let now_h = Rc::clone(&now_cell);
+        rpc.register_continuation(
+            RAFT_CONT,
+            Box::new(move |ctx, comp| {
+                if comp.result.is_ok() && !comp.resp.data().is_empty() {
+                    if let Ok(msg) = RaftMsg::decode(comp.resp.data()) {
+                        let from = comp.tag as NodeId;
+                        let direct = raft_h.borrow_mut().handle_message(from, msg, now_h.get());
+                        debug_assert!(direct.is_none(), "responses never need replies");
+                    }
+                }
+                ctx.free_msg_buffer(comp.req);
+                ctx.free_msg_buffer(comp.resp);
+            }),
+        );
+
+        let mut replica = Self {
+            rpc,
+            raft,
+            store,
+            pending,
+            commit_hist,
+            peer_sessions: HashMap::new(),
+            now_cell,
+            id,
+        };
+        for (&pid, &addr) in peers {
+            let sess = replica
+                .rpc
+                .create_session(addr)
+                .expect("session to raft peer");
+            replica.peer_sessions.insert(pid, sess);
+        }
+        replica
+    }
+
+    pub fn id(&self) -> NodeId {
+        self.id
+    }
+
+    /// True once sessions to all peers are established.
+    pub fn connected(&self) -> bool {
+        self.peer_sessions
+            .values()
+            .all(|&s| self.rpc.is_connected(s))
+    }
+
+    pub fn is_leader(&self) -> bool {
+        self.raft.borrow().is_leader()
+    }
+
+    pub fn leader_hint(&self) -> Option<NodeId> {
+        self.raft.borrow().leader_hint()
+    }
+
+    pub fn commit_idx(&self) -> u64 {
+        self.raft.borrow().commit_idx()
+    }
+
+    /// Read-only access to the local store (verification).
+    pub fn store_get(&self, key: &[u8]) -> Option<Vec<u8>> {
+        self.store.borrow().get(key).map(|v| v.to_vec())
+    }
+
+    /// One replica poll: run the event loop, drive Raft timers, ship
+    /// outgoing Raft messages, apply committed entries, answer committed
+    /// client PUTs.
+    pub fn poll(&mut self) {
+        self.now_cell.set(self.rpc.transport().now_ns());
+        self.rpc.run_event_loop_once();
+        let now = self.rpc.transport().now_ns();
+        let outbox = {
+            let mut raft = self.raft.borrow_mut();
+            raft.tick(now);
+            raft.take_outbox()
+        };
+        for (peer, msg) in outbox {
+            let Some(&sess) = self.peer_sessions.get(&peer) else { continue };
+            let mut body = Vec::with_capacity(96);
+            ByteWriter::new(&mut body).u32(self.id);
+            msg.encode(&mut body);
+            let mut req = self.rpc.alloc_msg_buffer(body.len());
+            req.fill(&body);
+            let resp = self.rpc.alloc_msg_buffer(256);
+            // Failure of a raft message RPC is fine: Raft retries by
+            // design (heartbeats re-send state).
+            let _ = self
+                .rpc
+                .enqueue_request(sess, RAFT_MSG, req, resp, RAFT_CONT, peer as u64);
+        }
+        // Apply committed entries and release deferred client responses.
+        let mut completed: Vec<(u64, DeferredHandle)> = Vec::new();
+        {
+            let mut raft = self.raft.borrow_mut();
+            let mut store = self.store.borrow_mut();
+            let mut pending = self.pending.borrow_mut();
+            let mut hist = self.commit_hist.borrow_mut();
+            raft.take_committed(|idx, data| {
+                if let Some((k, v)) = decode_put(data) {
+                    store.put(k, v);
+                }
+                if let Some((h, start_ns)) = pending.remove(&idx) {
+                    hist.record(now.saturating_sub(start_ns));
+                    completed.push((idx, h));
+                }
+            });
+        }
+        for (_idx, h) in completed {
+            let _ = self.rpc.enqueue_response(h, &[ST_OK]);
+        }
+    }
+
+    /// Leader-side propose→commit latencies.
+    pub fn commit_latency_histogram(&self) -> std::cell::Ref<'_, LatencyHistogram> {
+        self.commit_hist.borrow()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use erpc_transport::{MemFabric, MemFabricConfig, MemTransport};
+    use std::cell::Cell;
+
+    fn rpc_cfg() -> RpcConfig {
+        RpcConfig {
+            ping_interval_ns: 0,
+            rto_ns: 1_000_000,
+            ..RpcConfig::default()
+        }
+    }
+
+    fn raft_cfg() -> RaftConfig {
+        RaftConfig {
+            election_timeout_min_ns: 3_000_000,
+            election_timeout_max_ns: 9_000_000,
+            heartbeat_interval_ns: 1_000_000,
+            max_batch: 16,
+        }
+    }
+
+    fn cluster(n: usize) -> Vec<Replica<MemTransport>> {
+        let fabric = MemFabric::new(MemFabricConfig::default());
+        let addrs: Vec<Addr> = (0..n as u16).map(|i| Addr::new(i, 0)).collect();
+        (0..n)
+            .map(|i| {
+                let peers: HashMap<NodeId, Addr> = (0..n)
+                    .filter(|&j| j != i)
+                    .map(|j| (j as NodeId, addrs[j]))
+                    .collect();
+                Replica::new(
+                    fabric.create_transport(addrs[i]),
+                    rpc_cfg(),
+                    raft_cfg(),
+                    i as NodeId,
+                    &peers,
+                    77,
+                )
+            })
+            .collect()
+    }
+
+    fn poll_all(replicas: &mut [Replica<MemTransport>]) {
+        for r in replicas.iter_mut() {
+            r.poll();
+        }
+    }
+
+    fn wait_for_leader(replicas: &mut [Replica<MemTransport>]) -> usize {
+        let start = std::time::Instant::now();
+        loop {
+            poll_all(replicas);
+            let leaders: Vec<usize> = replicas
+                .iter()
+                .enumerate()
+                .filter(|(_, r)| r.is_leader())
+                .map(|(i, _)| i)
+                .collect();
+            // Raft's Election Safety: at most one leader *per term*. A
+            // deposed leader may linger for a few polls in an older term.
+            if leaders.len() > 1 {
+                let mut terms: Vec<u64> = leaders
+                    .iter()
+                    .map(|&i| replicas[i].raft.borrow().term())
+                    .collect();
+                terms.sort_unstable();
+                terms.dedup();
+                assert_eq!(terms.len(), leaders.len(), "two leaders share a term");
+            }
+            if leaders.len() == 1 {
+                return leaders[0];
+            }
+            assert!(start.elapsed().as_secs() < 30, "no leader elected");
+        }
+    }
+
+    #[test]
+    fn cluster_elects_leader_over_erpc() {
+        let mut replicas = cluster(3);
+        let start = std::time::Instant::now();
+        while !replicas.iter().all(|r| r.connected()) {
+            poll_all(&mut replicas);
+            assert!(start.elapsed().as_secs() < 10, "sessions stalled");
+        }
+        let l = wait_for_leader(&mut replicas);
+        assert!(replicas[l].is_leader());
+    }
+
+    #[test]
+    fn replicated_put_commits_everywhere_and_responds() {
+        let mut replicas = cluster(3);
+        let l = wait_for_leader(&mut replicas);
+
+        // A client endpoint issues a PUT to the leader.
+        let fabric_client = {
+            // Reach into the same fabric by creating the client on a new
+            // fabric won't work; use a 4th endpoint on the shared fabric.
+            // (cluster() hides the fabric, so rebuild everything here.)
+        };
+        let _ = fabric_client;
+        // Simpler: drive a PUT through the leader's own handler path via a
+        // loopback client endpoint is built in integration tests; here we
+        // propose directly and verify commit + apply.
+        let mut body = Vec::new();
+        encode_put(b"k1", b"v1", &mut body);
+        {
+            let now = replicas[l].now_cell.get();
+            let mut raft = replicas[l].raft.borrow_mut();
+            raft.propose(body, now).unwrap();
+        }
+        let start = std::time::Instant::now();
+        while replicas.iter().any(|r| r.commit_idx() < 1) {
+            poll_all(&mut replicas);
+            assert!(start.elapsed().as_secs() < 10, "commit stalled");
+        }
+        for r in &replicas {
+            assert_eq!(r.store_get(b"k1"), Some(b"v1".to_vec()));
+        }
+    }
+
+    #[test]
+    fn end_to_end_put_from_erpc_client() {
+        // Build cluster + client on one shared fabric.
+        let fabric = MemFabric::new(MemFabricConfig::default());
+        let n = 3;
+        let addrs: Vec<Addr> = (0..n as u16).map(|i| Addr::new(i, 0)).collect();
+        let mut replicas: Vec<Replica<MemTransport>> = (0..n)
+            .map(|i| {
+                let peers: HashMap<NodeId, Addr> = (0..n)
+                    .filter(|&j| j != i)
+                    .map(|j| (j as NodeId, addrs[j]))
+                    .collect();
+                Replica::new(
+                    fabric.create_transport(addrs[i]),
+                    rpc_cfg(),
+                    raft_cfg(),
+                    i as NodeId,
+                    &peers,
+                    99,
+                )
+            })
+            .collect();
+        let l = wait_for_leader(&mut replicas);
+
+        let mut client = Rpc::new(fabric.create_transport(Addr::new(9, 0)), rpc_cfg());
+        let sess = client.create_session(addrs[l]).unwrap();
+        while !client.is_connected(sess) {
+            client.run_event_loop_once();
+            poll_all(&mut replicas);
+        }
+        let done = Rc::new(Cell::new(false));
+        let d2 = done.clone();
+        client.register_continuation(
+            1,
+            Box::new(move |_ctx, comp| {
+                assert!(comp.result.is_ok());
+                assert_eq!(comp.resp.data(), &[ST_OK]);
+                d2.set(true);
+            }),
+        );
+        let mut body = Vec::new();
+        encode_put(b"alpha", b"beta", &mut body);
+        let mut req = client.alloc_msg_buffer(body.len());
+        req.fill(&body);
+        let resp = client.alloc_msg_buffer(64);
+        client.enqueue_request(sess, KV_PUT, req, resp, 1, 0).unwrap();
+        let start = std::time::Instant::now();
+        while !done.get() {
+            client.run_event_loop_once();
+            poll_all(&mut replicas);
+            assert!(start.elapsed().as_secs() < 10, "PUT stalled");
+        }
+        // Every replica applies it (followers learn the commit index from
+        // the next AppendEntries, so poll until it propagates).
+        let start = std::time::Instant::now();
+        while replicas
+            .iter()
+            .any(|r| r.store_get(b"alpha") != Some(b"beta".to_vec()))
+        {
+            client.run_event_loop_once();
+            poll_all(&mut replicas);
+            assert!(start.elapsed().as_secs() < 10, "apply propagation stalled");
+        }
+        // GET from the leader sees the value.
+        let got = Rc::new(RefCell::new(Vec::new()));
+        let g2 = got.clone();
+        client.register_continuation(
+            2,
+            Box::new(move |_ctx, comp| {
+                assert!(comp.result.is_ok());
+                g2.borrow_mut().extend_from_slice(comp.resp.data());
+            }),
+        );
+        let mut req = client.alloc_msg_buffer(5);
+        req.fill(b"alpha");
+        let resp = client.alloc_msg_buffer(64);
+        client.enqueue_request(sess, KV_GET, req, resp, 2, 0).unwrap();
+        let start = std::time::Instant::now();
+        while got.borrow().is_empty() {
+            client.run_event_loop_once();
+            poll_all(&mut replicas);
+            assert!(start.elapsed().as_secs() < 10, "GET stalled");
+        }
+        let g = got.borrow();
+        assert_eq!(g[0], ST_OK);
+        assert_eq!(&g[1..], b"beta");
+    }
+
+    #[test]
+    fn follower_redirects_puts() {
+        let mut replicas = cluster(3);
+        let l = wait_for_leader(&mut replicas);
+        let f = (0..3).find(|&i| i != l).unwrap();
+        // Propose at the follower directly: NotLeader with hint.
+        let now = replicas[f].now_cell.get();
+        let err = replicas[f]
+            .raft
+            .borrow_mut()
+            .propose(b"x".to_vec(), now)
+            .unwrap_err();
+        assert_eq!(err.hint, Some(l as NodeId));
+    }
+}

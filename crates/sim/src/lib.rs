@@ -1,0 +1,39 @@
+//! # erpc-sim
+//!
+//! A deterministic discrete-event datacenter fabric for the eRPC
+//! reproduction's cluster-scale experiments.
+//!
+//! The paper's headline claims rest on an arithmetic fact about modern
+//! datacenters: switch shared buffers (≈12 MB) dwarf the bandwidth-delay
+//! product (≈19 kB), so bounding each flow to one BDP of outstanding data
+//! prevents buffer-overflow loss (§2.1). Verifying that requires looking
+//! *inside* switches — which even the paper can only do indirectly, via
+//! RTTs. This simulator makes queues first-class:
+//!
+//! * [`net::SimNet`] — event-driven links, shared-dynamic-buffer switches
+//!   (dynamic-threshold admission), two-tier ECMP topologies, host NIC
+//!   RX-descriptor accounting, fault injection, ECN marking.
+//! * [`SimTransport`] — plugs eRPC endpoints into the fabric (implements
+//!   [`erpc_transport::Transport`] with virtual time).
+//! * [`driver`] — interleaves endpoint CPU (costed by [`config::CpuModel`])
+//!   with network events, so per-core message rates are bounded as on real
+//!   hardware.
+//! * [`rdma`] — the RDMA baseline: NIC connection-cache model (Figure 1),
+//!   read-latency and write-goodput models (Table 2, Figure 6).
+//! * [`nic`] — NIC memory-footprint accounting (Appendix A).
+//! * [`config::Cluster`] — the paper's CX3/CX4/CX5 testbeds (Table 1) as
+//!   presets.
+
+pub mod config;
+pub mod driver;
+pub mod net;
+pub mod nic;
+pub mod rdma;
+pub mod transport;
+
+pub use config::{Cluster, CpuModel, EcnConfig, FaultConfig, SimConfig, Topology};
+pub use driver::{run, run_until, PolledEndpoint};
+pub use net::{NetHandle, NetStats, SimNet, SwitchStats};
+pub use nic::NicFootprintConfig;
+pub use rdma::RdmaNicModel;
+pub use transport::SimTransport;

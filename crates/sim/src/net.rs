@@ -1,0 +1,780 @@
+//! The discrete-event fabric: hosts with NIC TX/RX models, switches with a
+//! shared dynamic buffer pool, links with serialization and propagation
+//! delay, ECMP routing, fault injection, and a virtual nanosecond clock.
+//!
+//! The simulation is single-threaded and deterministic given the config
+//! seed. Endpoints attach via [`crate::SimTransport`] and are polled by a
+//! [`crate::Driver`], which interleaves endpoint CPU time with network
+//! events.
+
+use std::cell::RefCell;
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, HashMap, VecDeque};
+use std::rc::Rc;
+
+use erpc_transport::Addr;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+use crate::config::{SimConfig, Topology};
+
+/// A packet in flight through the fabric.
+#[derive(Debug)]
+pub struct SimPacket {
+    pub src: Addr,
+    pub dst: Addr,
+    /// eRPC-layer bytes (header + payload).
+    pub bytes: Vec<u8>,
+    /// Bytes occupying wires and buffers (adds L2/L3/L4 overhead).
+    pub wire_bytes: usize,
+    /// Set by fault injection; the receiving NIC drops it (CRC fail).
+    corrupted: bool,
+}
+
+/// Where a packet goes after leaving a switch port.
+#[derive(Debug, Clone, Copy)]
+enum NextHop {
+    Switch(usize),
+    Host,
+}
+
+#[derive(Debug)]
+enum EvKind {
+    /// Packet arrives at a switch.
+    SwitchArrival { sw: usize, pkt: SimPacket },
+    /// Packet finishes serializing out of a switch port.
+    PortDeparture {
+        sw: usize,
+        port: usize,
+        next: NextHop,
+        pkt: SimPacket,
+    },
+    /// Packet arrives at the destination host NIC.
+    HostArrival { pkt: SimPacket },
+}
+
+struct Ev {
+    time: u64,
+    seq: u64,
+    kind: EvKind,
+}
+
+impl PartialEq for Ev {
+    fn eq(&self, other: &Self) -> bool {
+        (self.time, self.seq) == (other.time, other.seq)
+    }
+}
+impl Eq for Ev {}
+impl PartialOrd for Ev {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for Ev {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        (self.time, self.seq).cmp(&(other.time, other.seq))
+    }
+}
+
+/// One switch output port.
+#[derive(Debug, Default)]
+struct Port {
+    rate_bps: f64,
+    busy_until_ns: u64,
+    queue_bytes: usize,
+    /// Peak queue depth observed (Table 5 reports switch queueing).
+    pub max_queue_bytes: usize,
+    pub drops: u64,
+    pub ecn_marks: u64,
+}
+
+/// A shared-buffer switch.
+struct Switch {
+    ports: Vec<Port>,
+    buffer_used: usize,
+    pub max_buffer_used: usize,
+}
+
+/// Per-endpoint RX state at a host NIC.
+struct EndpointRx {
+    queue: VecDeque<SimPacket>,
+    /// Packets claimed by the transport but not yet released — they still
+    /// hold RX descriptors (§4.2.3's ownership rule).
+    outstanding: usize,
+    capacity: usize,
+    pub drops_rq_empty: u64,
+}
+
+struct Host {
+    tx_busy_until_ns: u64,
+    endpoints: HashMap<u8, EndpointRx>,
+    /// Set when the host is "failed": all traffic to it is dropped.
+    failed: bool,
+}
+
+/// Fabric-wide counters.
+#[derive(Debug, Default, Clone)]
+pub struct NetStats {
+    pub pkts_sent: u64,
+    pub pkts_delivered: u64,
+    pub drops_fault: u64,
+    pub drops_corrupt: u64,
+    pub drops_switch_buffer: u64,
+    pub drops_host_ring: u64,
+    pub drops_host_failed: u64,
+    pub ecn_marks: u64,
+}
+
+/// Per-switch observability snapshot.
+#[derive(Debug, Clone)]
+pub struct SwitchStats {
+    pub max_buffer_used: usize,
+    pub port_max_queue_bytes: Vec<usize>,
+    pub port_drops: Vec<u64>,
+    pub port_ecn_marks: Vec<u64>,
+}
+
+/// The simulated network. Wrap in `Rc<RefCell<…>>` (see [`SimNet::into_handle`])
+/// and share among [`crate::SimTransport`]s and the [`crate::Driver`].
+pub struct SimNet {
+    cfg: SimConfig,
+    now_ns: u64,
+    seq: u64,
+    events: BinaryHeap<Reverse<Ev>>,
+    switches: Vec<Switch>,
+    hosts: Vec<Host>,
+    rng: SmallRng,
+    pub stats: NetStats,
+}
+
+/// Shared handle to a [`SimNet`].
+pub type NetHandle = Rc<RefCell<SimNet>>;
+
+impl SimNet {
+    pub fn new(cfg: SimConfig) -> Self {
+        let n_hosts = cfg.topology.num_hosts();
+        let switches = match cfg.topology {
+            Topology::SingleSwitch { hosts } => {
+                vec![Switch::new(hosts, cfg.link_bps, 0, 0.0)]
+            }
+            Topology::TwoTier { tors, hosts_per_tor, spines } => {
+                let mut v: Vec<Switch> = (0..tors)
+                    .map(|_| Switch::new(hosts_per_tor, cfg.link_bps, spines, cfg.uplink_bps))
+                    .collect();
+                v.extend((0..spines).map(|_| Switch::new(0, 0.0, tors, cfg.uplink_bps)));
+                v
+            }
+        };
+        let hosts = (0..n_hosts)
+            .map(|_| Host {
+                tx_busy_until_ns: 0,
+                endpoints: HashMap::new(),
+                failed: false,
+            })
+            .collect();
+        Self {
+            now_ns: 0,
+            seq: 0,
+            events: BinaryHeap::new(),
+            switches,
+            hosts,
+            rng: SmallRng::seed_from_u64(cfg.seed),
+            cfg,
+            stats: NetStats::default(),
+        }
+    }
+
+    pub fn into_handle(self) -> NetHandle {
+        Rc::new(RefCell::new(self))
+    }
+
+    pub fn config(&self) -> &SimConfig {
+        &self.cfg
+    }
+
+    /// Current virtual time.
+    #[inline]
+    pub fn now_ns(&self) -> u64 {
+        self.now_ns
+    }
+
+    /// Register an endpoint's RX ring; must be called before traffic flows
+    /// to `addr`. Returns an error message if the address is taken.
+    pub fn register_endpoint(&mut self, addr: Addr) -> Result<(), String> {
+        let cap = self.cfg.host_ring_capacity;
+        let host = self
+            .hosts
+            .get_mut(addr.node as usize)
+            .ok_or_else(|| format!("node {} out of range", addr.node))?;
+        if host.endpoints.contains_key(&addr.rpc) {
+            return Err(format!("endpoint {addr} registered twice"));
+        }
+        host.endpoints.insert(
+            addr.rpc,
+            EndpointRx {
+                queue: VecDeque::new(),
+                outstanding: 0,
+                capacity: cap,
+                drops_rq_empty: 0,
+            },
+        );
+        Ok(())
+    }
+
+    /// Mark a host as failed: in-flight and future packets to it vanish,
+    /// and its own sends stop (used for the node-failure experiments).
+    pub fn fail_host(&mut self, node: u16) {
+        self.hosts[node as usize].failed = true;
+    }
+
+    /// Revive a failed host.
+    pub fn recover_host(&mut self, node: u16) {
+        self.hosts[node as usize].failed = false;
+    }
+
+    pub fn host_is_failed(&self, node: u16) -> bool {
+        self.hosts[node as usize].failed
+    }
+
+    fn push_event(&mut self, time: u64, kind: EvKind) {
+        self.seq += 1;
+        self.events.push(Reverse(Ev { time, seq: self.seq, kind }));
+    }
+
+    fn ser_ns(bytes: usize, rate_bps: f64) -> u64 {
+        (bytes as f64 * 8e9 / rate_bps) as u64
+    }
+
+    /// ToR switch index of a host.
+    fn tor_of(&self, node: usize) -> usize {
+        match self.cfg.topology {
+            Topology::SingleSwitch { .. } => 0,
+            Topology::TwoTier { hosts_per_tor, .. } => node / hosts_per_tor,
+        }
+    }
+
+    /// Inject a packet from `src`'s NIC. Called by `SimTransport::tx_burst`.
+    pub fn send(&mut self, src: Addr, dst: Addr, bytes: Vec<u8>) {
+        self.stats.pkts_sent += 1;
+        if self.hosts[src.node as usize].failed {
+            self.stats.drops_host_failed += 1;
+            return;
+        }
+        // Fault injection.
+        let f = self.cfg.faults.clone();
+        if f.drop_prob > 0.0 && self.rng.gen_bool(f.drop_prob) {
+            self.stats.drops_fault += 1;
+            return;
+        }
+        let corrupted = f.corrupt_prob > 0.0 && self.rng.gen_bool(f.corrupt_prob);
+        let reorder_ns = if f.reorder_prob > 0.0 && self.rng.gen_bool(f.reorder_prob) {
+            f.reorder_delay_ns
+        } else {
+            0
+        };
+        let wire_bytes = bytes.len() + self.cfg.wire_overhead_bytes;
+        let pkt = SimPacket { src, dst, bytes, wire_bytes, corrupted };
+
+        // Host NIC TX: descriptor/DMA processing, then serialization onto
+        // the access link (shared by all endpoints of the host).
+        let host = &mut self.hosts[src.node as usize];
+        let start = (self.now_ns + self.cfg.nic_tx_ns).max(host.tx_busy_until_ns);
+        let end = start + Self::ser_ns(wire_bytes, self.cfg.link_bps);
+        host.tx_busy_until_ns = end;
+        let ingress = self.tor_of(src.node as usize);
+        let arrival = end + self.cfg.prop_delay_ns + reorder_ns;
+        self.push_event(arrival, EvKind::SwitchArrival { sw: ingress, pkt });
+    }
+
+    /// ECMP spine choice: deterministic per flow (src, dst) pair, so
+    /// intra-flow ordering is preserved (§5.3's assumption).
+    fn ecmp_spine(&self, src: Addr, dst: Addr, spines: usize) -> usize {
+        let mut h = (src.key() as u64) << 32 | dst.key() as u64;
+        // SplitMix64 finalizer.
+        h ^= h >> 30;
+        h = h.wrapping_mul(0xbf58476d1ce4e5b9);
+        h ^= h >> 27;
+        h = h.wrapping_mul(0x94d049bb133111eb);
+        h ^= h >> 31;
+        (h % spines as u64) as usize
+    }
+
+    /// Route from switch `sw` toward `pkt.dst`: (port index, next hop).
+    fn route(&self, sw: usize, pkt: &SimPacket) -> (usize, NextHop) {
+        match self.cfg.topology {
+            Topology::SingleSwitch { .. } => (pkt.dst.node as usize, NextHop::Host),
+            Topology::TwoTier { tors, hosts_per_tor, spines } => {
+                let dst_tor = pkt.dst.node as usize / hosts_per_tor;
+                if sw < tors {
+                    if dst_tor == sw {
+                        // Downlink port = local host index.
+                        (pkt.dst.node as usize % hosts_per_tor, NextHop::Host)
+                    } else {
+                        let spine = self.ecmp_spine(pkt.src, pkt.dst, spines);
+                        (hosts_per_tor + spine, NextHop::Switch(tors + spine))
+                    }
+                } else {
+                    // Spine: one port per ToR.
+                    (dst_tor, NextHop::Switch(dst_tor))
+                }
+            }
+        }
+    }
+
+    fn handle_switch_arrival(&mut self, sw: usize, mut pkt: SimPacket) {
+        let (port_idx, next) = self.route(sw, &pkt);
+        let now = self.now_ns;
+        let switch_latency = self.cfg.switch_latency_ns;
+        let dt_alpha = self.cfg.dt_alpha;
+        let pool = self.cfg.switch_buffer_bytes;
+        let ecn_cfg = self.cfg.ecn.clone();
+
+        let switch = &mut self.switches[sw];
+        let free = pool.saturating_sub(switch.buffer_used);
+        let port = &mut switch.ports[port_idx];
+        // Dynamic-threshold admission: queue may grow to α × free pool.
+        let threshold = (dt_alpha * free as f64) as usize;
+        if port.queue_bytes + pkt.wire_bytes > threshold {
+            port.drops += 1;
+            self.stats.drops_switch_buffer += 1;
+            return;
+        }
+        // ECN marking on enqueue (RED-style ramp), before buffering.
+        if let Some(ecn) = &ecn_cfg {
+            let q = port.queue_bytes;
+            let p = if q <= ecn.kmin_bytes {
+                0.0
+            } else if q >= ecn.kmax_bytes {
+                1.0
+            } else {
+                ecn.pmax * (q - ecn.kmin_bytes) as f64
+                    / (ecn.kmax_bytes - ecn.kmin_bytes) as f64
+            };
+            if p > 0.0 && self.rng.gen_bool(p.min(1.0)) {
+                if let Some(b) = pkt.bytes.get_mut(ecn.flag_byte) {
+                    *b |= ecn.flag_mask;
+                    port.ecn_marks += 1;
+                    self.stats.ecn_marks += 1;
+                }
+            }
+        }
+        port.queue_bytes += pkt.wire_bytes;
+        port.max_queue_bytes = port.max_queue_bytes.max(port.queue_bytes);
+        switch.buffer_used += pkt.wire_bytes;
+        switch.max_buffer_used = switch.max_buffer_used.max(switch.buffer_used);
+
+        let start = (now + switch_latency).max(port.busy_until_ns);
+        let end = start + Self::ser_ns(pkt.wire_bytes, port.rate_bps);
+        port.busy_until_ns = end;
+        self.push_event(end, EvKind::PortDeparture { sw, port: port_idx, next, pkt });
+    }
+
+    fn handle_port_departure(&mut self, sw: usize, port: usize, next: NextHop, pkt: SimPacket) {
+        let switch = &mut self.switches[sw];
+        switch.ports[port].queue_bytes -= pkt.wire_bytes;
+        switch.buffer_used -= pkt.wire_bytes;
+        let arrival = self.now_ns + self.cfg.prop_delay_ns;
+        match next {
+            NextHop::Switch(next_sw) => {
+                self.push_event(arrival, EvKind::SwitchArrival { sw: next_sw, pkt })
+            }
+            NextHop::Host => {
+                self.push_event(arrival + self.cfg.nic_rx_ns, EvKind::HostArrival { pkt })
+            }
+        }
+    }
+
+    fn handle_host_arrival(&mut self, pkt: SimPacket) {
+        if pkt.corrupted {
+            self.stats.drops_corrupt += 1;
+            return;
+        }
+        let host = &mut self.hosts[pkt.dst.node as usize];
+        if host.failed {
+            self.stats.drops_host_failed += 1;
+            return;
+        }
+        let Some(ep) = host.endpoints.get_mut(&pkt.dst.rpc) else {
+            self.stats.drops_host_ring += 1;
+            return;
+        };
+        // RX descriptor accounting: queued + claimed-but-unreleased packets
+        // all hold descriptors.
+        if ep.queue.len() + ep.outstanding >= ep.capacity {
+            ep.drops_rq_empty += 1;
+            self.stats.drops_host_ring += 1;
+            return;
+        }
+        ep.queue.push_back(pkt);
+        self.stats.pkts_delivered += 1;
+    }
+
+    /// Process all events with `time ≤ until_ns`, then advance the clock to
+    /// `until_ns`.
+    pub fn process_until(&mut self, until_ns: u64) {
+        while let Some(Reverse(ev)) = self.events.peek() {
+            if ev.time > until_ns {
+                break;
+            }
+            let Reverse(ev) = self.events.pop().unwrap();
+            self.now_ns = self.now_ns.max(ev.time);
+            match ev.kind {
+                EvKind::SwitchArrival { sw, pkt } => self.handle_switch_arrival(sw, pkt),
+                EvKind::PortDeparture { sw, port, next, pkt } => {
+                    self.handle_port_departure(sw, port, next, pkt)
+                }
+                EvKind::HostArrival { pkt } => self.handle_host_arrival(pkt),
+            }
+        }
+        self.now_ns = self.now_ns.max(until_ns);
+    }
+
+    /// Time of the next pending event, if any.
+    pub fn next_event_ns(&self) -> Option<u64> {
+        self.events.peek().map(|Reverse(e)| e.time)
+    }
+
+    /// True if no packets are in flight.
+    pub fn idle(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Pop up to `max` packets from `addr`'s RX ring. The packets keep
+    /// holding RX descriptors until [`SimNet::rx_release`]. Used by
+    /// `SimTransport` (and tests that inspect deliveries directly).
+    pub fn rx_claim(&mut self, addr: Addr, max: usize, out: &mut Vec<SimPacket>) -> usize {
+        let Some(ep) = self.hosts[addr.node as usize].endpoints.get_mut(&addr.rpc) else {
+            return 0;
+        };
+        let mut n = 0;
+        while n < max {
+            let Some(pkt) = ep.queue.pop_front() else { break };
+            ep.outstanding += 1;
+            out.push(pkt);
+            n += 1;
+        }
+        n
+    }
+
+    /// Return `n` descriptors to `addr`'s RX ring.
+    pub fn rx_release(&mut self, addr: Addr, n: usize) {
+        if let Some(ep) = self.hosts[addr.node as usize].endpoints.get_mut(&addr.rpc) {
+            debug_assert!(ep.outstanding >= n);
+            ep.outstanding -= n;
+        }
+    }
+
+    /// Snapshot of a switch's queue statistics.
+    pub fn switch_stats(&self, sw: usize) -> SwitchStats {
+        let s = &self.switches[sw];
+        SwitchStats {
+            max_buffer_used: s.max_buffer_used,
+            port_max_queue_bytes: s.ports.iter().map(|p| p.max_queue_bytes).collect(),
+            port_drops: s.ports.iter().map(|p| p.drops).collect(),
+            port_ecn_marks: s.ports.iter().map(|p| p.ecn_marks).collect(),
+        }
+    }
+
+    pub fn num_switches(&self) -> usize {
+        self.switches.len()
+    }
+
+    /// Drops at an endpoint's RX ring due to descriptor exhaustion.
+    pub fn endpoint_rq_drops(&self, addr: Addr) -> u64 {
+        self.hosts[addr.node as usize]
+            .endpoints
+            .get(&addr.rpc)
+            .map(|e| e.drops_rq_empty)
+            .unwrap_or(0)
+    }
+}
+
+impl Switch {
+    fn new(downlinks: usize, down_bps: f64, uplinks: usize, up_bps: f64) -> Self {
+        let mut ports = Vec::with_capacity(downlinks + uplinks);
+        for _ in 0..downlinks {
+            ports.push(Port { rate_bps: down_bps, ..Default::default() });
+        }
+        for _ in 0..uplinks {
+            ports.push(Port { rate_bps: up_bps, ..Default::default() });
+        }
+        Self { ports, buffer_used: 0, max_buffer_used: 0 }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::{Cluster, FaultConfig};
+
+    fn small_net() -> SimNet {
+        let mut cfg = Cluster::Cx5.config();
+        cfg.topology = Topology::SingleSwitch { hosts: 4 };
+        let mut net = SimNet::new(cfg);
+        for n in 0..4 {
+            net.register_endpoint(Addr::new(n, 0)).unwrap();
+        }
+        net
+    }
+
+    fn drain_one(net: &mut SimNet, addr: Addr) -> Option<SimPacket> {
+        let mut v = Vec::new();
+        net.rx_claim(addr, 1, &mut v);
+        if v.is_empty() {
+            None
+        } else {
+            net.rx_release(addr, 1);
+            Some(v.remove(0))
+        }
+    }
+
+    #[test]
+    fn packet_delivery_and_latency() {
+        let mut net = small_net();
+        let (a, b) = (Addr::new(0, 0), Addr::new(1, 0));
+        net.send(a, b, vec![7u8; 60]);
+        net.process_until(1_000_000);
+        let pkt = drain_one(&mut net, b).expect("delivered");
+        assert_eq!(pkt.bytes, vec![7u8; 60]);
+        assert_eq!(net.stats.pkts_delivered, 1);
+        // One-way latency of a small packet must be on the order of the
+        // configured NIC + switch + propagation budget (≈1 µs), not ms.
+        assert!(net.now_ns() >= 1_000);
+    }
+
+    #[test]
+    fn one_way_delay_matches_components() {
+        let mut net = small_net();
+        let cfg = net.config().clone();
+        let (a, b) = (Addr::new(0, 0), Addr::new(1, 0));
+        let bytes = 100usize;
+        let wire = bytes + cfg.wire_overhead_bytes;
+        let ser = (wire as f64 * 8e9 / cfg.link_bps) as u64;
+        let expect = cfg.nic_tx_ns
+            + ser
+            + cfg.prop_delay_ns
+            + cfg.switch_latency_ns
+            + ser
+            + cfg.prop_delay_ns
+            + cfg.nic_rx_ns;
+        net.send(a, b, vec![0u8; bytes]);
+        // Find exact delivery time by stepping to each event.
+        let mut t = 0;
+        while net.stats.pkts_delivered == 0 {
+            t = net.next_event_ns().expect("must deliver");
+            net.process_until(t);
+        }
+        assert_eq!(t, expect, "delivery {t} vs component sum {expect}");
+    }
+
+    #[test]
+    fn unregistered_endpoint_drops() {
+        let mut net = small_net();
+        net.send(Addr::new(0, 0), Addr::new(2, 7), vec![0u8; 10]);
+        net.process_until(1_000_000);
+        assert_eq!(net.stats.pkts_delivered, 0);
+        assert_eq!(net.stats.drops_host_ring, 1);
+    }
+
+    #[test]
+    fn rx_descriptor_exhaustion_drops() {
+        let mut cfg = Cluster::Cx5.config();
+        cfg.topology = Topology::SingleSwitch { hosts: 2 };
+        cfg.host_ring_capacity = 8;
+        let mut net = SimNet::new(cfg);
+        net.register_endpoint(Addr::new(0, 0)).unwrap();
+        net.register_endpoint(Addr::new(1, 0)).unwrap();
+        for _ in 0..20 {
+            net.send(Addr::new(0, 0), Addr::new(1, 0), vec![0u8; 32]);
+        }
+        net.process_until(10_000_000);
+        assert_eq!(net.stats.pkts_delivered, 8);
+        assert_eq!(net.endpoint_rq_drops(Addr::new(1, 0)), 12);
+    }
+
+    #[test]
+    fn claimed_packets_hold_descriptors() {
+        let mut cfg = Cluster::Cx5.config();
+        cfg.topology = Topology::SingleSwitch { hosts: 2 };
+        cfg.host_ring_capacity = 4;
+        let mut net = SimNet::new(cfg);
+        net.register_endpoint(Addr::new(0, 0)).unwrap();
+        net.register_endpoint(Addr::new(1, 0)).unwrap();
+        for _ in 0..4 {
+            net.send(Addr::new(0, 0), Addr::new(1, 0), vec![0u8; 16]);
+        }
+        net.process_until(10_000_000);
+        let mut v = Vec::new();
+        assert_eq!(net.rx_claim(Addr::new(1, 0), 4, &mut v), 4);
+        // Ring slots are still held: a new packet is dropped.
+        net.send(Addr::new(0, 0), Addr::new(1, 0), vec![0u8; 16]);
+        net.process_until(20_000_000);
+        assert_eq!(net.endpoint_rq_drops(Addr::new(1, 0)), 1);
+        // Releasing descriptors lets traffic flow again.
+        net.rx_release(Addr::new(1, 0), 4);
+        net.send(Addr::new(0, 0), Addr::new(1, 0), vec![0u8; 16]);
+        net.process_until(30_000_000);
+        assert_eq!(net.endpoint_rq_drops(Addr::new(1, 0)), 1);
+    }
+
+    #[test]
+    fn fault_drop_is_deterministic() {
+        let run = || {
+            let mut cfg = Cluster::Cx5.config();
+            cfg.topology = Topology::SingleSwitch { hosts: 2 };
+            cfg.faults = FaultConfig { drop_prob: 0.3, ..Default::default() };
+            let mut net = SimNet::new(cfg);
+            net.register_endpoint(Addr::new(0, 0)).unwrap();
+            net.register_endpoint(Addr::new(1, 0)).unwrap();
+            for _ in 0..200 {
+                net.send(Addr::new(0, 0), Addr::new(1, 0), vec![0u8; 16]);
+            }
+            net.process_until(100_000_000);
+            (net.stats.pkts_delivered, net.stats.drops_fault)
+        };
+        assert_eq!(run(), run());
+        let (ok, dropped) = run();
+        assert_eq!(ok + dropped, 200);
+        assert!(dropped > 20 && dropped < 120);
+    }
+
+    #[test]
+    fn corruption_drops_at_receiver() {
+        let mut cfg = Cluster::Cx5.config();
+        cfg.topology = Topology::SingleSwitch { hosts: 2 };
+        cfg.faults = FaultConfig { corrupt_prob: 1.0, ..Default::default() };
+        let mut net = SimNet::new(cfg);
+        net.register_endpoint(Addr::new(0, 0)).unwrap();
+        net.register_endpoint(Addr::new(1, 0)).unwrap();
+        net.send(Addr::new(0, 0), Addr::new(1, 0), vec![0u8; 16]);
+        net.process_until(10_000_000);
+        assert_eq!(net.stats.drops_corrupt, 1);
+        assert_eq!(net.stats.pkts_delivered, 0);
+    }
+
+    #[test]
+    fn failed_host_blackholes() {
+        let mut net = small_net();
+        net.fail_host(1);
+        net.send(Addr::new(0, 0), Addr::new(1, 0), vec![0u8; 16]);
+        net.process_until(10_000_000);
+        assert_eq!(net.stats.drops_host_failed, 1);
+        net.recover_host(1);
+        net.send(Addr::new(0, 0), Addr::new(1, 0), vec![0u8; 16]);
+        net.process_until(20_000_000);
+        assert_eq!(net.stats.pkts_delivered, 1);
+    }
+
+    #[test]
+    fn cross_tor_routing_two_tier() {
+        let mut cfg = Cluster::Cx4.config();
+        cfg.topology = Topology::TwoTier { tors: 2, hosts_per_tor: 2, spines: 2 };
+        let mut net = SimNet::new(cfg);
+        for n in 0..4 {
+            net.register_endpoint(Addr::new(n, 0)).unwrap();
+        }
+        // host 0 (ToR 0) → host 3 (ToR 1): must traverse a spine.
+        net.send(Addr::new(0, 0), Addr::new(3, 0), vec![0u8; 32]);
+        net.process_until(100_000_000);
+        assert_eq!(net.stats.pkts_delivered, 1);
+        // Same-ToR: 0 → 1 does not touch spines.
+        net.send(Addr::new(0, 0), Addr::new(1, 0), vec![0u8; 32]);
+        net.process_until(200_000_000);
+        assert_eq!(net.stats.pkts_delivered, 2);
+    }
+
+    #[test]
+    fn incast_fills_victim_port_queue() {
+        // 8 senders blast one receiver: its ToR downlink queue must build.
+        let mut cfg = Cluster::Cx5.config();
+        cfg.topology = Topology::SingleSwitch { hosts: 9 };
+        let mut net = SimNet::new(cfg);
+        for n in 0..9 {
+            net.register_endpoint(Addr::new(n, 0)).unwrap();
+        }
+        for sender in 1..9u16 {
+            for _ in 0..100 {
+                net.send(Addr::new(sender, 0), Addr::new(0, 0), vec![0u8; 1024]);
+            }
+        }
+        net.process_until(1_000_000_000);
+        let st = net.switch_stats(0);
+        assert!(st.port_max_queue_bytes[0] > 100 * 1024, "queue must build at victim port");
+        assert_eq!(net.stats.pkts_delivered, 800);
+    }
+
+    #[test]
+    fn switch_buffer_overflow_drops() {
+        // Shrink the shared pool so an incast overflows it.
+        let mut cfg = Cluster::Cx5.config();
+        cfg.topology = Topology::SingleSwitch { hosts: 9 };
+        cfg.switch_buffer_bytes = 64 * 1024;
+        let mut net = SimNet::new(cfg);
+        for n in 0..9 {
+            net.register_endpoint(Addr::new(n, 0)).unwrap();
+        }
+        for sender in 1..9u16 {
+            for _ in 0..200 {
+                net.send(Addr::new(sender, 0), Addr::new(0, 0), vec![0u8; 1024]);
+            }
+        }
+        net.process_until(2_000_000_000);
+        assert!(net.stats.drops_switch_buffer > 0);
+        assert!(net.stats.pkts_delivered > 0);
+    }
+
+    #[test]
+    fn ecn_marks_under_queueing() {
+        let mut cfg = Cluster::Cx5.config();
+        cfg.topology = Topology::SingleSwitch { hosts: 9 };
+        cfg.ecn = Some(crate::config::EcnConfig {
+            kmin_bytes: 8 * 1024,
+            kmax_bytes: 64 * 1024,
+            pmax: 1.0,
+            flag_byte: 0,
+            flag_mask: 0x80,
+        });
+        let mut net = SimNet::new(cfg);
+        for n in 0..9 {
+            net.register_endpoint(Addr::new(n, 0)).unwrap();
+        }
+        for sender in 1..9u16 {
+            for _ in 0..100 {
+                net.send(Addr::new(sender, 0), Addr::new(0, 0), vec![0u8; 1024]);
+            }
+        }
+        net.process_until(1_000_000_000);
+        assert!(net.stats.ecn_marks > 0);
+        // Marked packets carry the flag bit.
+        let mut v = Vec::new();
+        net.rx_claim(Addr::new(0, 0), 800, &mut v);
+        let marked = v.iter().filter(|p| p.bytes[0] & 0x80 != 0).count();
+        assert_eq!(marked as u64, net.stats.ecn_marks);
+    }
+
+    #[test]
+    fn reorder_fault_reorders() {
+        let mut cfg = Cluster::Cx5.config();
+        cfg.topology = Topology::SingleSwitch { hosts: 2 };
+        cfg.faults = FaultConfig {
+            reorder_prob: 0.2,
+            reorder_delay_ns: 50_000,
+            ..Default::default()
+        };
+        let mut net = SimNet::new(cfg);
+        net.register_endpoint(Addr::new(0, 0)).unwrap();
+        net.register_endpoint(Addr::new(1, 0)).unwrap();
+        for i in 0..100u32 {
+            net.send(Addr::new(0, 0), Addr::new(1, 0), i.to_le_bytes().to_vec());
+        }
+        net.process_until(1_000_000_000);
+        let mut v = Vec::new();
+        net.rx_claim(Addr::new(1, 0), 200, &mut v);
+        assert_eq!(v.len(), 100);
+        let order: Vec<u32> = v
+            .iter()
+            .map(|p| u32::from_le_bytes(p.bytes[..4].try_into().unwrap()))
+            .collect();
+        assert!(order.windows(2).any(|w| w[0] > w[1]), "expected at least one inversion");
+    }
+}

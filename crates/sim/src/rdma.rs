@@ -1,0 +1,254 @@
+//! RDMA baseline models (§4.1.2, Figures 1 and 6, Table 2).
+//!
+//! The paper's baselines are one-sided RDMA verbs measured with `perftest`
+//! on Mellanox NICs. The performance-relevant mechanism is the NIC's SRAM
+//! **connection cache**: each connection needs ≈375 B of state, the NIC has
+//! ≈2 MB of SRAM shared with other structures, and a cache miss costs a DMA
+//! read over PCIe (§4.1.2's "cache misses require expensive DMA reads").
+//! We model an LRU cache with an effective capacity of ~1 MB (half the SRAM,
+//! the rest holding queues/translations) and a per-miss service penalty.
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// Exact LRU set over dense u32 keys, implemented as an intrusive doubly
+/// linked list over a slot vector (O(1) touch/evict).
+pub struct LruSet {
+    capacity: usize,
+    /// key → slot index + 1 (0 = absent).
+    index: std::collections::HashMap<u32, usize>,
+    keys: Vec<u32>,
+    prev: Vec<usize>,
+    next: Vec<usize>,
+    head: usize, // most recent; usize::MAX when empty
+    tail: usize, // least recent
+}
+
+const NIL: usize = usize::MAX;
+
+impl LruSet {
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0);
+        Self {
+            capacity,
+            index: std::collections::HashMap::with_capacity(capacity * 2),
+            keys: Vec::with_capacity(capacity),
+            prev: Vec::with_capacity(capacity),
+            next: Vec::with_capacity(capacity),
+            head: NIL,
+            tail: NIL,
+        }
+    }
+
+    pub fn len(&self) -> usize {
+        self.keys.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.keys.is_empty()
+    }
+
+    fn unlink(&mut self, slot: usize) {
+        let (p, n) = (self.prev[slot], self.next[slot]);
+        if p != NIL {
+            self.next[p] = n;
+        } else {
+            self.head = n;
+        }
+        if n != NIL {
+            self.prev[n] = p;
+        } else {
+            self.tail = p;
+        }
+    }
+
+    fn push_front(&mut self, slot: usize) {
+        self.prev[slot] = NIL;
+        self.next[slot] = self.head;
+        if self.head != NIL {
+            self.prev[self.head] = slot;
+        }
+        self.head = slot;
+        if self.tail == NIL {
+            self.tail = slot;
+        }
+    }
+
+    /// Touch `key`: returns `true` on hit. On miss, inserts it (evicting
+    /// the LRU entry if at capacity).
+    pub fn access(&mut self, key: u32) -> bool {
+        if let Some(&slot_plus) = self.index.get(&key) {
+            let slot = slot_plus - 1;
+            if self.head != slot {
+                self.unlink(slot);
+                self.push_front(slot);
+            }
+            return true;
+        }
+        // Miss: insert, possibly evicting.
+        let slot = if self.keys.len() < self.capacity {
+            self.keys.push(key);
+            self.prev.push(NIL);
+            self.next.push(NIL);
+            self.keys.len() - 1
+        } else {
+            let victim = self.tail;
+            self.unlink(victim);
+            self.index.remove(&self.keys[victim]);
+            self.keys[victim] = key;
+            victim
+        };
+        self.index.insert(key, slot + 1);
+        self.push_front(slot);
+        false
+    }
+}
+
+/// Connection-cache and service-time parameters of a modelled RDMA NIC.
+#[derive(Debug, Clone)]
+pub struct RdmaNicModel {
+    /// Effective SRAM available for connection state (≈half of the ~2 MB,
+    /// the rest holds other structures; §4.1.2).
+    pub cache_bytes: usize,
+    /// Connection state size (≈375 B per Mellanox, §4.1.2).
+    pub conn_state_bytes: usize,
+    /// Effective per-op NIC processing when the connection is cached.
+    /// Calibrated so an all-hit workload runs at ~45 M ops/s (Figure 1's
+    /// plateau for ConnectX-5).
+    pub hit_op_ns: f64,
+    /// Extra effective service time when connection state must be DMA-read
+    /// over PCIe (amortized over NIC parallelism).
+    pub miss_penalty_ns: f64,
+    /// PCIe DMA round trip at the responder for a one-sided read (adds to
+    /// latency, not to the pipelined-rate model).
+    pub pcie_dma_ns: u64,
+    /// Per-WQE posting + doorbell overhead for large transfers (Figure 6).
+    pub wqe_overhead_ns: u64,
+}
+
+impl Default for RdmaNicModel {
+    fn default() -> Self {
+        Self {
+            cache_bytes: 1 << 20,
+            conn_state_bytes: 375,
+            hit_op_ns: 22.0,
+            miss_penalty_ns: 50.0,
+            pcie_dma_ns: 400,
+            wqe_overhead_ns: 700,
+        }
+    }
+}
+
+impl RdmaNicModel {
+    /// Connections the cache can hold.
+    pub fn cache_entries(&self) -> usize {
+        self.cache_bytes / self.conn_state_bytes
+    }
+
+    /// Figure 1: aggregate small-READ rate (M ops/s) when issuing 16 B
+    /// reads over `connections` connections chosen uniformly at random.
+    /// Deterministic given `seed`.
+    pub fn read_rate_mops(&self, connections: usize, seed: u64) -> f64 {
+        assert!(connections > 0);
+        let mut cache = LruSet::new(self.cache_entries());
+        let mut rng = SmallRng::seed_from_u64(seed);
+        // Warm up the cache to steady state, then measure.
+        let warm = connections * 4;
+        let measured = 200_000usize;
+        for _ in 0..warm {
+            cache.access(rng.gen_range(0..connections as u32));
+        }
+        let mut total_ns = 0.0;
+        for _ in 0..measured {
+            let hit = cache.access(rng.gen_range(0..connections as u32));
+            total_ns += self.hit_op_ns + if hit { 0.0 } else { self.miss_penalty_ns };
+        }
+        measured as f64 / total_ns * 1e3
+    }
+
+    /// Table 2: median latency of a small RDMA read across one switch,
+    /// given the cluster's wire/NIC parameters: hardware RTT plus the
+    /// responder-side PCIe DMA fetch of the payload.
+    pub fn read_latency_ns(&self, cluster_rtt_ns: u64) -> u64 {
+        cluster_rtt_ns + self.pcie_dma_ns
+    }
+
+    /// Figure 6: steady-state goodput (Gbit/s) of back-to-back `size`-byte
+    /// RDMA writes on a `link_bps` link. One-sided writes pipeline at the
+    /// NIC: per-op cost is WQE processing plus serialization.
+    pub fn write_goodput_gbps(&self, size: usize, link_bps: f64) -> f64 {
+        let ser_ns = size as f64 * 8e9 / link_bps;
+        let op_ns = self.wqe_overhead_ns as f64 + ser_ns;
+        (size as f64 * 8.0) / op_ns
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lru_hit_miss_evict() {
+        let mut l = LruSet::new(2);
+        assert!(!l.access(1));
+        assert!(!l.access(2));
+        assert!(l.access(1)); // hit; makes 2 the LRU
+        assert!(!l.access(3)); // evicts 2
+        assert!(l.access(1));
+        assert!(l.access(3));
+        assert!(!l.access(2)); // 2 was evicted
+        assert_eq!(l.len(), 2);
+    }
+
+    #[test]
+    fn lru_exactness_vs_model() {
+        // Compare against a naive Vec-based LRU on a random trace.
+        let mut l = LruSet::new(8);
+        let mut model: Vec<u32> = Vec::new();
+        let mut rng = SmallRng::seed_from_u64(7);
+        for _ in 0..10_000 {
+            let k = rng.gen_range(0..32u32);
+            let hit = l.access(k);
+            let model_hit = model.contains(&k);
+            assert_eq!(hit, model_hit);
+            model.retain(|&x| x != k);
+            model.insert(0, k);
+            model.truncate(8);
+        }
+    }
+
+    #[test]
+    fn fig1_shape_flat_then_declining() {
+        let m = RdmaNicModel::default();
+        let few = m.read_rate_mops(100, 1);
+        let knee = m.read_rate_mops(m.cache_entries(), 1);
+        let many = m.read_rate_mops(5_000, 1);
+        // Plateau near 45 M/s with few connections.
+        assert!((40.0..50.0).contains(&few), "few = {few}");
+        // Still near the plateau at cache capacity.
+        assert!(knee > few * 0.85);
+        // ≈50 % down at 5000 connections (paper's headline).
+        assert!(many < few * 0.62 && many > few * 0.38, "many = {many}");
+    }
+
+    #[test]
+    fn fig1_monotone_decline() {
+        let m = RdmaNicModel::default();
+        let rates: Vec<f64> = [500, 1000, 2000, 3000, 4000, 5000]
+            .iter()
+            .map(|&c| m.read_rate_mops(c, 1))
+            .collect();
+        for w in rates.windows(2) {
+            assert!(w[1] <= w[0] * 1.02, "rates must not increase: {rates:?}");
+        }
+    }
+
+    #[test]
+    fn write_goodput_approaches_line_rate() {
+        let m = RdmaNicModel::default();
+        let big = m.write_goodput_gbps(8 << 20, 100e9);
+        let small = m.write_goodput_gbps(512, 100e9);
+        assert!(big > 95.0, "8 MB writes ≈ line rate, got {big}");
+        assert!(small < 10.0, "512 B writes are overhead-bound, got {small}");
+    }
+}

@@ -1,0 +1,178 @@
+//! [`SimTransport`]: attaches an eRPC endpoint to the discrete-event
+//! fabric. Implements [`erpc_transport::Transport`] with virtual time.
+
+use erpc_transport::{Addr, RxToken, Transport, TransportStats, TxPacket};
+
+use crate::net::{NetHandle, SimPacket};
+
+/// Virtual CPU-time cost of a TX DMA-queue flush (§4.2.2: ≈2 µs).
+pub const TX_FLUSH_PENALTY_NS: u64 = 2_000;
+
+/// One endpoint of the simulated fabric. `!Send` by design: the simulation
+/// is single-threaded (endpoint concurrency is virtual, via the
+/// [`crate::Driver`]'s interleaving).
+pub struct SimTransport {
+    addr: Addr,
+    net: NetHandle,
+    claimed: Vec<SimPacket>,
+    stats: TransportStats,
+    /// Virtual CPU nanoseconds owed by this endpoint for rare-path work
+    /// (TX flushes). Drained by the driver via `take_cpu_penalty_ns`.
+    cpu_penalty_ns: u64,
+}
+
+impl SimTransport {
+    /// Register `addr` on the fabric and return its transport.
+    ///
+    /// # Panics
+    /// Panics if the address is already registered.
+    pub fn new(net: NetHandle, addr: Addr) -> Self {
+        net.borrow_mut()
+            .register_endpoint(addr)
+            .expect("endpoint registration");
+        Self {
+            addr,
+            net,
+            claimed: Vec::with_capacity(64),
+            stats: TransportStats::default(),
+            cpu_penalty_ns: 0,
+        }
+    }
+
+    /// Shared fabric handle.
+    pub fn net(&self) -> &NetHandle {
+        &self.net
+    }
+
+    /// Drain accumulated rare-path CPU penalty (virtual ns). The driver
+    /// adds this to the endpoint's next poll time.
+    pub fn take_cpu_penalty_ns(&mut self) -> u64 {
+        std::mem::take(&mut self.cpu_penalty_ns)
+    }
+}
+
+impl Transport for SimTransport {
+    fn addr(&self) -> Addr {
+        self.addr
+    }
+
+    fn mtu(&self) -> usize {
+        self.net.borrow().config().mtu
+    }
+
+    fn now_ns(&self) -> u64 {
+        self.net.borrow().now_ns()
+    }
+
+    fn tx_burst(&mut self, pkts: &[TxPacket<'_>]) {
+        let mut net = self.net.borrow_mut();
+        for p in pkts {
+            debug_assert!(p.len() <= net.config().mtu, "packet exceeds MTU");
+            let mut bytes = Vec::with_capacity(p.len());
+            bytes.extend_from_slice(p.hdr);
+            bytes.extend_from_slice(p.data);
+            self.stats.tx_pkts += 1;
+            self.stats.tx_bytes += p.len() as u64;
+            net.send(self.addr, p.dst, bytes);
+        }
+    }
+
+    fn tx_flush(&mut self) {
+        // All queued sends became events synchronously; the flush costs
+        // virtual CPU time on the rare path that requests it.
+        self.stats.tx_flushes += 1;
+        self.cpu_penalty_ns += TX_FLUSH_PENALTY_NS;
+    }
+
+    fn rx_burst(&mut self, max: usize, out: &mut Vec<RxToken>) -> usize {
+        let base = self.claimed.len();
+        let n = self
+            .net
+            .borrow_mut()
+            .rx_claim(self.addr, max, &mut self.claimed);
+        for (i, pkt) in self.claimed[base..].iter().enumerate() {
+            out.push(RxToken::new((base + i) as u64, pkt.bytes.len() as u32));
+            self.stats.rx_pkts += 1;
+            self.stats.rx_bytes += pkt.bytes.len() as u64;
+        }
+        n
+    }
+
+    fn rx_bytes(&self, tok: &RxToken) -> &[u8] {
+        &self.claimed[tok.slot() as usize].bytes
+    }
+
+    fn rx_release(&mut self) {
+        let n = self.claimed.len();
+        if n > 0 {
+            self.net.borrow_mut().rx_release(self.addr, n);
+            self.claimed.clear();
+        }
+    }
+
+    fn stats(&self) -> &TransportStats {
+        &self.stats
+    }
+
+    fn rx_ring_size(&self) -> usize {
+        self.net.borrow().config().host_ring_capacity
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::{Cluster, Topology};
+    use crate::net::SimNet;
+
+    fn two_endpoints() -> (NetHandle, SimTransport, SimTransport) {
+        let mut cfg = Cluster::Cx5.config();
+        cfg.topology = Topology::SingleSwitch { hosts: 2 };
+        let net = SimNet::new(cfg).into_handle();
+        let a = SimTransport::new(net.clone(), Addr::new(0, 0));
+        let b = SimTransport::new(net.clone(), Addr::new(1, 0));
+        (net, a, b)
+    }
+
+    #[test]
+    fn transport_roundtrip() {
+        let (net, mut a, mut b) = two_endpoints();
+        a.tx_burst(&[TxPacket {
+            dst: b.addr(),
+            hdr: b"hd",
+            data: b"payload",
+        }]);
+        net.borrow_mut().process_until(1_000_000);
+        let mut toks = Vec::new();
+        assert_eq!(b.rx_burst(8, &mut toks), 1);
+        assert_eq!(b.rx_bytes(&toks[0]), b"hdpayload");
+        b.rx_release();
+        assert_eq!(b.stats().rx_pkts, 1);
+    }
+
+    #[test]
+    fn virtual_clock_visible_through_transport() {
+        let (net, a, _b) = two_endpoints();
+        assert_eq!(a.now_ns(), 0);
+        net.borrow_mut().process_until(5_000);
+        assert_eq!(a.now_ns(), 5_000);
+    }
+
+    #[test]
+    fn flush_accrues_cpu_penalty() {
+        let (_net, mut a, _b) = two_endpoints();
+        a.tx_flush();
+        a.tx_flush();
+        assert_eq!(a.take_cpu_penalty_ns(), 2 * TX_FLUSH_PENALTY_NS);
+        assert_eq!(a.take_cpu_penalty_ns(), 0);
+    }
+
+    #[test]
+    fn duplicate_registration_panics() {
+        let (net, _a, _b) = two_endpoints();
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            SimTransport::new(net.clone(), Addr::new(0, 0))
+        }));
+        assert!(result.is_err());
+    }
+}

@@ -1,0 +1,99 @@
+//! Fabric conservation properties: every packet sent is either delivered
+//! or accounted to exactly one drop reason — across random topologies,
+//! traffic patterns, fault rates, and buffer sizes.
+
+use erpc_sim::{FaultConfig, SimNet, Topology};
+use erpc_transport::Addr;
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 48, ..ProptestConfig::default() })]
+
+    #[test]
+    fn packets_are_conserved(
+        hosts in 2usize..10,
+        two_tier in any::<bool>(),
+        n_pkts in 1usize..300,
+        pkt_size in 16usize..1000,
+        drop_prob in 0.0f64..0.3,
+        corrupt_prob in 0.0f64..0.2,
+        tiny_buffer in any::<bool>(),
+        ring_capacity in 2usize..64,
+        seed in any::<u64>(),
+    ) {
+        let mut cfg = erpc_sim::Cluster::Cx4.config();
+        cfg.topology = if two_tier && hosts >= 4 {
+            Topology::TwoTier { tors: 2, hosts_per_tor: hosts / 2, spines: 1 }
+        } else {
+            Topology::SingleSwitch { hosts }
+        };
+        let hosts = cfg.topology.num_hosts();
+        cfg.faults = FaultConfig { drop_prob, corrupt_prob, ..Default::default() };
+        if tiny_buffer {
+            cfg.switch_buffer_bytes = 4 * 1024; // force switch drops
+        }
+        cfg.host_ring_capacity = ring_capacity;  // force RQ drops
+        cfg.seed = seed;
+        let mut net = SimNet::new(cfg);
+        for h in 0..hosts {
+            net.register_endpoint(Addr::new(h as u16, 0)).unwrap();
+        }
+        // Random-ish all-to-one + one-to-all mix (deterministic from seed).
+        for i in 0..n_pkts {
+            let src = Addr::new((i % hosts) as u16, 0);
+            let dst = Addr::new(((i * 7 + 1) % hosts) as u16, 0);
+            if src != dst {
+                net.send(src, dst, vec![(i % 251) as u8; pkt_size]);
+            }
+        }
+        net.process_until(10_000_000_000);
+        prop_assert!(net.idle(), "events must drain");
+        let s = net.stats.clone();
+        prop_assert_eq!(
+            s.pkts_sent,
+            s.pkts_delivered
+                + s.drops_fault
+                + s.drops_corrupt
+                + s.drops_switch_buffer
+                + s.drops_host_ring
+                + s.drops_host_failed,
+            "conservation violated: {:?}", &s
+        );
+        // Whatever was delivered is claimable, intact, exactly once.
+        let mut claimed = 0u64;
+        for h in 0..hosts {
+            let mut v = Vec::new();
+            net.rx_claim(Addr::new(h as u16, 0), usize::MAX >> 1, &mut v);
+            for p in &v {
+                prop_assert_eq!(p.bytes.len(), pkt_size);
+            }
+            claimed += v.len() as u64;
+        }
+        prop_assert_eq!(claimed, s.pkts_delivered);
+    }
+
+    #[test]
+    fn failed_hosts_never_receive(
+        hosts in 3usize..8,
+        n_pkts in 1usize..100,
+        seed in any::<u64>(),
+    ) {
+        let mut cfg = erpc_sim::Cluster::Cx5.config();
+        cfg.topology = Topology::SingleSwitch { hosts };
+        cfg.seed = seed;
+        let mut net = SimNet::new(cfg);
+        for h in 0..hosts {
+            net.register_endpoint(Addr::new(h as u16, 0)).unwrap();
+        }
+        net.fail_host(0);
+        for i in 0..n_pkts {
+            let src = Addr::new((1 + i % (hosts - 1)) as u16, 0);
+            net.send(src, Addr::new(0, 0), vec![1, 2, 3]);
+        }
+        net.process_until(1_000_000_000);
+        let mut v = Vec::new();
+        net.rx_claim(Addr::new(0, 0), 10_000, &mut v);
+        prop_assert!(v.is_empty(), "failed host must receive nothing");
+        prop_assert_eq!(net.stats.drops_host_failed, n_pkts as u64);
+    }
+}

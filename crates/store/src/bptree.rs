@@ -1,0 +1,339 @@
+//! Arena-based B+ tree with linked leaves — the per-layer structure of
+//! our Masstree (§7.2's ordered index substrate).
+//!
+//! Keys are `(u64, u8)` pairs (Masstree's 8-byte big-endian key slice plus
+//! a length/layer discriminator; see `masstree.rs`). Values are generic.
+//! Leaves form a singly linked list for ordered scans. Deletion removes
+//! from the leaf without rebalancing (leaves may go underfull; Masstree
+//! itself uses a similarly lazy removal strategy), so lookup/scan
+//! invariants never depend on occupancy.
+
+/// Tree fanout (max keys per node; Masstree uses 15-16).
+pub const FANOUT: usize = 16;
+
+const NIL: u32 = u32::MAX;
+
+/// Key type: (8-byte slice as big-endian u64, discriminator).
+pub type K = (u64, u8);
+
+#[derive(Debug)]
+enum Node<V> {
+    Internal {
+        /// Separators: child `i` holds keys < `keys[i]`; child `i+1` ≥.
+        keys: Vec<K>,
+        children: Vec<u32>,
+    },
+    Leaf {
+        keys: Vec<K>,
+        vals: Vec<V>,
+        next: u32,
+    },
+}
+
+/// A B+ tree over `(u64, u8)` keys.
+#[derive(Debug)]
+pub struct BpTree<V> {
+    nodes: Vec<Node<V>>,
+    root: u32,
+    len: usize,
+}
+
+impl<V> Default for BpTree<V> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<V> BpTree<V> {
+    pub fn new() -> Self {
+        Self {
+            nodes: vec![Node::Leaf { keys: Vec::new(), vals: Vec::new(), next: NIL }],
+            root: 0,
+            len: 0,
+        }
+    }
+
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Leaf that may contain `k` (descend separators).
+    fn find_leaf(&self, k: K) -> u32 {
+        let mut n = self.root;
+        loop {
+            match &self.nodes[n as usize] {
+                Node::Internal { keys, children } => {
+                    let i = keys.partition_point(|&s| s <= k);
+                    n = children[i];
+                }
+                Node::Leaf { .. } => return n,
+            }
+        }
+    }
+
+    pub fn get(&self, k: K) -> Option<&V> {
+        let leaf = self.find_leaf(k);
+        let Node::Leaf { keys, vals, .. } = &self.nodes[leaf as usize] else {
+            unreachable!()
+        };
+        keys.binary_search(&k).ok().map(|i| &vals[i])
+    }
+
+    pub fn get_mut(&mut self, k: K) -> Option<&mut V> {
+        let leaf = self.find_leaf(k);
+        let Node::Leaf { keys, vals, .. } = &mut self.nodes[leaf as usize] else {
+            unreachable!()
+        };
+        match keys.binary_search(&k) {
+            Ok(i) => Some(&mut vals[i]),
+            Err(_) => None,
+        }
+    }
+
+    /// Insert or replace; returns the previous value if any.
+    pub fn insert(&mut self, k: K, v: V) -> Option<V> {
+        match self.insert_rec(self.root, k, v) {
+            InsertResult::Replaced(old) => Some(old),
+            InsertResult::Inserted => {
+                self.len += 1;
+                None
+            }
+            InsertResult::Split(sep, right) => {
+                self.len += 1;
+                let old_root = self.root;
+                self.nodes.push(Node::Internal {
+                    keys: vec![sep],
+                    children: vec![old_root, right],
+                });
+                self.root = (self.nodes.len() - 1) as u32;
+                None
+            }
+        }
+    }
+
+    /// Remove a key; returns its value if present.
+    pub fn remove(&mut self, k: K) -> Option<V> {
+        let leaf = self.find_leaf(k);
+        let Node::Leaf { keys, vals, .. } = &mut self.nodes[leaf as usize] else {
+            unreachable!()
+        };
+        match keys.binary_search(&k) {
+            Ok(i) => {
+                keys.remove(i);
+                self.len -= 1;
+                Some(vals.remove(i))
+            }
+            Err(_) => None,
+        }
+    }
+
+    /// In-order visit of all entries with key ≥ `start`; stop when `f`
+    /// returns `false`.
+    pub fn scan_from(&self, start: K, mut f: impl FnMut(K, &V) -> bool) {
+        let mut leaf = self.find_leaf(start);
+        let mut first = true;
+        loop {
+            let Node::Leaf { keys, vals, next } = &self.nodes[leaf as usize] else {
+                unreachable!()
+            };
+            let begin = if first {
+                first = false;
+                keys.partition_point(|&k| k < start)
+            } else {
+                0
+            };
+            for i in begin..keys.len() {
+                if !f(keys[i], &vals[i]) {
+                    return;
+                }
+            }
+            if *next == NIL {
+                return;
+            }
+            leaf = *next;
+        }
+    }
+
+    fn insert_rec(&mut self, n: u32, k: K, v: V) -> InsertResult<V> {
+        match &mut self.nodes[n as usize] {
+            Node::Leaf { keys, vals, .. } => {
+                match keys.binary_search(&k) {
+                    Ok(i) => InsertResult::Replaced(std::mem::replace(&mut vals[i], v)),
+                    Err(i) => {
+                        keys.insert(i, k);
+                        vals.insert(i, v);
+                        if keys.len() > FANOUT {
+                            self.split_leaf(n)
+                        } else {
+                            InsertResult::Inserted
+                        }
+                    }
+                }
+            }
+            Node::Internal { keys, children } => {
+                let i = keys.partition_point(|&s| s <= k);
+                let child = children[i];
+                match self.insert_rec(child, k, v) {
+                    InsertResult::Split(sep, right) => {
+                        let Node::Internal { keys, children } = &mut self.nodes[n as usize]
+                        else {
+                            unreachable!()
+                        };
+                        keys.insert(i, sep);
+                        children.insert(i + 1, right);
+                        if keys.len() > FANOUT {
+                            self.split_internal(n)
+                        } else {
+                            InsertResult::Inserted
+                        }
+                    }
+                    other => other,
+                }
+            }
+        }
+    }
+
+    fn split_leaf(&mut self, n: u32) -> InsertResult<V> {
+        let new_idx = self.nodes.len() as u32;
+        let Node::Leaf { keys, vals, next } = &mut self.nodes[n as usize] else {
+            unreachable!()
+        };
+        let mid = keys.len() / 2;
+        let right_keys = keys.split_off(mid);
+        let right_vals = vals.split_off(mid);
+        let sep = right_keys[0];
+        let right = Node::Leaf { keys: right_keys, vals: right_vals, next: *next };
+        *next = new_idx;
+        self.nodes.push(right);
+        InsertResult::Split(sep, new_idx)
+    }
+
+    fn split_internal(&mut self, n: u32) -> InsertResult<V> {
+        let new_idx = self.nodes.len() as u32;
+        let Node::Internal { keys, children } = &mut self.nodes[n as usize] else {
+            unreachable!()
+        };
+        let mid = keys.len() / 2;
+        // The middle separator moves up; right node gets keys after it.
+        let sep = keys[mid];
+        let right_keys = keys.split_off(mid + 1);
+        keys.pop(); // drop the promoted separator
+        let right_children = children.split_off(mid + 1);
+        self.nodes.push(Node::Internal { keys: right_keys, children: right_children });
+        InsertResult::Split(sep, new_idx)
+    }
+}
+
+enum InsertResult<V> {
+    Inserted,
+    Replaced(V),
+    Split(K, u32),
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::{seq::SliceRandom, Rng, SeedableRng};
+    use std::collections::BTreeMap;
+
+    fn k(x: u64) -> K {
+        (x, 0)
+    }
+
+    #[test]
+    fn insert_get_remove() {
+        let mut t = BpTree::new();
+        assert_eq!(t.insert(k(5), "five"), None);
+        assert_eq!(t.insert(k(3), "three"), None);
+        assert_eq!(t.insert(k(5), "FIVE"), Some("five"));
+        assert_eq!(t.get(k(5)), Some(&"FIVE"));
+        assert_eq!(t.get(k(4)), None);
+        assert_eq!(t.remove(k(3)), Some("three"));
+        assert_eq!(t.remove(k(3)), None);
+        assert_eq!(t.len(), 1);
+    }
+
+    #[test]
+    fn splits_preserve_order() {
+        let mut t = BpTree::new();
+        let mut xs: Vec<u64> = (0..10_000).collect();
+        xs.shuffle(&mut SmallRng::seed_from_u64(1));
+        for &x in &xs {
+            t.insert(k(x), x * 2);
+        }
+        assert_eq!(t.len(), 10_000);
+        // Full scan is sorted and complete.
+        let mut seen = Vec::new();
+        t.scan_from(k(0), |key, &v| {
+            assert_eq!(v, key.0 * 2);
+            seen.push(key.0);
+            true
+        });
+        assert_eq!(seen.len(), 10_000);
+        assert!(seen.windows(2).all(|w| w[0] < w[1]));
+    }
+
+    #[test]
+    fn scan_from_midpoint_and_early_stop() {
+        let mut t = BpTree::new();
+        for x in (0..100u64).map(|x| x * 10) {
+            t.insert(k(x), x);
+        }
+        let mut got = Vec::new();
+        t.scan_from(k(205), |key, _| {
+            got.push(key.0);
+            got.len() < 5
+        });
+        assert_eq!(got, vec![210, 220, 230, 240, 250]);
+    }
+
+    #[test]
+    fn discriminator_orders_same_slice() {
+        let mut t = BpTree::new();
+        t.insert((7, 3), "len3");
+        t.insert((7, 9), "layer");
+        t.insert((7, 8), "len8");
+        let mut got = Vec::new();
+        t.scan_from((7, 0), |key, &v| {
+            got.push((key.1, v));
+            true
+        });
+        assert_eq!(got, vec![(3, "len3"), (8, "len8"), (9, "layer")]);
+    }
+
+    #[test]
+    fn model_check_against_btreemap() {
+        let mut t = BpTree::new();
+        let mut model: BTreeMap<K, u64> = BTreeMap::new();
+        let mut rng = SmallRng::seed_from_u64(99);
+        for _ in 0..30_000 {
+            let key = (rng.gen_range(0..2_000u64), rng.gen_range(0..4u8));
+            match rng.gen_range(0..10) {
+                0..=5 => {
+                    let v = rng.gen::<u64>();
+                    assert_eq!(t.insert(key, v), model.insert(key, v));
+                }
+                6..=7 => {
+                    assert_eq!(t.remove(key), model.remove(&key));
+                }
+                _ => {
+                    assert_eq!(t.get(key), model.get(&key));
+                }
+            }
+            assert_eq!(t.len(), model.len());
+        }
+        // Final scans agree.
+        let mut ours = Vec::new();
+        t.scan_from((0, 0), |key, &v| {
+            ours.push((key, v));
+            true
+        });
+        let theirs: Vec<(K, u64)> = model.into_iter().collect();
+        assert_eq!(ours, theirs);
+    }
+}

@@ -1,0 +1,23 @@
+//! # erpc-store
+//!
+//! Storage substrates for the eRPC paper's full-system benchmarks (§7):
+//!
+//! * [`Mica`] — a MICA-style hash key-value store (store mode: associative
+//!   buckets + chaining), the state machine behind the replicated KV
+//!   service in §7.1/Table 6.
+//! * [`Masstree`] — a Masstree-style ordered index (trie of B+ trees),
+//!   the single-node database index of §7.2 (GET + SCAN workloads).
+//! * [`BpTree`] — the arena-based B+ tree used per Masstree layer,
+//!   usable standalone.
+//!
+//! Both stores are transport-agnostic plain data structures; the eRPC
+//! service glue lives in the benchmarks and examples, mirroring how the
+//! paper wires "unmodified existing storage software" to eRPC.
+
+pub mod bptree;
+pub mod masstree;
+pub mod mica;
+
+pub use bptree::BpTree;
+pub use masstree::Masstree;
+pub use mica::{key_hash, Mica};

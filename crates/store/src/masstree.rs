@@ -1,0 +1,390 @@
+//! Masstree-style ordered index: a trie of B+ trees (Mao, Kohler, Morris —
+//! EuroSys 2012), the §7.2 benchmark's database index.
+//!
+//! Keys are arbitrary byte strings. Each trie *layer* indexes one 8-byte
+//! key slice with a B+ tree ([`crate::bptree::BpTree`]); keys longer than
+//! the slice continue in a child layer. The per-layer B+ tree key is the
+//! slice as a big-endian `u64` (so integer order = byte order) plus a
+//! discriminator: slice lengths 0–8 are terminal entries, `LAYER_MARK`
+//! (9) marks an 8-byte slice that continues in a child layer. This yields
+//! exact lexicographic order across layers, verified against `BTreeMap`
+//! in the tests.
+
+use crate::bptree::{BpTree, K};
+
+/// Discriminator for "slice continues in a child layer".
+const LAYER_MARK: u8 = 9;
+
+enum Slot<V> {
+    Val(V),
+    Layer(Box<Layer<V>>),
+}
+
+struct Layer<V> {
+    tree: BpTree<Slot<V>>,
+}
+
+impl<V> Layer<V> {
+    fn new() -> Self {
+        Self { tree: BpTree::new() }
+    }
+}
+
+/// Encode up to 8 key bytes as a big-endian u64 (zero-padded).
+fn slice_u64(s: &[u8]) -> u64 {
+    let mut b = [0u8; 8];
+    b[..s.len()].copy_from_slice(s);
+    u64::from_be_bytes(b)
+}
+
+/// Per-layer encoded key for a terminal slice.
+fn terminal_key(s: &[u8]) -> K {
+    debug_assert!(s.len() <= 8);
+    (slice_u64(s), s.len() as u8)
+}
+
+/// Per-layer encoded key for a continuing slice (always 8 bytes).
+fn layer_key(s: &[u8]) -> K {
+    debug_assert_eq!(s.len(), 8);
+    (slice_u64(s), LAYER_MARK)
+}
+
+/// Masstree-style ordered map from byte-string keys to `V`.
+///
+/// ```
+/// use erpc_store::Masstree;
+/// let mut t = Masstree::new();
+/// t.put(b"alpha", 1);
+/// t.put(b"alphabet", 2); // shares an 8-byte slice prefix with "alpha"
+/// t.put(b"beta", 3);
+/// assert_eq!(t.get(b"alpha"), Some(&1));
+/// let mut keys = Vec::new();
+/// t.scan_from(b"alph", |k, _v| { keys.push(k.to_vec()); true });
+/// assert_eq!(keys, vec![b"alpha".to_vec(), b"alphabet".to_vec(), b"beta".to_vec()]);
+/// ```
+pub struct Masstree<V> {
+    root: Layer<V>,
+    len: usize,
+}
+
+impl<V> Default for Masstree<V> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<V> Masstree<V> {
+    pub fn new() -> Self {
+        Self { root: Layer::new(), len: 0 }
+    }
+
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Insert or replace; returns the previous value if any.
+    pub fn put(&mut self, key: &[u8], val: V) -> Option<V> {
+        let mut layer = &mut self.root;
+        let mut rest = key;
+        loop {
+            if rest.len() <= 8 {
+                let old = layer.tree.insert(terminal_key(rest), Slot::Val(val));
+                return match old {
+                    Some(Slot::Val(v)) => Some(v),
+                    Some(Slot::Layer(_)) => unreachable!("terminal/layer keys are disjoint"),
+                    None => {
+                        self.len += 1;
+                        None
+                    }
+                };
+            }
+            let lk = layer_key(&rest[..8]);
+            if layer.tree.get(lk).is_none() {
+                layer.tree.insert(lk, Slot::Layer(Box::new(Layer::new())));
+            }
+            let Some(Slot::Layer(next)) = layer.tree.get_mut(lk) else {
+                unreachable!()
+            };
+            layer = next;
+            rest = &rest[8..];
+        }
+    }
+
+    pub fn get(&self, key: &[u8]) -> Option<&V> {
+        let mut layer = &self.root;
+        let mut rest = key;
+        loop {
+            if rest.len() <= 8 {
+                return match layer.tree.get(terminal_key(rest)) {
+                    Some(Slot::Val(v)) => Some(v),
+                    _ => None,
+                };
+            }
+            match layer.tree.get(layer_key(&rest[..8])) {
+                Some(Slot::Layer(next)) => {
+                    layer = next;
+                    rest = &rest[8..];
+                }
+                _ => return None,
+            }
+        }
+    }
+
+    /// Remove a key; returns its value. Empty child layers are left in
+    /// place (lazy, like Masstree's remove path) — correctness is
+    /// unaffected, later inserts reuse them.
+    pub fn remove(&mut self, key: &[u8]) -> Option<V> {
+        let removed = {
+            let mut layer = &mut self.root;
+            let mut rest = key;
+            loop {
+                if rest.len() <= 8 {
+                    break match layer.tree.remove(terminal_key(rest)) {
+                        Some(Slot::Val(v)) => Some(v),
+                        Some(_) => unreachable!(),
+                        None => None,
+                    };
+                }
+                match layer.tree.get_mut(layer_key(&rest[..8])) {
+                    Some(Slot::Layer(next)) => {
+                        layer = next;
+                        rest = &rest[8..];
+                    }
+                    _ => break None,
+                }
+            }
+        };
+        if removed.is_some() {
+            self.len -= 1;
+        }
+        removed
+    }
+
+    /// In-order visit of entries with key ≥ `start`; the callback gets the
+    /// full key (reconstructed across layers) and value, and returns
+    /// `false` to stop. This is §7.2's `SCAN` primitive.
+    pub fn scan_from(&self, start: &[u8], mut f: impl FnMut(&[u8], &V) -> bool) {
+        let mut prefix = Vec::new();
+        self.scan_layer(&self.root, start, &mut prefix, &mut f);
+    }
+
+    /// Returns `false` if the callback stopped the scan.
+    ///
+    /// Key fact making this simple: comparing `(zero-padded 8-byte slice
+    /// as BE u64, length/discriminator)` tuples IS lexicographic byte-
+    /// string comparison for slices ≤ 8 bytes (zero bytes are minimal and
+    /// equal-prefix-shorter sorts first), with layer entries (`disc` = 9)
+    /// ordering after every terminal of the same slice — exactly where
+    /// their longer keys belong. So the per-layer `scan_from(start_key)`
+    /// yields no false positives and misses nothing.
+    fn scan_layer(
+        &self,
+        layer: &Layer<V>,
+        start: &[u8],
+        prefix: &mut Vec<u8>,
+        f: &mut impl FnMut(&[u8], &V) -> bool,
+    ) -> bool {
+        // The first candidate ≥ start within this layer.
+        let start_key = if start.len() <= 8 {
+            terminal_key(start)
+        } else {
+            // Terminal entries with this slice are shorter than `start`
+            // and must be skipped; the layer entry (disc 9) is the first
+            // candidate.
+            layer_key(&start[..8])
+        };
+        let mut keep_going = true;
+        layer.tree.scan_from(start_key, |k, slot| {
+            let (slice_u, disc) = k;
+            let slice_bytes = slice_u.to_be_bytes();
+            match slot {
+                Slot::Val(v) => {
+                    let klen = disc as usize;
+                    prefix.extend_from_slice(&slice_bytes[..klen]);
+                    let cont = f(prefix, v);
+                    prefix.truncate(prefix.len() - klen);
+                    keep_going = cont;
+                    cont
+                }
+                Slot::Layer(next) => {
+                    prefix.extend_from_slice(&slice_bytes);
+                    // Descend with the remaining start key only along the
+                    // start slice itself; later subtrees scan fully.
+                    let sub_start: &[u8] =
+                        if start.len() > 8 && k == layer_key(&start[..8]) {
+                            &start[8..]
+                        } else {
+                            &[]
+                        };
+                    let cont = self.scan_layer(next, sub_start, prefix, f);
+                    prefix.truncate(prefix.len() - 8);
+                    keep_going = cont;
+                    cont
+                }
+            }
+        });
+        keep_going
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::{Rng, SeedableRng};
+    use std::collections::BTreeMap;
+
+    #[test]
+    fn short_keys() {
+        let mut t = Masstree::new();
+        assert_eq!(t.put(b"b", 2), None);
+        assert_eq!(t.put(b"a", 1), None);
+        assert_eq!(t.put(b"c", 3), None);
+        assert_eq!(t.put(b"b", 20), Some(2));
+        assert_eq!(t.get(b"b"), Some(&20));
+        assert_eq!(t.get(b"z"), None);
+        assert_eq!(t.len(), 3);
+        assert_eq!(t.remove(b"a"), Some(1));
+        assert_eq!(t.len(), 2);
+    }
+
+    #[test]
+    fn long_keys_cross_layers() {
+        let mut t = Masstree::new();
+        t.put(b"0123456789abcdef_tail", 1);
+        t.put(b"0123456789abcdef", 2); // exactly two slices
+        t.put(b"01234567", 3); // exactly one slice
+        t.put(b"0123456", 4); // shorter than a slice
+        assert_eq!(t.get(b"0123456789abcdef_tail"), Some(&1));
+        assert_eq!(t.get(b"0123456789abcdef"), Some(&2));
+        assert_eq!(t.get(b"01234567"), Some(&3));
+        assert_eq!(t.get(b"0123456"), Some(&4));
+        assert_eq!(t.get(b"0123456789abcdef_"), None);
+        assert_eq!(t.len(), 4);
+    }
+
+    #[test]
+    fn scan_is_lexicographic_across_layers() {
+        let mut t = Masstree::new();
+        let keys: Vec<&[u8]> = vec![
+            b"a",
+            b"ab",
+            b"abcdefgh",
+            b"abcdefghi",
+            b"abcdefgh12345678",
+            b"abcdefgh123456789",
+            b"b",
+        ];
+        for (i, k) in keys.iter().enumerate() {
+            t.put(k, i);
+        }
+        let mut got: Vec<Vec<u8>> = Vec::new();
+        t.scan_from(b"", |k, _| {
+            got.push(k.to_vec());
+            true
+        });
+        let mut expect: Vec<Vec<u8>> = keys.iter().map(|k| k.to_vec()).collect();
+        expect.sort();
+        assert_eq!(got, expect);
+    }
+
+    #[test]
+    fn scan_from_start_key() {
+        let mut t = Masstree::new();
+        for i in 0..100u64 {
+            t.put(&i.to_be_bytes(), i);
+        }
+        let mut got = Vec::new();
+        t.scan_from(&42u64.to_be_bytes(), |_k, &v| {
+            got.push(v);
+            got.len() < 5
+        });
+        assert_eq!(got, vec![42, 43, 44, 45, 46]);
+        // Start key absent: begins at the successor.
+        let mut t2 = Masstree::new();
+        for i in (0..100u64).map(|i| i * 2) {
+            t2.put(&i.to_be_bytes(), i);
+        }
+        let mut got = Vec::new();
+        t2.scan_from(&43u64.to_be_bytes(), |_k, &v| {
+            got.push(v);
+            got.len() < 3
+        });
+        assert_eq!(got, vec![44, 46, 48]);
+    }
+
+    #[test]
+    fn model_check_against_btreemap() {
+        let mut t = Masstree::new();
+        let mut model: BTreeMap<Vec<u8>, u64> = BTreeMap::new();
+        let mut rng = SmallRng::seed_from_u64(3);
+        // Mixed-length keys, many sharing prefixes (stress trie layers).
+        let gen_key = |rng: &mut SmallRng| -> Vec<u8> {
+            let len = rng.gen_range(0..20);
+            let mut k = b"pfx".to_vec();
+            for _ in 0..len {
+                k.push(rng.gen_range(b'a'..=b'd'));
+            }
+            k
+        };
+        for _ in 0..20_000 {
+            let k = gen_key(&mut rng);
+            match rng.gen_range(0..10) {
+                0..=5 => {
+                    let v = rng.gen::<u64>();
+                    assert_eq!(t.put(&k, v), model.insert(k.clone(), v), "key {k:?}");
+                }
+                6..=7 => {
+                    assert_eq!(t.remove(&k), model.remove(&k), "key {k:?}");
+                }
+                _ => {
+                    assert_eq!(t.get(&k), model.get(&k), "key {k:?}");
+                }
+            }
+            assert_eq!(t.len(), model.len());
+        }
+        // Full scan equals the model's ordered iteration.
+        let mut ours = Vec::new();
+        t.scan_from(b"", |k, &v| {
+            ours.push((k.to_vec(), v));
+            true
+        });
+        let theirs: Vec<(Vec<u8>, u64)> = model.into_iter().collect();
+        assert_eq!(ours, theirs);
+    }
+
+    #[test]
+    fn scan_from_model_check() {
+        let mut t = Masstree::new();
+        let mut model: BTreeMap<Vec<u8>, u64> = BTreeMap::new();
+        let mut rng = SmallRng::seed_from_u64(8);
+        for i in 0..5_000u64 {
+            let klen = rng.gen_range(1..24);
+            let mut k = Vec::with_capacity(klen);
+            for _ in 0..klen {
+                k.push(rng.gen_range(0..8u8) * 32);
+            }
+            t.put(&k, i);
+            model.insert(k, i);
+        }
+        for _ in 0..200 {
+            let start_len = rng.gen_range(0..12);
+            let start: Vec<u8> = (0..start_len).map(|_| rng.gen::<u8>()).collect();
+            let mut ours = Vec::new();
+            t.scan_from(&start, |k, &v| {
+                ours.push((k.to_vec(), v));
+                ours.len() < 10
+            });
+            let theirs: Vec<(Vec<u8>, u64)> = model
+                .range(start.clone()..)
+                .take(10)
+                .map(|(k, &v)| (k.clone(), v))
+                .collect();
+            assert_eq!(ours, theirs, "start={start:?}");
+        }
+    }
+}

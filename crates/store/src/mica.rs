@@ -1,0 +1,310 @@
+//! MICA-style in-memory key-value store (Lim et al., NSDI 2014).
+//!
+//! The paper's replicated key-value store reuses "existing code from
+//! MICA" (§7.1) as the Raft state machine. We reproduce MICA's *store
+//! mode* structure: a bucket array indexed by key hash, 8-way associative
+//! buckets holding partial-hash tags plus item references, with chained
+//! overflow buckets so no data is lost (MICA's cache mode would evict).
+//! Tag comparison filters almost all non-matching items without touching
+//! full keys.
+
+/// Entries per bucket (MICA uses 7–8 per cache line).
+const BUCKET_WAYS: usize = 8;
+/// Marker for an empty bucket cell.
+const EMPTY: u32 = u32::MAX;
+/// Marker for "no chain".
+const NO_CHAIN: u32 = u32::MAX;
+
+#[derive(Debug, Clone)]
+struct Item {
+    key: Vec<u8>,
+    val: Vec<u8>,
+}
+
+#[derive(Debug, Clone)]
+struct Bucket {
+    /// 16-bit tags derived from the key hash.
+    tags: [u16; BUCKET_WAYS],
+    /// Indices into the item slab; EMPTY = free.
+    items: [u32; BUCKET_WAYS],
+    /// Overflow chain (index into `chain_buckets`), NO_CHAIN if none.
+    next: u32,
+}
+
+impl Bucket {
+    fn new() -> Self {
+        Self {
+            tags: [0; BUCKET_WAYS],
+            items: [EMPTY; BUCKET_WAYS],
+            next: NO_CHAIN,
+        }
+    }
+}
+
+/// 64-bit hash (SplitMix-style avalanche over FNV-1a), stable across runs.
+#[inline]
+pub fn key_hash(key: &[u8]) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for &b in key {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    h ^= h >> 30;
+    h = h.wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    h ^= h >> 27;
+    h
+}
+
+/// A MICA-style hash KV store.
+///
+/// ```
+/// use erpc_store::Mica;
+/// let mut kv = Mica::new(1024);
+/// kv.put(b"key", b"value");
+/// assert_eq!(kv.get(b"key"), Some(&b"value"[..]));
+/// assert!(kv.delete(b"key"));
+/// assert_eq!(kv.get(b"key"), None);
+/// ```
+#[derive(Debug)]
+pub struct Mica {
+    buckets: Vec<Bucket>,
+    chain_buckets: Vec<Bucket>,
+    free_chains: Vec<u32>,
+    items: Vec<Option<Item>>,
+    free_items: Vec<u32>,
+    mask: u64,
+    len: usize,
+}
+
+impl Mica {
+    /// Create a store with at least `expected_items` capacity before
+    /// chaining kicks in.
+    pub fn new(expected_items: usize) -> Self {
+        let n_buckets = (expected_items / BUCKET_WAYS + 1)
+            .next_power_of_two()
+            .max(16);
+        Self {
+            buckets: vec![Bucket::new(); n_buckets],
+            chain_buckets: Vec::new(),
+            free_chains: Vec::new(),
+            items: Vec::new(),
+            free_items: Vec::new(),
+            mask: (n_buckets - 1) as u64,
+            len: 0,
+        }
+    }
+
+    /// Number of stored items.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    #[inline]
+    fn bucket_and_tag(&self, key: &[u8]) -> (usize, u16) {
+        let h = key_hash(key);
+        ((h & self.mask) as usize, (h >> 48) as u16)
+    }
+
+    fn bucket(&self, head: bool, idx: usize) -> &Bucket {
+        if head {
+            &self.buckets[idx]
+        } else {
+            &self.chain_buckets[idx]
+        }
+    }
+
+    /// Find (bucket_is_head, bucket_idx, way, item_idx) of a key.
+    fn find(&self, key: &[u8]) -> Option<(bool, usize, usize, u32)> {
+        let (b0, tag) = self.bucket_and_tag(key);
+        let (mut head, mut bi) = (true, b0);
+        loop {
+            let b = self.bucket(head, bi);
+            for w in 0..BUCKET_WAYS {
+                if b.items[w] != EMPTY && b.tags[w] == tag {
+                    let idx = b.items[w];
+                    if self.items[idx as usize].as_ref().unwrap().key == key {
+                        return Some((head, bi, w, idx));
+                    }
+                }
+            }
+            if b.next == NO_CHAIN {
+                return None;
+            }
+            head = false;
+            bi = b.next as usize;
+        }
+    }
+
+    /// Look up a key.
+    pub fn get(&self, key: &[u8]) -> Option<&[u8]> {
+        self.find(key)
+            .map(|(_, _, _, idx)| self.items[idx as usize].as_ref().unwrap().val.as_slice())
+    }
+
+    /// Insert or update. Returns `true` if the key was new.
+    pub fn put(&mut self, key: &[u8], val: &[u8]) -> bool {
+        if let Some((_, _, _, idx)) = self.find(key) {
+            self.items[idx as usize].as_mut().unwrap().val = val.to_vec();
+            return false;
+        }
+        // Allocate the item.
+        let item = Item { key: key.to_vec(), val: val.to_vec() };
+        let idx = if let Some(i) = self.free_items.pop() {
+            self.items[i as usize] = Some(item);
+            i
+        } else {
+            self.items.push(Some(item));
+            (self.items.len() - 1) as u32
+        };
+        let (b0, tag) = self.bucket_and_tag(key);
+        self.len += 1;
+        // Find a free cell, chaining if needed.
+        let (mut head, mut bi) = (true, b0);
+        loop {
+            let b = self.bucket(head, bi);
+            if let Some(w) = (0..BUCKET_WAYS).find(|&w| b.items[w] == EMPTY) {
+                let b = if head {
+                    &mut self.buckets[bi]
+                } else {
+                    &mut self.chain_buckets[bi]
+                };
+                b.tags[w] = tag;
+                b.items[w] = idx;
+                return true;
+            }
+            if b.next != NO_CHAIN {
+                let next = b.next as usize;
+                head = false;
+                bi = next;
+                continue;
+            }
+            // Append a chain bucket.
+            let ci = if let Some(c) = self.free_chains.pop() {
+                self.chain_buckets[c as usize] = Bucket::new();
+                c
+            } else {
+                self.chain_buckets.push(Bucket::new());
+                (self.chain_buckets.len() - 1) as u32
+            };
+            if head {
+                self.buckets[bi].next = ci;
+            } else {
+                self.chain_buckets[bi].next = ci;
+            }
+            head = false;
+            bi = ci as usize;
+        }
+    }
+
+    /// Remove a key. Returns `true` if it existed.
+    pub fn delete(&mut self, key: &[u8]) -> bool {
+        let Some((head, bi, w, idx)) = self.find(key) else {
+            return false;
+        };
+        let b = if head {
+            &mut self.buckets[bi]
+        } else {
+            &mut self.chain_buckets[bi]
+        };
+        b.items[w] = EMPTY;
+        self.items[idx as usize] = None;
+        self.free_items.push(idx);
+        self.len -= 1;
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::{Rng, SeedableRng};
+    use std::collections::HashMap;
+
+    #[test]
+    fn put_get_delete() {
+        let mut m = Mica::new(64);
+        assert!(m.put(b"alpha", b"1"));
+        assert!(m.put(b"beta", b"2"));
+        assert_eq!(m.get(b"alpha"), Some(&b"1"[..]));
+        assert_eq!(m.get(b"beta"), Some(&b"2"[..]));
+        assert_eq!(m.get(b"gamma"), None);
+        // Update in place.
+        assert!(!m.put(b"alpha", b"one"));
+        assert_eq!(m.get(b"alpha"), Some(&b"one"[..]));
+        assert_eq!(m.len(), 2);
+        assert!(m.delete(b"alpha"));
+        assert!(!m.delete(b"alpha"));
+        assert_eq!(m.get(b"alpha"), None);
+        assert_eq!(m.len(), 1);
+    }
+
+    #[test]
+    fn chains_beyond_bucket_capacity() {
+        // A tiny table forces chains; nothing may be lost (store mode).
+        let mut m = Mica::new(1); // 16 buckets minimum
+        for i in 0..10_000u32 {
+            m.put(&i.to_le_bytes(), &(i * 7).to_le_bytes());
+        }
+        assert_eq!(m.len(), 10_000);
+        for i in 0..10_000u32 {
+            assert_eq!(m.get(&i.to_le_bytes()), Some(&(i * 7).to_le_bytes()[..]));
+        }
+    }
+
+    #[test]
+    fn model_check_against_hashmap() {
+        let mut m = Mica::new(256);
+        let mut model: HashMap<Vec<u8>, Vec<u8>> = HashMap::new();
+        let mut rng = SmallRng::seed_from_u64(42);
+        for _ in 0..50_000 {
+            let k = rng.gen_range(0..500u32).to_le_bytes().to_vec();
+            match rng.gen_range(0..10) {
+                0..=5 => {
+                    let v = rng.gen::<u64>().to_le_bytes().to_vec();
+                    m.put(&k, &v);
+                    model.insert(k, v);
+                }
+                6..=7 => {
+                    assert_eq!(m.delete(&k), model.remove(&k).is_some());
+                }
+                _ => {
+                    assert_eq!(m.get(&k), model.get(&k).map(|v| v.as_slice()));
+                }
+            }
+            assert_eq!(m.len(), model.len());
+        }
+    }
+
+    #[test]
+    fn slab_reuse_after_delete() {
+        let mut m = Mica::new(64);
+        for i in 0..100u32 {
+            m.put(&i.to_le_bytes(), b"x");
+        }
+        for i in 0..100u32 {
+            m.delete(&i.to_le_bytes());
+        }
+        let slab_size = m.items.len();
+        for i in 100..200u32 {
+            m.put(&i.to_le_bytes(), b"y");
+        }
+        assert_eq!(m.items.len(), slab_size, "slab must be reused");
+    }
+
+    #[test]
+    fn hash_spreads() {
+        // Not a rigorous test; catches degenerate hash regressions.
+        let mut counts = [0u32; 16];
+        for i in 0..16_000u32 {
+            counts[(key_hash(&i.to_le_bytes()) & 15) as usize] += 1;
+        }
+        for &c in &counts {
+            assert!((700..1300).contains(&c), "skewed hash: {counts:?}");
+        }
+    }
+}

@@ -1,0 +1,126 @@
+//! Property-based tests (proptest) for the storage substrates: the
+//! Masstree and B+ tree against `BTreeMap`, MICA against `HashMap`, under
+//! arbitrary operation sequences.
+
+use std::collections::{BTreeMap, HashMap};
+
+use erpc_store::{BpTree, Masstree, Mica};
+use proptest::prelude::*;
+
+#[derive(Debug, Clone)]
+enum Op {
+    Put(Vec<u8>, u64),
+    Del(Vec<u8>),
+    Get(Vec<u8>),
+    Scan(Vec<u8>, usize),
+}
+
+fn key_strategy() -> impl Strategy<Value = Vec<u8>> {
+    // Short alphabet + variable length ⇒ heavy prefix sharing, which is
+    // what stresses trie layering.
+    proptest::collection::vec(prop::sample::select(vec![0u8, 1, 7, 8, 9, 255]), 0..20)
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        (key_strategy(), any::<u64>()).prop_map(|(k, v)| Op::Put(k, v)),
+        key_strategy().prop_map(Op::Del),
+        key_strategy().prop_map(Op::Get),
+        (key_strategy(), 1usize..20).prop_map(|(k, n)| Op::Scan(k, n)),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 64, ..ProptestConfig::default() })]
+
+    #[test]
+    fn masstree_matches_btreemap(ops in proptest::collection::vec(op_strategy(), 1..300)) {
+        let mut t: Masstree<u64> = Masstree::new();
+        let mut model: BTreeMap<Vec<u8>, u64> = BTreeMap::new();
+        for op in ops {
+            match op {
+                Op::Put(k, v) => {
+                    prop_assert_eq!(t.put(&k, v), model.insert(k, v));
+                }
+                Op::Del(k) => {
+                    prop_assert_eq!(t.remove(&k), model.remove(&k));
+                }
+                Op::Get(k) => {
+                    prop_assert_eq!(t.get(&k), model.get(&k));
+                }
+                Op::Scan(k, n) => {
+                    let mut ours = Vec::new();
+                    t.scan_from(&k, |key, &v| {
+                        ours.push((key.to_vec(), v));
+                        ours.len() < n
+                    });
+                    let theirs: Vec<(Vec<u8>, u64)> = model
+                        .range(k..)
+                        .take(n)
+                        .map(|(key, &v)| (key.clone(), v))
+                        .collect();
+                    prop_assert_eq!(ours, theirs);
+                }
+            }
+            prop_assert_eq!(t.len(), model.len());
+        }
+    }
+
+    #[test]
+    fn bptree_matches_btreemap(
+        ops in proptest::collection::vec(
+            (any::<u16>(), 0u8..4, 0u8..3), 1..400
+        )
+    ) {
+        let mut t: BpTree<u16> = BpTree::new();
+        let mut model: BTreeMap<(u64, u8), u16> = BTreeMap::new();
+        for (x, disc, action) in ops {
+            let k = (x as u64, disc);
+            match action {
+                0 => {
+                    prop_assert_eq!(t.insert(k, x), model.insert(k, x));
+                }
+                1 => {
+                    prop_assert_eq!(t.remove(k), model.remove(&k));
+                }
+                _ => {
+                    prop_assert_eq!(t.get(k), model.get(&k));
+                }
+            }
+        }
+        // Full ordered scan equality.
+        let mut ours = Vec::new();
+        t.scan_from((0, 0), |k, &v| {
+            ours.push((k, v));
+            true
+        });
+        let theirs: Vec<((u64, u8), u16)> = model.into_iter().collect();
+        prop_assert_eq!(ours, theirs);
+    }
+
+    #[test]
+    fn mica_matches_hashmap(
+        ops in proptest::collection::vec(
+            (proptest::collection::vec(any::<u8>(), 0..12), 0u8..3), 1..400
+        )
+    ) {
+        let mut m = Mica::new(32); // tiny: forces chains
+        let mut model: HashMap<Vec<u8>, Vec<u8>> = HashMap::new();
+        for (k, action) in ops {
+            match action {
+                0 => {
+                    let v = k.iter().rev().copied().collect::<Vec<u8>>();
+                    m.put(&k, &v);
+                    model.insert(k, v);
+                }
+                1 => {
+                    prop_assert_eq!(m.delete(&k), model.remove(&k).is_some());
+                }
+                _ => {
+                    prop_assert_eq!(m.get(&k), model.get(&k).map(|v| v.as_slice()));
+                }
+            }
+            prop_assert_eq!(m.len(), model.len());
+        }
+    }
+}

@@ -1,0 +1,209 @@
+//! Minimal byte-cursor codec used for management messages, Raft wire
+//! formats, and store request payloads.
+//!
+//! All integers are little-endian. The encoder writes into a caller-owned
+//! `Vec<u8>` (so buffers can be pooled); the decoder is a non-consuming
+//! cursor over a `&[u8]` that reports truncation instead of panicking.
+
+/// Error returned when a [`ByteReader`] runs out of bytes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Truncated {
+    /// Bytes the failed read needed.
+    pub needed: usize,
+    /// Bytes that remained in the cursor.
+    pub remaining: usize,
+}
+
+impl core::fmt::Display for Truncated {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(
+            f,
+            "truncated message: needed {} bytes, {} remaining",
+            self.needed, self.remaining
+        )
+    }
+}
+
+impl std::error::Error for Truncated {}
+
+/// Append-only little-endian encoder over a borrowed `Vec<u8>`.
+pub struct ByteWriter<'a> {
+    buf: &'a mut Vec<u8>,
+}
+
+impl<'a> ByteWriter<'a> {
+    /// Wrap `buf`, appending after its current contents.
+    pub fn new(buf: &'a mut Vec<u8>) -> Self {
+        Self { buf }
+    }
+
+    /// Bytes written so far (including any pre-existing contents).
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// True if the underlying buffer is empty.
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    pub fn u8(&mut self, v: u8) -> &mut Self {
+        self.buf.push(v);
+        self
+    }
+
+    pub fn u16(&mut self, v: u16) -> &mut Self {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+        self
+    }
+
+    pub fn u32(&mut self, v: u32) -> &mut Self {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+        self
+    }
+
+    pub fn u64(&mut self, v: u64) -> &mut Self {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+        self
+    }
+
+    pub fn i64(&mut self, v: i64) -> &mut Self {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+        self
+    }
+
+    pub fn bool(&mut self, v: bool) -> &mut Self {
+        self.u8(v as u8)
+    }
+
+    /// Raw bytes with no length prefix.
+    pub fn raw(&mut self, v: &[u8]) -> &mut Self {
+        self.buf.extend_from_slice(v);
+        self
+    }
+
+    /// Length-prefixed (u32) byte string.
+    pub fn bytes(&mut self, v: &[u8]) -> &mut Self {
+        self.u32(v.len() as u32);
+        self.raw(v)
+    }
+}
+
+/// Little-endian decoding cursor over a byte slice.
+#[derive(Clone, Copy)]
+pub struct ByteReader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> ByteReader<'a> {
+    pub fn new(buf: &'a [u8]) -> Self {
+        Self { buf, pos: 0 }
+    }
+
+    /// Bytes not yet consumed.
+    pub fn remaining(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+
+    /// Current cursor offset from the start of the slice.
+    pub fn position(&self) -> usize {
+        self.pos
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8], Truncated> {
+        if self.remaining() < n {
+            return Err(Truncated {
+                needed: n,
+                remaining: self.remaining(),
+            });
+        }
+        let s = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(s)
+    }
+
+    pub fn u8(&mut self) -> Result<u8, Truncated> {
+        Ok(self.take(1)?[0])
+    }
+
+    pub fn u16(&mut self) -> Result<u16, Truncated> {
+        Ok(u16::from_le_bytes(self.take(2)?.try_into().unwrap()))
+    }
+
+    pub fn u32(&mut self) -> Result<u32, Truncated> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().unwrap()))
+    }
+
+    pub fn u64(&mut self) -> Result<u64, Truncated> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+    }
+
+    pub fn i64(&mut self) -> Result<i64, Truncated> {
+        Ok(i64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+    }
+
+    pub fn bool(&mut self) -> Result<bool, Truncated> {
+        Ok(self.u8()? != 0)
+    }
+
+    /// Raw bytes of a known length.
+    pub fn raw(&mut self, n: usize) -> Result<&'a [u8], Truncated> {
+        self.take(n)
+    }
+
+    /// Length-prefixed (u32) byte string written by [`ByteWriter::bytes`].
+    pub fn bytes(&mut self) -> Result<&'a [u8], Truncated> {
+        let n = self.u32()? as usize;
+        self.take(n)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_scalars() {
+        let mut buf = Vec::new();
+        let mut w = ByteWriter::new(&mut buf);
+        w.u8(7).u16(0xBEEF).u32(0xDEAD_BEEF).u64(u64::MAX).i64(-42).bool(true);
+        let mut r = ByteReader::new(&buf);
+        assert_eq!(r.u8().unwrap(), 7);
+        assert_eq!(r.u16().unwrap(), 0xBEEF);
+        assert_eq!(r.u32().unwrap(), 0xDEAD_BEEF);
+        assert_eq!(r.u64().unwrap(), u64::MAX);
+        assert_eq!(r.i64().unwrap(), -42);
+        assert!(r.bool().unwrap());
+        assert_eq!(r.remaining(), 0);
+    }
+
+    #[test]
+    fn roundtrip_bytes() {
+        let mut buf = Vec::new();
+        ByteWriter::new(&mut buf).bytes(b"hello").bytes(b"").raw(b"xy");
+        let mut r = ByteReader::new(&buf);
+        assert_eq!(r.bytes().unwrap(), b"hello");
+        assert_eq!(r.bytes().unwrap(), b"");
+        assert_eq!(r.raw(2).unwrap(), b"xy");
+    }
+
+    #[test]
+    fn truncated_reads_error_without_consuming() {
+        let buf = [1u8, 2];
+        let mut r = ByteReader::new(&buf);
+        let err = r.u32().unwrap_err();
+        assert_eq!(err.needed, 4);
+        assert_eq!(err.remaining, 2);
+        // Cursor unchanged: a smaller read still succeeds.
+        assert_eq!(r.u16().unwrap(), 0x0201);
+    }
+
+    #[test]
+    fn truncated_length_prefix() {
+        let mut buf = Vec::new();
+        ByteWriter::new(&mut buf).u32(100); // claims 100 bytes, provides none
+        let mut r = ByteReader::new(&buf);
+        assert!(r.bytes().is_err());
+    }
+}

@@ -1,0 +1,115 @@
+//! A networked ordered index: Masstree behind eRPC, with point GETs in
+//! the dispatch thread and range SCANs in worker threads (§7.2, §3.2).
+//!
+//! Demonstrates the threading-model choice eRPC exposes per request type:
+//! short handlers run inline in the dispatch loop (zero-copy, no
+//! inter-thread hop); long handlers go to worker threads so they don't
+//! block dispatch or congestion feedback.
+//!
+//! Run: `cargo run --release --example masstree_server`
+
+use std::cell::Cell;
+use std::rc::Rc;
+use std::sync::Arc;
+
+use erpc::{Rpc, RpcConfig};
+use erpc_store::Masstree;
+use erpc_transport::{Addr, MemFabric, MemFabricConfig};
+use parking_lot::RwLock;
+
+const GET: u8 = 1;
+const SCAN: u8 = 2;
+
+fn main() {
+    let fabric = MemFabric::new(MemFabricConfig::default());
+
+    // Load the index: 100k keys "user:<i>" → "<i*i>".
+    let tree: Arc<RwLock<Masstree<u64>>> = Arc::new(RwLock::new(Masstree::new()));
+    {
+        let mut t = tree.write();
+        for i in 0..100_000u64 {
+            t.put(format!("user:{i:08}").as_bytes(), i * i);
+        }
+    }
+    println!("index loaded: {} keys", tree.read().len());
+
+    // Server with 2 worker threads for scans.
+    let mut server = Rpc::new(
+        fabric.create_transport(Addr::new(0, 0)),
+        RpcConfig { num_worker_threads: 2, ..RpcConfig::default() },
+    );
+    let t_get = Arc::clone(&tree);
+    server.register_request_handler(
+        GET,
+        Box::new(move |ctx, req| match t_get.read().get(req) {
+            Some(v) => ctx.respond(&v.to_le_bytes()),
+            None => ctx.respond(&[]),
+        }),
+    );
+    let t_scan = Arc::clone(&tree);
+    server.register_worker_handler(
+        SCAN,
+        Arc::new(move |req: &[u8], out: &mut Vec<u8>| {
+            // req = start key; return the next 10 keys newline-separated.
+            let mut n = 0;
+            t_scan.read().scan_from(req, |k, v| {
+                out.extend_from_slice(k);
+                out.extend_from_slice(format!(" => {v}\n").as_bytes());
+                n += 1;
+                n < 10
+            });
+        }),
+    );
+
+    // Client.
+    let mut client = Rpc::new(fabric.create_transport(Addr::new(1, 0)), RpcConfig::default());
+    let sess = client.create_session(Addr::new(0, 0)).unwrap();
+    while !client.is_connected(sess) {
+        client.run_event_loop_once();
+        server.run_event_loop_once();
+    }
+
+    let pending = Rc::new(Cell::new(0u32));
+    let p2 = pending.clone();
+    client.register_continuation(
+        1,
+        Box::new(move |ctx, comp| {
+            assert!(comp.result.is_ok());
+            match comp.tag {
+                0 => {
+                    let v = u64::from_le_bytes(comp.resp.data().try_into().unwrap());
+                    println!("GET user:00000123 → {v}");
+                }
+                _ => {
+                    println!("SCAN from user:00099995 →");
+                    print!("{}", String::from_utf8_lossy(comp.resp.data()));
+                }
+            }
+            p2.set(p2.get() + 1);
+            ctx.free_msg_buffer(comp.req);
+            ctx.free_msg_buffer(comp.resp);
+        }),
+    );
+
+    // A point GET (dispatch path).
+    let mut req = client.alloc_msg_buffer(16);
+    req.fill(b"user:00000123");
+    let resp = client.alloc_msg_buffer(16);
+    client.enqueue_request(sess, GET, req, resp, 1, 0).unwrap();
+
+    // A range SCAN (worker path) that runs off the end of the keyspace.
+    let mut req = client.alloc_msg_buffer(16);
+    req.fill(b"user:00099995");
+    let resp = client.alloc_msg_buffer(4096);
+    client.enqueue_request(sess, SCAN, req, resp, 1, 1).unwrap();
+
+    while pending.get() < 2 {
+        client.run_event_loop_once();
+        server.run_event_loop_once();
+    }
+    println!(
+        "handlers: {} dispatch, {} to workers",
+        server.stats().handlers_invoked,
+        server.stats().handlers_to_workers
+    );
+}

@@ -1,0 +1,12 @@
+//! Umbrella crate for the eRPC reproduction workspace.
+//!
+//! This crate exists so the repository root can host `examples/` and
+//! `tests/` that span every workspace member. The real code lives in the
+//! `crates/` members; see `DESIGN.md` for the inventory.
+
+pub use erpc;
+pub use erpc_congestion;
+pub use erpc_raft;
+pub use erpc_sim;
+pub use erpc_store;
+pub use erpc_transport;

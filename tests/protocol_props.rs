@@ -1,0 +1,205 @@
+//! Property-based tests (proptest) of the end-to-end protocol and the
+//! codec layers, spanning crates.
+//!
+//! The headline property, mirroring §5.3's at-most-once + go-back-N
+//! claims: **for any message size, any loss probability up to 30 %, and
+//! any RNG seed, every RPC completes exactly once with intact data, the
+//! server runs each handler exactly once, and session credits are fully
+//! restored.**
+
+use std::cell::Cell;
+use std::rc::Rc;
+
+use erpc::pkthdr::{PktHdr, PktType};
+use erpc::{Rpc, RpcConfig};
+use erpc_transport::codec::{ByteReader, ByteWriter};
+use erpc_transport::{Addr, MemFabric, MemFabricConfig};
+use proptest::prelude::*;
+
+const ECHO: u8 = 1;
+const CONT: u8 = 9;
+
+fn lossy_roundtrips(loss: f64, seed: u64, sizes: Vec<usize>) {
+    let fabric = MemFabric::new(MemFabricConfig {
+        loss_prob: loss,
+        seed,
+        ..Default::default()
+    });
+    let cfg = RpcConfig {
+        rto_ns: 300_000, // quick wall-clock retransmits for the test
+        timer_scan_interval_ns: 20_000,
+        ping_interval_ns: 0,
+        ..RpcConfig::default()
+    };
+    let mut server = Rpc::new(fabric.create_transport(Addr::new(0, 0)), cfg.clone());
+    server.register_request_handler(
+        ECHO,
+        Box::new(|ctx, req| {
+            let mut v = req.to_vec();
+            v.reverse();
+            ctx.respond(&v);
+        }),
+    );
+    let mut client = Rpc::new(fabric.create_transport(Addr::new(1, 0)), cfg);
+    let sess = client.create_session(Addr::new(0, 0)).unwrap();
+    while !client.is_connected(sess) {
+        client.run_event_loop_once();
+        server.run_event_loop_once();
+    }
+    let credits_before = client.session_credits_available(sess).unwrap();
+
+    let done = Rc::new(Cell::new(0usize));
+    let payload_ok = Rc::new(Cell::new(true));
+    let (d2, p2) = (done.clone(), payload_ok.clone());
+    client.register_continuation(
+        CONT,
+        Box::new(move |ctx, comp| {
+            if comp.result.is_err() {
+                p2.set(false);
+            } else {
+                let expect: Vec<u8> =
+                    (0..comp.req.len()).map(|i| (i % 251) as u8).rev().collect();
+                if comp.resp.data() != &expect[..] {
+                    p2.set(false);
+                }
+            }
+            ctx.free_msg_buffer(comp.req);
+            ctx.free_msg_buffer(comp.resp);
+            d2.set(d2.get() + 1);
+        }),
+    );
+    let n = sizes.len();
+    for (i, &size) in sizes.iter().enumerate() {
+        let mut req = client.alloc_msg_buffer(size);
+        let payload: Vec<u8> = (0..size).map(|j| (j % 251) as u8).collect();
+        req.fill(&payload);
+        let resp = client.alloc_msg_buffer(size.max(1));
+        client.enqueue_request(sess, ECHO, req, resp, CONT, i as u64).unwrap();
+    }
+    let start = std::time::Instant::now();
+    while done.get() < n {
+        client.run_event_loop_once();
+        server.run_event_loop_once();
+        assert!(start.elapsed().as_secs() < 60, "stalled: {}/{n}", done.get());
+    }
+    // Exactly-once completion, at-most-once execution, intact payloads.
+    assert!(payload_ok.get(), "payload corrupted");
+    assert_eq!(done.get(), n);
+    assert_eq!(server.stats().handlers_invoked as usize, n);
+    // No credit leaks after everything quiesces.
+    assert_eq!(client.session_credits_available(sess).unwrap(), credits_before);
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig {
+        cases: 12, ..ProptestConfig::default()
+    })]
+
+    #[test]
+    fn rpcs_complete_exactly_once_under_loss(
+        loss in 0.0f64..0.3,
+        seed in any::<u64>(),
+        sizes in proptest::collection::vec(0usize..6000, 1..8),
+    ) {
+        lossy_roundtrips(loss, seed, sizes);
+    }
+
+    #[test]
+    fn pkthdr_roundtrip(
+        req_type in any::<u8>(),
+        dest_session in any::<u16>(),
+        msg_size in 0u32..=(8 << 20),
+        req_num in 0u64..(1 << 48),
+        pkt_num in any::<u16>(),
+        ecn in any::<bool>(),
+        type_idx in 0u8..10,
+    ) {
+        let pkt_type = match type_idx {
+            0 => PktType::Req,
+            1 => PktType::Resp,
+            2 => PktType::CreditReturn,
+            3 => PktType::Rfr,
+            4 => PktType::ConnectReq,
+            5 => PktType::ConnectResp,
+            6 => PktType::DisconnectReq,
+            7 => PktType::DisconnectResp,
+            8 => PktType::Ping,
+            _ => PktType::Pong,
+        };
+        let hdr = PktHdr { pkt_type, ecn, req_type, dest_session, msg_size, req_num, pkt_num };
+        prop_assert_eq!(PktHdr::decode(&hdr.encode()).unwrap(), hdr);
+    }
+
+    #[test]
+    fn pkthdr_never_panics_on_garbage(bytes in proptest::collection::vec(any::<u8>(), 0..64)) {
+        let _ = PktHdr::decode(&bytes); // must not panic
+    }
+
+    #[test]
+    fn codec_roundtrip(
+        a in any::<u8>(), b in any::<u16>(), c in any::<u32>(), d in any::<u64>(),
+        e in any::<i64>(), f in any::<bool>(),
+        blob in proptest::collection::vec(any::<u8>(), 0..256),
+    ) {
+        let mut buf = Vec::new();
+        ByteWriter::new(&mut buf).u8(a).u16(b).u32(c).u64(d).i64(e).bool(f).bytes(&blob);
+        let mut r = ByteReader::new(&buf);
+        prop_assert_eq!(r.u8().unwrap(), a);
+        prop_assert_eq!(r.u16().unwrap(), b);
+        prop_assert_eq!(r.u32().unwrap(), c);
+        prop_assert_eq!(r.u64().unwrap(), d);
+        prop_assert_eq!(r.i64().unwrap(), e);
+        prop_assert_eq!(r.bool().unwrap(), f);
+        prop_assert_eq!(r.bytes().unwrap(), &blob[..]);
+        prop_assert_eq!(r.remaining(), 0);
+    }
+
+    #[test]
+    fn msgbuf_layout_invariants(
+        size in 0usize..20_000,
+        dpp in prop::sample::select(vec![512usize, 1024, 4096]),
+    ) {
+        let mut pool = erpc::BufPool::new(dpp);
+        let mut m = pool.alloc(size);
+        let payload: Vec<u8> = (0..size).map(|i| (i % 253) as u8).collect();
+        m.fill(&payload);
+        // Invariant 1: data region contiguous & intact.
+        prop_assert_eq!(m.data(), &payload[..]);
+        // Invariant 2: per-packet views partition the data.
+        let mut reassembled = Vec::new();
+        for p in 0..m.num_pkts() {
+            let (h, d) = m.tx_view(p);
+            if p == 0 {
+                prop_assert!(d.is_empty(), "first packet is one contiguous DMA");
+                reassembled.extend_from_slice(&h[erpc::PKT_HDR_SIZE..]);
+            } else {
+                prop_assert_eq!(h.len(), erpc::PKT_HDR_SIZE);
+                reassembled.extend_from_slice(d);
+            }
+        }
+        prop_assert_eq!(reassembled, payload);
+    }
+
+    #[test]
+    fn timing_wheel_releases_everything_in_order(
+        deadlines in proptest::collection::vec(0u64..100_000, 1..200),
+        granularity in prop::sample::select(vec![64u64, 100, 1000]),
+    ) {
+        let mut wheel = erpc_congestion::TimingWheel::new(256, granularity, 0);
+        for (i, &d) in deadlines.iter().enumerate() {
+            wheel.insert(d, (d, i));
+        }
+        let mut released = Vec::new();
+        let mut now = 0;
+        while !wheel.is_empty() {
+            now += granularity;
+            wheel.reap(now, |(d, i)| {
+                // Never released before its deadline.
+                assert!(d <= now, "released early: deadline {d} at {now}");
+                released.push((d, i));
+            });
+            assert!(now < 10_000_000, "wheel failed to drain");
+        }
+        prop_assert_eq!(released.len(), deadlines.len());
+    }
+}

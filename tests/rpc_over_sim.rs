@@ -1,0 +1,216 @@
+//! Cross-crate integration: the full eRPC protocol running over the
+//! discrete-event fabric, under clean and adverse (lossy / reordering /
+//! corrupting) network conditions — all in deterministic virtual time.
+
+use std::cell::{Cell, RefCell};
+use std::rc::Rc;
+
+use erpc::{Rpc, RpcConfig};
+use erpc_sim::{driver, Cluster, FaultConfig, SimNet, SimTransport, Topology};
+use erpc_transport::Addr;
+
+const ECHO: u8 = 1;
+const CONT: u8 = 7;
+
+struct Harness {
+    net: erpc_sim::NetHandle,
+    eps: Vec<Ep>,
+}
+
+struct Ep {
+    rpc: Rpc<SimTransport>,
+}
+
+impl driver::PolledEndpoint for Ep {
+    fn poll(&mut self, _now: u64) -> u64 {
+        self.rpc.run_event_loop_once();
+        let w = self.rpc.take_work();
+        40 + (w.tx_pkts + w.rx_pkts) * 40 + w.callbacks * 20
+    }
+}
+
+fn harness(faults: FaultConfig, rto_ns: u64) -> Harness {
+    let mut cfg = Cluster::Cx4.config();
+    cfg.topology = Topology::SingleSwitch { hosts: 2 };
+    cfg.faults = faults;
+    let net = SimNet::new(cfg).into_handle();
+    let rpc_cfg = RpcConfig {
+        ping_interval_ns: 0,
+        rto_ns,
+        ..RpcConfig::default()
+    };
+    let mut server = Rpc::new(SimTransport::new(net.clone(), Addr::new(0, 0)), rpc_cfg.clone());
+    server.register_request_handler(
+        ECHO,
+        Box::new(|ctx, req| {
+            let mut v = req.to_vec();
+            v.reverse();
+            ctx.respond(&v);
+        }),
+    );
+    let client = Rpc::new(SimTransport::new(net.clone(), Addr::new(1, 0)), rpc_cfg);
+    Harness {
+        net,
+        eps: vec![Ep { rpc: server }, Ep { rpc: client }],
+    }
+}
+
+/// Run `n` sequential echos of `size` bytes; panics on stall/corruption.
+/// Returns total retransmissions.
+fn run_echos(h: &mut Harness, n: u64, size: usize, budget_ns: u64) -> u64 {
+    let sess = h.eps[1].rpc.create_session(Addr::new(0, 0)).unwrap();
+    let done = Rc::new(Cell::new(0u64));
+    let ok = Rc::new(Cell::new(true));
+    let (d2, o2) = (done.clone(), ok.clone());
+    h.eps[1].rpc.register_continuation(
+        CONT,
+        Box::new(move |ctx, comp| {
+            if comp.result.is_err() {
+                o2.set(false);
+            } else {
+                let expect: Vec<u8> =
+                    (0..comp.req.len()).map(|i| (i % 251) as u8).rev().collect();
+                if comp.resp.data() != &expect[..] {
+                    o2.set(false);
+                }
+            }
+            ctx.free_msg_buffer(comp.req);
+            ctx.free_msg_buffer(comp.resp);
+            d2.set(d2.get() + 1);
+        }),
+    );
+    // Connect.
+    let mut t = 0u64;
+    while !h.eps[1].rpc.is_connected(sess) {
+        t += 100_000;
+        driver::run(&h.net, &mut h.eps, t);
+        assert!(t < budget_ns, "connect stalled");
+    }
+    for i in 0..n {
+        let issued_at = done.get();
+        {
+            let rpc = &mut h.eps[1].rpc;
+            let mut req = rpc.alloc_msg_buffer(size);
+            let payload: Vec<u8> = (0..size).map(|j| (j % 251) as u8).collect();
+            req.fill(&payload);
+            let resp = rpc.alloc_msg_buffer(size.max(1));
+            rpc.enqueue_request(sess, ECHO, req, resp, CONT, i).unwrap();
+        }
+        while done.get() == issued_at {
+            t += 100_000;
+            driver::run(&h.net, &mut h.eps, t);
+            assert!(t < budget_ns, "rpc {i} stalled at vtime {t}");
+        }
+    }
+    assert!(ok.get(), "payload corruption or failure");
+    h.eps[1].rpc.stats().retransmissions
+}
+
+#[test]
+fn clean_network_multi_packet() {
+    let mut h = harness(FaultConfig::default(), 5_000_000);
+    let retx = run_echos(&mut h, 5, 5000, 1_000_000_000);
+    assert_eq!(retx, 0, "no loss ⇒ no retransmissions");
+}
+
+#[test]
+fn lossy_network_recovers() {
+    let faults = FaultConfig { drop_prob: 0.05, ..Default::default() };
+    let mut h = harness(faults, 1_000_000);
+    let retx = run_echos(&mut h, 10, 4000, 60_000_000_000);
+    assert!(retx > 0, "5 % loss must trigger go-back-N");
+    // At-most-once held (handler count == completions).
+    assert_eq!(h.eps[0].rpc.stats().handlers_invoked, 10);
+}
+
+#[test]
+fn reordering_treated_as_loss() {
+    let faults = FaultConfig {
+        reorder_prob: 0.05,
+        reorder_delay_ns: 30_000,
+        ..Default::default()
+    };
+    let mut h = harness(faults, 1_000_000);
+    run_echos(&mut h, 10, 4000, 60_000_000_000);
+    let stale = h.eps[0].rpc.stats().rx_dropped_stale + h.eps[1].rpc.stats().rx_dropped_stale;
+    assert!(stale > 0, "reordered packets must be dropped (§5.3)");
+    assert_eq!(h.eps[0].rpc.stats().handlers_invoked, 10);
+}
+
+#[test]
+fn corruption_dropped_by_fabric() {
+    let faults = FaultConfig { corrupt_prob: 0.1, ..Default::default() };
+    let mut h = harness(faults, 1_000_000);
+    run_echos(&mut h, 8, 3000, 60_000_000_000);
+    assert!(h.net.borrow().stats.drops_corrupt > 0);
+    assert_eq!(h.eps[0].rpc.stats().handlers_invoked, 8);
+}
+
+#[test]
+fn bdp_credits_sustain_line_rate_without_drops() {
+    // One flow with BDP-sized credits on a clean CX4 link: the switch
+    // must never drop (§2.1's claim) and goodput must approach line rate.
+    let mut cfg = Cluster::Cx4.config();
+    cfg.topology = Topology::SingleSwitch { hosts: 2 };
+    let bdp = cfg.bdp_bytes();
+    let net = SimNet::new(cfg).into_handle();
+    let rpc_cfg = RpcConfig {
+        ping_interval_ns: 0,
+        link_bps: 25e9,
+        ..RpcConfig::default()
+    }
+    .with_bdp_credits(bdp, 1024);
+    let mut server = Rpc::new(SimTransport::new(net.clone(), Addr::new(0, 0)), rpc_cfg.clone());
+    server.register_request_handler(ECHO, Box::new(|ctx, _| ctx.respond(&[0; 16])));
+    let mut client = Rpc::new(SimTransport::new(net.clone(), Addr::new(1, 0)), rpc_cfg);
+    let done = Rc::new(Cell::new(0u64));
+    let d2 = done.clone();
+    let bufs: Rc<RefCell<Vec<(erpc::MsgBuf, erpc::MsgBuf)>>> = Rc::new(RefCell::new(Vec::new()));
+    let b2 = bufs.clone();
+    client.register_continuation(
+        CONT,
+        Box::new(move |_ctx, comp| {
+            assert!(comp.result.is_ok());
+            d2.set(d2.get() + 1);
+            b2.borrow_mut().push((comp.req, comp.resp));
+        }),
+    );
+    let sess = client.create_session(Addr::new(0, 0)).unwrap();
+    let mut eps = vec![Ep { rpc: server }, Ep { rpc: client }];
+    let mut t = 0u64;
+    while !eps[1].rpc.is_connected(sess) {
+        t += 100_000;
+        driver::run(&net, &mut eps, t);
+        assert!(t < 1_000_000_000);
+    }
+    // Stream 512 kB messages, 2 outstanding, for 2 ms of virtual time.
+    let issue = |rpc: &mut Rpc<SimTransport>, bufs: &Rc<RefCell<Vec<(erpc::MsgBuf, erpc::MsgBuf)>>>| {
+        let (mut req, resp) = bufs
+            .borrow_mut()
+            .pop()
+            .unwrap_or((rpc.alloc_msg_buffer(512 << 10), rpc.alloc_msg_buffer(64)));
+        req.resize(512 << 10);
+        rpc.enqueue_request(sess, ECHO, req, resp, CONT, 0).unwrap();
+    };
+    issue(&mut eps[1].rpc, &bufs);
+    issue(&mut eps[1].rpc, &bufs);
+    let t0 = t;
+    let mut issued = 2u64;
+    while t - t0 < 2_000_000 {
+        t += 50_000;
+        driver::run(&net, &mut eps, t);
+        while done.get() + 2 > issued {
+            issue(&mut eps[1].rpc, &bufs);
+            issued += 1;
+        }
+    }
+    let delivered_bytes = done.get() * (512 << 10);
+    let goodput = delivered_bytes as f64 * 8.0 / ((t - t0) as f64 / 1e9);
+    assert!(
+        goodput > 15e9,
+        "goodput {:.1} Gbps should approach the 25 Gbps line",
+        goodput / 1e9
+    );
+    assert_eq!(net.borrow().stats.drops_switch_buffer, 0, "BDP flow control ⇒ no switch drops");
+    assert_eq!(eps[1].rpc.stats().retransmissions, 0);
+}
