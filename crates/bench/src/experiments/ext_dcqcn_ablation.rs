@@ -17,7 +17,15 @@ use crate::table::{us, Table};
 pub fn run() -> String {
     let mut t = Table::new(
         "Extension: congestion-control ablation under incast (CX4, 8 MB flows)",
-        &["incast", "cc", "total bw", "RTT p50", "RTT p99", "ECN marks", "drops"],
+        &[
+            "incast",
+            "cc",
+            "total bw",
+            "RTT p50",
+            "RTT p99",
+            "ECN marks",
+            "drops",
+        ],
     );
     for &m in &[20usize, 50] {
         for mode in [CcMode::None, CcMode::Timely, CcMode::Dcqcn] {

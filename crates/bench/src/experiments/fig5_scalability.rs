@@ -24,7 +24,6 @@ use crate::sim_harness::SimCluster;
 use crate::table::{us, Table};
 
 const ECHO: u8 = 1;
-const CONT: u8 = 2;
 
 pub struct ScaleResult {
     pub per_node_rate: f64,
@@ -48,7 +47,10 @@ pub fn run_scale(nodes: usize, threads_per_node: usize, measure_ns: u64) -> Scal
     cfg.host_ring_capacity = (n_endpoints * 2 * 32).next_power_of_two().max(4096);
     let mut sim = SimCluster::new(cfg);
     let cpu = Cluster::Cx4.cpu_model();
-    let rpc_cfg = RpcConfig { ping_interval_ns: 0, ..RpcConfig::default() };
+    let rpc_cfg = RpcConfig {
+        ping_interval_ns: 0,
+        ..RpcConfig::default()
+    };
 
     let hist = Rc::new(RefCell::new(LatencyHistogram::new()));
     let completions = Rc::new(Cell::new(0u64));
@@ -66,7 +68,8 @@ pub fn run_scale(nodes: usize, threads_per_node: usize, measure_ns: u64) -> Scal
         let freelist: Rc<RefCell<Vec<(MsgBuf, MsgBuf)>>> = Rc::new(RefCell::new(Vec::new()));
         let sessions_cell: Rc<RefCell<Vec<SessionHandle>>> = Rc::new(RefCell::new(Vec::new()));
         let (o2, f2, s2) = (outstanding.clone(), freelist.clone(), sessions_cell.clone());
-        let mut rng = SmallRng::seed_from_u64(0xF16_5 ^ i as u64);
+        let (h0, c0, m0) = (hist.clone(), completions.clone(), measuring.clone());
+        let mut rng = SmallRng::seed_from_u64(0xF165 ^ i as u64);
         sim.add_endpoint(
             addr_of(i),
             rpc_cfg.clone(),
@@ -85,7 +88,19 @@ pub fn run_scale(nodes: usize, threads_per_node: usize, measure_ns: u64) -> Scal
                             .unwrap_or((rpc.alloc_msg_buffer(32), rpc.alloc_msg_buffer(32)));
                         req.resize(32);
                         let sess = sessions[rng.gen_range(0..sessions.len())];
-                        match rpc.enqueue_request(sess, ECHO, req, resp, CONT, 0) {
+                        let (h2, c2, m2, o3, f3) =
+                            (h0.clone(), c0.clone(), m0.clone(), o2.clone(), f2.clone());
+                        let cont =
+                            move |_ctx: &mut erpc::ContContext<'_>, comp: erpc::Completion| {
+                                assert!(comp.result.is_ok());
+                                o3.set(o3.get() - 1);
+                                if m2.get() {
+                                    c2.set(c2.get() + 1);
+                                    h2.borrow_mut().record(comp.latency_ns);
+                                }
+                                f3.borrow_mut().push((comp.req, comp.resp));
+                            };
+                        match rpc.enqueue_request(sess, ECHO, req, resp, cont) {
                             Ok(()) => o2.set(o2.get() + 1),
                             Err(e) => {
                                 f2.borrow_mut().push((e.req, e.resp));
@@ -96,46 +111,28 @@ pub fn run_scale(nodes: usize, threads_per_node: usize, measure_ns: u64) -> Scal
                 }
             }),
         );
-        sim.endpoints[i].rpc.register_request_handler(
-            ECHO,
-            Box::new(|ctx, _req| ctx.respond(&[0u8; 32])),
-        );
-        let (h2, c2, m2, o3, f3) = (
-            hist.clone(),
-            completions.clone(),
-            measuring.clone(),
-            outstanding.clone(),
-            freelist.clone(),
-        );
-        sim.endpoints[i].rpc.register_continuation(
-            CONT,
-            Box::new(move |_ctx, comp| {
-                assert!(comp.result.is_ok());
-                o3.set(o3.get() - 1);
-                if m2.get() {
-                    c2.set(c2.get() + 1);
-                    h2.borrow_mut().record(comp.latency_ns);
-                }
-                f3.borrow_mut().push((comp.req, comp.resp));
-            }),
-        );
+        sim.endpoints[i]
+            .rpc
+            .register_request_handler(ECHO, Box::new(|ctx, _req| ctx.respond(&[0u8; 32])));
         session_cells.push(sessions_cell);
-        let _ = (&outstanding, &freelist); // owned by the closures above
     }
 
     // Create full-mesh client sessions.
     let mut to_connect = Vec::new();
-    for i in 0..n_endpoints {
+    for (i, cell) in session_cells.iter().enumerate() {
         let mut sessions = Vec::with_capacity(n_endpoints - 1);
         for j in 0..n_endpoints {
             if i == j {
                 continue;
             }
-            let s = sim.endpoints[i].rpc.create_session(addr_of(j)).expect("session");
+            let s = sim.endpoints[i]
+                .rpc
+                .create_session(addr_of(j))
+                .expect("session");
             sessions.push(s);
             to_connect.push((i, s));
         }
-        *session_cells[i].borrow_mut() = sessions;
+        *cell.borrow_mut() = sessions;
     }
     sim.run_until_connected(&to_connect, 30_000_000_000);
 
@@ -148,7 +145,11 @@ pub fn run_scale(nodes: usize, threads_per_node: usize, measure_ns: u64) -> Scal
     measuring.set(false);
     let secs = (sim.now_ns() - t0) as f64 / 1e9;
 
-    let retx: u64 = sim.endpoints.iter().map(|e| e.rpc.stats().retransmissions).sum();
+    let retx: u64 = sim
+        .endpoints
+        .iter()
+        .map(|e| e.rpc.stats().retransmissions)
+        .sum();
     let latency = hist.borrow().clone();
     ScaleResult {
         per_node_rate: completions.get() as f64 / secs / nodes as f64,
@@ -165,7 +166,15 @@ pub fn run() -> String {
     };
     let mut t = Table::new(
         format!("Figure 5 / §6.3: scalability on {nodes} simulated CX4 nodes (32 B, window 60)"),
-        &["threads/node", "sessions/node", "Mrps/node", "p50", "p99", "p99.9", "p99.99"],
+        &[
+            "threads/node",
+            "sessions/node",
+            "Mrps/node",
+            "p50",
+            "p99",
+            "p99.9",
+            "p99.99",
+        ],
     );
     for &tp in &threads {
         let r = run_scale(nodes, tp, measure_ns);
@@ -180,7 +189,9 @@ pub fn run() -> String {
             us(l.percentile(99.99)),
         ]);
     }
-    t.note("paper (100 nodes): p50 12.7 µs at T=1; p99.99 < 700 µs at T=10; 12.3 Mrps/node at T=10");
+    t.note(
+        "paper (100 nodes): p50 12.7 µs at T=1; p99.99 < 700 µs at T=10; 12.3 Mrps/node at T=10",
+    );
     t.note("paper observed steady retransmissions (< 1700 pkt/s/node) at T ≥ 2 — lossy fabric, not lossless");
     t.print();
     t.render()

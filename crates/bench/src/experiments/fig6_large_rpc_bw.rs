@@ -25,7 +25,6 @@ use crate::table::Table;
 use crate::thread_cluster::{run_bandwidth, BandwidthOpts};
 
 const SINK: u8 = 1;
-const CONT: u8 = 2;
 
 /// Per-received-byte copy cost in the CPU model (ns/B): calibrated so the
 /// one-core copy-bound plateau lands near the paper's 75 Gbps.
@@ -42,7 +41,7 @@ pub fn sim_goodput_bps(
 ) -> f64 {
     let mut cfg = Cluster::Cx5Ib100.config();
     cfg.faults.drop_prob = drop_prob;
-    cfg.seed = 0xF16_6 ^ (req_size as u64) ^ ((drop_prob * 1e9) as u64);
+    cfg.seed = 0xF166 ^ (req_size as u64) ^ ((drop_prob * 1e9) as u64);
     let mut sim = SimCluster::new(cfg);
     let cpu = Cluster::Cx5Ib100
         .cpu_model()
@@ -62,16 +61,25 @@ pub fn sim_goodput_bps(
         }),
         ..RpcConfig::default()
     };
-    sim.add_endpoint(Addr::new(0, 0), rpc_cfg.clone(), cpu.clone(), Box::new(|_, _| {}));
-    sim.endpoints[0].rpc.register_request_handler(
-        SINK,
-        Box::new(|ctx, _req| ctx.respond(&[0u8; 32])),
+    sim.add_endpoint(
+        Addr::new(0, 0),
+        rpc_cfg.clone(),
+        cpu.clone(),
+        Box::new(|_, _| {}),
     );
+    sim.endpoints[0]
+        .rpc
+        .register_request_handler(SINK, Box::new(|ctx, _req| ctx.respond(&[0u8; 32])));
     let done = Rc::new(Cell::new(0u64));
     let pending = Rc::new(Cell::new(false));
     let bufs: Rc<RefCell<Option<(MsgBuf, MsgBuf)>>> = Rc::new(RefCell::new(None));
     let sess_cell: Rc<Cell<Option<erpc::SessionHandle>>> = Rc::new(Cell::new(None));
-    let (p2, s2, b2) = (pending.clone(), sess_cell.clone(), bufs.clone());
+    let (d0, p2, s2, b2) = (
+        done.clone(),
+        pending.clone(),
+        sess_cell.clone(),
+        bufs.clone(),
+    );
     let ci = sim.add_endpoint(
         Addr::new(1, 0),
         rpc_cfg,
@@ -84,23 +92,23 @@ pub fn sim_goodput_bps(
                     .take()
                     .unwrap_or((rpc.alloc_msg_buffer(req_size), rpc.alloc_msg_buffer(64)));
                 req.resize(req_size);
-                if rpc.enqueue_request(sess, SINK, req, resp, CONT, 0).is_ok() {
+                let (d2, p3, b3) = (d0.clone(), p2.clone(), b2.clone());
+                let cont = move |_ctx: &mut erpc::ContContext<'_>, comp: erpc::Completion| {
+                    assert!(comp.result.is_ok());
+                    d2.set(d2.get() + 1);
+                    p3.set(false);
+                    *b3.borrow_mut() = Some((comp.req, comp.resp));
+                };
+                if rpc.enqueue_request(sess, SINK, req, resp, cont).is_ok() {
                     p2.set(true);
                 }
             }
         }),
     );
-    let (d2, p3, b3) = (done.clone(), pending.clone(), bufs.clone());
-    sim.endpoints[ci].rpc.register_continuation(
-        CONT,
-        Box::new(move |_ctx, comp| {
-            assert!(comp.result.is_ok());
-            d2.set(d2.get() + 1);
-            p3.set(false);
-            *b3.borrow_mut() = Some((comp.req, comp.resp));
-        }),
-    );
-    let sess = sim.endpoints[ci].rpc.create_session(Addr::new(0, 0)).unwrap();
+    let sess = sim.endpoints[ci]
+        .rpc
+        .create_session(Addr::new(0, 0))
+        .unwrap();
     sess_cell.set(Some(sess));
     sim.run_until_connected(&[(ci, sess)], 100_000_000);
 

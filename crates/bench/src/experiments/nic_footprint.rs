@@ -21,13 +21,18 @@ pub fn run() -> String {
             cfg.rdma_bytes(conns).to_string(),
         ]);
     }
-    let trad = NicFootprintConfig { rq_multi_packet: 1, ..cfg.clone() };
+    let trad = NicFootprintConfig {
+        rq_multi_packet: 1,
+        ..cfg.clone()
+    };
     t.note(format!(
         "multi-packet RQ (512-way): {} B; traditional RQ descriptors: {} B",
         cfg.erpc_bytes(),
         trad.erpc_bytes()
     ));
-    t.note("paper: eRPC footprint independent of cluster size; 5000 RDMA conns ≈ 1.8 MB > NIC SRAM");
+    t.note(
+        "paper: eRPC footprint independent of cluster size; 5000 RDMA conns ≈ 1.8 MB > NIC SRAM",
+    );
     t.print();
     t.render()
 }

@@ -19,7 +19,6 @@ use crate::sim_harness::SimCluster;
 use crate::table::{us, Table};
 
 const ECHO: u8 = 1;
-const CONT: u8 = 2;
 
 /// Measured median eRPC latency on a cluster preset, virtual ns.
 pub fn erpc_median_latency_ns(cluster: Cluster, rpcs: u64) -> u64 {
@@ -32,7 +31,12 @@ pub fn erpc_median_latency_ns(cluster: Cluster, rpcs: u64) -> u64 {
         link_bps: cluster.config().link_bps,
         ..RpcConfig::default()
     };
-    sim.add_endpoint(Addr::new(0, 0), rpc_cfg.clone(), cpu.clone(), Box::new(|_, _| {}));
+    sim.add_endpoint(
+        Addr::new(0, 0),
+        rpc_cfg.clone(),
+        cpu.clone(),
+        Box::new(|_, _| {}),
+    );
     sim.endpoints[0].rpc.register_request_handler(
         ECHO,
         Box::new(|ctx, req| {
@@ -41,7 +45,8 @@ pub fn erpc_median_latency_ns(cluster: Cluster, rpcs: u64) -> u64 {
         }),
     );
 
-    // Client: closed loop, one outstanding (latency mode).
+    // Client: closed loop, one outstanding (latency mode). The request's
+    // continuation records the latency and re-arms the loop.
     let hist = Rc::new(RefCell::new(LatencyHistogram::new()));
     let pending = Rc::new(std::cell::Cell::new(false));
     let h2 = hist.clone();
@@ -59,24 +64,24 @@ pub fn erpc_median_latency_ns(cluster: Cluster, rpcs: u64) -> u64 {
                 let mut req = rpc.alloc_msg_buffer(32);
                 req.resize(32);
                 let resp = rpc.alloc_msg_buffer(32);
-                if rpc.enqueue_request(sess, ECHO, req, resp, CONT, 0).is_ok() {
+                let (h3, p3) = (h2.clone(), p2.clone());
+                let cont = move |ctx: &mut erpc::ContContext<'_>, comp: erpc::Completion| {
+                    assert!(comp.result.is_ok());
+                    h3.borrow_mut().record(comp.latency_ns);
+                    ctx.free_msg_buffer(comp.req);
+                    ctx.free_msg_buffer(comp.resp);
+                    p3.set(false);
+                };
+                if rpc.enqueue_request(sess, ECHO, req, resp, cont).is_ok() {
                     p2.set(true);
                 }
             }
         }),
     );
-    let p3 = pending.clone();
-    sim.endpoints[ci].rpc.register_continuation(
-        CONT,
-        Box::new(move |ctx, comp| {
-            assert!(comp.result.is_ok());
-            h2.borrow_mut().record(comp.latency_ns);
-            ctx.free_msg_buffer(comp.req);
-            ctx.free_msg_buffer(comp.resp);
-            p3.set(false);
-        }),
-    );
-    let sess = sim.endpoints[ci].rpc.create_session(Addr::new(0, 0)).unwrap();
+    let sess = sim.endpoints[ci]
+        .rpc
+        .create_session(Addr::new(0, 0))
+        .unwrap();
     sess_cell.set(Some(sess));
     sim.run_until_connected(&[(ci, sess)], 100_000_000);
 
@@ -93,7 +98,13 @@ pub fn erpc_median_latency_ns(cluster: Cluster, rpcs: u64) -> u64 {
 pub fn run() -> String {
     let mut t = Table::new(
         "Table 2: median small-RPC latency vs. RDMA read (same ToR)",
-        &["cluster", "eRPC (sim)", "eRPC (paper)", "RDMA read (model)", "RDMA read (paper)"],
+        &[
+            "cluster",
+            "eRPC (sim)",
+            "eRPC (paper)",
+            "RDMA read (model)",
+            "RDMA read (paper)",
+        ],
     );
     let rows = [
         (Cluster::Cx3, "CX3 (InfiniBand)", "2.1 µs", "1.7 µs"),

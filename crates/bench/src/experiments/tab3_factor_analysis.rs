@@ -90,11 +90,22 @@ pub fn run() -> String {
     cfg.opt_zero_copy_rx = false;
     rows.push(("disable 0-copy request processing", measure(cfg.clone())));
 
-    let no_cc = measure(RpcConfig { cc: CcAlgorithm::None, ..base_cfg() });
+    let no_cc = measure(RpcConfig {
+        cc: CcAlgorithm::None,
+        ..base_cfg()
+    });
 
     let mut t = Table::new(
-        format!("Table 3: factor analysis, cumulative ({endpoints} endpoints on one core, B=3, 32 B)"),
-        &["action", "RPC rate", "step loss", "paper rate", "paper loss"],
+        format!(
+            "Table 3: factor analysis, cumulative ({endpoints} endpoints on one core, B=3, 32 B)"
+        ),
+        &[
+            "action",
+            "RPC rate",
+            "step loss",
+            "paper rate",
+            "paper loss",
+        ],
     );
     let paper = [
         ("4.96 M/s", "–"),

@@ -33,7 +33,6 @@ use crate::sim_harness::SimCluster;
 use crate::table::{us, Table};
 
 const SINK: u8 = 1;
-const CONT: u8 = 2;
 
 pub struct IncastResult {
     pub total_goodput_bps: f64,
@@ -99,10 +98,9 @@ pub fn run_incast_cc(m: usize, mode: CcMode, background: bool, measure_ns: u64) 
     // Victim: node 0, endpoint 0.
     let victim = Addr::new(0, 0);
     sim.add_endpoint(victim, rpc_cfg.clone(), cpu.clone(), Box::new(|_, _| {}));
-    sim.endpoints[0].rpc.register_request_handler(
-        SINK,
-        Box::new(|ctx, _req| ctx.respond(&[0u8; 32])),
-    );
+    sim.endpoints[0]
+        .rpc
+        .register_request_handler(SINK, Box::new(|ctx, _req| ctx.respond(&[0u8; 32])));
 
     // Senders: one endpoint per client node, one 8 MB request at a time.
     // Spread across all nodes 1..=m (some share the victim's ToR, most
@@ -121,24 +119,21 @@ pub fn run_incast_cc(m: usize, mode: CcMode, background: bool, measure_ns: u64) 
             Box::new(move |rpc, _now| {
                 let Some(sess) = s2.get() else { return };
                 if !p2.get() && rpc.is_connected(sess) {
-                    let (mut req, resp) = b2.borrow_mut().take().unwrap_or((
-                        rpc.alloc_msg_buffer(8 << 20),
-                        rpc.alloc_msg_buffer(64),
-                    ));
+                    let (mut req, resp) = b2
+                        .borrow_mut()
+                        .take()
+                        .unwrap_or((rpc.alloc_msg_buffer(8 << 20), rpc.alloc_msg_buffer(64)));
                     req.resize(8 << 20);
-                    if rpc.enqueue_request(sess, SINK, req, resp, CONT, 0).is_ok() {
+                    let (p3, b3) = (p2.clone(), b2.clone());
+                    let cont = move |_ctx: &mut erpc::ContContext<'_>, comp: erpc::Completion| {
+                        assert!(comp.result.is_ok());
+                        p3.set(false);
+                        *b3.borrow_mut() = Some((comp.req, comp.resp));
+                    };
+                    if rpc.enqueue_request(sess, SINK, req, resp, cont).is_ok() {
                         p2.set(true);
                     }
                 }
-            }),
-        );
-        let (p3, b3) = (pending.clone(), bufs.clone());
-        sim.endpoints[idx].rpc.register_continuation(
-            CONT,
-            Box::new(move |_ctx, comp| {
-                assert!(comp.result.is_ok());
-                p3.set(false);
-                *b3.borrow_mut() = Some((comp.req, comp.resp));
             }),
         );
         let sess = sim.endpoints[idx].rpc.create_session(victim).unwrap();
@@ -150,14 +145,18 @@ pub fn run_incast_cc(m: usize, mode: CcMode, background: bool, measure_ns: u64) 
     let bg_hist = Rc::new(RefCell::new(LatencyHistogram::new()));
     if background {
         let server_addr = Addr::new(99, 1);
-        let si = sim.add_endpoint(server_addr, rpc_cfg.clone(), cpu.clone(), Box::new(|_, _| {}));
-        sim.endpoints[si].rpc.register_request_handler(
-            SINK,
-            Box::new(|ctx, _req| ctx.respond(&[7u8; 64 << 10])),
+        let si = sim.add_endpoint(
+            server_addr,
+            rpc_cfg.clone(),
+            cpu.clone(),
+            Box::new(|_, _| {}),
         );
+        sim.endpoints[si]
+            .rpc
+            .register_request_handler(SINK, Box::new(|ctx, _req| ctx.respond(&[7u8; 64 << 10])));
         let sess_cell: Rc<Cell<Option<SessionHandle>>> = Rc::new(Cell::new(None));
         let pending = Rc::new(Cell::new(false));
-        let (s2, p2) = (sess_cell.clone(), pending.clone());
+        let (s2, p2, h0) = (sess_cell.clone(), pending.clone(), bg_hist.clone());
         let ci = sim.add_endpoint(
             Addr::new(98, 1),
             rpc_cfg.clone(),
@@ -168,21 +167,18 @@ pub fn run_incast_cc(m: usize, mode: CcMode, background: bool, measure_ns: u64) 
                     let mut req = rpc.alloc_msg_buffer(64 << 10);
                     req.resize(64 << 10);
                     let resp = rpc.alloc_msg_buffer(64 << 10);
-                    if rpc.enqueue_request(sess, SINK, req, resp, CONT, 0).is_ok() {
+                    let (h2, p3) = (h0.clone(), p2.clone());
+                    let cont = move |ctx: &mut erpc::ContContext<'_>, comp: erpc::Completion| {
+                        assert!(comp.result.is_ok());
+                        h2.borrow_mut().record(comp.latency_ns);
+                        ctx.free_msg_buffer(comp.req);
+                        ctx.free_msg_buffer(comp.resp);
+                        p3.set(false);
+                    };
+                    if rpc.enqueue_request(sess, SINK, req, resp, cont).is_ok() {
                         p2.set(true);
                     }
                 }
-            }),
-        );
-        let (h2, p3) = (bg_hist.clone(), pending.clone());
-        sim.endpoints[ci].rpc.register_continuation(
-            CONT,
-            Box::new(move |ctx, comp| {
-                assert!(comp.result.is_ok());
-                h2.borrow_mut().record(comp.latency_ns);
-                ctx.free_msg_buffer(comp.req);
-                ctx.free_msg_buffer(comp.resp);
-                p3.set(false);
             }),
         );
         let sess = sim.endpoints[ci].rpc.create_session(server_addr).unwrap();
@@ -216,7 +212,14 @@ pub fn run_incast_cc(m: usize, mode: CcMode, background: bool, measure_ns: u64) 
     // Victim's ToR downlink port 0 queue (ToR 0, port 0).
     let st = sim.net.borrow().switch_stats(0);
     let drops: u64 = (0..sim.net.borrow().num_switches())
-        .map(|s| sim.net.borrow().switch_stats(s).port_drops.iter().sum::<u64>())
+        .map(|s| {
+            sim.net
+                .borrow()
+                .switch_stats(s)
+                .port_drops
+                .iter()
+                .sum::<u64>()
+        })
         .sum();
     IncastResult {
         total_goodput_bps: (rx1 - rx0) as f64 * 8.0 / secs,
@@ -224,7 +227,11 @@ pub fn run_incast_cc(m: usize, mode: CcMode, background: bool, measure_ns: u64) 
         victim_port_max_queue: st.port_max_queue_bytes[0],
         switch_drops: drops,
         ecn_marks_seen,
-        background: if background { Some(bg_hist.borrow().clone()) } else { None },
+        background: if background {
+            Some(bg_hist.borrow().clone())
+        } else {
+            None
+        },
     }
 }
 

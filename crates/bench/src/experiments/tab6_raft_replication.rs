@@ -20,14 +20,14 @@ use std::rc::Rc;
 
 use erpc::{LatencyHistogram, MsgBuf, RpcConfig, SessionHandle};
 use erpc_raft::{encode_put, RaftConfig, Replica, KV_PUT, ST_OK};
-use erpc_sim::{config::CpuModel, driver, driver::PolledEndpoint, Cluster, SimNet, SimTransport, Topology};
+use erpc_sim::{
+    config::CpuModel, driver, driver::PolledEndpoint, Cluster, SimNet, SimTransport, Topology,
+};
 use erpc_transport::Addr;
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 
 use crate::table::{us, Table};
-
-const CONT: u8 = 1;
 
 /// Either role, so one driver vector holds the whole system.
 enum Ep {
@@ -35,7 +35,7 @@ enum Ep {
     Client {
         rpc: erpc::Rpc<SimTransport>,
         cpu: CpuModel,
-        app: Box<dyn FnMut(&mut erpc::Rpc<SimTransport>, u64)>,
+        app: crate::sim_harness::AppFn,
     },
 }
 
@@ -44,12 +44,20 @@ impl PolledEndpoint for Ep {
         let (w, penalty, cpu) = match self {
             Ep::Replica(r, cpu) => {
                 r.poll();
-                (r.rpc.take_work(), r.rpc.transport_mut().take_cpu_penalty_ns(), cpu.clone())
+                (
+                    r.rpc.take_work(),
+                    r.rpc.transport_mut().take_cpu_penalty_ns(),
+                    cpu.clone(),
+                )
             }
             Ep::Client { rpc, cpu, app } => {
                 app(rpc, now_ns);
                 rpc.run_event_loop_once();
-                (rpc.take_work(), rpc.transport_mut().take_cpu_penalty_ns(), cpu.clone())
+                (
+                    rpc.take_work(),
+                    rpc.transport_mut().take_cpu_penalty_ns(),
+                    cpu.clone(),
+                )
             }
         };
         cpu.idle_poll_ns
@@ -125,21 +133,15 @@ pub fn run_raft_latency(puts: u64) -> RaftLatency {
     let bufs: Rc<RefCell<Option<(MsgBuf, MsgBuf)>>> = Rc::new(RefCell::new(None));
     let sess_cell: Rc<Cell<Option<SessionHandle>>> = Rc::new(Cell::new(None));
     let mut rng = SmallRng::seed_from_u64(0xC11E27);
-    let (p2, b2, s2) = (pending.clone(), bufs.clone(), sess_cell.clone());
+    let (p2, b2, s2, h2) = (
+        pending.clone(),
+        bufs.clone(),
+        sess_cell.clone(),
+        hist.clone(),
+    );
     let mut client_rpc = erpc::Rpc::new(
         SimTransport::new(net.clone(), Addr::new(3, 0)),
         rpc_cfg.clone(),
-    );
-    let (h3, p3, b3) = (hist.clone(), pending.clone(), bufs.clone());
-    client_rpc.register_continuation(
-        CONT,
-        Box::new(move |_ctx, comp| {
-            assert!(comp.result.is_ok());
-            assert_eq!(comp.resp.data(), &[ST_OK]);
-            h3.borrow_mut().record(comp.latency_ns);
-            p3.set(false);
-            *b3.borrow_mut() = Some((comp.req, comp.resp));
-        }),
     );
     let sess = client_rpc.create_session(addrs[leader]).unwrap();
     sess_cell.set(Some(sess));
@@ -156,12 +158,24 @@ pub fn run_raft_latency(puts: u64) -> RaftLatency {
                 .take()
                 .unwrap_or((rpc.alloc_msg_buffer(96), rpc.alloc_msg_buffer(16)));
             req.fill(&body);
-            if rpc.enqueue_request(sess, KV_PUT, req, resp, CONT, 0).is_ok() {
+            let (h3, p3, b3) = (h2.clone(), p2.clone(), b2.clone());
+            let cont = move |_ctx: &mut erpc::ContContext<'_>, comp: erpc::Completion| {
+                assert!(comp.result.is_ok());
+                assert_eq!(comp.resp.data(), &[ST_OK]);
+                h3.borrow_mut().record(comp.latency_ns);
+                p3.set(false);
+                *b3.borrow_mut() = Some((comp.req, comp.resp));
+            };
+            if rpc.enqueue_request(sess, KV_PUT, req, resp, cont).is_ok() {
                 p2.set(true);
             }
         }
     });
-    eps.push(Ep::Client { rpc: client_rpc, cpu: cpu.clone(), app });
+    eps.push(Ep::Client {
+        rpc: client_rpc,
+        cpu: cpu.clone(),
+        app,
+    });
 
     // Warm up a few PUTs, then measure.
     while hist.borrow().count() < 20 {
@@ -188,7 +202,10 @@ pub fn run_raft_latency(puts: u64) -> RaftLatency {
         _ => unreachable!(),
     };
     let client = hist.borrow().clone();
-    RaftLatency { client, leader_commit }
+    RaftLatency {
+        client,
+        leader_commit,
+    }
 }
 
 pub fn run() -> String {

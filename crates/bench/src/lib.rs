@@ -51,5 +51,7 @@ pub fn bench_threads() -> usize {
 
 /// Whether to run full-scale (paper-sized) configurations.
 pub fn bench_full() -> bool {
-    std::env::var("ERPC_BENCH_FULL").map(|v| v == "1").unwrap_or(false)
+    std::env::var("ERPC_BENCH_FULL")
+        .map(|v| v == "1")
+        .unwrap_or(false)
 }

@@ -5,15 +5,18 @@ use erpc::{Rpc, RpcConfig};
 use erpc_sim::{config::CpuModel, driver, NetHandle, SimConfig, SimNet, SimTransport};
 use erpc_transport::Addr;
 
+/// Application logic run before each event-loop pass (issue requests,
+/// check deadlines, …).
+pub type AppFn = Box<dyn FnMut(&mut Rpc<SimTransport>, u64)>;
+
 /// One polled endpoint: an `Rpc` plus an application step and CPU model.
 pub struct Endpoint {
     pub rpc: Rpc<SimTransport>,
     pub cpu: CpuModel,
     /// Extra virtual CPU per handler/continuation (application work).
     pub handler_extra_ns: u64,
-    /// Application logic run before each event-loop pass (issue requests,
-    /// check deadlines, …).
-    pub app: Box<dyn FnMut(&mut Rpc<SimTransport>, u64)>,
+    /// Application logic run before each event-loop pass.
+    pub app: AppFn,
 }
 
 impl driver::PolledEndpoint for Endpoint {
@@ -51,7 +54,7 @@ impl SimCluster {
         addr: Addr,
         rpc_cfg: RpcConfig,
         cpu: CpuModel,
-        app: Box<dyn FnMut(&mut Rpc<SimTransport>, u64)>,
+        app: AppFn,
     ) -> usize {
         let t = SimTransport::new(self.net.clone(), addr);
         self.endpoints.push(Endpoint {
@@ -107,7 +110,10 @@ mod tests {
         cfg.topology = Topology::SingleSwitch { hosts: 2 };
         let mut cluster = SimCluster::new(cfg);
         let cpu = Cluster::Cx5.cpu_model();
-        let rpc_cfg = RpcConfig { ping_interval_ns: 0, ..RpcConfig::default() };
+        let rpc_cfg = RpcConfig {
+            ping_interval_ns: 0,
+            ..RpcConfig::default()
+        };
 
         cluster.add_endpoint(
             Addr::new(0, 0),
@@ -115,12 +121,7 @@ mod tests {
             cpu.clone(),
             Box::new(|_rpc, _now| {}),
         );
-        let ci = cluster.add_endpoint(
-            Addr::new(1, 0),
-            rpc_cfg,
-            cpu,
-            Box::new(|_rpc, _now| {}),
-        );
+        let ci = cluster.add_endpoint(Addr::new(1, 0), rpc_cfg, cpu, Box::new(|_rpc, _now| {}));
         // Server: echo handler.
         cluster.endpoints[0].rpc.register_request_handler(
             1,
@@ -131,25 +132,24 @@ mod tests {
             }),
         );
         // Client: session + one request.
-        let sess = cluster.endpoints[ci].rpc.create_session(Addr::new(0, 0)).unwrap();
+        let sess = cluster.endpoints[ci]
+            .rpc
+            .create_session(Addr::new(0, 0))
+            .unwrap();
         cluster.run_until_connected(&[(ci, sess)], 50_000_000);
 
         let done = Rc::new(Cell::new(0u64));
         let d2 = done.clone();
-        cluster.endpoints[ci].rpc.register_continuation(
-            7,
-            Box::new(move |_ctx, comp| {
-                assert!(comp.result.is_ok());
-                assert_eq!(comp.resp.data(), b"cba");
-                d2.set(comp.latency_ns);
-            }),
-        );
         let mut req = cluster.endpoints[ci].rpc.alloc_msg_buffer(3);
         req.fill(b"abc");
         let resp = cluster.endpoints[ci].rpc.alloc_msg_buffer(8);
         cluster.endpoints[ci]
             .rpc
-            .enqueue_request(sess, 1, req, resp, 7, 0)
+            .enqueue_request(sess, 1, req, resp, move |_ctx, comp| {
+                assert!(comp.result.is_ok());
+                assert_eq!(comp.resp.data(), b"cba");
+                d2.set(comp.latency_ns);
+            })
             .unwrap();
         let start = cluster.now_ns();
         while done.get() == 0 {

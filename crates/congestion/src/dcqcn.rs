@@ -113,8 +113,7 @@ impl Dcqcn {
         self.cnps += 1;
         self.marked_this_period = true;
         self.target_bps = self.rate_bps;
-        self.rate_bps =
-            (self.rate_bps * (1.0 - self.alpha / 2.0)).max(self.cfg.min_rate_bps);
+        self.rate_bps = (self.rate_bps * (1.0 - self.alpha / 2.0)).max(self.cfg.min_rate_bps);
         self.increase_stage = 0;
     }
 
@@ -141,16 +140,16 @@ impl Dcqcn {
             self.rate_bps = (self.rate_bps + self.target_bps) / 2.0;
         } else if self.increase_stage <= 2 * self.cfg.fast_recovery_stages {
             // Additive increase: probe past the target.
-            self.target_bps =
-                (self.target_bps + self.cfg.rate_ai_bps).min(self.cfg.link_bps);
+            self.target_bps = (self.target_bps + self.cfg.rate_ai_bps).min(self.cfg.link_bps);
             self.rate_bps = (self.rate_bps + self.target_bps) / 2.0;
         } else {
             // Hyper increase.
-            self.target_bps =
-                (self.target_bps + self.cfg.rate_hai_bps).min(self.cfg.link_bps);
+            self.target_bps = (self.target_bps + self.cfg.rate_hai_bps).min(self.cfg.link_bps);
             self.rate_bps = (self.rate_bps + self.target_bps) / 2.0;
         }
-        self.rate_bps = self.rate_bps.clamp(self.cfg.min_rate_bps, self.cfg.link_bps);
+        self.rate_bps = self
+            .rate_bps
+            .clamp(self.cfg.min_rate_bps, self.cfg.link_bps);
     }
 }
 

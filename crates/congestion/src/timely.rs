@@ -142,14 +142,19 @@ impl Timely {
             // Above t_high: decrease regardless of gradient to bound queues.
             self.neg_gradient_count = 0;
             self.rate_bps
-                * (1.0 - delta_factor * cfg.beta * (1.0 - cfg.t_high_ns as f64 / sample_rtt_ns as f64))
+                * (1.0
+                    - delta_factor * cfg.beta * (1.0 - cfg.t_high_ns as f64 / sample_rtt_ns as f64))
         } else {
             let norm_gradient = self.avg_rtt_diff_ns / cfg.min_rtt_ns as f64;
             if norm_gradient <= 0.0 {
                 // Queues draining: increase; hyperactively after a run of
                 // negative gradients (HAI mode).
                 self.neg_gradient_count += 1;
-                let n = if self.neg_gradient_count >= cfg.hai_after { 5.0 } else { 1.0 };
+                let n = if self.neg_gradient_count >= cfg.hai_after {
+                    5.0
+                } else {
+                    1.0
+                };
                 self.rate_bps + n * delta_factor * cfg.add_rate_bps
             } else {
                 // Queues building: multiplicative decrease ∝ gradient.

@@ -1,0 +1,351 @@
+//! Typed call facade over a session: [`Channel`], [`CallHandle`] and the
+//! [`RpcMessage`] / [`RpcCall`] traits.
+//!
+//! The raw [`Rpc`] API is deliberately low-level: applications own the
+//! msgbufs, thread continuations by hand, and slice response bytes
+//! themselves — the shape the paper's benchmarks need (§3.1). Services
+//! want something higher: *call this request type on that session and
+//! give me the decoded response*. `Channel` provides exactly that, built
+//! entirely on the public per-request-continuation API (it lives in this
+//! crate only for discoverability — nothing here touches `Rpc` internals
+//! beyond its public surface).
+//!
+//! ```
+//! use erpc::{Channel, Rpc, RpcConfig};
+//! use erpc_transport::{Addr, MemFabric, MemFabricConfig};
+//!
+//! let fabric = MemFabric::new(MemFabricConfig::default());
+//! let mut server = Rpc::new(fabric.create_transport(Addr::new(0, 0)), RpcConfig::default());
+//! let mut client = Rpc::new(fabric.create_transport(Addr::new(1, 0)), RpcConfig::default());
+//! server.register_request_handler(1, Box::new(|ctx, req| {
+//!     let mut out = req.to_vec();
+//!     out.reverse();
+//!     ctx.respond(&out);
+//! }));
+//!
+//! let chan = Channel::connect(&mut client, Addr::new(0, 0)).unwrap();
+//! let call = chan.call(&mut client, 1, b"abc").unwrap();
+//! let resp = call
+//!     .wait_with(&mut client, || server.run_event_loop_once())
+//!     .unwrap();
+//! assert_eq!(resp, b"cba");
+//! ```
+
+use std::cell::RefCell;
+use std::marker::PhantomData;
+use std::rc::Rc;
+
+use erpc_transport::{Addr, Transport};
+
+use crate::error::RpcError;
+use crate::rpc::{ReqContext, Rpc};
+use crate::session::SessionHandle;
+
+/// A message that can travel as an eRPC request or response body.
+///
+/// Implementations define the wire format; the [`Channel`] handles the
+/// buffers, the continuation, and the decode on completion. The usual
+/// pairing is [`erpc_transport::codec::ByteWriter`] /
+/// [`erpc_transport::codec::ByteReader`], but any byte format works.
+pub trait RpcMessage: Sized {
+    /// Append this message's encoding to `out`.
+    fn encode(&self, out: &mut Vec<u8>);
+
+    /// Decode a message from `bytes` (the full request/response body).
+    fn decode(bytes: &[u8]) -> Result<Self, RpcError>;
+
+    /// Encoding size hint for buffer pre-sizing (a loose upper bound is
+    /// fine; the default re-encodes small messages cheaply).
+    fn encoded_len_hint(&self) -> usize {
+        64
+    }
+}
+
+/// A callable request message: binds a request type id and the response
+/// message type, so [`Channel::call_typed`] is fully type-driven.
+pub trait RpcCall: RpcMessage {
+    /// The eRPC request type this message is dispatched under.
+    const REQ_TYPE: u8;
+    /// The response message type.
+    type Resp: RpcMessage;
+}
+
+/// Shared completion cell between a [`CallHandle`] and the continuation
+/// enqueued on its behalf.
+type CallCell = Rc<RefCell<Option<Result<Vec<u8>, RpcError>>>>;
+
+/// A client call facade bound to one session.
+///
+/// `Channel` is `Copy`-cheap and stateless beyond the session handle and
+/// a response-capacity setting; it borrows the `Rpc` only for the
+/// duration of each operation, so one endpoint can serve any number of
+/// channels (one per session, or several per session).
+#[derive(Debug, Clone)]
+pub struct Channel {
+    sess: SessionHandle,
+    resp_capacity: usize,
+}
+
+impl Channel {
+    /// Default response-buffer capacity for calls on this channel.
+    pub const DEFAULT_RESP_CAPACITY: usize = 4096;
+
+    /// Wrap an existing (connecting or connected) client session.
+    pub fn new(sess: SessionHandle) -> Self {
+        Self {
+            sess,
+            resp_capacity: Self::DEFAULT_RESP_CAPACITY,
+        }
+    }
+
+    /// Create a session to `peer` and wrap it. The session connects in
+    /// the background; calls enqueued before the handshake completes are
+    /// transparently backlogged (§4.3).
+    pub fn connect<T: Transport>(rpc: &mut Rpc<T>, peer: Addr) -> Result<Self, RpcError> {
+        Ok(Self::new(rpc.create_session(peer)?))
+    }
+
+    /// Set the response-buffer capacity for subsequent calls. Responses
+    /// larger than this complete with [`RpcError::MsgTooLarge`].
+    pub fn with_resp_capacity(mut self, bytes: usize) -> Self {
+        self.resp_capacity = bytes.max(1);
+        self
+    }
+
+    /// The underlying session.
+    pub fn session(&self) -> SessionHandle {
+        self.sess
+    }
+
+    /// True once the session handshake has completed.
+    pub fn is_connected<T: Transport>(&self, rpc: &Rpc<T>) -> bool {
+        rpc.is_connected(self.sess)
+    }
+
+    /// Start a raw call: send `payload` as a `req_type` request and
+    /// resolve the returned handle with the response bytes. The msgbufs
+    /// are allocated from and returned to the endpoint's pool internally.
+    /// Payloads beyond the endpoint's `max_msg_size` are rejected with
+    /// [`RpcError::MsgTooLarge`].
+    pub fn call<T: Transport>(
+        &self,
+        rpc: &mut Rpc<T>,
+        req_type: u8,
+        payload: &[u8],
+    ) -> Result<CallHandle, RpcError> {
+        // Check before allocating: alloc_msg_buffer asserts on oversized
+        // requests, and the error return is the contract here.
+        if payload.len() > rpc.config().max_msg_size {
+            return Err(RpcError::MsgTooLarge);
+        }
+        let mut req = rpc.alloc_msg_buffer(payload.len());
+        req.fill(payload);
+        let resp = rpc.alloc_msg_buffer(self.resp_capacity.min(rpc.config().max_msg_size));
+        let cell: CallCell = Rc::new(RefCell::new(None));
+        let cell2 = Rc::clone(&cell);
+        let enq = rpc.enqueue_request(self.sess, req_type, req, resp, move |ctx, comp| {
+            let outcome = comp.result.map(|()| comp.resp.data().to_vec());
+            ctx.free_msg_buffer(comp.req);
+            ctx.free_msg_buffer(comp.resp);
+            *cell2.borrow_mut() = Some(outcome);
+        });
+        match enq {
+            Ok(()) => Ok(CallHandle { cell }),
+            Err(e) => {
+                // Return the pooled buffers before surfacing the error
+                // (plain destructuring; the unfired continuation drops).
+                let crate::rpc::EnqueueError {
+                    err,
+                    req,
+                    resp,
+                    cont: _,
+                } = e;
+                rpc.free_msg_buffer(req);
+                rpc.free_msg_buffer(resp);
+                Err(err)
+            }
+        }
+    }
+
+    /// Start a typed call: encode `req`, dispatch it under
+    /// [`RpcCall::REQ_TYPE`], and resolve the handle with the decoded
+    /// [`RpcCall::Resp`].
+    pub fn call_typed<T: Transport, C: RpcCall>(
+        &self,
+        rpc: &mut Rpc<T>,
+        req: &C,
+    ) -> Result<TypedCallHandle<C::Resp>, RpcError> {
+        let mut body = Vec::with_capacity(req.encoded_len_hint());
+        req.encode(&mut body);
+        Ok(TypedCallHandle {
+            raw: self.call(rpc, C::REQ_TYPE, &body)?,
+            _resp: PhantomData,
+        })
+    }
+}
+
+/// An in-flight raw call. Resolves when the request's continuation runs
+/// inside [`Rpc::run_event_loop_once`].
+#[must_use = "a CallHandle resolves only while the event loop is polled"]
+pub struct CallHandle {
+    cell: CallCell,
+}
+
+impl std::fmt::Debug for CallHandle {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("CallHandle")
+            .field("done", &self.is_done())
+            .finish()
+    }
+}
+
+impl<M: RpcMessage> std::fmt::Debug for TypedCallHandle<M> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("TypedCallHandle")
+            .field("done", &self.is_done())
+            .finish()
+    }
+}
+
+impl CallHandle {
+    /// True once the call has completed (successfully or not).
+    pub fn is_done(&self) -> bool {
+        self.cell.borrow().is_some()
+    }
+
+    /// Take the outcome if the call has completed. Returns `None` while
+    /// still in flight; after a `Some`, subsequent calls return `None`.
+    pub fn try_take(&self) -> Option<Result<Vec<u8>, RpcError>> {
+        self.cell.borrow_mut().take()
+    }
+
+    /// Poll this endpoint's event loop to completion. Only correct when
+    /// the peer endpoint runs elsewhere (another thread or process); for
+    /// single-threaded setups use [`CallHandle::wait_with`] and step the
+    /// peer in the closure.
+    pub fn wait<T: Transport>(self, rpc: &mut Rpc<T>) -> Result<Vec<u8>, RpcError> {
+        self.wait_with(rpc, || {})
+    }
+
+    /// Poll this endpoint's event loop to completion, calling `step`
+    /// after every pass (drive peer endpoints, advance a simulator, …).
+    ///
+    /// The loop terminates whenever the continuation fires — on success
+    /// or on any error path (retransmission limit, node failure,
+    /// disconnect). Caveat: with failure detection disabled
+    /// (`ping_interval_ns: 0`) a request to a peer that never answers and
+    /// never exhausts retransmissions has no failing path, and this
+    /// poll-mode loop spins forever at full CPU (eRPC endpoints are
+    /// busy-polled by design). In such configurations prefer
+    /// [`CallHandle::is_done`] / [`CallHandle::try_take`] with an
+    /// application-level deadline.
+    pub fn wait_with<T: Transport>(
+        self,
+        rpc: &mut Rpc<T>,
+        mut step: impl FnMut(),
+    ) -> Result<Vec<u8>, RpcError> {
+        loop {
+            if let Some(outcome) = self.cell.borrow_mut().take() {
+                return outcome;
+            }
+            rpc.run_event_loop_once();
+            step();
+        }
+    }
+}
+
+/// An in-flight typed call; like [`CallHandle`] but decodes the response.
+#[must_use = "a TypedCallHandle resolves only while the event loop is polled"]
+pub struct TypedCallHandle<M: RpcMessage> {
+    raw: CallHandle,
+    _resp: PhantomData<M>,
+}
+
+impl<M: RpcMessage> TypedCallHandle<M> {
+    pub fn is_done(&self) -> bool {
+        self.raw.is_done()
+    }
+
+    pub fn try_take(&self) -> Option<Result<M, RpcError>> {
+        self.raw
+            .try_take()
+            .map(|outcome| outcome.and_then(|bytes| M::decode(&bytes)))
+    }
+
+    /// See [`CallHandle::wait`].
+    pub fn wait<T: Transport>(self, rpc: &mut Rpc<T>) -> Result<M, RpcError> {
+        self.wait_with(rpc, || {})
+    }
+
+    /// See [`CallHandle::wait_with`].
+    pub fn wait_with<T: Transport>(
+        self,
+        rpc: &mut Rpc<T>,
+        step: impl FnMut(),
+    ) -> Result<M, RpcError> {
+        let bytes = self.raw.wait_with(rpc, step)?;
+        M::decode(&bytes)
+    }
+}
+
+impl<T: Transport> Rpc<T> {
+    /// Register a typed dispatch-mode handler: decodes the request as
+    /// `C`, runs `f`, and responds with the encoded [`RpcCall::Resp`].
+    ///
+    /// Requests that fail to decode get an *empty* response. Typed
+    /// clients surface that as [`RpcError::Decode`] **provided the
+    /// `Resp` codec rejects empty input** — which any `Resp` carrying a
+    /// status byte does (see `erpc-raft`'s `KvPutResp`). If `Resp`
+    /// decodes empty bytes successfully (the blanket `()` / `Vec<u8>`
+    /// impls do), a malformed request is indistinguishable from success
+    /// at the client; give such services a status byte instead.
+    pub fn register_typed_handler<C, F>(&mut self, mut f: F)
+    where
+        C: RpcCall,
+        F: FnMut(C) -> C::Resp + 'static,
+    {
+        self.register_request_handler(
+            C::REQ_TYPE,
+            Box::new(
+                move |ctx: &mut ReqContext<'_>, req: &[u8]| match C::decode(req) {
+                    Ok(msg) => {
+                        let resp = f(msg);
+                        let mut out = Vec::with_capacity(resp.encoded_len_hint());
+                        resp.encode(&mut out);
+                        ctx.respond(&out);
+                    }
+                    Err(_) => ctx.respond(&[]),
+                },
+            ),
+        );
+    }
+}
+
+// Convenience impls so tiny services can use plain byte payloads and the
+// unit response without defining wrapper types.
+
+impl RpcMessage for Vec<u8> {
+    fn encode(&self, out: &mut Vec<u8>) {
+        out.extend_from_slice(self);
+    }
+
+    fn decode(bytes: &[u8]) -> Result<Self, RpcError> {
+        Ok(bytes.to_vec())
+    }
+
+    fn encoded_len_hint(&self) -> usize {
+        self.len()
+    }
+}
+
+impl RpcMessage for () {
+    fn encode(&self, _out: &mut Vec<u8>) {}
+
+    fn decode(_bytes: &[u8]) -> Result<Self, RpcError> {
+        Ok(())
+    }
+
+    fn encoded_len_hint(&self) -> usize {
+        0
+    }
+}

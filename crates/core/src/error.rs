@@ -9,8 +9,10 @@ pub enum RpcError {
     InvalidSession,
     /// Request or response exceeds the configured maximum message size.
     MsgTooLarge,
-    /// No request type handler/continuation registered under this id.
+    /// No request handler registered under this request type id.
     UnknownType,
+    /// A typed message body failed to decode ([`crate::RpcMessage`]).
+    Decode,
     /// The remote endpoint was declared failed (management timeout); the
     /// continuation for every pending request on its sessions gets this
     /// (Appendix B).
@@ -30,7 +32,8 @@ impl core::fmt::Display for RpcError {
             RpcError::NotConnected => "session not connected",
             RpcError::InvalidSession => "invalid session handle",
             RpcError::MsgTooLarge => "message exceeds maximum size",
-            RpcError::UnknownType => "unregistered request/continuation type",
+            RpcError::UnknownType => "unregistered request type",
+            RpcError::Decode => "typed message failed to decode",
             RpcError::RemoteFailure => "remote endpoint failed",
             RpcError::Disconnected => "session disconnected",
             RpcError::TooManySessions => "session limit reached (|RQ|/C)",

@@ -17,6 +17,10 @@
 //!
 //! ## Quick start
 //!
+//! Each request carries an owned `FnOnce` continuation — captured state
+//! replaces the `(cont_id, tag)` registration table the paper's C++
+//! implementation needed (see `DESIGN.md`):
+//!
 //! ```
 //! use erpc::{Rpc, RpcConfig};
 //! use erpc_transport::{Addr, MemFabric, MemFabricConfig};
@@ -32,25 +36,30 @@
 //!     ctx.respond(&out);
 //! }));
 //!
-//! // Client: register a continuation, connect, send.
-//! let done = std::rc::Rc::new(std::cell::Cell::new(false));
-//! let done2 = done.clone();
-//! client.register_continuation(7, Box::new(move |_ctx, c| {
-//!     assert_eq!(c.resp.data(), b"cba");
-//!     done2.set(true);
-//! }));
+//! // Client: connect, then send a request with its continuation.
 //! let sess = client.create_session(Addr::new(0, 0)).unwrap();
 //! let mut req = client.alloc_msg_buffer(3);
 //! req.fill(b"abc");
 //! let resp = client.alloc_msg_buffer(64);
-//! client.enqueue_request(sess, 1, req, resp, 7, 0).unwrap();
+//! let done = std::rc::Rc::new(std::cell::Cell::new(false));
+//! let done2 = done.clone();
+//! client
+//!     .enqueue_request(sess, 1, req, resp, move |_ctx, c| {
+//!         assert_eq!(c.resp.data(), b"cba");
+//!         done2.set(true);
+//!     })
+//!     .unwrap();
 //!
 //! while !done.get() {
 //!     client.run_event_loop_once();
 //!     server.run_event_loop_once();
 //! }
 //! ```
+//!
+//! For services, the [`Channel`] facade layers typed request/response
+//! calls (via [`RpcMessage`] / [`RpcCall`]) on top of this API.
 
+pub mod channel;
 pub mod config;
 pub mod error;
 pub mod mgmt;
@@ -61,13 +70,14 @@ pub mod session;
 pub mod stats;
 pub mod worker;
 
+pub use channel::{CallHandle, Channel, RpcCall, RpcMessage, TypedCallHandle};
 pub use config::{CcAlgorithm, RpcConfig};
 pub use error::RpcError;
 pub use msgbuf::{BufPool, MsgBuf};
 pub use pkthdr::{PktHdr, PktType, ECN_BYTE, ECN_MASK, PKT_HDR_SIZE};
 pub use rpc::{
-    Completion, ContContext, ContinuationFn, DeferredHandle, DispatchFn, EnqueueError,
-    ReqContext, Rpc, SessionInfo, WorkCounts,
+    Completion, ContContext, Continuation, DeferredHandle, DispatchFn, EnqueueError, ReqContext,
+    Rpc, SessionInfo, WorkCounts,
 };
 pub use session::{SessionHandle, SessionState};
 pub use stats::{LatencyHistogram, RpcStats};

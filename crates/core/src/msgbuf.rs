@@ -281,10 +281,7 @@ mod tests {
         let payload = vec![0xAB; 2048];
         m.fill(&payload);
         for i in 0..2 {
-            m.write_hdr(
-                i,
-                &PktHdr::control(PktType::Req, 0, 8, i as u16),
-            );
+            m.write_hdr(i, &PktHdr::control(PktType::Req, 0, 8, i as u16));
         }
         assert_eq!(m.data(), &payload[..]);
     }

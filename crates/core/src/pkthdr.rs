@@ -92,9 +92,7 @@ impl PktHdr {
     pub fn encode(&self) -> [u8; PKT_HDR_SIZE] {
         debug_assert!(self.req_num < (1u64 << 48));
         let mut b = [0u8; PKT_HDR_SIZE];
-        b[0] = (self.pkt_type as u8)
-            | if self.ecn { ECN_MASK } else { 0 }
-            | (MAGIC << 5);
+        b[0] = (self.pkt_type as u8) | if self.ecn { ECN_MASK } else { 0 } | (MAGIC << 5);
         b[1] = self.req_type;
         b[2..4].copy_from_slice(&self.dest_session.to_le_bytes());
         b[4..8].copy_from_slice(&self.msg_size.to_le_bytes());

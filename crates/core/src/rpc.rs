@@ -38,8 +38,7 @@ use crate::mgmt::{ConnectReq, ConnectResp};
 use crate::msgbuf::{BufPool, MsgBuf};
 use crate::pkthdr::{PktHdr, PktType, PKT_HDR_SIZE};
 use crate::session::{
-    PendingReq, Role, ServerSlot, Session, SessionHandle, SessionState, Slot,
-    SrvPhase,
+    PendingReq, Role, ServerSlot, Session, SessionHandle, SessionState, Slot, SrvPhase,
 };
 use crate::stats::RpcStats;
 use crate::worker::{WorkDone, WorkItem, WorkerFn, WorkerPool, WorkerTable};
@@ -52,11 +51,15 @@ const MGMT_SESSION: u16 = u16::MAX;
 /// borrows the transport RX ring directly (zero-copy RX, §4.2.3).
 pub type DispatchFn = Box<dyn FnMut(&mut ReqContext<'_>, &[u8])>;
 
-/// Continuation: invoked on RPC completion (or failure) with ownership of
-/// both msgbufs returned to the application (§4.2.2's ownership rule).
-/// Registered once and reused, so the datapath allocates nothing per call;
-/// `tag` carries per-request context.
-pub type ContinuationFn = Box<dyn FnMut(&mut ContContext<'_>, Completion)>;
+/// Continuation: an owned `FnOnce` invoked exactly once when its RPC
+/// completes (or fails), with ownership of both msgbufs returned to the
+/// application (§4.2.2's ownership rule). Unlike the paper's C++
+/// implementation — which pre-registers continuations in a `u8`-indexed
+/// table and threads a `(cont_id, tag)` pair through every call — each
+/// request carries its own closure, stored in the request's session slot.
+/// Captured state replaces the `tag`, and the type system guarantees the
+/// at-most-once invocation the table-based design only promised.
+pub type Continuation = Box<dyn FnOnce(&mut ContContext<'_>, Completion)>;
 
 enum HandlerEntry {
     None,
@@ -76,8 +79,6 @@ pub struct Completion {
     pub latency_ns: u64,
     /// The session the request ran on.
     pub session: SessionHandle,
-    /// The caller's tag from `enqueue_request`.
-    pub tag: u64,
 }
 
 /// Handle to a request whose response will be enqueued later (nested /
@@ -98,8 +99,7 @@ enum QueuedOp {
         req_type: u8,
         req: MsgBuf,
         resp: MsgBuf,
-        cont_id: u8,
-        tag: u64,
+        cont: Continuation,
     },
     Response {
         handle: DeferredHandle,
@@ -154,18 +154,24 @@ impl ReqContext<'_> {
     }
 
     /// Issue a nested RPC from inside the handler; it is enqueued when the
-    /// handler returns.
-    #[allow(clippy::too_many_arguments)]
+    /// handler returns. The continuation runs when the nested RPC
+    /// completes (capture the [`DeferredHandle`] from [`ReqContext::defer`]
+    /// to answer the original caller from it).
     pub fn enqueue_request(
         &mut self,
         sess: SessionHandle,
         req_type: u8,
         req: MsgBuf,
         resp: MsgBuf,
-        cont_id: u8,
-        tag: u64,
+        cont: impl FnOnce(&mut ContContext<'_>, Completion) + 'static,
     ) {
-        self.ops.push(QueuedOp::Request { sess, req_type, req, resp, cont_id, tag });
+        self.ops.push(QueuedOp::Request {
+            sess,
+            req_type,
+            req,
+            resp,
+            cont: Box::new(cont),
+        });
     }
 
     /// Allocate a msgbuf (for nested requests).
@@ -188,23 +194,30 @@ pub struct ContContext<'a> {
 impl ContContext<'_> {
     /// Issue a follow-up RPC (the closed-loop pattern: re-enqueue from the
     /// continuation, reusing the completed msgbufs).
-    #[allow(clippy::too_many_arguments)]
     pub fn enqueue_request(
         &mut self,
         sess: SessionHandle,
         req_type: u8,
         req: MsgBuf,
         resp: MsgBuf,
-        cont_id: u8,
-        tag: u64,
+        cont: impl FnOnce(&mut ContContext<'_>, Completion) + 'static,
     ) {
-        self.ops.push(QueuedOp::Request { sess, req_type, req, resp, cont_id, tag });
+        self.ops.push(QueuedOp::Request {
+            sess,
+            req_type,
+            req,
+            resp,
+            cont: Box::new(cont),
+        });
     }
 
     /// Enqueue a deferred response from within a continuation (the nested-
     /// RPC pattern: parent response depends on a child RPC's completion).
     pub fn enqueue_response(&mut self, handle: DeferredHandle, data: &[u8]) {
-        self.ops.push(QueuedOp::Response { handle, data: data.to_vec() });
+        self.ops.push(QueuedOp::Response {
+            handle,
+            data: data.to_vec(),
+        });
     }
 
     pub fn alloc_msg_buffer(&mut self, size: usize) -> MsgBuf {
@@ -217,10 +230,13 @@ impl ContContext<'_> {
 }
 
 /// Failed `enqueue_request`, returning buffer ownership with the reason.
+/// The continuation comes back too, unfired — the caller decides whether
+/// to retry with it or drop it.
 pub struct EnqueueError {
     pub err: RpcError,
     pub req: MsgBuf,
     pub resp: MsgBuf,
+    pub cont: Continuation,
 }
 
 impl core::fmt::Debug for EnqueueError {
@@ -281,7 +297,6 @@ pub struct Rpc<T: Transport> {
     /// (peer key, peer's client session num) → local server session num.
     connect_map: HashMap<(u32, u16), u16>,
     handlers: Vec<HandlerEntry>,
-    conts: Vec<Option<ContinuationFn>>,
     wheel: TimingWheel<WheelEntry>,
     wheel_scratch: Vec<WheelEntry>,
     pending_ops: Vec<QueuedOp>,
@@ -309,7 +324,10 @@ impl<T: Transport> Rpc<T> {
         assert!(dpp > 0, "transport MTU too small for the packet header");
         let worker_table: WorkerTable = Arc::new(RwLock::new(HashMap::new()));
         let worker_pool = if cfg.num_worker_threads > 0 {
-            Some(WorkerPool::spawn(cfg.num_worker_threads, Arc::clone(&worker_table)))
+            Some(WorkerPool::spawn(
+                cfg.num_worker_threads,
+                Arc::clone(&worker_table),
+            ))
         } else {
             None
         };
@@ -319,7 +337,6 @@ impl<T: Transport> Rpc<T> {
             sessions: Vec::new(),
             connect_map: HashMap::new(),
             handlers: (0..256).map(|_| HandlerEntry::None).collect(),
-            conts: (0..256).map(|_| None).collect(),
             wheel: TimingWheel::new(cfg.wheel_slots, cfg.wheel_granularity_ns, now),
             wheel_scratch: Vec::new(),
             pending_ops: Vec::new(),
@@ -423,20 +440,13 @@ impl<T: Transport> Rpc<T> {
             self.handlers[req_type as usize] = HandlerEntry::Worker;
         } else {
             let g = f;
-            self.handlers[req_type as usize] = HandlerEntry::Dispatch(Box::new(
-                move |ctx: &mut ReqContext<'_>, req: &[u8]| {
+            self.handlers[req_type as usize] =
+                HandlerEntry::Dispatch(Box::new(move |ctx: &mut ReqContext<'_>, req: &[u8]| {
                     let mut out = Vec::new();
                     g(req, &mut out);
                     ctx.respond(&out);
-                },
-            ));
+                }));
         }
-    }
-
-    /// Register the continuation invoked for completions enqueued with
-    /// `cont_id`.
-    pub fn register_continuation(&mut self, cont_id: u8, f: ContinuationFn) {
-        self.conts[cont_id as usize] = Some(f);
     }
 
     // ── Sessions ────────────────────────────────────────────────────────
@@ -547,49 +557,68 @@ impl<T: Transport> Rpc<T> {
 
     // ── Request enqueue ────────────────────────────────────────────────
 
-    /// Queue a request on a session. Asynchronous: the continuation
-    /// registered under `cont_id` fires on completion with `tag`.
+    /// Queue a request on a session. Asynchronous: `cont` fires exactly
+    /// once when the RPC completes (successfully or with an error), with
+    /// ownership of both msgbufs. On an immediate enqueue failure the
+    /// continuation is returned *unfired* inside the [`EnqueueError`].
     ///
     /// If all slots are busy the request is transparently backlogged
     /// (§4.3). Requests enqueued while the session is still connecting are
     /// also backlogged and sent once the handshake completes.
-    #[allow(clippy::too_many_arguments)]
     pub fn enqueue_request(
         &mut self,
         h: SessionHandle,
         req_type: u8,
         req: MsgBuf,
         resp: MsgBuf,
-        cont_id: u8,
-        tag: u64,
+        cont: impl FnOnce(&mut ContContext<'_>, Completion) + 'static,
     ) -> Result<(), EnqueueError> {
-        let err = |err, req, resp| Err(EnqueueError { err, req, resp });
+        self.enqueue_request_boxed(h, req_type, req, resp, Box::new(cont))
+    }
+
+    /// Monomorphization-free inner enqueue; also the path the event loop
+    /// uses for already-boxed continuations (nested RPCs, backlog).
+    fn enqueue_request_boxed(
+        &mut self,
+        h: SessionHandle,
+        req_type: u8,
+        req: MsgBuf,
+        resp: MsgBuf,
+        cont: Continuation,
+    ) -> Result<(), EnqueueError> {
+        let err = |err, req, resp, cont| {
+            Err(EnqueueError {
+                err,
+                req,
+                resp,
+                cont,
+            })
+        };
         if req.len() > self.cfg.max_msg_size {
-            return err(RpcError::MsgTooLarge, req, resp);
-        }
-        if self.sessions.get(h.0 as usize).and_then(|s| s.as_ref()).is_none() {
-            return err(RpcError::InvalidSession, req, resp);
-        }
-        if self.conts[cont_id as usize].is_none() {
-            return err(RpcError::UnknownType, req, resp);
+            return err(RpcError::MsgTooLarge, req, resp, cont);
         }
         let Some(sess) = self.sessions.get_mut(h.0 as usize).and_then(|s| s.as_mut()) else {
-            return err(RpcError::InvalidSession, req, resp);
+            return err(RpcError::InvalidSession, req, resp, cont);
         };
         if sess.role != Role::Client {
-            return err(RpcError::InvalidSession, req, resp);
+            return err(RpcError::InvalidSession, req, resp, cont);
         }
         match sess.state {
             SessionState::Connected | SessionState::Connecting => {}
-            SessionState::Failed => return err(RpcError::RemoteFailure, req, resp),
-            SessionState::Disconnecting => return err(RpcError::Disconnected, req, resp),
+            SessionState::Failed => return err(RpcError::RemoteFailure, req, resp, cont),
+            SessionState::Disconnecting => return err(RpcError::Disconnected, req, resp, cont),
         }
         if sess.backlog.len() >= self.cfg.backlog_cap {
-            return err(RpcError::BacklogFull, req, resp);
+            return err(RpcError::BacklogFull, req, resp, cont);
         }
         sess.outstanding += 1;
         self.stats.requests_sent += 1;
-        sess.backlog.push_back(PendingReq { req_type, req, resp, cont_id, tag });
+        sess.backlog.push_back(PendingReq {
+            req_type,
+            req,
+            resp,
+            cont,
+        });
         let idx = h.0;
         if self.sessions[idx as usize].as_ref().unwrap().state == SessionState::Connected {
             self.pump_session(idx);
@@ -650,8 +679,7 @@ impl<T: Transport> Rpc<T> {
         self.process_worker_completions();
         self.reap_wheel();
         self.drain_pending_ops();
-        if self.now_cache.saturating_sub(self.last_timer_scan_ns)
-            >= self.cfg.timer_scan_interval_ns
+        if self.now_cache.saturating_sub(self.last_timer_scan_ns) >= self.cfg.timer_scan_interval_ns
         {
             self.last_timer_scan_ns = self.now_cache;
             self.run_timers();
@@ -710,7 +738,7 @@ impl<T: Transport> Rpc<T> {
         } else {
             1
         };
-        if self.desc_counter % factor == 0 {
+        if self.desc_counter.is_multiple_of(factor) {
             let idx = ((self.desc_counter / factor) % 64) as usize * 64;
             let ctr = self.desc_counter;
             for (i, b) in self.desc_scratch[idx..idx + 64].iter_mut().enumerate() {
@@ -787,7 +815,7 @@ impl<T: Transport> Rpc<T> {
         // A CR acknowledges request packet `pkt_num`; in-order fabrics make
         // this cumulative. RX sequence for request pkt k is k.
         let rx_seq = hdr.pkt_num as u32;
-        if rx_seq >= c.num_tx || rx_seq + 1 <= c.num_rx || rx_seq as u32 >= c.req_total {
+        if rx_seq >= c.num_tx || rx_seq < c.num_rx || rx_seq >= c.req_total {
             self.stats.rx_dropped_stale += 1;
             return;
         }
@@ -929,8 +957,7 @@ impl<T: Transport> Rpc<T> {
         debug_assert!(c.active);
         let req = c.req.take().unwrap();
         let resp = c.resp.take().unwrap();
-        let cont_id = c.cont_id;
-        let tag = c.tag;
+        let cont = c.cont.take().expect("active slot owns its continuation");
         let latency_ns = now.saturating_sub(c.start_ns);
         c.active = false;
         c.req_num += n_slots;
@@ -941,34 +968,28 @@ impl<T: Transport> Rpc<T> {
             Err(_) => self.stats.requests_failed += 1,
         }
         self.invoke_continuation(
-            cont_id,
+            cont,
             Completion {
                 req,
                 resp,
                 result,
                 latency_ns,
                 session: SessionHandle(sess_idx),
-                tag,
             },
         );
         // A slot freed: promote the backlog.
         self.pump_session(sess_idx);
     }
 
-    fn invoke_continuation(&mut self, cont_id: u8, completion: Completion) {
+    /// Consume a continuation: `FnOnce` + move-out-of-slot means each
+    /// request's closure runs at most once, structurally.
+    fn invoke_continuation(&mut self, cont: Continuation, completion: Completion) {
         self.work.callbacks += 1;
-        let this = &mut *self;
-        let Some(f) = this.conts[cont_id as usize].as_mut() else {
-            // Unregistered continuation: drop buffers into the pool.
-            this.pool.free(completion.req);
-            this.pool.free(completion.resp);
-            return;
-        };
         let mut ctx = ContContext {
-            pool: &mut this.pool,
-            ops: &mut this.pending_ops,
+            pool: &mut self.pool,
+            ops: &mut self.pending_ops,
         };
-        f(&mut ctx, completion);
+        cont(&mut ctx, completion);
     }
 
     // ── Server RX: requests and RFRs ────────────────────────────────────
@@ -1035,8 +1056,7 @@ impl<T: Transport> Rpc<T> {
         }
 
         let (phase, req_rcvd, req_total) = {
-            let s =
-                self.sessions[sess_idx as usize].as_mut().unwrap().slots[slot_idx].server_mut();
+            let s = self.sessions[sess_idx as usize].as_mut().unwrap().slots[slot_idx].server_mut();
             (s.phase, s.req_rcvd, s.req_total)
         };
         let p = hdr.pkt_num as u32;
@@ -1048,7 +1068,10 @@ impl<T: Transport> Rpc<T> {
                 // first response packet; resend it (§5.3 via go-back-N).
                 self.tx_resp_pkt(sess_idx, slot_idx, 0);
             } else if p + 1 < req_total
-                && matches!(phase, SrvPhase::Receiving | SrvPhase::Processing | SrvPhase::Responding)
+                && matches!(
+                    phase,
+                    SrvPhase::Receiving | SrvPhase::Processing | SrvPhase::Responding
+                )
             {
                 // Lost CR: resend it.
                 let cr = PktHdr::control(PktType::CreditReturn, remote, hdr.req_num, p as u16);
@@ -1065,8 +1088,7 @@ impl<T: Transport> Rpc<T> {
             return;
         }
         {
-            let s =
-                self.sessions[sess_idx as usize].as_mut().unwrap().slots[slot_idx].server_mut();
+            let s = self.sessions[sess_idx as usize].as_mut().unwrap().slots[slot_idx].server_mut();
             s.req_rcvd += 1;
         }
 
@@ -1077,7 +1099,10 @@ impl<T: Transport> Rpc<T> {
             let sess = this.sessions[sess_idx as usize].as_mut().unwrap();
             let s = sess.slots[slot_idx].server_mut();
             let payload = &this.transport.rx_bytes(&tok)[PKT_HDR_SIZE..];
-            s.req_buf.as_mut().unwrap().write_pkt_data(p as usize, payload);
+            s.req_buf
+                .as_mut()
+                .unwrap()
+                .write_pkt_data(p as usize, payload);
         }
 
         // CR for request packets before the last (§5.1). An ECN mark on
@@ -1093,24 +1118,21 @@ impl<T: Transport> Rpc<T> {
                     .cr_batch
                     .clamp(1, (sess.credits as usize / 2).max(1))
             };
-            if (p as usize + 1) % batch == 0 {
-                let mut cr =
-                    PktHdr::control(PktType::CreditReturn, remote, hdr.req_num, p as u16);
+            if (p as usize + 1).is_multiple_of(batch) {
+                let mut cr = PktHdr::control(PktType::CreditReturn, remote, hdr.req_num, p as u16);
                 cr.ecn = hdr.ecn;
                 self.tx_ctrl(peer, cr);
             }
             return;
         }
         if hdr.ecn {
-            let s =
-                self.sessions[sess_idx as usize].as_mut().unwrap().slots[slot_idx].server_mut();
+            let s = self.sessions[sess_idx as usize].as_mut().unwrap().slots[slot_idx].server_mut();
             s.echo_ecn = true;
         }
 
         // Last packet: the request is complete once req_rcvd == req_total.
         let complete = {
-            let s =
-                self.sessions[sess_idx as usize].as_mut().unwrap().slots[slot_idx].server_mut();
+            let s = self.sessions[sess_idx as usize].as_mut().unwrap().slots[slot_idx].server_mut();
             s.req_rcvd == s.req_total
         };
         if complete {
@@ -1123,12 +1145,15 @@ impl<T: Transport> Rpc<T> {
         self.stats.handlers_invoked += 1;
         self.work.callbacks += 1;
         let req_num = hdr.req_num;
-        let handle = DeferredHandle { sess: sess_idx, slot: slot_idx as u8, req_num };
+        let handle = DeferredHandle {
+            sess: sess_idx,
+            slot: slot_idx as u8,
+            req_num,
+        };
 
         // Extract what the handler needs from the slot.
         let (multi_buf, prealloc) = {
-            let s =
-                self.sessions[sess_idx as usize].as_mut().unwrap().slots[slot_idx].server_mut();
+            let s = self.sessions[sess_idx as usize].as_mut().unwrap().slots[slot_idx].server_mut();
             s.phase = SrvPhase::Processing;
             (s.req_buf.take(), s.prealloc.take())
         };
@@ -1184,7 +1209,12 @@ impl<T: Transport> Rpc<T> {
                             ctx.pool.free(copy);
                         }
                     }
-                    let ReqContext { prealloc, resp_built, deferred, .. } = ctx;
+                    let ReqContext {
+                        prealloc,
+                        resp_built,
+                        deferred,
+                        ..
+                    } = ctx;
                     if let Some(b) = multi_buf {
                         this.pool.free(b);
                     }
@@ -1323,7 +1353,7 @@ impl<T: Transport> Rpc<T> {
         }
         // Config compatibility and capacity checks (§4.3.1 session limit).
         let acceptable = body.num_slots as usize == self.cfg.slots_per_session
-            && self.live_sessions() + 1 <= self.session_limit();
+            && self.live_sessions() < self.session_limit();
         if !acceptable {
             let resp = ConnectResp {
                 client_session: body.client_session,
@@ -1445,11 +1475,17 @@ impl<T: Transport> Rpc<T> {
     // ── Worker completions ─────────────────────────────────────────────
 
     fn process_worker_completions(&mut self) {
-        let Some(pool) = &self.worker_pool else { return };
+        let Some(pool) = &self.worker_pool else {
+            return;
+        };
         let mut done = std::mem::take(&mut self.worker_done_scratch);
         pool.drain_completed(&mut done);
         for d in done.drain(..) {
-            let handle = DeferredHandle { sess: d.sess, slot: d.slot, req_num: d.req_num };
+            let handle = DeferredHandle {
+                sess: d.sess,
+                slot: d.slot,
+                req_num: d.req_num,
+            };
             // The session may have been freed while the worker ran; ignore.
             let _ = self.finish_response(handle, &d.resp);
         }
@@ -1460,14 +1496,22 @@ impl<T: Transport> Rpc<T> {
 
     fn tx_ctrl(&mut self, dst: Addr, hdr: PktHdr) {
         let b = hdr.encode();
-        self.transport.tx_burst(&[TxPacket { dst, hdr: &b, data: &[] }]);
+        self.transport.tx_burst(&[TxPacket {
+            dst,
+            hdr: &b,
+            data: &[],
+        }]);
         self.stats.ctrl_pkts_tx += 1;
         self.work.tx_pkts += 1;
     }
 
     fn tx_mgmt(&mut self, dst: Addr, hdr: PktHdr, body: &[u8]) {
         let b = hdr.encode();
-        self.transport.tx_burst(&[TxPacket { dst, hdr: &b, data: body }]);
+        self.transport.tx_burst(&[TxPacket {
+            dst,
+            hdr: &b,
+            data: body,
+        }]);
         self.stats.mgmt_pkts_tx += 1;
         self.work.tx_pkts += 1;
     }
@@ -1517,7 +1561,11 @@ impl<T: Transport> Rpc<T> {
         };
         resp.write_hdr(p, &hdr);
         let (h, d) = resp.tx_view(p);
-        this.transport.tx_burst(&[TxPacket { dst, hdr: h, data: d }]);
+        this.transport.tx_burst(&[TxPacket {
+            dst,
+            hdr: h,
+            data: d,
+        }]);
         this.stats.data_pkts_tx += 1;
         this.work.tx_pkts += 1;
     }
@@ -1583,8 +1631,7 @@ impl<T: Transport> Rpc<T> {
         };
         c.req = Some(p.req);
         c.resp = Some(p.resp);
-        c.cont_id = p.cont_id;
-        c.tag = p.tag;
+        c.cont = Some(p.cont);
         c.start_ns = now;
         c.num_tx = 0;
         c.num_rx = 0;
@@ -1623,8 +1670,7 @@ impl<T: Transport> Rpc<T> {
         let slot_epoch = c.tx_epoch;
         let req_num = c.req_num;
         let t = sess.cc.next_tx_ns.max(now);
-        sess.cc.next_tx_ns =
-            (t + (bytes as f64 * ns_per_byte(rate)) as u64).min(now + horizon);
+        sess.cc.next_tx_ns = (t + (bytes as f64 * ns_per_byte(rate)) as u64).min(now + horizon);
         if t <= now {
             self.stats.pkts_paced += 1;
             self.tx_client_seq(sess_idx, slot_idx, seq, now);
@@ -1665,14 +1711,22 @@ impl<T: Transport> Rpc<T> {
             };
             req.write_hdr(seq as usize, &hdr);
             let (h, d) = req.tx_view(seq as usize);
-            this.transport.tx_burst(&[TxPacket { dst, hdr: h, data: d }]);
+            this.transport.tx_burst(&[TxPacket {
+                dst,
+                hdr: h,
+                data: d,
+            }]);
             this.stats.data_pkts_tx += 1;
             this.work.tx_pkts += 1;
         } else {
             let p = seq - c.req_total + 1;
             let hdr = PktHdr::control(PktType::Rfr, remote, c.req_num, p as u16);
             let b = hdr.encode();
-            this.transport.tx_burst(&[TxPacket { dst, hdr: &b, data: &[] }]);
+            this.transport.tx_burst(&[TxPacket {
+                dst,
+                hdr: &b,
+                data: &[],
+            }]);
             this.stats.ctrl_pkts_tx += 1;
             this.work.tx_pkts += 1;
         }
@@ -1715,20 +1769,26 @@ impl<T: Transport> Rpc<T> {
             let ops = std::mem::take(&mut self.pending_ops);
             for op in ops {
                 match op {
-                    QueuedOp::Request { sess, req_type, req, resp, cont_id, tag } => {
-                        if let Err(e) = self.enqueue_request(sess, req_type, req, resp, cont_id, tag)
+                    QueuedOp::Request {
+                        sess,
+                        req_type,
+                        req,
+                        resp,
+                        cont,
+                    } => {
+                        if let Err(e) = self.enqueue_request_boxed(sess, req_type, req, resp, cont)
                         {
-                            // Deliver the failure through the continuation.
+                            // Deliver the failure through the continuation
+                            // (the enqueue error hands it back unfired).
                             let completion = Completion {
                                 req: e.req,
                                 resp: e.resp,
                                 result: Err(e.err),
                                 latency_ns: 0,
                                 session: sess,
-                                tag,
                             };
                             self.stats.requests_failed += 1;
-                            self.invoke_continuation(cont_id, completion);
+                            self.invoke_continuation(e.cont, completion);
                         }
                     }
                     QueuedOp::Response { handle, data } => {
@@ -1744,34 +1804,35 @@ impl<T: Transport> Rpc<T> {
     fn run_timers(&mut self) {
         let now = self.now_cache;
         for idx in 0..self.sessions.len() as u16 {
-            let Some(sess) = self.sessions[idx as usize].as_ref() else { continue };
+            let Some(sess) = self.sessions[idx as usize].as_ref() else {
+                continue;
+            };
             match (sess.role, sess.state) {
-                (Role::Client, SessionState::Connecting) => {
-                    if now.saturating_sub(sess.connect_sent_ns) >= self.cfg.connect_retry_ns {
-                        let give_up = {
-                            let s = self.sessions[idx as usize].as_mut().unwrap();
-                            s.last_ping_tx_ns = now; // reuse as retry counter base
-                            now.saturating_sub(s.last_rx_ns) >= self.cfg.failure_timeout_ns
-                                && self.cfg.ping_interval_ns > 0
-                        };
-                        if give_up {
-                            self.fail_session(idx, RpcError::RemoteFailure);
-                        } else {
-                            self.tx_connect_req(idx);
-                        }
+                (Role::Client, SessionState::Connecting)
+                    if now.saturating_sub(sess.connect_sent_ns) >= self.cfg.connect_retry_ns =>
+                {
+                    let give_up = {
+                        let s = self.sessions[idx as usize].as_mut().unwrap();
+                        s.last_ping_tx_ns = now; // reuse as retry counter base
+                        now.saturating_sub(s.last_rx_ns) >= self.cfg.failure_timeout_ns
+                            && self.cfg.ping_interval_ns > 0
+                    };
+                    if give_up {
+                        self.fail_session(idx, RpcError::RemoteFailure);
+                    } else {
+                        self.tx_connect_req(idx);
                     }
                 }
                 (Role::Client, SessionState::Connected) => {
                     self.client_session_timers(idx, now);
                 }
-                (Role::Server, SessionState::Connected) => {
+                (Role::Server, SessionState::Connected)
                     if self.cfg.ping_interval_ns > 0
-                        && now.saturating_sub(sess.last_rx_ns) >= self.cfg.failure_timeout_ns
-                    {
-                        // Client vanished: reclaim resources (Appendix B).
-                        self.stats.sessions_failed += 1;
-                        self.free_server_session(idx);
-                    }
+                        && now.saturating_sub(sess.last_rx_ns) >= self.cfg.failure_timeout_ns =>
+                {
+                    // Client vanished: reclaim resources (Appendix B).
+                    self.stats.sessions_failed += 1;
+                    self.free_server_session(idx);
                 }
                 _ => {}
             }
@@ -1891,14 +1952,13 @@ impl<T: Transport> Rpc<T> {
             }
             self.stats.requests_failed += 1;
             self.invoke_continuation(
-                p.cont_id,
+                p.cont,
                 Completion {
                     req: p.req,
                     resp: p.resp,
                     result: Err(err),
                     latency_ns: 0,
                     session: SessionHandle(sess_idx),
-                    tag: p.tag,
                 },
             );
         }

@@ -15,6 +15,7 @@ use erpc_congestion::{Dcqcn, Timely};
 use erpc_transport::Addr;
 
 use crate::msgbuf::MsgBuf;
+use crate::rpc::Continuation;
 
 /// Opaque handle to a client session, returned by `Rpc::create_session`.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -24,6 +25,13 @@ impl SessionHandle {
     /// The endpoint-local session number.
     pub fn num(&self) -> u16 {
         self.0
+    }
+
+    /// A handle that never names a live session (sentinel for tests and
+    /// not-yet-connected placeholders); using it in any call yields
+    /// [`crate::RpcError::InvalidSession`].
+    pub fn invalid() -> Self {
+        SessionHandle(u16::MAX)
     }
 }
 
@@ -45,13 +53,14 @@ pub enum Role {
 }
 
 /// A request queued because all slots were busy (§4.3: "additional
-/// requests are transparently queued by eRPC").
+/// requests are transparently queued by eRPC"). Carries its owned
+/// continuation: per-request state travels with the request, not through
+/// a registration table.
 pub(crate) struct PendingReq {
     pub req_type: u8,
     pub req: MsgBuf,
     pub resp: MsgBuf,
-    pub cont_id: u8,
-    pub tag: u64,
+    pub cont: Continuation,
 }
 
 /// Client-side slot: wire-protocol state for one outstanding request.
@@ -71,7 +80,6 @@ pub(crate) struct PendingReq {
 /// * `num_rx ≤ num_tx ≤ num_rx + C` — in-flight packets consume session
 ///   credits, so `num_tx − num_rx` is exactly this slot's credit hold.
 /// * Rollback = `num_tx ← num_rx` plus returning that many credits.
-#[derive(Debug)]
 pub(crate) struct ClientSlot {
     pub active: bool,
     /// Request number: starts at the slot index and advances by the slot
@@ -80,8 +88,10 @@ pub(crate) struct ClientSlot {
     pub req_type: u8,
     pub req: Option<MsgBuf>,
     pub resp: Option<MsgBuf>,
-    pub cont_id: u8,
-    pub tag: u64,
+    /// The per-request continuation, present exactly while `active`. Moved
+    /// out (and thus invoked at most once, by construction) when the slot
+    /// completes — on success or on any error path.
+    pub cont: Option<Continuation>,
     /// Virtual/wall time the request was enqueued (latency accounting).
     pub start_ns: u64,
     /// Unified TX sequence consumed (request packets, then RFRs).
@@ -114,8 +124,7 @@ impl ClientSlot {
             req_type: 0,
             req: None,
             resp: None,
-            cont_id: 0,
-            tag: 0,
+            cont: None,
             start_ns: 0,
             num_tx: 0,
             num_rx: 0,
@@ -222,7 +231,6 @@ impl ServerSlot {
     }
 }
 
-#[derive(Debug)]
 pub(crate) enum Slot {
     Client(ClientSlot),
     Server(ServerSlot),

@@ -1,0 +1,399 @@
+//! Contract tests for the per-request continuation API and the `Channel`
+//! facade: exactly-once invocation (success *and* error paths),
+//! drop-safety of owned `FnOnce` closures, and call round-trips.
+
+use std::cell::Cell;
+use std::rc::Rc;
+
+use erpc::{Channel, Rpc, RpcCall, RpcConfig, RpcError, RpcMessage};
+use erpc_transport::{Addr, MemFabric, MemFabricConfig, MemTransport};
+
+const ECHO: u8 = 1;
+
+type TestRpc = Rpc<MemTransport>;
+
+fn cfg() -> RpcConfig {
+    RpcConfig {
+        ping_interval_ns: 0,
+        rto_ns: 1_000_000,
+        timer_scan_interval_ns: 50_000,
+        ..RpcConfig::default()
+    }
+}
+
+fn echo_server(fabric: &MemFabric, node: u16, cfg: RpcConfig) -> TestRpc {
+    let mut s = Rpc::new(fabric.create_transport(Addr::new(node, 0)), cfg);
+    s.register_request_handler(
+        ECHO,
+        Box::new(|ctx, req| {
+            let mut v = req.to_vec();
+            v.reverse();
+            ctx.respond(&v);
+        }),
+    );
+    s
+}
+
+fn connect(c: &mut TestRpc, s: &mut TestRpc, peer: Addr) -> erpc::SessionHandle {
+    let sess = c.create_session(peer).unwrap();
+    let start = std::time::Instant::now();
+    while !c.is_connected(sess) {
+        c.run_event_loop_once();
+        s.run_event_loop_once();
+        assert!(start.elapsed().as_secs() < 10, "connect stalled");
+    }
+    sess
+}
+
+/// Counts how often a closure fired and whether it was dropped, so tests
+/// can distinguish "invoked then dropped" from "dropped unfired".
+struct Probe {
+    fired: Rc<Cell<u32>>,
+    dropped: Rc<Cell<bool>>,
+}
+
+impl Drop for Probe {
+    fn drop(&mut self) {
+        self.dropped.set(true);
+    }
+}
+
+fn probe() -> (Rc<Cell<u32>>, Rc<Cell<bool>>, Probe) {
+    let fired = Rc::new(Cell::new(0));
+    let dropped = Rc::new(Cell::new(false));
+    let p = Probe {
+        fired: fired.clone(),
+        dropped: dropped.clone(),
+    };
+    (fired, dropped, p)
+}
+
+#[test]
+fn continuation_fires_exactly_once_on_success() {
+    let fabric = MemFabric::new(MemFabricConfig::default());
+    let mut server = echo_server(&fabric, 0, cfg());
+    let mut client = Rpc::new(fabric.create_transport(Addr::new(1, 0)), cfg());
+    let sess = connect(&mut client, &mut server, Addr::new(0, 0));
+
+    let (fired, dropped, p) = probe();
+    let mut req = client.alloc_msg_buffer(4);
+    req.fill(b"abcd");
+    let resp = client.alloc_msg_buffer(8);
+    client
+        .enqueue_request(sess, ECHO, req, resp, move |ctx, comp| {
+            assert!(comp.result.is_ok());
+            assert_eq!(comp.resp.data(), b"dcba");
+            p.fired.set(p.fired.get() + 1);
+            ctx.free_msg_buffer(comp.req);
+            ctx.free_msg_buffer(comp.resp);
+        })
+        .unwrap();
+    // Keep polling well past completion: the count must stay at 1.
+    for _ in 0..50_000 {
+        client.run_event_loop_once();
+        server.run_event_loop_once();
+    }
+    assert_eq!(fired.get(), 1, "continuation must fire exactly once");
+    assert!(dropped.get(), "closure is consumed after firing");
+}
+
+#[test]
+fn continuation_fires_exactly_once_under_duplicate_acks_and_loss() {
+    // 20 % loss + tiny RTO: retransmissions and duplicate packets galore;
+    // still exactly one completion per request.
+    let fabric = MemFabric::new(MemFabricConfig {
+        loss_prob: 0.2,
+        seed: 0xD1CE,
+        ..Default::default()
+    });
+    let mut server = echo_server(&fabric, 0, cfg());
+    let mut ccfg = cfg();
+    ccfg.rto_ns = 100_000;
+    let mut client = Rpc::new(fabric.create_transport(Addr::new(1, 0)), ccfg);
+    let sess = connect(&mut client, &mut server, Addr::new(0, 0));
+
+    let n = 10;
+    let fired = Rc::new(Cell::new(0u32));
+    for _ in 0..n {
+        let mut req = client.alloc_msg_buffer(3000);
+        let payload: Vec<u8> = (0..3000).map(|j| (j % 251) as u8).collect();
+        req.fill(&payload);
+        let resp = client.alloc_msg_buffer(3000);
+        let f = fired.clone();
+        client
+            .enqueue_request(sess, ECHO, req, resp, move |ctx, comp| {
+                assert!(comp.result.is_ok());
+                f.set(f.get() + 1);
+                ctx.free_msg_buffer(comp.req);
+                ctx.free_msg_buffer(comp.resp);
+            })
+            .unwrap();
+    }
+    let start = std::time::Instant::now();
+    while fired.get() < n {
+        client.run_event_loop_once();
+        server.run_event_loop_once();
+        assert!(start.elapsed().as_secs() < 30, "lossy echos stalled");
+    }
+    // Extra polling must not re-fire anything.
+    for _ in 0..10_000 {
+        client.run_event_loop_once();
+        server.run_event_loop_once();
+    }
+    assert_eq!(fired.get(), n);
+}
+
+#[test]
+fn continuation_fires_exactly_once_on_remote_failure() {
+    // Server dies with requests both in slots and in the backlog: every
+    // continuation fires exactly once with RemoteFailure, none is lost,
+    // none fires twice.
+    let fabric = MemFabric::new(MemFabricConfig::default());
+    let mut ccfg = cfg();
+    ccfg.ping_interval_ns = 1_000_000;
+    ccfg.failure_timeout_ns = 20_000_000;
+    ccfg.rto_ns = 2_000_000;
+    ccfg.max_retransmissions = 1_000_000; // let failure detection win
+    let mut server = echo_server(&fabric, 0, cfg());
+    let mut client = Rpc::new(fabric.create_transport(Addr::new(1, 0)), ccfg);
+    let sess = connect(&mut client, &mut server, Addr::new(0, 0));
+
+    fabric.remove_endpoint(Addr::new(0, 0));
+    client.transport_mut().invalidate_route(Addr::new(0, 0));
+    drop(server);
+
+    // 20 requests: 8 fill the slots, 12 sit in the backlog.
+    let fired = Rc::new(Cell::new(0u32));
+    let errors = Rc::new(Cell::new(0u32));
+    for _ in 0..20 {
+        let mut req = client.alloc_msg_buffer(8);
+        req.fill(b"deadbeef");
+        let resp = client.alloc_msg_buffer(8);
+        let (f, e) = (fired.clone(), errors.clone());
+        client
+            .enqueue_request(sess, ECHO, req, resp, move |ctx, comp| {
+                f.set(f.get() + 1);
+                if comp.result == Err(RpcError::RemoteFailure) {
+                    e.set(e.get() + 1);
+                }
+                ctx.free_msg_buffer(comp.req);
+                ctx.free_msg_buffer(comp.resp);
+            })
+            .unwrap();
+    }
+    let start = std::time::Instant::now();
+    while fired.get() < 20 {
+        client.run_event_loop_once();
+        assert!(start.elapsed().as_secs() < 10, "failure detection stalled");
+    }
+    for _ in 0..10_000 {
+        client.run_event_loop_once();
+    }
+    assert_eq!(fired.get(), 20, "every continuation fires exactly once");
+    assert_eq!(errors.get(), 20, "every completion carries the failure");
+}
+
+#[test]
+fn closures_drop_unfired_when_endpoint_drops_with_requests_in_flight() {
+    // Drop-safety: an Rpc dropped while owning in-flight continuations
+    // must drop them (releasing captured state) without invoking them.
+    let fabric = MemFabric::new(MemFabricConfig::default());
+    let mut server = echo_server(&fabric, 0, cfg());
+    let mut client = Rpc::new(fabric.create_transport(Addr::new(1, 0)), cfg());
+    let sess = connect(&mut client, &mut server, Addr::new(0, 0));
+    // Stop serving so the request stays in flight.
+    drop(server);
+    fabric.remove_endpoint(Addr::new(0, 0));
+
+    let (fired, dropped, p) = probe();
+    let mut req = client.alloc_msg_buffer(4);
+    req.fill(b"ping");
+    let resp = client.alloc_msg_buffer(8);
+    client
+        .enqueue_request(sess, ECHO, req, resp, move |_ctx, _comp| {
+            p.fired.set(p.fired.get() + 1);
+        })
+        .unwrap();
+    for _ in 0..100 {
+        client.run_event_loop_once();
+    }
+    assert_eq!(fired.get(), 0);
+    assert!(!dropped.get(), "closure lives while the request is pending");
+    drop(client);
+    assert!(dropped.get(), "dropping the endpoint releases the closure");
+    assert_eq!(fired.get(), 0, "released, not invoked");
+}
+
+#[test]
+fn backlogged_closure_state_drops_with_endpoint() {
+    // Same, for continuations still in the session backlog (never
+    // promoted to a slot).
+    let fabric = MemFabric::new(MemFabricConfig::default());
+    let mut client = Rpc::new(fabric.create_transport(Addr::new(1, 0)), cfg());
+    // Session to a peer that never answers: stays Connecting, requests
+    // stay backlogged.
+    let sess = client.create_session(Addr::new(7, 0)).unwrap();
+    let (fired, dropped, p) = probe();
+    let mut req = client.alloc_msg_buffer(4);
+    req.fill(b"ping");
+    let resp = client.alloc_msg_buffer(8);
+    client
+        .enqueue_request(sess, ECHO, req, resp, move |_ctx, _comp| {
+            p.fired.set(p.fired.get() + 1);
+        })
+        .unwrap();
+    client.run_event_loop_once();
+    assert!(!dropped.get());
+    drop(client);
+    assert!(dropped.get());
+    assert_eq!(fired.get(), 0);
+}
+
+// ── Channel facade ──────────────────────────────────────────────────────
+
+#[test]
+fn channel_call_roundtrip_over_memfabric() {
+    let fabric = MemFabric::new(MemFabricConfig::default());
+    let mut server = echo_server(&fabric, 0, cfg());
+    let mut client = Rpc::new(fabric.create_transport(Addr::new(1, 0)), cfg());
+
+    let chan = Channel::connect(&mut client, Addr::new(0, 0)).unwrap();
+    let call = chan.call(&mut client, ECHO, b"hello").unwrap();
+    let resp = call
+        .wait_with(&mut client, || server.run_event_loop_once())
+        .unwrap();
+    assert_eq!(resp, b"olleh");
+
+    // Several calls pipelined on one channel.
+    let calls: Vec<_> = (0u8..5)
+        .map(|i| chan.call(&mut client, ECHO, &[i, i + 1, i + 2]).unwrap())
+        .collect();
+    let start = std::time::Instant::now();
+    while !calls.iter().all(|c| c.is_done()) {
+        client.run_event_loop_once();
+        server.run_event_loop_once();
+        assert!(start.elapsed().as_secs() < 10, "pipelined calls stalled");
+    }
+    for (i, c) in calls.into_iter().enumerate() {
+        let i = i as u8;
+        assert_eq!(c.try_take().unwrap().unwrap(), vec![i + 2, i + 1, i]);
+    }
+}
+
+#[test]
+fn channel_call_surfaces_oversized_response_error() {
+    let fabric = MemFabric::new(MemFabricConfig::default());
+    let mut server = Rpc::new(fabric.create_transport(Addr::new(0, 0)), cfg());
+    server.register_request_handler(ECHO, Box::new(|ctx, _| ctx.respond(&[7u8; 4096])));
+    let mut client = Rpc::new(fabric.create_transport(Addr::new(1, 0)), cfg());
+    let chan = Channel::connect(&mut client, Addr::new(0, 0))
+        .unwrap()
+        .with_resp_capacity(64);
+    let call = chan.call(&mut client, ECHO, b"x").unwrap();
+    let err = call
+        .wait_with(&mut client, || server.run_event_loop_once())
+        .unwrap_err();
+    assert_eq!(err, RpcError::MsgTooLarge);
+}
+
+// A tiny typed protocol for the typed-call test.
+#[derive(Debug, PartialEq, Eq)]
+struct AddReq {
+    a: u32,
+    b: u32,
+}
+
+#[derive(Debug, PartialEq, Eq)]
+struct AddResp {
+    sum: u32,
+}
+
+impl RpcMessage for AddReq {
+    fn encode(&self, out: &mut Vec<u8>) {
+        out.extend_from_slice(&self.a.to_le_bytes());
+        out.extend_from_slice(&self.b.to_le_bytes());
+    }
+
+    fn decode(bytes: &[u8]) -> Result<Self, RpcError> {
+        if bytes.len() != 8 {
+            return Err(RpcError::Decode);
+        }
+        Ok(Self {
+            a: u32::from_le_bytes(bytes[..4].try_into().unwrap()),
+            b: u32::from_le_bytes(bytes[4..].try_into().unwrap()),
+        })
+    }
+}
+
+impl RpcCall for AddReq {
+    const REQ_TYPE: u8 = 42;
+    type Resp = AddResp;
+}
+
+impl RpcMessage for AddResp {
+    fn encode(&self, out: &mut Vec<u8>) {
+        out.extend_from_slice(&self.sum.to_le_bytes());
+    }
+
+    fn decode(bytes: &[u8]) -> Result<Self, RpcError> {
+        if bytes.len() != 4 {
+            return Err(RpcError::Decode);
+        }
+        Ok(Self {
+            sum: u32::from_le_bytes(bytes.try_into().unwrap()),
+        })
+    }
+}
+
+#[test]
+fn channel_typed_call_roundtrip() {
+    let fabric = MemFabric::new(MemFabricConfig::default());
+    let mut server = Rpc::new(fabric.create_transport(Addr::new(0, 0)), cfg());
+    server.register_typed_handler::<AddReq, _>(|req| AddResp { sum: req.a + req.b });
+    let mut client = Rpc::new(fabric.create_transport(Addr::new(1, 0)), cfg());
+
+    let chan = Channel::connect(&mut client, Addr::new(0, 0)).unwrap();
+    let call = chan
+        .call_typed(&mut client, &AddReq { a: 40, b: 2 })
+        .unwrap();
+    let resp = call
+        .wait_with(&mut client, || server.run_event_loop_once())
+        .unwrap();
+    assert_eq!(resp, AddResp { sum: 42 });
+}
+
+#[test]
+fn channel_typed_decode_failure_is_surfaced() {
+    // Handler answers garbage (an empty body): the typed client reports
+    // a Decode error instead of panicking or hanging.
+    let fabric = MemFabric::new(MemFabricConfig::default());
+    let mut server = Rpc::new(fabric.create_transport(Addr::new(0, 0)), cfg());
+    server.register_request_handler(AddReq::REQ_TYPE, Box::new(|ctx, _| ctx.respond(&[])));
+    let mut client = Rpc::new(fabric.create_transport(Addr::new(1, 0)), cfg());
+    let chan = Channel::connect(&mut client, Addr::new(0, 0)).unwrap();
+    let call = chan
+        .call_typed(&mut client, &AddReq { a: 1, b: 2 })
+        .unwrap();
+    let err = call
+        .wait_with(&mut client, || server.run_event_loop_once())
+        .unwrap_err();
+    assert_eq!(err, RpcError::Decode);
+}
+
+#[test]
+fn channel_call_rejects_oversized_payload_without_panicking() {
+    let fabric = MemFabric::new(MemFabricConfig::default());
+    let mut client = Rpc::new(
+        fabric.create_transport(Addr::new(1, 0)),
+        RpcConfig {
+            max_msg_size: 1024,
+            ..cfg()
+        },
+    );
+    let chan = Channel::connect(&mut client, Addr::new(0, 0)).unwrap();
+    let err = chan.call(&mut client, ECHO, &[0u8; 2048]).unwrap_err();
+    assert_eq!(err, RpcError::MsgTooLarge);
+    // A resp_capacity beyond max_msg_size is clamped, not a panic.
+    let big = chan.with_resp_capacity(1 << 30);
+    let _pending = big.call(&mut client, ECHO, b"ok").unwrap();
+}

@@ -9,7 +9,6 @@ use erpc::{CcAlgorithm, Rpc, RpcConfig, RpcError};
 use erpc_transport::{Addr, MemFabric, MemFabricConfig, MemTransport};
 
 const ECHO: u8 = 1;
-const CONT: u8 = 9;
 
 type TestRpc = Rpc<MemTransport>;
 
@@ -59,12 +58,13 @@ fn pump_until(rpcs: &mut [&mut TestRpc], mut done: impl FnMut() -> bool, max_ite
 
 fn connect(client: &mut TestRpc, server: &mut TestRpc, peer: Addr) -> erpc::SessionHandle {
     let sess = client.create_session(peer).unwrap();
-    let mut tries = 0;
+    // Time-based budget: under heavy injected loss the handshake needs
+    // wall-clock time for connect retries (20 ms apart), not iterations.
+    let start = std::time::Instant::now();
     while !client.is_connected(sess) {
         client.run_event_loop_once();
         server.run_event_loop_once();
-        tries += 1;
-        assert!(tries < 100_000, "connect stalled");
+        assert!(start.elapsed().as_secs() < 10, "connect stalled");
     }
     sess
 }
@@ -81,7 +81,11 @@ fn pair_with(loss: f64, seed: u64, ccfg: RpcConfig, scfg: RpcConfig) -> Pair {
     let mut client = Rpc::new(f.create_transport(Addr::new(1, 0)), ccfg);
     install_echo(&mut server);
     let sess = connect(&mut client, &mut server, Addr::new(0, 0));
-    Pair { client, server, sess }
+    Pair {
+        client,
+        server,
+        sess,
+    }
 }
 
 fn pair(loss: f64, seed: u64) -> Pair {
@@ -92,31 +96,25 @@ fn pair(loss: f64, seed: u64) -> Pair {
 fn run_echos(p: &mut Pair, n: usize, size: usize) {
     let completed = Rc::new(Cell::new(0usize));
     let ok = Rc::new(Cell::new(true));
-    let (c2, ok2) = (completed.clone(), ok.clone());
-    p.client.register_continuation(
-        CONT,
-        Box::new(move |_ctx, comp| {
-            if comp.result.is_err() {
-                ok2.set(false);
-            } else {
-                let expect: Vec<u8> = (0..comp.req.len())
-                    .map(|i| (i % 251) as u8)
-                    .rev()
-                    .collect();
-                if comp.resp.data() != &expect[..] {
-                    ok2.set(false);
-                }
-            }
-            c2.set(c2.get() + 1);
-        }),
-    );
-    for i in 0..n {
+    for _ in 0..n {
         let mut req = p.client.alloc_msg_buffer(size);
         let payload: Vec<u8> = (0..size).map(|j| (j % 251) as u8).collect();
         req.fill(&payload);
         let resp = p.client.alloc_msg_buffer(size.max(1));
+        let (c2, ok2) = (completed.clone(), ok.clone());
         p.client
-            .enqueue_request(p.sess, ECHO, req, resp, CONT, i as u64)
+            .enqueue_request(p.sess, ECHO, req, resp, move |_ctx, comp| {
+                if comp.result.is_err() {
+                    ok2.set(false);
+                } else {
+                    let expect: Vec<u8> =
+                        (0..comp.req.len()).map(|i| (i % 251) as u8).rev().collect();
+                    if comp.resp.data() != &expect[..] {
+                        ok2.set(false);
+                    }
+                }
+                c2.set(c2.get() + 1);
+            })
             .unwrap();
     }
     let done = {
@@ -138,7 +136,11 @@ fn small_rpc_roundtrip() {
     // Single-packet RPC: exactly 1 request + 1 response data packet.
     assert_eq!(p.client.stats().data_pkts_tx, 1);
     assert_eq!(p.server.stats().data_pkts_tx, 1);
-    assert_eq!(p.client.stats().ctrl_pkts_tx, 0, "no CRs/RFRs for small RPCs");
+    assert_eq!(
+        p.client.stats().ctrl_pkts_tx,
+        0,
+        "no CRs/RFRs for small RPCs"
+    );
 }
 
 #[test]
@@ -156,17 +158,15 @@ fn zero_length_request_and_response() {
     let sess = connect(&mut client, &mut server, Addr::new(0, 0));
     let done = Rc::new(Cell::new(false));
     let d2 = done.clone();
-    client.register_continuation(
-        CONT,
-        Box::new(move |_ctx, comp| {
+    let req = client.alloc_msg_buffer(0);
+    let resp = client.alloc_msg_buffer(16);
+    client
+        .enqueue_request(sess, ECHO, req, resp, move |_ctx, comp| {
             assert!(comp.result.is_ok());
             assert_eq!(comp.resp.len(), 0);
             d2.set(true);
-        }),
-    );
-    let req = client.alloc_msg_buffer(0);
-    let resp = client.alloc_msg_buffer(16);
-    client.enqueue_request(sess, ECHO, req, resp, CONT, 0).unwrap();
+        })
+        .unwrap();
     pump_until(&mut [&mut client, &mut server], || done.get(), 100_000);
 }
 
@@ -189,28 +189,20 @@ fn pipelined_requests_fill_slots_and_backlog() {
     let mut p = pair(0.0, 4);
     // 50 concurrent 64 B echos: 8 slots + 42 backlogged, all complete.
     let completed = Rc::new(Cell::new(0usize));
-    let c2 = completed.clone();
-    p.client.register_continuation(
-        CONT,
-        Box::new(move |_ctx, comp| {
-            assert!(comp.result.is_ok());
-            c2.set(c2.get() + 1);
-        }),
-    );
     for i in 0..50 {
         let mut req = p.client.alloc_msg_buffer(64);
         req.fill(&[i as u8; 64]);
         let resp = p.client.alloc_msg_buffer(64);
+        let c2 = completed.clone();
         p.client
-            .enqueue_request(p.sess, ECHO, req, resp, CONT, i)
+            .enqueue_request(p.sess, ECHO, req, resp, move |_ctx, comp| {
+                assert!(comp.result.is_ok());
+                c2.set(c2.get() + 1);
+            })
             .unwrap();
     }
     let Pair { client, server, .. } = &mut p;
-    pump_until(
-        &mut [client, server],
-        || completed.get() == 50,
-        1_000_000,
-    );
+    pump_until(&mut [client, server], || completed.get() == 50, 1_000_000);
 }
 
 #[test]
@@ -228,7 +220,10 @@ fn loss_recovery_go_back_n() {
     // 10 % packet loss: everything still completes, with retransmissions.
     let mut p = pair(0.10, 6);
     run_echos(&mut p, 20, 4000);
-    assert!(p.client.stats().retransmissions > 0, "loss must trigger rollback");
+    assert!(
+        p.client.stats().retransmissions > 0,
+        "loss must trigger rollback"
+    );
     // At-most-once: the server ran each handler exactly once.
     assert_eq!(p.server.stats().handlers_invoked, 20);
     // Flush precedes every retransmission (§4.2.2).
@@ -241,7 +236,11 @@ fn heavy_loss_recovery() {
     run_echos(&mut p, 5, 2500);
     assert_eq!(p.server.stats().handlers_invoked, 5);
     let after = p.client.session_credits_available(p.sess).unwrap();
-    assert_eq!(after, p.client.config().session_credits, "credit leak under loss");
+    assert_eq!(
+        after,
+        p.client.config().session_credits,
+        "credit leak under loss"
+    );
 }
 
 #[test]
@@ -271,15 +270,13 @@ fn response_too_large_for_resp_msgbuf() {
     let sess = connect(&mut client, &mut server, Addr::new(0, 0));
     let result = Rc::new(RefCell::new(None));
     let r2 = result.clone();
-    client.register_continuation(
-        CONT,
-        Box::new(move |_ctx, comp| {
-            *r2.borrow_mut() = Some(comp.result);
-        }),
-    );
     let req = client.alloc_msg_buffer(8);
     let resp = client.alloc_msg_buffer(64); // too small for 4096 B
-    client.enqueue_request(sess, ECHO, req, resp, CONT, 0).unwrap();
+    client
+        .enqueue_request(sess, ECHO, req, resp, move |_ctx, comp| {
+            *r2.borrow_mut() = Some(comp.result);
+        })
+        .unwrap();
     pump_until(
         &mut [&mut client, &mut server],
         || result.borrow().is_some(),
@@ -303,8 +300,9 @@ fn nested_rpc_with_deferred_response() {
     // Proxy: connect to backend first.
     let backend_sess = connect(&mut proxy, &mut backend, Addr::new(0, 0));
     const PROXY_TYPE: u8 = 2;
-    const NESTED_CONT: u8 = 3;
-    // Handler: defer, forward request to backend.
+    // Handler: defer, forward to the backend; the nested continuation
+    // captures the deferred handle directly (the old cont_id/tag API
+    // needed a thread-local handle registry for exactly this).
     proxy.register_request_handler(
         PROXY_TYPE,
         Box::new(move |ctx, req| {
@@ -312,71 +310,33 @@ fn nested_rpc_with_deferred_response() {
             let mut fwd = ctx.alloc_msg_buffer(req.len());
             fwd.fill(req);
             let resp = ctx.alloc_msg_buffer(req.len().max(1));
-            // Stash the deferred handle in the tag via a side table: here we
-            // use the tag itself (it is 64-bit; the handle is small). For
-            // the test, encode via Box + registry:
-            ctx.enqueue_request(
-                backend_sess,
-                ECHO,
-                fwd,
-                resp,
-                NESTED_CONT,
-                deferred_to_tag(handle),
-            );
-        }),
-    );
-    // Nested continuation: respond to the original client.
-    proxy.register_continuation(
-        NESTED_CONT,
-        Box::new(move |ctx, comp| {
-            assert!(comp.result.is_ok());
-            let handle = tag_to_deferred(comp.tag);
-            ctx.enqueue_response(handle, comp.resp.data());
-            ctx.free_msg_buffer(comp.req);
-            ctx.free_msg_buffer(comp.resp);
+            ctx.enqueue_request(backend_sess, ECHO, fwd, resp, move |ctx, comp| {
+                assert!(comp.result.is_ok());
+                ctx.enqueue_response(handle, comp.resp.data());
+                ctx.free_msg_buffer(comp.req);
+                ctx.free_msg_buffer(comp.resp);
+            });
         }),
     );
 
     let sess = connect(&mut client, &mut proxy, Addr::new(1, 0));
     let done = Rc::new(Cell::new(false));
     let d2 = done.clone();
-    client.register_continuation(
-        CONT,
-        Box::new(move |_ctx, comp| {
-            assert!(comp.result.is_ok());
-            assert_eq!(comp.resp.data(), b"gfedcba");
-            d2.set(true);
-        }),
-    );
     let mut req = client.alloc_msg_buffer(7);
     req.fill(b"abcdefg");
     let resp = client.alloc_msg_buffer(16);
     client
-        .enqueue_request(sess, PROXY_TYPE, req, resp, CONT, 0)
+        .enqueue_request(sess, PROXY_TYPE, req, resp, move |_ctx, comp| {
+            assert!(comp.result.is_ok());
+            assert_eq!(comp.resp.data(), b"gfedcba");
+            d2.set(true);
+        })
         .unwrap();
     pump_until(
         &mut [&mut client, &mut proxy, &mut backend],
         || done.get(),
         1_000_000,
     );
-}
-
-/// DeferredHandle → u64 tag encoding for the nested-RPC test.
-fn deferred_to_tag(h: erpc::DeferredHandle) -> u64 {
-    // Keep a process-local registry: the handle is Copy but opaque.
-    HANDLES.with(|v| {
-        let mut v = v.borrow_mut();
-        v.push(h);
-        (v.len() - 1) as u64
-    })
-}
-
-fn tag_to_deferred(tag: u64) -> erpc::DeferredHandle {
-    HANDLES.with(|v| v.borrow()[tag as usize])
-}
-
-thread_local! {
-    static HANDLES: RefCell<Vec<erpc::DeferredHandle>> = const { RefCell::new(Vec::new()) };
 }
 
 #[test]
@@ -398,20 +358,18 @@ fn worker_thread_handlers() {
     );
     let sess = connect(&mut client, &mut server, Addr::new(0, 0));
     let completed = Rc::new(Cell::new(0));
-    let c2 = completed.clone();
-    client.register_continuation(
-        CONT,
-        Box::new(move |_ctx, comp| {
-            assert!(comp.result.is_ok());
-            assert_eq!(comp.resp.data(), b"work!");
-            c2.set(c2.get() + 1);
-        }),
-    );
-    for i in 0..4 {
+    for _ in 0..4 {
         let mut req = client.alloc_msg_buffer(4);
         req.fill(b"work");
         let resp = client.alloc_msg_buffer(16);
-        client.enqueue_request(sess, SLOW, req, resp, CONT, i).unwrap();
+        let c2 = completed.clone();
+        client
+            .enqueue_request(sess, SLOW, req, resp, move |_ctx, comp| {
+                assert!(comp.result.is_ok());
+                assert_eq!(comp.resp.data(), b"work!");
+                c2.set(c2.get() + 1);
+            })
+            .unwrap();
     }
     pump_until(
         &mut [&mut client, &mut server],
@@ -435,24 +393,23 @@ fn node_failure_fails_pending_requests() {
     let sess = connect(&mut client, &mut server, Addr::new(0, 0));
 
     let failures = Rc::new(Cell::new(0));
-    let f2 = failures.clone();
-    client.register_continuation(
-        CONT,
-        Box::new(move |_ctx, comp| {
-            assert_eq!(comp.result, Err(RpcError::RemoteFailure));
-            f2.set(f2.get() + 1);
-        }),
-    );
 
-    // Kill the server, then enqueue requests into the void.
+    // Kill the server, then enqueue requests into the void. Every
+    // continuation must fire exactly once, with the failure.
     f.remove_endpoint(Addr::new(0, 0));
     client.transport_mut().invalidate_route(Addr::new(0, 0));
     drop(server);
-    for i in 0..3 {
+    for _ in 0..3 {
         let mut req = client.alloc_msg_buffer(8);
         req.fill(b"hello!!!");
         let resp = client.alloc_msg_buffer(16);
-        client.enqueue_request(sess, ECHO, req, resp, CONT, i).unwrap();
+        let f2 = failures.clone();
+        client
+            .enqueue_request(sess, ECHO, req, resp, move |_ctx, comp| {
+                assert_eq!(comp.result, Err(RpcError::RemoteFailure));
+                f2.set(f2.get() + 1);
+            })
+            .unwrap();
     }
     let start = std::time::Instant::now();
     while failures.get() < 3 {
@@ -460,13 +417,20 @@ fn node_failure_fails_pending_requests() {
         assert!(start.elapsed().as_secs() < 10, "failure detection stalled");
     }
     assert_eq!(client.session_state(sess), Some(erpc::SessionState::Failed));
-    // Subsequent enqueues fail immediately.
+    // Subsequent enqueues fail immediately, returning the buffers and the
+    // continuation unfired.
     let req = client.alloc_msg_buffer(8);
     let resp = client.alloc_msg_buffer(8);
+    let fired = Rc::new(Cell::new(false));
+    let fired2 = fired.clone();
     let err = client
-        .enqueue_request(sess, ECHO, req, resp, CONT, 99)
+        .enqueue_request(sess, ECHO, req, resp, move |_ctx, _comp| fired2.set(true))
         .unwrap_err();
     assert_eq!(err.err, RpcError::RemoteFailure);
+    assert!(
+        !fired.get(),
+        "failed enqueue must not fire the continuation"
+    );
 }
 
 #[test]
@@ -487,7 +451,9 @@ fn disconnect_flow() {
     // The handle is now invalid.
     let req = client.alloc_msg_buffer(4);
     let resp = client.alloc_msg_buffer(4);
-    let err = client.enqueue_request(sess, ECHO, req, resp, CONT, 0).unwrap_err();
+    let err = client
+        .enqueue_request(sess, ECHO, req, resp, |_ctx, _comp| {})
+        .unwrap_err();
     assert_eq!(err.err, RpcError::InvalidSession);
 }
 
@@ -566,32 +532,46 @@ fn unknown_request_type_gets_empty_response() {
     let sess = connect(&mut client, &mut server, Addr::new(0, 0));
     let done = Rc::new(Cell::new(false));
     let d2 = done.clone();
-    client.register_continuation(
-        CONT,
-        Box::new(move |_ctx, comp| {
-            assert!(comp.result.is_ok());
-            assert_eq!(comp.resp.len(), 0);
-            d2.set(true);
-        }),
-    );
     let mut req = client.alloc_msg_buffer(4);
     req.fill(b"ping");
     let resp = client.alloc_msg_buffer(16);
-    client.enqueue_request(sess, 77, req, resp, CONT, 0).unwrap();
+    client
+        .enqueue_request(sess, 77, req, resp, move |_ctx, comp| {
+            assert!(comp.result.is_ok());
+            assert_eq!(comp.resp.len(), 0);
+            d2.set(true);
+        })
+        .unwrap();
     pump_until(&mut [&mut client, &mut server], || done.get(), 100_000);
 }
 
 #[test]
-fn unregistered_continuation_rejected_at_enqueue() {
+fn enqueue_error_returns_buffers_and_continuation_unfired() {
+    // Errors detected at enqueue hand everything back: the msgbufs AND
+    // the owned continuation, unfired — so no closure-captured state is
+    // lost when the caller wants to retry.
     let f = fabric(0.0, 19);
-    let mut server = Rpc::new(f.create_transport(Addr::new(0, 0)), fast_cfg());
     let mut client = Rpc::new(f.create_transport(Addr::new(1, 0)), fast_cfg());
-    install_echo(&mut server);
-    let sess = connect(&mut client, &mut server, Addr::new(0, 0));
     let req = client.alloc_msg_buffer(4);
     let resp = client.alloc_msg_buffer(4);
-    let err = client.enqueue_request(sess, ECHO, req, resp, 250, 0).unwrap_err();
-    assert_eq!(err.err, RpcError::UnknownType);
+    let fired = Rc::new(Cell::new(false));
+    let fired2 = fired.clone();
+    let err = client
+        .enqueue_request(
+            erpc::SessionHandle::invalid(),
+            ECHO,
+            req,
+            resp,
+            move |_ctx, _comp| fired2.set(true),
+        )
+        .unwrap_err();
+    assert_eq!(err.err, RpcError::InvalidSession);
+    assert!(!fired.get());
+    assert!(err.req.capacity() >= 4);
+    // The returned continuation is still callable state — dropping it
+    // must also be safe (drop-safety of owned FnOnce closures).
+    drop(err);
+    assert!(!fired.get());
 }
 
 #[test]
@@ -607,24 +587,25 @@ fn bidirectional_sessions_same_endpoints() {
     let sba = connect(&mut b, &mut a, Addr::new(0, 0));
     let done_a = Rc::new(Cell::new(0));
     let done_b = Rc::new(Cell::new(0));
-    let (da, db) = (done_a.clone(), done_b.clone());
-    a.register_continuation(CONT, Box::new(move |_c, comp| {
-        assert!(comp.result.is_ok());
-        da.set(da.get() + 1);
-    }));
-    b.register_continuation(CONT, Box::new(move |_c, comp| {
-        assert!(comp.result.is_ok());
-        db.set(db.get() + 1);
-    }));
-    for i in 0..10 {
+    for _ in 0..10 {
         let mut req = a.alloc_msg_buffer(16);
         req.fill(&[1; 16]);
         let resp = a.alloc_msg_buffer(16);
-        a.enqueue_request(sab, ECHO, req, resp, CONT, i).unwrap();
+        let da = done_a.clone();
+        a.enqueue_request(sab, ECHO, req, resp, move |_c, comp| {
+            assert!(comp.result.is_ok());
+            da.set(da.get() + 1);
+        })
+        .unwrap();
         let mut req = b.alloc_msg_buffer(16);
         req.fill(&[2; 16]);
         let resp = b.alloc_msg_buffer(16);
-        b.enqueue_request(sba, ECHO, req, resp, CONT, i).unwrap();
+        let db = done_b.clone();
+        b.enqueue_request(sba, ECHO, req, resp, move |_c, comp| {
+            assert!(comp.result.is_ok());
+            db.set(db.get() + 1);
+        })
+        .unwrap();
     }
     pump_until(
         &mut [&mut a, &mut b],
@@ -654,20 +635,18 @@ fn max_message_size_roundtrip() {
     let d2 = done.clone();
     let size = 8 << 20;
     let expect_sum: u64 = (0..size as u64).map(|i| (i % 199) & 0xFF).sum();
-    client.register_continuation(
-        CONT,
-        Box::new(move |_ctx, comp| {
-            assert!(comp.result.is_ok());
-            let sum = u64::from_le_bytes(comp.resp.data().try_into().unwrap());
-            assert_eq!(sum, expect_sum);
-            d2.set(true);
-        }),
-    );
     let mut req = client.alloc_msg_buffer(size);
     for (i, b) in req.data_mut().iter_mut().enumerate() {
         *b = ((i as u64 % 199) & 0xFF) as u8;
     }
     let resp = client.alloc_msg_buffer(16);
-    client.enqueue_request(sess, SINK, req, resp, CONT, 0).unwrap();
+    client
+        .enqueue_request(sess, SINK, req, resp, move |_ctx, comp| {
+            assert!(comp.result.is_ok());
+            let sum = u64::from_le_bytes(comp.resp.data().try_into().unwrap());
+            assert_eq!(sum, expect_sum);
+            d2.set(true);
+        })
+        .unwrap();
     pump_until(&mut [&mut client, &mut server], || done.get(), 50_000_000);
 }

@@ -10,7 +10,6 @@ use erpc_transport::{Addr, MemFabric, MemFabricConfig, MemTransport};
 
 const ECHO: u8 = 1;
 const SLOW: u8 = 2;
-const CONT: u8 = 9;
 
 type TestRpc = Rpc<MemTransport>;
 
@@ -47,27 +46,28 @@ fn connect(c: &mut TestRpc, s: &mut TestRpc, peer: Addr) -> erpc::SessionHandle 
 #[test]
 fn single_slot_sessions_serialize_strictly() {
     // slots_per_session = 1: the backlog must drain in strict FIFO order.
-    let one_slot = RpcConfig { slots_per_session: 1, ..cfg() };
+    let one_slot = RpcConfig {
+        slots_per_session: 1,
+        ..cfg()
+    };
     let fabric = MemFabric::new(MemFabricConfig::default());
     let mut server = echo_server(&fabric, 0, one_slot.clone());
     let mut client = Rpc::new(fabric.create_transport(Addr::new(1, 0)), one_slot);
     let sess = connect(&mut client, &mut server, Addr::new(0, 0));
     let order = Rc::new(RefCell::new(Vec::new()));
-    let o2 = order.clone();
-    client.register_continuation(
-        CONT,
-        Box::new(move |ctx, comp| {
-            assert!(comp.result.is_ok());
-            o2.borrow_mut().push(comp.tag);
-            ctx.free_msg_buffer(comp.req);
-            ctx.free_msg_buffer(comp.resp);
-        }),
-    );
     for i in 0..20u64 {
         let mut req = client.alloc_msg_buffer(8);
         req.fill(&i.to_le_bytes());
         let resp = client.alloc_msg_buffer(8);
-        client.enqueue_request(sess, ECHO, req, resp, CONT, i).unwrap();
+        let o2 = order.clone();
+        client
+            .enqueue_request(sess, ECHO, req, resp, move |ctx, comp| {
+                assert!(comp.result.is_ok());
+                o2.borrow_mut().push(i);
+                ctx.free_msg_buffer(comp.req);
+                ctx.free_msg_buffer(comp.resp);
+            })
+            .unwrap();
     }
     while order.borrow().len() < 20 {
         client.run_event_loop_once();
@@ -80,28 +80,29 @@ fn single_slot_sessions_serialize_strictly() {
 fn one_credit_stop_and_wait_multi_packet() {
     // C = 1 (§4.3.2's latency-sensitive configuration): multi-packet
     // messages degrade to stop-and-wait but stay correct.
-    let c1 = RpcConfig { session_credits: 1, ..cfg() };
+    let c1 = RpcConfig {
+        session_credits: 1,
+        ..cfg()
+    };
     let fabric = MemFabric::new(MemFabricConfig::default());
     let mut server = echo_server(&fabric, 0, c1.clone());
     let mut client = Rpc::new(fabric.create_transport(Addr::new(1, 0)), c1);
     let sess = connect(&mut client, &mut server, Addr::new(0, 0));
     let done = Rc::new(Cell::new(false));
     let d2 = done.clone();
-    client.register_continuation(
-        CONT,
-        Box::new(move |ctx, comp| {
+    let mut req = client.alloc_msg_buffer(5000);
+    let payload: Vec<u8> = (0..5000).map(|i| (i % 251) as u8).collect();
+    req.fill(&payload);
+    let resp = client.alloc_msg_buffer(5000);
+    client
+        .enqueue_request(sess, ECHO, req, resp, move |ctx, comp| {
             assert!(comp.result.is_ok());
             assert_eq!(comp.resp.len(), 5000);
             d2.set(true);
             ctx.free_msg_buffer(comp.req);
             ctx.free_msg_buffer(comp.resp);
-        }),
-    );
-    let mut req = client.alloc_msg_buffer(5000);
-    let payload: Vec<u8> = (0..5000).map(|i| (i % 251) as u8).collect();
-    req.fill(&payload);
-    let resp = client.alloc_msg_buffer(5000);
-    client.enqueue_request(sess, ECHO, req, resp, CONT, 0).unwrap();
+        })
+        .unwrap();
     let mut iters = 0u64;
     while !done.get() {
         client.run_event_loop_once();
@@ -133,29 +134,32 @@ fn out_of_order_completion_across_slots() {
     let mut client = Rpc::new(fabric.create_transport(Addr::new(1, 0)), cfg());
     let sess = connect(&mut client, &mut server, Addr::new(0, 0));
     let order = Rc::new(RefCell::new(Vec::new()));
-    let o2 = order.clone();
-    client.register_continuation(
-        CONT,
-        Box::new(move |ctx, comp| {
-            assert!(comp.result.is_ok());
-            o2.borrow_mut().push(comp.tag);
-            ctx.free_msg_buffer(comp.req);
-            ctx.free_msg_buffer(comp.resp);
-        }),
-    );
-    // Issue SLOW (tag 1) then ECHO (tag 2) on the same session.
-    for (ty, tag) in [(SLOW, 1u64), (ECHO, 2u64)] {
+    // Issue SLOW (id 1) then ECHO (id 2) on the same session; each
+    // closure captures its own id.
+    for (ty, id) in [(SLOW, 1u64), (ECHO, 2u64)] {
         let mut req = client.alloc_msg_buffer(4);
         req.fill(b"abcd");
         let resp = client.alloc_msg_buffer(8);
-        client.enqueue_request(sess, ty, req, resp, CONT, tag).unwrap();
+        let o2 = order.clone();
+        client
+            .enqueue_request(sess, ty, req, resp, move |ctx, comp| {
+                assert!(comp.result.is_ok());
+                o2.borrow_mut().push(id);
+                ctx.free_msg_buffer(comp.req);
+                ctx.free_msg_buffer(comp.resp);
+            })
+            .unwrap();
     }
     // The fast echo completes while SLOW is still deferred.
-    while order.borrow().len() < 1 {
+    while order.borrow().is_empty() {
         client.run_event_loop_once();
         server.run_event_loop_once();
     }
-    assert_eq!(order.borrow()[0], 2, "fast RPC must not block behind the deferred one");
+    assert_eq!(
+        order.borrow()[0],
+        2,
+        "fast RPC must not block behind the deferred one"
+    );
     // Now release the deferred response.
     let h = deferred.borrow_mut().take().expect("slow handler ran");
     server.enqueue_response(h, b"late").unwrap();
@@ -177,7 +181,10 @@ fn server_session_reclaimed_after_client_death() {
         ..cfg()
     };
     let mut server = echo_server(&fabric, 0, scfg);
-    let ccfg = RpcConfig { ping_interval_ns: 1_000_000, ..cfg() };
+    let ccfg = RpcConfig {
+        ping_interval_ns: 1_000_000,
+        ..cfg()
+    };
     let mut client = Rpc::new(fabric.create_transport(Addr::new(1, 0)), ccfg);
     let _sess = connect(&mut client, &mut server, Addr::new(0, 0));
     assert_eq!(server.active_sessions(), 1);
@@ -187,7 +194,10 @@ fn server_session_reclaimed_after_client_death() {
     let start = std::time::Instant::now();
     while server.active_sessions() > 0 {
         server.run_event_loop_once();
-        assert!(start.elapsed().as_secs() < 10, "server session never reclaimed");
+        assert!(
+            start.elapsed().as_secs() < 10,
+            "server session never reclaimed"
+        );
     }
 }
 
@@ -201,25 +211,23 @@ fn mtu_boundary_sizes() {
     assert_eq!(client.data_per_pkt(), 1024);
     let sess = connect(&mut client, &mut server, Addr::new(0, 0));
     let done = Rc::new(Cell::new(0usize));
-    let d2 = done.clone();
-    client.register_continuation(
-        CONT,
-        Box::new(move |ctx, comp| {
-            assert!(comp.result.is_ok());
-            let expect: Vec<u8> = (0..comp.req.len()).map(|i| (i % 251) as u8).rev().collect();
-            assert_eq!(comp.resp.data(), &expect[..], "size {}", comp.req.len());
-            d2.set(d2.get() + 1);
-            ctx.free_msg_buffer(comp.req);
-            ctx.free_msg_buffer(comp.resp);
-        }),
-    );
     let sizes = [1023usize, 1024, 1025, 2047, 2048, 2049, 4096];
-    for (i, &size) in sizes.iter().enumerate() {
+    for &size in sizes.iter() {
         let mut req = client.alloc_msg_buffer(size);
         let payload: Vec<u8> = (0..size).map(|j| (j % 251) as u8).collect();
         req.fill(&payload);
         let resp = client.alloc_msg_buffer(size);
-        client.enqueue_request(sess, ECHO, req, resp, CONT, i as u64).unwrap();
+        let d2 = done.clone();
+        client
+            .enqueue_request(sess, ECHO, req, resp, move |ctx, comp| {
+                assert!(comp.result.is_ok());
+                let expect: Vec<u8> = (0..comp.req.len()).map(|i| (i % 251) as u8).rev().collect();
+                assert_eq!(comp.resp.data(), &expect[..], "size {}", comp.req.len());
+                d2.set(d2.get() + 1);
+                ctx.free_msg_buffer(comp.req);
+                ctx.free_msg_buffer(comp.resp);
+            })
+            .unwrap();
     }
     while done.get() < sizes.len() {
         client.run_event_loop_once();
@@ -247,22 +255,20 @@ fn one_client_many_servers() {
     }
     assert_eq!(client.active_sessions(), 8);
     let done = Rc::new(Cell::new(0usize));
-    let d2 = done.clone();
-    client.register_continuation(
-        CONT,
-        Box::new(move |ctx, comp| {
-            assert!(comp.result.is_ok());
-            d2.set(d2.get() + 1);
-            ctx.free_msg_buffer(comp.req);
-            ctx.free_msg_buffer(comp.resp);
-        }),
-    );
     for (i, &sess) in sessions.iter().enumerate() {
         for j in 0..5 {
             let mut req = client.alloc_msg_buffer(32);
             req.fill(&[i as u8 * 8 + j; 32]);
             let resp = client.alloc_msg_buffer(32);
-            client.enqueue_request(sess, ECHO, req, resp, CONT, 0).unwrap();
+            let d2 = done.clone();
+            client
+                .enqueue_request(sess, ECHO, req, resp, move |ctx, comp| {
+                    assert!(comp.result.is_ok());
+                    d2.set(d2.get() + 1);
+                    ctx.free_msg_buffer(comp.req);
+                    ctx.free_msg_buffer(comp.resp);
+                })
+                .unwrap();
         }
     }
     while done.get() < 40 {
@@ -330,34 +336,35 @@ fn cumulative_credit_returns() {
         let mut client = Rpc::new(fabric.create_transport(Addr::new(1, 0)), c);
         let sess = connect(&mut client, &mut server, Addr::new(0, 0));
         let done = Rc::new(Cell::new(0usize));
-        let d2 = done.clone();
-        client.register_continuation(
-            CONT,
-            Box::new(move |ctx, comp| {
-                assert!(comp.result.is_ok());
-                if echo {
-                    let expect: Vec<u8> =
-                        (0..comp.req.len()).map(|i| (i % 251) as u8).rev().collect();
-                    assert_eq!(comp.resp.data(), &expect[..]);
-                }
-                d2.set(d2.get() + 1);
-                ctx.free_msg_buffer(comp.req);
-                ctx.free_msg_buffer(comp.resp);
-            }),
-        );
-        for i in 0..5u64 {
+        for _ in 0..5u64 {
             let size = 20_000; // 20 request packets
             let mut req = client.alloc_msg_buffer(size);
             let payload: Vec<u8> = (0..size).map(|j| (j % 251) as u8).collect();
             req.fill(&payload);
             let resp = client.alloc_msg_buffer(size);
-            client.enqueue_request(sess, ECHO, req, resp, CONT, i).unwrap();
+            let d2 = done.clone();
+            client
+                .enqueue_request(sess, ECHO, req, resp, move |ctx, comp| {
+                    assert!(comp.result.is_ok());
+                    if echo {
+                        let expect: Vec<u8> =
+                            (0..comp.req.len()).map(|i| (i % 251) as u8).rev().collect();
+                        assert_eq!(comp.resp.data(), &expect[..]);
+                    }
+                    d2.set(d2.get() + 1);
+                    ctx.free_msg_buffer(comp.req);
+                    ctx.free_msg_buffer(comp.resp);
+                })
+                .unwrap();
         }
         let start = std::time::Instant::now();
         while done.get() < 5 {
             client.run_event_loop_once();
             server.run_event_loop_once();
-            assert!(start.elapsed().as_secs() < 30, "stalled (cr_batch {cr_batch})");
+            assert!(
+                start.elapsed().as_secs() < 30,
+                "stalled (cr_batch {cr_batch})"
+            );
         }
         // Quiesce: credits fully restored ⇒ no leak despite batched CRs.
         assert_eq!(
@@ -437,15 +444,16 @@ fn session_info_reflects_state() {
     assert_eq!(info.outstanding_requests, 0);
     assert!(info.uncongested);
     // Pile on 20 requests: outstanding + backlog visible mid-flight.
-    client.register_continuation(CONT, Box::new(|ctx, comp| {
-        ctx.free_msg_buffer(comp.req);
-        ctx.free_msg_buffer(comp.resp);
-    }));
-    for i in 0..20u64 {
+    for _ in 0..20u64 {
         let mut req = client.alloc_msg_buffer(64);
         req.fill(&[0; 64]);
         let resp = client.alloc_msg_buffer(64);
-        client.enqueue_request(sess, ECHO, req, resp, CONT, i).unwrap();
+        client
+            .enqueue_request(sess, ECHO, req, resp, |ctx, comp| {
+                ctx.free_msg_buffer(comp.req);
+                ctx.free_msg_buffer(comp.resp);
+            })
+            .unwrap();
     }
     let info = client.session_info(sess).unwrap();
     assert_eq!(info.outstanding_requests, 20);

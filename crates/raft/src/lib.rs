@@ -25,6 +25,6 @@ pub mod service;
 pub use msg::{LogEntry, NodeId, RaftMsg};
 pub use node::{NotLeader, RaftConfig, RaftNode, Role};
 pub use service::{
-    decode_put, encode_put, Replica, KV_GET, KV_PUT, RAFT_MSG, ST_NOT_FOUND, ST_NOT_LEADER,
-    ST_OK,
+    decode_put, encode_put, KvGet, KvGetResp, KvPut, KvPutResp, Replica, KV_GET, KV_PUT, RAFT_MSG,
+    ST_NOT_FOUND, ST_NOT_LEADER, ST_OK,
 };

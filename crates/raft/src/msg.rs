@@ -51,13 +51,29 @@ impl RaftMsg {
     pub fn encode(&self, out: &mut Vec<u8>) {
         let mut w = ByteWriter::new(out);
         match self {
-            RaftMsg::RequestVote { term, candidate, last_log_idx, last_log_term } => {
-                w.u8(0).u64(*term).u32(*candidate).u64(*last_log_idx).u64(*last_log_term);
+            RaftMsg::RequestVote {
+                term,
+                candidate,
+                last_log_idx,
+                last_log_term,
+            } => {
+                w.u8(0)
+                    .u64(*term)
+                    .u32(*candidate)
+                    .u64(*last_log_idx)
+                    .u64(*last_log_term);
             }
             RaftMsg::RequestVoteResp { term, granted } => {
                 w.u8(1).u64(*term).bool(*granted);
             }
-            RaftMsg::AppendEntries { term, leader, prev_idx, prev_term, entries, leader_commit } => {
+            RaftMsg::AppendEntries {
+                term,
+                leader,
+                prev_idx,
+                prev_term,
+                entries,
+                leader_commit,
+            } => {
                 w.u8(2)
                     .u64(*term)
                     .u32(*leader)
@@ -69,7 +85,11 @@ impl RaftMsg {
                     w.u64(e.term).bytes(&e.data);
                 }
             }
-            RaftMsg::AppendEntriesResp { term, success, match_idx } => {
+            RaftMsg::AppendEntriesResp {
+                term,
+                success,
+                match_idx,
+            } => {
                 w.u8(3).u64(*term).bool(*success).u64(*match_idx);
             }
         }
@@ -84,7 +104,10 @@ impl RaftMsg {
                 last_log_idx: r.u64()?,
                 last_log_term: r.u64()?,
             },
-            1 => RaftMsg::RequestVoteResp { term: r.u64()?, granted: r.bool()? },
+            1 => RaftMsg::RequestVoteResp {
+                term: r.u64()?,
+                granted: r.bool()?,
+            },
             2 => {
                 let term = r.u64()?;
                 let leader = r.u32()?;
@@ -98,7 +121,14 @@ impl RaftMsg {
                     let data = r.bytes()?.to_vec();
                     entries.push(LogEntry { term, data });
                 }
-                RaftMsg::AppendEntries { term, leader, prev_idx, prev_term, entries, leader_commit }
+                RaftMsg::AppendEntries {
+                    term,
+                    leader,
+                    prev_idx,
+                    prev_term,
+                    entries,
+                    leader_commit,
+                }
             }
             3 => RaftMsg::AppendEntriesResp {
                 term: r.u64()?,
@@ -106,7 +136,10 @@ impl RaftMsg {
                 match_idx: r.u64()?,
             },
             _ => {
-                return Err(Truncated { needed: 1, remaining: 0 });
+                return Err(Truncated {
+                    needed: 1,
+                    remaining: 0,
+                });
             }
         })
     }
@@ -130,19 +163,32 @@ mod tests {
             last_log_idx: 10,
             last_log_term: 2,
         });
-        roundtrip(RaftMsg::RequestVoteResp { term: 3, granted: true });
+        roundtrip(RaftMsg::RequestVoteResp {
+            term: 3,
+            granted: true,
+        });
         roundtrip(RaftMsg::AppendEntries {
             term: 4,
             leader: 0,
             prev_idx: 9,
             prev_term: 3,
             entries: vec![
-                LogEntry { term: 4, data: b"put k v".to_vec() },
-                LogEntry { term: 4, data: vec![] },
+                LogEntry {
+                    term: 4,
+                    data: b"put k v".to_vec(),
+                },
+                LogEntry {
+                    term: 4,
+                    data: vec![],
+                },
             ],
             leader_commit: 8,
         });
-        roundtrip(RaftMsg::AppendEntriesResp { term: 4, success: false, match_idx: 7 });
+        roundtrip(RaftMsg::AppendEntriesResp {
+            term: 4,
+            success: false,
+            match_idx: 7,
+        });
     }
 
     #[test]
@@ -156,7 +202,10 @@ mod tests {
             leader: 0,
             prev_idx: 0,
             prev_term: 0,
-            entries: vec![LogEntry { term: 1, data: b"xyz".to_vec() }],
+            entries: vec![LogEntry {
+                term: 1,
+                data: b"xyz".to_vec(),
+            }],
             leader_commit: 0,
         }
         .encode(&mut buf);

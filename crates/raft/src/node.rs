@@ -198,9 +198,14 @@ impl RaftNode {
     /// once a majority replicates it ([`RaftNode::take_committed`]).
     pub fn propose(&mut self, data: Vec<u8>, now_ns: u64) -> Result<u64, NotLeader> {
         if self.role != Role::Leader {
-            return Err(NotLeader { hint: self.leader_hint() });
+            return Err(NotLeader {
+                hint: self.leader_hint(),
+            });
         }
-        self.log.push(LogEntry { term: self.term, data });
+        self.log.push(LogEntry {
+            term: self.term,
+            data,
+        });
         let idx = self.log.len() as u64;
         // Eagerly replicate (don't wait for the heartbeat timer): this is
         // what makes single-PUT replication latency ≈ one extra RTT.
@@ -313,19 +318,19 @@ impl RaftNode {
     /// Process a message from `from`; returns the direct reply, if the
     /// message warrants one (AppendEntries/RequestVote do; responses are
     /// absorbed). The caller ships the reply and anything in the outbox.
-    pub fn handle_message(
-        &mut self,
-        from: NodeId,
-        msg: RaftMsg,
-        now_ns: u64,
-    ) -> Option<RaftMsg> {
+    pub fn handle_message(&mut self, from: NodeId, msg: RaftMsg, now_ns: u64) -> Option<RaftMsg> {
         match msg {
-            RaftMsg::RequestVote { term, candidate, last_log_idx, last_log_term } => {
+            RaftMsg::RequestVote {
+                term,
+                candidate,
+                last_log_idx,
+                last_log_term,
+            } => {
                 if term > self.term {
                     self.step_down(term, now_ns);
                 }
-                let log_ok = (last_log_term, last_log_idx)
-                    >= (self.last_log_term(), self.last_log_idx());
+                let log_ok =
+                    (last_log_term, last_log_idx) >= (self.last_log_term(), self.last_log_idx());
                 let granted = term == self.term
                     && log_ok
                     && (self.voted_for.is_none() || self.voted_for == Some(candidate));
@@ -333,7 +338,10 @@ impl RaftNode {
                     self.voted_for = Some(candidate);
                     self.reset_election_timer(now_ns);
                 }
-                Some(RaftMsg::RequestVoteResp { term: self.term, granted })
+                Some(RaftMsg::RequestVoteResp {
+                    term: self.term,
+                    granted,
+                })
             }
             RaftMsg::RequestVoteResp { term, granted } => {
                 if term > self.term {
@@ -346,7 +354,14 @@ impl RaftNode {
                 }
                 None
             }
-            RaftMsg::AppendEntries { term, leader, prev_idx, prev_term, entries, leader_commit } => {
+            RaftMsg::AppendEntries {
+                term,
+                leader,
+                prev_idx,
+                prev_term,
+                entries,
+                leader_commit,
+            } => {
                 if term > self.term || (term == self.term && self.role != Role::Follower) {
                     self.step_down(term, now_ns);
                 }
@@ -386,9 +401,17 @@ impl RaftNode {
                 if leader_commit > self.commit_idx {
                     self.commit_idx = leader_commit.min(match_idx.max(self.commit_idx));
                 }
-                Some(RaftMsg::AppendEntriesResp { term: self.term, success: true, match_idx })
+                Some(RaftMsg::AppendEntriesResp {
+                    term: self.term,
+                    success: true,
+                    match_idx,
+                })
             }
-            RaftMsg::AppendEntriesResp { term, success, match_idx } => {
+            RaftMsg::AppendEntriesResp {
+                term,
+                success,
+                match_idx,
+            } => {
                 if term > self.term {
                     self.step_down(term, now_ns);
                     return None;
@@ -455,12 +478,14 @@ mod tests {
             let nodes = ids
                 .iter()
                 .map(|&i| {
-                    let peers: Vec<NodeId> =
-                        ids.iter().copied().filter(|&p| p != i).collect();
+                    let peers: Vec<NodeId> = ids.iter().copied().filter(|&p| p != i).collect();
                     RaftNode::new(i, peers, cfg.clone(), 42, 0)
                 })
                 .collect();
-            Self { nodes, queue: std::collections::VecDeque::new() }
+            Self {
+                nodes,
+                queue: std::collections::VecDeque::new(),
+            }
         }
 
         /// Run ticks + message delivery until quiescent or budget spent.
@@ -548,7 +573,10 @@ mod tests {
         for n in &mut bus.nodes {
             let mut applied = Vec::new();
             n.take_committed(|i, d| applied.push((i, d[0])));
-            assert_eq!(applied, (0..10).map(|i| (i as u64 + 1, i)).collect::<Vec<_>>());
+            assert_eq!(
+                applied,
+                (0..10).map(|i| (i as u64 + 1, i)).collect::<Vec<_>>()
+            );
         }
     }
 
@@ -582,7 +610,11 @@ mod tests {
         );
         assert_eq!(
             reply,
-            Some(RaftMsg::AppendEntriesResp { term: cur, success: false, match_idx: 0 })
+            Some(RaftMsg::AppendEntriesResp {
+                term: cur,
+                success: false,
+                match_idx: 0
+            })
         );
         assert!(bus.nodes[l].is_leader(), "stale message must not depose");
     }
@@ -618,7 +650,10 @@ mod tests {
                 leader: 1,
                 prev_idx: 5,
                 prev_term: 1,
-                entries: vec![LogEntry { term: 1, data: vec![] }],
+                entries: vec![LogEntry {
+                    term: 1,
+                    data: vec![],
+                }],
                 leader_commit: 0,
             },
             0,
@@ -642,8 +677,14 @@ mod tests {
                 prev_idx: 0,
                 prev_term: 0,
                 entries: vec![
-                    LogEntry { term: 1, data: b"a".to_vec() },
-                    LogEntry { term: 1, data: b"b".to_vec() },
+                    LogEntry {
+                        term: 1,
+                        data: b"a".to_vec(),
+                    },
+                    LogEntry {
+                        term: 1,
+                        data: b"b".to_vec(),
+                    },
                 ],
                 leader_commit: 0,
             },
@@ -658,7 +699,10 @@ mod tests {
                 leader: 2,
                 prev_idx: 1,
                 prev_term: 1,
-                entries: vec![LogEntry { term: 2, data: b"c".to_vec() }],
+                entries: vec![LogEntry {
+                    term: 2,
+                    data: b"c".to_vec(),
+                }],
                 leader_commit: 0,
             },
             0,

@@ -19,7 +19,9 @@ use std::cell::RefCell;
 use std::collections::HashMap;
 use std::rc::Rc;
 
-use erpc::{DeferredHandle, LatencyHistogram, Rpc, RpcConfig, SessionHandle};
+use erpc::{
+    DeferredHandle, LatencyHistogram, Rpc, RpcCall, RpcConfig, RpcError, RpcMessage, SessionHandle,
+};
 use erpc_store::Mica;
 use erpc_transport::codec::{ByteReader, ByteWriter};
 use erpc_transport::{Addr, Transport};
@@ -33,8 +35,6 @@ pub const RAFT_MSG: u8 = 10;
 pub const KV_PUT: u8 = 11;
 /// Local GET (client → leader).
 pub const KV_GET: u8 = 12;
-/// Continuation id used internally for Raft message RPCs.
-const RAFT_CONT: u8 = 100;
 
 /// PUT/GET response status byte.
 pub const ST_OK: u8 = 0;
@@ -52,6 +52,147 @@ pub fn decode_put(b: &[u8]) -> Option<(&[u8], &[u8])> {
     let k = r.bytes().ok()?;
     let v = r.bytes().ok()?;
     Some((k, v))
+}
+
+// ── Typed client messages (the `RpcMessage`/`Channel` facade) ───────────
+//
+// The KV service speaks these over the wire; clients call them through
+// `erpc::Channel::call_typed` and servers answer via typed handlers, so
+// neither side hand-rolls byte slicing. The byte format is identical to
+// the historical one (`encode_put` + status-byte responses).
+
+/// Replicated PUT request ([`KV_PUT`]); commits through Raft.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct KvPut {
+    pub key: Vec<u8>,
+    pub val: Vec<u8>,
+}
+
+impl RpcMessage for KvPut {
+    fn encode(&self, out: &mut Vec<u8>) {
+        encode_put(&self.key, &self.val, out);
+    }
+
+    fn decode(bytes: &[u8]) -> Result<Self, RpcError> {
+        let (k, v) = decode_put(bytes).ok_or(RpcError::Decode)?;
+        Ok(Self {
+            key: k.to_vec(),
+            val: v.to_vec(),
+        })
+    }
+
+    fn encoded_len_hint(&self) -> usize {
+        self.key.len() + self.val.len() + 16
+    }
+}
+
+impl RpcCall for KvPut {
+    const REQ_TYPE: u8 = KV_PUT;
+    type Resp = KvPutResp;
+}
+
+/// Response to [`KvPut`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum KvPutResp {
+    /// Committed by a Raft majority and applied.
+    Ok,
+    /// This replica is not the leader; `hint` names it when known.
+    NotLeader { hint: Option<NodeId> },
+}
+
+impl RpcMessage for KvPutResp {
+    fn encode(&self, out: &mut Vec<u8>) {
+        match self {
+            KvPutResp::Ok => {
+                ByteWriter::new(out).u8(ST_OK);
+            }
+            KvPutResp::NotLeader { hint } => {
+                ByteWriter::new(out)
+                    .u8(ST_NOT_LEADER)
+                    .u32(hint.unwrap_or(u32::MAX));
+            }
+        }
+    }
+
+    fn decode(bytes: &[u8]) -> Result<Self, RpcError> {
+        let mut r = ByteReader::new(bytes);
+        match r.u8().map_err(|_| RpcError::Decode)? {
+            ST_OK => Ok(KvPutResp::Ok),
+            ST_NOT_LEADER => {
+                let hint = r.u32().map_err(|_| RpcError::Decode)?;
+                Ok(KvPutResp::NotLeader {
+                    hint: (hint != u32::MAX).then_some(hint),
+                })
+            }
+            _ => Err(RpcError::Decode),
+        }
+    }
+
+    fn encoded_len_hint(&self) -> usize {
+        8
+    }
+}
+
+/// Local GET request ([`KV_GET`]); served from the replica's store.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct KvGet {
+    pub key: Vec<u8>,
+}
+
+impl RpcMessage for KvGet {
+    fn encode(&self, out: &mut Vec<u8>) {
+        out.extend_from_slice(&self.key);
+    }
+
+    fn decode(bytes: &[u8]) -> Result<Self, RpcError> {
+        Ok(Self {
+            key: bytes.to_vec(),
+        })
+    }
+
+    fn encoded_len_hint(&self) -> usize {
+        self.key.len()
+    }
+}
+
+impl RpcCall for KvGet {
+    const REQ_TYPE: u8 = KV_GET;
+    type Resp = KvGetResp;
+}
+
+/// Response to [`KvGet`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum KvGetResp {
+    Found(Vec<u8>),
+    NotFound,
+}
+
+impl RpcMessage for KvGetResp {
+    fn encode(&self, out: &mut Vec<u8>) {
+        match self {
+            KvGetResp::Found(v) => {
+                ByteWriter::new(out).u8(ST_OK).raw(v);
+            }
+            KvGetResp::NotFound => {
+                ByteWriter::new(out).u8(ST_NOT_FOUND);
+            }
+        }
+    }
+
+    fn decode(bytes: &[u8]) -> Result<Self, RpcError> {
+        match bytes.first() {
+            Some(&ST_OK) => Ok(KvGetResp::Found(bytes[1..].to_vec())),
+            Some(&ST_NOT_FOUND) => Ok(KvGetResp::NotFound),
+            _ => Err(RpcError::Decode),
+        }
+    }
+
+    fn encoded_len_hint(&self) -> usize {
+        match self {
+            KvGetResp::Found(v) => v.len() + 8,
+            KvGetResp::NotFound => 8,
+        }
+    }
 }
 
 /// One replica: an eRPC endpoint + Raft node + MICA store.
@@ -88,7 +229,9 @@ impl<T: Transport> Replica<T> {
         let now = rpc.transport().now_ns();
         let now_cell = Rc::new(std::cell::Cell::new(now));
         let peer_ids: Vec<NodeId> = peers.keys().copied().collect();
-        let raft = Rc::new(RefCell::new(RaftNode::new(id, peer_ids, raft_cfg, seed, now)));
+        let raft = Rc::new(RefCell::new(RaftNode::new(
+            id, peer_ids, raft_cfg, seed, now,
+        )));
         let store = Rc::new(RefCell::new(Mica::new(1 << 20)));
         let pending: Rc<RefCell<HashMap<u64, (DeferredHandle, u64)>>> =
             Rc::new(RefCell::new(HashMap::new()));
@@ -139,51 +282,19 @@ impl<T: Transport> Replica<T> {
                     }
                     Err(e) => {
                         let mut buf = Vec::with_capacity(8);
-                        ByteWriter::new(&mut buf)
-                            .u8(ST_NOT_LEADER)
-                            .u32(e.hint.unwrap_or(u32::MAX));
+                        KvPutResp::NotLeader { hint: e.hint }.encode(&mut buf);
                         ctx.respond(&buf);
                     }
                 }
             }),
         );
 
-        // ── KV_GET handler: local read.
+        // ── KV_GET handler: local read, via the typed facade.
         let store_h = Rc::clone(&store);
-        rpc.register_request_handler(
-            KV_GET,
-            Box::new(move |ctx, req| {
-                let store = store_h.borrow();
-                let mut buf = Vec::with_capacity(80);
-                match store.get(req) {
-                    Some(v) => {
-                        ByteWriter::new(&mut buf).u8(ST_OK).raw(v);
-                    }
-                    None => {
-                        ByteWriter::new(&mut buf).u8(ST_NOT_FOUND);
-                    }
-                }
-                ctx.respond(&buf);
-            }),
-        );
-
-        // ── Continuation for our outbound Raft messages: feed replies back.
-        let raft_h = Rc::clone(&raft);
-        let now_h = Rc::clone(&now_cell);
-        rpc.register_continuation(
-            RAFT_CONT,
-            Box::new(move |ctx, comp| {
-                if comp.result.is_ok() && !comp.resp.data().is_empty() {
-                    if let Ok(msg) = RaftMsg::decode(comp.resp.data()) {
-                        let from = comp.tag as NodeId;
-                        let direct = raft_h.borrow_mut().handle_message(from, msg, now_h.get());
-                        debug_assert!(direct.is_none(), "responses never need replies");
-                    }
-                }
-                ctx.free_msg_buffer(comp.req);
-                ctx.free_msg_buffer(comp.resp);
-            }),
-        );
+        rpc.register_typed_handler::<KvGet, _>(move |get| match store_h.borrow().get(&get.key) {
+            Some(v) => KvGetResp::Found(v.to_vec()),
+            None => KvGetResp::NotFound,
+        });
 
         let mut replica = Self {
             rpc,
@@ -246,18 +357,34 @@ impl<T: Transport> Replica<T> {
             raft.take_outbox()
         };
         for (peer, msg) in outbox {
-            let Some(&sess) = self.peer_sessions.get(&peer) else { continue };
+            let Some(&sess) = self.peer_sessions.get(&peer) else {
+                continue;
+            };
             let mut body = Vec::with_capacity(96);
             ByteWriter::new(&mut body).u32(self.id);
             msg.encode(&mut body);
             let mut req = self.rpc.alloc_msg_buffer(body.len());
             req.fill(&body);
             let resp = self.rpc.alloc_msg_buffer(256);
+            // Per-request continuation: captures which peer this RPC went
+            // to (the old API smuggled that through the `tag`). It feeds
+            // the peer's direct reply back into the consensus core.
             // Failure of a raft message RPC is fine: Raft retries by
             // design (heartbeats re-send state).
+            let raft_h = Rc::clone(&self.raft);
+            let now_h = Rc::clone(&self.now_cell);
             let _ = self
                 .rpc
-                .enqueue_request(sess, RAFT_MSG, req, resp, RAFT_CONT, peer as u64);
+                .enqueue_request(sess, RAFT_MSG, req, resp, move |ctx, comp| {
+                    if comp.result.is_ok() && !comp.resp.data().is_empty() {
+                        if let Ok(msg) = RaftMsg::decode(comp.resp.data()) {
+                            let direct = raft_h.borrow_mut().handle_message(peer, msg, now_h.get());
+                            debug_assert!(direct.is_none(), "responses never need replies");
+                        }
+                    }
+                    ctx.free_msg_buffer(comp.req);
+                    ctx.free_msg_buffer(comp.resp);
+                });
         }
         // Apply committed entries and release deferred client responses.
         let mut completed: Vec<(u64, DeferredHandle)> = Vec::new();
@@ -291,7 +418,6 @@ impl<T: Transport> Replica<T> {
 mod tests {
     use super::*;
     use erpc_transport::{MemFabric, MemFabricConfig, MemTransport};
-    use std::cell::Cell;
 
     fn rpc_cfg() -> RpcConfig {
         RpcConfig {
@@ -382,16 +508,9 @@ mod tests {
         let mut replicas = cluster(3);
         let l = wait_for_leader(&mut replicas);
 
-        // A client endpoint issues a PUT to the leader.
-        let fabric_client = {
-            // Reach into the same fabric by creating the client on a new
-            // fabric won't work; use a 4th endpoint on the shared fabric.
-            // (cluster() hides the fabric, so rebuild everything here.)
-        };
-        let _ = fabric_client;
-        // Simpler: drive a PUT through the leader's own handler path via a
-        // loopback client endpoint is built in integration tests; here we
-        // propose directly and verify commit + apply.
+        // The full client path (eRPC endpoint → typed Channel) is covered
+        // by end_to_end_put_from_erpc_client; here we propose directly at
+        // the leader and verify commit + apply on every replica.
         let mut body = Vec::new();
         encode_put(b"k1", b"v1", &mut body);
         {
@@ -411,7 +530,9 @@ mod tests {
 
     #[test]
     fn end_to_end_put_from_erpc_client() {
-        // Build cluster + client on one shared fabric.
+        // Build cluster + client on one shared fabric. The client speaks
+        // the typed `Channel` facade end-to-end: `KvPut`/`KvGet` structs
+        // in, `KvPutResp`/`KvGetResp` out — no byte slicing.
         let fabric = MemFabric::new(MemFabricConfig::default());
         let n = 3;
         let addrs: Vec<Addr> = (0..n as u16).map(|i| Addr::new(i, 0)).collect();
@@ -434,33 +555,27 @@ mod tests {
         let l = wait_for_leader(&mut replicas);
 
         let mut client = Rpc::new(fabric.create_transport(Addr::new(9, 0)), rpc_cfg());
-        let sess = client.create_session(addrs[l]).unwrap();
-        while !client.is_connected(sess) {
+        let chan = erpc::Channel::connect(&mut client, addrs[l]).unwrap();
+        while !chan.is_connected(&client) {
             client.run_event_loop_once();
             poll_all(&mut replicas);
         }
-        let done = Rc::new(Cell::new(false));
-        let d2 = done.clone();
-        client.register_continuation(
-            1,
-            Box::new(move |_ctx, comp| {
-                assert!(comp.result.is_ok());
-                assert_eq!(comp.resp.data(), &[ST_OK]);
-                d2.set(true);
-            }),
-        );
-        let mut body = Vec::new();
-        encode_put(b"alpha", b"beta", &mut body);
-        let mut req = client.alloc_msg_buffer(body.len());
-        req.fill(&body);
-        let resp = client.alloc_msg_buffer(64);
-        client.enqueue_request(sess, KV_PUT, req, resp, 1, 0).unwrap();
+        let put = chan
+            .call_typed(
+                &mut client,
+                &KvPut {
+                    key: b"alpha".to_vec(),
+                    val: b"beta".to_vec(),
+                },
+            )
+            .unwrap();
         let start = std::time::Instant::now();
-        while !done.get() {
+        while !put.is_done() {
             client.run_event_loop_once();
             poll_all(&mut replicas);
             assert!(start.elapsed().as_secs() < 10, "PUT stalled");
         }
+        assert_eq!(put.try_take().unwrap().unwrap(), KvPutResp::Ok);
         // Every replica applies it (followers learn the commit index from
         // the next AppendEntries, so poll until it propagates).
         let start = std::time::Instant::now();
@@ -473,28 +588,56 @@ mod tests {
             assert!(start.elapsed().as_secs() < 10, "apply propagation stalled");
         }
         // GET from the leader sees the value.
-        let got = Rc::new(RefCell::new(Vec::new()));
-        let g2 = got.clone();
-        client.register_continuation(
-            2,
-            Box::new(move |_ctx, comp| {
-                assert!(comp.result.is_ok());
-                g2.borrow_mut().extend_from_slice(comp.resp.data());
-            }),
-        );
-        let mut req = client.alloc_msg_buffer(5);
-        req.fill(b"alpha");
-        let resp = client.alloc_msg_buffer(64);
-        client.enqueue_request(sess, KV_GET, req, resp, 2, 0).unwrap();
+        let get = chan
+            .call_typed(
+                &mut client,
+                &KvGet {
+                    key: b"alpha".to_vec(),
+                },
+            )
+            .unwrap();
         let start = std::time::Instant::now();
-        while got.borrow().is_empty() {
+        while !get.is_done() {
             client.run_event_loop_once();
             poll_all(&mut replicas);
             assert!(start.elapsed().as_secs() < 10, "GET stalled");
         }
-        let g = got.borrow();
-        assert_eq!(g[0], ST_OK);
-        assert_eq!(&g[1..], b"beta");
+        assert_eq!(
+            get.try_take().unwrap().unwrap(),
+            KvGetResp::Found(b"beta".to_vec())
+        );
+    }
+
+    #[test]
+    fn kv_message_codecs_roundtrip() {
+        let put = KvPut {
+            key: b"k".to_vec(),
+            val: b"vvv".to_vec(),
+        };
+        let mut b = Vec::new();
+        put.encode(&mut b);
+        assert_eq!(KvPut::decode(&b).unwrap(), put);
+        // Wire compatibility: typed PUT encodes exactly like encode_put.
+        let mut legacy = Vec::new();
+        encode_put(b"k", b"vvv", &mut legacy);
+        assert_eq!(b, legacy);
+
+        for resp in [
+            KvPutResp::Ok,
+            KvPutResp::NotLeader { hint: Some(2) },
+            KvPutResp::NotLeader { hint: None },
+        ] {
+            let mut b = Vec::new();
+            resp.encode(&mut b);
+            assert_eq!(KvPutResp::decode(&b).unwrap(), resp);
+        }
+        for resp in [KvGetResp::Found(b"x".to_vec()), KvGetResp::NotFound] {
+            let mut b = Vec::new();
+            resp.encode(&mut b);
+            assert_eq!(KvGetResp::decode(&b).unwrap(), resp);
+        }
+        assert_eq!(KvPutResp::decode(&[]), Err(erpc::RpcError::Decode));
+        assert_eq!(KvGetResp::decode(&[9]), Err(erpc::RpcError::Decode));
     }
 
     #[test]
@@ -502,6 +645,16 @@ mod tests {
         let mut replicas = cluster(3);
         let l = wait_for_leader(&mut replicas);
         let f = (0..3).find(|&i| i != l).unwrap();
+        // The follower learns who leads from the first heartbeat; poll
+        // until it has.
+        let start = std::time::Instant::now();
+        while replicas[f].leader_hint() != Some(l as NodeId) {
+            poll_all(&mut replicas);
+            assert!(
+                start.elapsed().as_secs() < 10,
+                "leader hint never propagated"
+            );
+        }
         // Propose at the follower directly: NotLeader with hint.
         let now = replicas[f].now_cell.get();
         let err = replicas[f]

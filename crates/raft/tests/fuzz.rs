@@ -65,7 +65,8 @@ impl Fuzz {
             return; // dropped
         }
         let delay = self.rng.gen_range(1..40);
-        self.wire.push_back((self.now + delay, from, to, msg.clone()));
+        self.wire
+            .push_back((self.now + delay, from, to, msg.clone()));
         if self.rng.gen_bool(0.05) {
             // duplicated, possibly arriving later
             let delay2 = self.rng.gen_range(1..80);
@@ -81,8 +82,7 @@ impl Fuzz {
             let cut = self.rng.gen_range(0..self.n());
             for i in 0..self.n() {
                 for j in 0..self.n() {
-                    self.link_up[i][j] =
-                        healthy || (i != cut && j != cut) || i == j;
+                    self.link_up[i][j] = healthy || (i != cut && j != cut) || i == j;
                 }
             }
         }
@@ -130,7 +130,8 @@ impl Fuzz {
                 let prev = self.leaders_by_term.insert(n.term(), i as NodeId);
                 if let Some(p) = prev {
                     assert_eq!(
-                        p, i as NodeId,
+                        p,
+                        i as NodeId,
                         "two leaders in term {}: {p} and {i}",
                         n.term()
                     );
@@ -231,5 +232,8 @@ fn log_entries_survive_in_order() {
         assert_eq!(want, *got, "applied indices must be gap-free");
     }
     // Sanity type use.
-    let _ = LogEntry { term: 0, data: vec![] };
+    let _ = LogEntry {
+        term: 0,
+        data: vec![],
+    };
 }

@@ -1,0 +1,192 @@
+//! Std-only shim for the subset of `crossbeam` 0.8 this workspace uses:
+//! `channel::{unbounded, Sender, Receiver}` (MPMC, clonable receivers)
+//! and `utils::CachePadded`.
+
+pub mod channel {
+    use std::collections::VecDeque;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::sync::{Arc, Condvar, Mutex};
+
+    struct Shared<T> {
+        queue: Mutex<VecDeque<T>>,
+        ready: Condvar,
+        senders: AtomicUsize,
+    }
+
+    /// Sending half; clonable, `Send`.
+    pub struct Sender<T>(Arc<Shared<T>>);
+
+    /// Receiving half; clonable (MPMC), `Send`.
+    pub struct Receiver<T>(Arc<Shared<T>>);
+
+    #[derive(Debug, PartialEq, Eq)]
+    pub struct SendError<T>(pub T);
+
+    #[derive(Debug, PartialEq, Eq)]
+    pub struct RecvError;
+
+    #[derive(Debug, PartialEq, Eq)]
+    pub enum TryRecvError {
+        Empty,
+        Disconnected,
+    }
+
+    /// An unbounded MPMC channel.
+    pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+        let shared = Arc::new(Shared {
+            queue: Mutex::new(VecDeque::new()),
+            ready: Condvar::new(),
+            senders: AtomicUsize::new(1),
+        });
+        (Sender(Arc::clone(&shared)), Receiver(shared))
+    }
+
+    impl<T> Sender<T> {
+        pub fn send(&self, value: T) -> Result<(), SendError<T>> {
+            // Unbounded and receiver-counted-less: sends always succeed
+            // while any Receiver could still exist (matching how the
+            // workspace uses the channel).
+            let mut q = self.0.queue.lock().unwrap_or_else(|e| e.into_inner());
+            q.push_back(value);
+            drop(q);
+            self.0.ready.notify_one();
+            Ok(())
+        }
+    }
+
+    impl<T> Clone for Sender<T> {
+        fn clone(&self) -> Self {
+            self.0.senders.fetch_add(1, Ordering::SeqCst);
+            Sender(Arc::clone(&self.0))
+        }
+    }
+
+    impl<T> Drop for Sender<T> {
+        fn drop(&mut self) {
+            if self.0.senders.fetch_sub(1, Ordering::SeqCst) == 1 {
+                // Last sender gone: wake every blocked receiver.
+                self.0.ready.notify_all();
+            }
+        }
+    }
+
+    impl<T> Receiver<T> {
+        /// Block until a value arrives or every sender is dropped.
+        pub fn recv(&self) -> Result<T, RecvError> {
+            let mut q = self.0.queue.lock().unwrap_or_else(|e| e.into_inner());
+            loop {
+                if let Some(v) = q.pop_front() {
+                    return Ok(v);
+                }
+                if self.0.senders.load(Ordering::SeqCst) == 0 {
+                    return Err(RecvError);
+                }
+                q = self.0.ready.wait(q).unwrap_or_else(|e| e.into_inner());
+            }
+        }
+
+        pub fn try_recv(&self) -> Result<T, TryRecvError> {
+            let mut q = self.0.queue.lock().unwrap_or_else(|e| e.into_inner());
+            if let Some(v) = q.pop_front() {
+                Ok(v)
+            } else if self.0.senders.load(Ordering::SeqCst) == 0 {
+                Err(TryRecvError::Disconnected)
+            } else {
+                Err(TryRecvError::Empty)
+            }
+        }
+    }
+
+    impl<T> Clone for Receiver<T> {
+        fn clone(&self) -> Self {
+            Receiver(Arc::clone(&self.0))
+        }
+    }
+}
+
+pub mod utils {
+    /// Pads and aligns a value to 128 bytes so neighbouring values never
+    /// share a cache line (two lines: spatial-prefetcher safe, matching
+    /// crossbeam's x86-64 choice).
+    #[derive(Debug, Default)]
+    #[repr(align(128))]
+    pub struct CachePadded<T>(T);
+
+    impl<T> CachePadded<T> {
+        pub const fn new(value: T) -> Self {
+            Self(value)
+        }
+
+        pub fn into_inner(self) -> T {
+            self.0
+        }
+    }
+
+    impl<T> std::ops::Deref for CachePadded<T> {
+        type Target = T;
+        fn deref(&self) -> &T {
+            &self.0
+        }
+    }
+
+    impl<T> std::ops::DerefMut for CachePadded<T> {
+        fn deref_mut(&mut self) -> &mut T {
+            &mut self.0
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::channel::{unbounded, TryRecvError};
+    use super::utils::CachePadded;
+
+    #[test]
+    fn mpmc_roundtrip() {
+        let (tx, rx) = unbounded::<u32>();
+        let rx2 = rx.clone();
+        tx.send(1).unwrap();
+        tx.send(2).unwrap();
+        assert_eq!(rx.recv().unwrap(), 1);
+        assert_eq!(rx2.recv().unwrap(), 2);
+        assert_eq!(rx.try_recv(), Err(TryRecvError::Empty));
+    }
+
+    #[test]
+    fn recv_unblocks_on_sender_drop() {
+        let (tx, rx) = unbounded::<u32>();
+        let h = std::thread::spawn(move || rx.recv());
+        std::thread::sleep(std::time::Duration::from_millis(10));
+        drop(tx);
+        assert!(h.join().unwrap().is_err());
+    }
+
+    #[test]
+    fn multi_consumer_drains_all() {
+        let (tx, rx) = unbounded::<u64>();
+        let mut handles = Vec::new();
+        for _ in 0..3 {
+            let rx = rx.clone();
+            handles.push(std::thread::spawn(move || {
+                let mut got = 0u64;
+                while rx.recv().is_ok() {
+                    got += 1;
+                }
+                got
+            }));
+        }
+        for i in 0..3000 {
+            tx.send(i).unwrap();
+        }
+        drop(tx);
+        let total: u64 = handles.into_iter().map(|h| h.join().unwrap()).sum();
+        assert_eq!(total, 3000);
+    }
+
+    #[test]
+    fn cache_padded_is_aligned() {
+        let x = CachePadded::new(7u8);
+        assert_eq!(*x, 7);
+        assert_eq!(std::mem::align_of::<CachePadded<u8>>(), 128);
+    }
+}

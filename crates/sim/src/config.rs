@@ -50,7 +50,11 @@ impl Topology {
     pub fn num_hosts(&self) -> usize {
         match *self {
             Topology::SingleSwitch { hosts } => hosts,
-            Topology::TwoTier { tors, hosts_per_tor, .. } => tors * hosts_per_tor,
+            Topology::TwoTier {
+                tors,
+                hosts_per_tor,
+                ..
+            } => tors * hosts_per_tor,
         }
     }
 
@@ -123,8 +127,7 @@ impl SimConfig {
     pub fn wire_rtt_ns(&self, cross_tor: bool) -> u64 {
         let hops: u64 = if cross_tor { 3 } else { 1 };
         let ser = (60.0 * 8e9 / self.link_bps) as u64;
-        let one_way =
-            (hops + 1) * (self.prop_delay_ns + ser) + hops * self.switch_latency_ns;
+        let one_way = (hops + 1) * (self.prop_delay_ns + ser) + hops * self.switch_latency_ns;
         2 * one_way
     }
 }
@@ -330,7 +333,11 @@ mod tests {
 
     #[test]
     fn topology_counts() {
-        let t = Topology::TwoTier { tors: 5, hosts_per_tor: 20, spines: 1 };
+        let t = Topology::TwoTier {
+            tors: 5,
+            hosts_per_tor: 20,
+            spines: 1,
+        };
         assert_eq!(t.num_hosts(), 100);
         assert_eq!(t.num_switches(), 6);
         let s = Topology::SingleSwitch { hosts: 8 };

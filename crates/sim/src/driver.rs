@@ -44,9 +44,8 @@ pub fn run<E: PolledEndpoint>(net: &NetHandle, endpoints: &mut [E], until_ns: u6
     // slices, and a poll scheduled before "now" would hand the endpoint
     // CPU time it never had.
     let start = net.borrow().now_ns();
-    let mut heap: BinaryHeap<Reverse<(u64, usize)>> = (0..endpoints.len())
-        .map(|i| Reverse((start, i)))
-        .collect();
+    let mut heap: BinaryHeap<Reverse<(u64, usize)>> =
+        (0..endpoints.len()).map(|i| Reverse((start, i))).collect();
     while let Some(&Reverse((t, idx))) = heap.peek() {
         if t > until_ns {
             break;
@@ -68,9 +67,8 @@ pub fn run_until<E: PolledEndpoint>(
     mut done: impl FnMut() -> bool,
 ) -> u64 {
     let start = net.borrow().now_ns();
-    let mut heap: BinaryHeap<Reverse<(u64, usize)>> = (0..endpoints.len())
-        .map(|i| Reverse((start, i)))
-        .collect();
+    let mut heap: BinaryHeap<Reverse<(u64, usize)>> =
+        (0..endpoints.len()).map(|i| Reverse((start, i))).collect();
     while let Some(&Reverse((t, idx))) = heap.peek() {
         if t > until_ns {
             break;
@@ -122,7 +120,7 @@ mod tests {
         let c1 = log.iter().filter(|e| e.0 == 1).count();
         assert_eq!(c0, 11); // t = 0, 100, ..., 1000
         assert_eq!(c1, 5); // t = 0, 250, 500, 750, 1000
-        // Global order is by time.
+                           // Global order is by time.
         assert!(log.windows(2).all(|w| w[0].1 <= w[1].1));
     }
 

@@ -157,7 +157,11 @@ impl SimNet {
             Topology::SingleSwitch { hosts } => {
                 vec![Switch::new(hosts, cfg.link_bps, 0, 0.0)]
             }
-            Topology::TwoTier { tors, hosts_per_tor, spines } => {
+            Topology::TwoTier {
+                tors,
+                hosts_per_tor,
+                spines,
+            } => {
                 let mut v: Vec<Switch> = (0..tors)
                     .map(|_| Switch::new(hosts_per_tor, cfg.link_bps, spines, cfg.uplink_bps))
                     .collect();
@@ -238,7 +242,11 @@ impl SimNet {
 
     fn push_event(&mut self, time: u64, kind: EvKind) {
         self.seq += 1;
-        self.events.push(Reverse(Ev { time, seq: self.seq, kind }));
+        self.events.push(Reverse(Ev {
+            time,
+            seq: self.seq,
+            kind,
+        }));
     }
 
     fn ser_ns(bytes: usize, rate_bps: f64) -> u64 {
@@ -273,7 +281,13 @@ impl SimNet {
             0
         };
         let wire_bytes = bytes.len() + self.cfg.wire_overhead_bytes;
-        let pkt = SimPacket { src, dst, bytes, wire_bytes, corrupted };
+        let pkt = SimPacket {
+            src,
+            dst,
+            bytes,
+            wire_bytes,
+            corrupted,
+        };
 
         // Host NIC TX: descriptor/DMA processing, then serialization onto
         // the access link (shared by all endpoints of the host).
@@ -303,7 +317,11 @@ impl SimNet {
     fn route(&self, sw: usize, pkt: &SimPacket) -> (usize, NextHop) {
         match self.cfg.topology {
             Topology::SingleSwitch { .. } => (pkt.dst.node as usize, NextHop::Host),
-            Topology::TwoTier { tors, hosts_per_tor, spines } => {
+            Topology::TwoTier {
+                tors,
+                hosts_per_tor,
+                spines,
+            } => {
                 let dst_tor = pkt.dst.node as usize / hosts_per_tor;
                 if sw < tors {
                     if dst_tor == sw {
@@ -347,8 +365,7 @@ impl SimNet {
             } else if q >= ecn.kmax_bytes {
                 1.0
             } else {
-                ecn.pmax * (q - ecn.kmin_bytes) as f64
-                    / (ecn.kmax_bytes - ecn.kmin_bytes) as f64
+                ecn.pmax * (q - ecn.kmin_bytes) as f64 / (ecn.kmax_bytes - ecn.kmin_bytes) as f64
             };
             if p > 0.0 && self.rng.gen_bool(p.min(1.0)) {
                 if let Some(b) = pkt.bytes.get_mut(ecn.flag_byte) {
@@ -366,7 +383,15 @@ impl SimNet {
         let start = (now + switch_latency).max(port.busy_until_ns);
         let end = start + Self::ser_ns(pkt.wire_bytes, port.rate_bps);
         port.busy_until_ns = end;
-        self.push_event(end, EvKind::PortDeparture { sw, port: port_idx, next, pkt });
+        self.push_event(
+            end,
+            EvKind::PortDeparture {
+                sw,
+                port: port_idx,
+                next,
+                pkt,
+            },
+        );
     }
 
     fn handle_port_departure(&mut self, sw: usize, port: usize, next: NextHop, pkt: SimPacket) {
@@ -420,9 +445,12 @@ impl SimNet {
             self.now_ns = self.now_ns.max(ev.time);
             match ev.kind {
                 EvKind::SwitchArrival { sw, pkt } => self.handle_switch_arrival(sw, pkt),
-                EvKind::PortDeparture { sw, port, next, pkt } => {
-                    self.handle_port_departure(sw, port, next, pkt)
-                }
+                EvKind::PortDeparture {
+                    sw,
+                    port,
+                    next,
+                    pkt,
+                } => self.handle_port_departure(sw, port, next, pkt),
                 EvKind::HostArrival { pkt } => self.handle_host_arrival(pkt),
             }
         }
@@ -448,7 +476,9 @@ impl SimNet {
         };
         let mut n = 0;
         while n < max {
-            let Some(pkt) = ep.queue.pop_front() else { break };
+            let Some(pkt) = ep.queue.pop_front() else {
+                break;
+            };
             ep.outstanding += 1;
             out.push(pkt);
             n += 1;
@@ -493,12 +523,22 @@ impl Switch {
     fn new(downlinks: usize, down_bps: f64, uplinks: usize, up_bps: f64) -> Self {
         let mut ports = Vec::with_capacity(downlinks + uplinks);
         for _ in 0..downlinks {
-            ports.push(Port { rate_bps: down_bps, ..Default::default() });
+            ports.push(Port {
+                rate_bps: down_bps,
+                ..Default::default()
+            });
         }
         for _ in 0..uplinks {
-            ports.push(Port { rate_bps: up_bps, ..Default::default() });
+            ports.push(Port {
+                rate_bps: up_bps,
+                ..Default::default()
+            });
         }
-        Self { ports, buffer_used: 0, max_buffer_used: 0 }
+        Self {
+            ports,
+            buffer_used: 0,
+            max_buffer_used: 0,
+        }
     }
 }
 
@@ -622,7 +662,10 @@ mod tests {
         let run = || {
             let mut cfg = Cluster::Cx5.config();
             cfg.topology = Topology::SingleSwitch { hosts: 2 };
-            cfg.faults = FaultConfig { drop_prob: 0.3, ..Default::default() };
+            cfg.faults = FaultConfig {
+                drop_prob: 0.3,
+                ..Default::default()
+            };
             let mut net = SimNet::new(cfg);
             net.register_endpoint(Addr::new(0, 0)).unwrap();
             net.register_endpoint(Addr::new(1, 0)).unwrap();
@@ -642,7 +685,10 @@ mod tests {
     fn corruption_drops_at_receiver() {
         let mut cfg = Cluster::Cx5.config();
         cfg.topology = Topology::SingleSwitch { hosts: 2 };
-        cfg.faults = FaultConfig { corrupt_prob: 1.0, ..Default::default() };
+        cfg.faults = FaultConfig {
+            corrupt_prob: 1.0,
+            ..Default::default()
+        };
         let mut net = SimNet::new(cfg);
         net.register_endpoint(Addr::new(0, 0)).unwrap();
         net.register_endpoint(Addr::new(1, 0)).unwrap();
@@ -668,7 +714,11 @@ mod tests {
     #[test]
     fn cross_tor_routing_two_tier() {
         let mut cfg = Cluster::Cx4.config();
-        cfg.topology = Topology::TwoTier { tors: 2, hosts_per_tor: 2, spines: 2 };
+        cfg.topology = Topology::TwoTier {
+            tors: 2,
+            hosts_per_tor: 2,
+            spines: 2,
+        };
         let mut net = SimNet::new(cfg);
         for n in 0..4 {
             net.register_endpoint(Addr::new(n, 0)).unwrap();
@@ -699,7 +749,10 @@ mod tests {
         }
         net.process_until(1_000_000_000);
         let st = net.switch_stats(0);
-        assert!(st.port_max_queue_bytes[0] > 100 * 1024, "queue must build at victim port");
+        assert!(
+            st.port_max_queue_bytes[0] > 100 * 1024,
+            "queue must build at victim port"
+        );
         assert_eq!(net.stats.pkts_delivered, 800);
     }
 
@@ -775,6 +828,9 @@ mod tests {
             .iter()
             .map(|p| u32::from_le_bytes(p.bytes[..4].try_into().unwrap()))
             .collect();
-        assert!(order.windows(2).any(|w| w[0] > w[1]), "expected at least one inversion");
+        assert!(
+            order.windows(2).any(|w| w[0] > w[1]),
+            "expected at least one inversion"
+        );
     }
 }

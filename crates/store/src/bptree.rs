@@ -47,7 +47,11 @@ impl<V> Default for BpTree<V> {
 impl<V> BpTree<V> {
     pub fn new() -> Self {
         Self {
-            nodes: vec![Node::Leaf { keys: Vec::new(), vals: Vec::new(), next: NIL }],
+            nodes: vec![Node::Leaf {
+                keys: Vec::new(),
+                vals: Vec::new(),
+                next: NIL,
+            }],
             root: 0,
             len: 0,
         }
@@ -160,27 +164,24 @@ impl<V> BpTree<V> {
 
     fn insert_rec(&mut self, n: u32, k: K, v: V) -> InsertResult<V> {
         match &mut self.nodes[n as usize] {
-            Node::Leaf { keys, vals, .. } => {
-                match keys.binary_search(&k) {
-                    Ok(i) => InsertResult::Replaced(std::mem::replace(&mut vals[i], v)),
-                    Err(i) => {
-                        keys.insert(i, k);
-                        vals.insert(i, v);
-                        if keys.len() > FANOUT {
-                            self.split_leaf(n)
-                        } else {
-                            InsertResult::Inserted
-                        }
+            Node::Leaf { keys, vals, .. } => match keys.binary_search(&k) {
+                Ok(i) => InsertResult::Replaced(std::mem::replace(&mut vals[i], v)),
+                Err(i) => {
+                    keys.insert(i, k);
+                    vals.insert(i, v);
+                    if keys.len() > FANOUT {
+                        self.split_leaf(n)
+                    } else {
+                        InsertResult::Inserted
                     }
                 }
-            }
+            },
             Node::Internal { keys, children } => {
                 let i = keys.partition_point(|&s| s <= k);
                 let child = children[i];
                 match self.insert_rec(child, k, v) {
                     InsertResult::Split(sep, right) => {
-                        let Node::Internal { keys, children } = &mut self.nodes[n as usize]
-                        else {
+                        let Node::Internal { keys, children } = &mut self.nodes[n as usize] else {
                             unreachable!()
                         };
                         keys.insert(i, sep);
@@ -206,7 +207,11 @@ impl<V> BpTree<V> {
         let right_keys = keys.split_off(mid);
         let right_vals = vals.split_off(mid);
         let sep = right_keys[0];
-        let right = Node::Leaf { keys: right_keys, vals: right_vals, next: *next };
+        let right = Node::Leaf {
+            keys: right_keys,
+            vals: right_vals,
+            next: *next,
+        };
         *next = new_idx;
         self.nodes.push(right);
         InsertResult::Split(sep, new_idx)
@@ -223,7 +228,10 @@ impl<V> BpTree<V> {
         let right_keys = keys.split_off(mid + 1);
         keys.pop(); // drop the promoted separator
         let right_children = children.split_off(mid + 1);
-        self.nodes.push(Node::Internal { keys: right_keys, children: right_children });
+        self.nodes.push(Node::Internal {
+            keys: right_keys,
+            children: right_children,
+        });
         InsertResult::Split(sep, new_idx)
     }
 }

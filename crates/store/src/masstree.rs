@@ -26,7 +26,9 @@ struct Layer<V> {
 
 impl<V> Layer<V> {
     fn new() -> Self {
-        Self { tree: BpTree::new() }
+        Self {
+            tree: BpTree::new(),
+        }
     }
 }
 
@@ -75,7 +77,10 @@ impl<V> Default for Masstree<V> {
 
 impl<V> Masstree<V> {
     pub fn new() -> Self {
-        Self { root: Layer::new(), len: 0 }
+        Self {
+            root: Layer::new(),
+            len: 0,
+        }
     }
 
     pub fn len(&self) -> usize {
@@ -214,12 +219,11 @@ impl<V> Masstree<V> {
                     prefix.extend_from_slice(&slice_bytes);
                     // Descend with the remaining start key only along the
                     // start slice itself; later subtrees scan fully.
-                    let sub_start: &[u8] =
-                        if start.len() > 8 && k == layer_key(&start[..8]) {
-                            &start[8..]
-                        } else {
-                            &[]
-                        };
+                    let sub_start: &[u8] = if start.len() > 8 && k == layer_key(&start[..8]) {
+                        &start[8..]
+                    } else {
+                        &[]
+                    };
                     let cont = self.scan_layer(next, sub_start, prefix, f);
                     prefix.truncate(prefix.len() - 8);
                     keep_going = cont;

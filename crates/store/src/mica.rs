@@ -152,7 +152,10 @@ impl Mica {
             return false;
         }
         // Allocate the item.
-        let item = Item { key: key.to_vec(), val: val.to_vec() };
+        let item = Item {
+            key: key.to_vec(),
+            val: val.to_vec(),
+        };
         let idx = if let Some(i) = self.free_items.pop() {
             self.items[i as usize] = Some(item);
             i

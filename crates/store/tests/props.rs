@@ -1,11 +1,13 @@
-//! Property-based tests (proptest) for the storage substrates: the
-//! Masstree and B+ tree against `BTreeMap`, MICA against `HashMap`, under
-//! arbitrary operation sequences.
+//! Property tests for the storage substrates: the Masstree and B+ tree
+//! against `BTreeMap`, MICA against `HashMap`, under random operation
+//! sequences. (Seeded-RNG case generation; the workspace builds offline,
+//! so no proptest.)
 
 use std::collections::{BTreeMap, HashMap};
 
 use erpc_store::{BpTree, Masstree, Mica};
-use proptest::prelude::*;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
 
 #[derive(Debug, Clone)]
 enum Op {
@@ -15,38 +17,42 @@ enum Op {
     Scan(Vec<u8>, usize),
 }
 
-fn key_strategy() -> impl Strategy<Value = Vec<u8>> {
-    // Short alphabet + variable length ⇒ heavy prefix sharing, which is
-    // what stresses trie layering.
-    proptest::collection::vec(prop::sample::select(vec![0u8, 1, 7, 8, 9, 255]), 0..20)
+/// Short alphabet + variable length ⇒ heavy prefix sharing, which is
+/// what stresses trie layering.
+fn random_key(rng: &mut SmallRng) -> Vec<u8> {
+    const ALPHABET: [u8; 6] = [0, 1, 7, 8, 9, 255];
+    let len = rng.gen_range(0..20);
+    (0..len)
+        .map(|_| ALPHABET[rng.gen_range(0..ALPHABET.len())])
+        .collect()
 }
 
-fn op_strategy() -> impl Strategy<Value = Op> {
-    prop_oneof![
-        (key_strategy(), any::<u64>()).prop_map(|(k, v)| Op::Put(k, v)),
-        key_strategy().prop_map(Op::Del),
-        key_strategy().prop_map(Op::Get),
-        (key_strategy(), 1usize..20).prop_map(|(k, n)| Op::Scan(k, n)),
-    ]
+fn random_op(rng: &mut SmallRng) -> Op {
+    match rng.gen_range(0..4) {
+        0 => Op::Put(random_key(rng), rng.gen::<u64>()),
+        1 => Op::Del(random_key(rng)),
+        2 => Op::Get(random_key(rng)),
+        _ => Op::Scan(random_key(rng), rng.gen_range(1..20)),
+    }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig { cases: 64, ..ProptestConfig::default() })]
-
-    #[test]
-    fn masstree_matches_btreemap(ops in proptest::collection::vec(op_strategy(), 1..300)) {
+#[test]
+fn masstree_matches_btreemap() {
+    for case in 0u64..64 {
+        let mut rng = SmallRng::seed_from_u64(0x3A55 ^ case);
+        let n_ops = rng.gen_range(1..300);
         let mut t: Masstree<u64> = Masstree::new();
         let mut model: BTreeMap<Vec<u8>, u64> = BTreeMap::new();
-        for op in ops {
-            match op {
+        for _ in 0..n_ops {
+            match random_op(&mut rng) {
                 Op::Put(k, v) => {
-                    prop_assert_eq!(t.put(&k, v), model.insert(k, v));
+                    assert_eq!(t.put(&k, v), model.insert(k, v));
                 }
                 Op::Del(k) => {
-                    prop_assert_eq!(t.remove(&k), model.remove(&k));
+                    assert_eq!(t.remove(&k), model.remove(&k));
                 }
                 Op::Get(k) => {
-                    prop_assert_eq!(t.get(&k), model.get(&k));
+                    assert_eq!(t.get(&k), model.get(&k));
                 }
                 Op::Scan(k, n) => {
                     let mut ours = Vec::new();
@@ -59,32 +65,35 @@ proptest! {
                         .take(n)
                         .map(|(key, &v)| (key.clone(), v))
                         .collect();
-                    prop_assert_eq!(ours, theirs);
+                    assert_eq!(ours, theirs);
                 }
             }
-            prop_assert_eq!(t.len(), model.len());
+            assert_eq!(t.len(), model.len());
         }
     }
+}
 
-    #[test]
-    fn bptree_matches_btreemap(
-        ops in proptest::collection::vec(
-            (any::<u16>(), 0u8..4, 0u8..3), 1..400
-        )
-    ) {
+#[test]
+fn bptree_matches_btreemap() {
+    for case in 0u64..64 {
+        let mut rng = SmallRng::seed_from_u64(0xB97EE ^ case);
+        let n_ops = rng.gen_range(1..400);
         let mut t: BpTree<u16> = BpTree::new();
         let mut model: BTreeMap<(u64, u8), u16> = BTreeMap::new();
-        for (x, disc, action) in ops {
+        for _ in 0..n_ops {
+            let x = rng.gen::<u16>();
+            let disc = rng.gen_range(0u8..4);
+            let action = rng.gen_range(0u8..3);
             let k = (x as u64, disc);
             match action {
                 0 => {
-                    prop_assert_eq!(t.insert(k, x), model.insert(k, x));
+                    assert_eq!(t.insert(k, x), model.insert(k, x));
                 }
                 1 => {
-                    prop_assert_eq!(t.remove(k), model.remove(&k));
+                    assert_eq!(t.remove(k), model.remove(&k));
                 }
                 _ => {
-                    prop_assert_eq!(t.get(k), model.get(&k));
+                    assert_eq!(t.get(k), model.get(&k));
                 }
             }
         }
@@ -95,32 +104,34 @@ proptest! {
             true
         });
         let theirs: Vec<((u64, u8), u16)> = model.into_iter().collect();
-        prop_assert_eq!(ours, theirs);
+        assert_eq!(ours, theirs);
     }
+}
 
-    #[test]
-    fn mica_matches_hashmap(
-        ops in proptest::collection::vec(
-            (proptest::collection::vec(any::<u8>(), 0..12), 0u8..3), 1..400
-        )
-    ) {
+#[test]
+fn mica_matches_hashmap() {
+    for case in 0u64..64 {
+        let mut rng = SmallRng::seed_from_u64(0x311CA ^ case);
+        let n_ops = rng.gen_range(1..400);
         let mut m = Mica::new(32); // tiny: forces chains
         let mut model: HashMap<Vec<u8>, Vec<u8>> = HashMap::new();
-        for (k, action) in ops {
-            match action {
+        for _ in 0..n_ops {
+            let klen = rng.gen_range(0..12);
+            let k: Vec<u8> = (0..klen).map(|_| rng.gen::<u8>()).collect();
+            match rng.gen_range(0u8..3) {
                 0 => {
                     let v = k.iter().rev().copied().collect::<Vec<u8>>();
                     m.put(&k, &v);
                     model.insert(k, v);
                 }
                 1 => {
-                    prop_assert_eq!(m.delete(&k), model.remove(&k).is_some());
+                    assert_eq!(m.delete(&k), model.remove(&k).is_some());
                 }
                 _ => {
-                    prop_assert_eq!(m.get(&k), model.get(&k).map(|v| v.as_slice()));
+                    assert_eq!(m.get(&k), model.get(&k).map(|v| v.as_slice()));
                 }
             }
-            prop_assert_eq!(m.len(), model.len());
+            assert_eq!(m.len(), model.len());
         }
     }
 }

@@ -167,7 +167,12 @@ mod tests {
     fn roundtrip_scalars() {
         let mut buf = Vec::new();
         let mut w = ByteWriter::new(&mut buf);
-        w.u8(7).u16(0xBEEF).u32(0xDEAD_BEEF).u64(u64::MAX).i64(-42).bool(true);
+        w.u8(7)
+            .u16(0xBEEF)
+            .u32(0xDEAD_BEEF)
+            .u64(u64::MAX)
+            .i64(-42)
+            .bool(true);
         let mut r = ByteReader::new(&buf);
         assert_eq!(r.u8().unwrap(), 7);
         assert_eq!(r.u16().unwrap(), 0xBEEF);
@@ -181,7 +186,10 @@ mod tests {
     #[test]
     fn roundtrip_bytes() {
         let mut buf = Vec::new();
-        ByteWriter::new(&mut buf).bytes(b"hello").bytes(b"").raw(b"xy");
+        ByteWriter::new(&mut buf)
+            .bytes(b"hello")
+            .bytes(b"")
+            .raw(b"xy");
         let mut r = ByteReader::new(&buf);
         assert_eq!(r.bytes().unwrap(), b"hello");
         assert_eq!(r.bytes().unwrap(), b"");

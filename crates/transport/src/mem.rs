@@ -185,7 +185,9 @@ impl Transport for MemTransport {
     fn rx_burst(&mut self, max: usize, out: &mut Vec<RxToken>) -> usize {
         let mut n = 0;
         while n < max {
-            let Some((pos, len)) = self.rx.try_claim() else { break };
+            let Some((pos, len)) = self.rx.try_claim() else {
+                break;
+            };
             self.claimed.push((pos, len));
             out.push(RxToken::new(pos, len));
             self.stats.rx_pkts += 1;
@@ -330,7 +332,11 @@ mod tests {
         while sent < 1000 {
             let bytes = sent.to_le_bytes();
             let before = a.stats().tx_pkts;
-            a.tx_burst(&[TxPacket { dst, hdr: &bytes, data: &[] }]);
+            a.tx_burst(&[TxPacket {
+                dst,
+                hdr: &bytes,
+                data: &[],
+            }]);
             if a.stats().tx_pkts > before {
                 sent += 1;
             }

@@ -148,8 +148,16 @@ mod tests {
     fn txpacket_dma_reads() {
         let hdr = [0u8; 16];
         let data = [0u8; 32];
-        let one = TxPacket { dst: Addr::new(0, 0), hdr: &hdr, data: &[] };
-        let two = TxPacket { dst: Addr::new(0, 0), hdr: &hdr, data: &data };
+        let one = TxPacket {
+            dst: Addr::new(0, 0),
+            hdr: &hdr,
+            data: &[],
+        };
+        let two = TxPacket {
+            dst: Addr::new(0, 0),
+            hdr: &hdr,
+            data: &data,
+        };
         assert_eq!(one.dma_reads(), 1);
         assert_eq!(two.dma_reads(), 2);
         assert_eq!(two.len(), 48);

@@ -1,9 +1,11 @@
 //! Property tests for the packet ring: arbitrary interleavings of push /
 //! claim / release against a model deque, plus a multi-producer stress
-//! with randomized payload sizes.
+//! with randomized payload sizes. (Seeded-RNG case generation; the
+//! workspace builds offline, so no proptest.)
 
 use erpc_transport::PacketRing;
-use proptest::prelude::*;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
 use std::collections::VecDeque;
 
 #[derive(Debug, Clone)]
@@ -14,25 +16,29 @@ enum RingOp {
     ReleaseNewest,
 }
 
-fn op_strategy() -> impl Strategy<Value = RingOp> {
-    prop_oneof![
-        3 => proptest::collection::vec(any::<u8>(), 0..32).prop_map(RingOp::Push),
-        3 => Just(RingOp::Claim),
-        1 => Just(RingOp::ReleaseOldest),
-        1 => Just(RingOp::ReleaseNewest),
-    ]
+fn random_op(rng: &mut SmallRng) -> RingOp {
+    // Weights mirror the original strategy: 3:3:1:1.
+    match rng.gen_range(0..8) {
+        0..=2 => {
+            let len = rng.gen_range(0..32);
+            RingOp::Push((0..len).map(|_| rng.gen::<u8>()).collect())
+        }
+        3..=5 => RingOp::Claim,
+        6 => RingOp::ReleaseOldest,
+        _ => RingOp::ReleaseNewest,
+    }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig { cases: 128, ..ProptestConfig::default() })]
-
-    /// Single-threaded model check. Slot-reuse discipline (Vyukov): the
-    /// producer claims positions in order, and position `g` is admissible
-    /// iff `g < CAP` or the claim at position `g − CAP` has been released —
-    /// releases may happen out of order, but a slot blocks its own next
-    /// lap until released. Payloads come back FIFO and intact.
-    #[test]
-    fn ring_matches_model(ops in proptest::collection::vec(op_strategy(), 1..200)) {
+/// Single-threaded model check. Slot-reuse discipline (Vyukov): the
+/// producer claims positions in order, and position `g` is admissible
+/// iff `g < CAP` or the claim at position `g − CAP` has been released —
+/// releases may happen out of order, but a slot blocks its own next
+/// lap until released. Payloads come back FIFO and intact.
+#[test]
+fn ring_matches_model() {
+    for case in 0u64..128 {
+        let mut rng = SmallRng::seed_from_u64(0x4116 ^ case);
+        let n_ops = rng.gen_range(1..200);
         const CAP: u64 = 8;
         let ring = PacketRing::new(CAP as usize, 32);
         let mut next_push = 0u64;
@@ -40,31 +46,29 @@ proptest! {
         let mut fifo: VecDeque<Vec<u8>> = VecDeque::new(); // pushed, unclaimed
         let mut claimed: Vec<(u64, Vec<u8>)> = Vec::new(); // claimed, unreleased
         let mut released: std::collections::HashSet<u64> = std::collections::HashSet::new();
-        for op in ops {
-            match op {
+        for _ in 0..n_ops {
+            match random_op(&mut rng) {
                 RingOp::Push(payload) => {
-                    let would_fit =
-                        next_push < CAP || released.contains(&(next_push - CAP));
+                    let would_fit = next_push < CAP || released.contains(&(next_push - CAP));
                     let ok = ring.push(&[&payload]);
-                    prop_assert_eq!(ok, would_fit, "push admission mismatch at {}", next_push);
+                    assert_eq!(ok, would_fit, "push admission mismatch at {next_push}");
                     if ok {
                         fifo.push_back(payload);
                         next_push += 1;
                     }
                 }
-                RingOp::Claim => {
-                    match ring.try_claim() {
-                        Some((pos, len)) => {
-                            prop_assert_eq!(pos, next_claim, "claims must be in order");
-                            let expect = fifo.pop_front()
-                                .expect("ring yielded a packet the model doesn't have");
-                            prop_assert_eq!(ring.claimed_bytes(pos, len), &expect[..]);
-                            claimed.push((pos, expect));
-                            next_claim += 1;
-                        }
-                        None => prop_assert!(fifo.is_empty(), "ring empty, model not"),
+                RingOp::Claim => match ring.try_claim() {
+                    Some((pos, len)) => {
+                        assert_eq!(pos, next_claim, "claims must be in order");
+                        let expect = fifo
+                            .pop_front()
+                            .expect("ring yielded a packet the model doesn't have");
+                        assert_eq!(ring.claimed_bytes(pos, len), &expect[..]);
+                        claimed.push((pos, expect));
+                        next_claim += 1;
                     }
-                }
+                    None => assert!(fifo.is_empty(), "ring empty, model not"),
+                },
                 RingOp::ReleaseOldest => {
                     if !claimed.is_empty() {
                         let (pos, _) = claimed.remove(0);
@@ -81,15 +85,18 @@ proptest! {
             }
         }
     }
+}
 
-    /// Multi-producer: no loss, no duplication, per-producer FIFO, for
-    /// randomized producer counts and payload lengths.
-    #[test]
-    fn ring_mpsc_stress(
-        producers in 2usize..5,
-        per_producer in 100usize..600,
-        payload_len in 8usize..32,
-    ) {
+/// Multi-producer: no loss, no duplication, per-producer FIFO, for
+/// randomized producer counts and payload lengths.
+#[test]
+fn ring_mpsc_stress() {
+    for case in 0u64..4 {
+        let mut rng = SmallRng::seed_from_u64(0x517E55 ^ case);
+        let producers = rng.gen_range(2usize..5);
+        let per_producer = rng.gen_range(100usize..600);
+        let payload_len = rng.gen_range(8usize..32);
+
         let ring = std::sync::Arc::new(PacketRing::new(64, 64));
         let mut handles = Vec::new();
         for p in 0..producers {
@@ -97,9 +104,7 @@ proptest! {
             handles.push(std::thread::spawn(move || {
                 for i in 0..per_producer {
                     let mut payload = vec![0u8; payload_len];
-                    payload[..8].copy_from_slice(
-                        &(((p as u64) << 32) | i as u64).to_le_bytes(),
-                    );
+                    payload[..8].copy_from_slice(&(((p as u64) << 32) | i as u64).to_le_bytes());
                     while !ring.push(&[&payload]) {
                         std::thread::yield_now();
                     }
@@ -111,10 +116,10 @@ proptest! {
         while total < producers * per_producer {
             if let Some((pos, len)) = ring.try_claim() {
                 let b = ring.claimed_bytes(pos, len);
-                prop_assert_eq!(len as usize, payload_len);
+                assert_eq!(len as usize, payload_len);
                 let v = u64::from_le_bytes(b[..8].try_into().unwrap());
                 let (p, i) = ((v >> 32) as usize, (v & 0xFFFF_FFFF) as i64);
-                prop_assert!(i > last_seen[p], "per-producer FIFO violated");
+                assert!(i > last_seen[p], "per-producer FIFO violated");
                 last_seen[p] = i;
                 ring.release(pos);
                 total += 1;
@@ -125,6 +130,6 @@ proptest! {
         for h in handles {
             h.join().unwrap();
         }
-        prop_assert!(ring.try_claim().is_none(), "phantom packet");
+        assert!(ring.try_claim().is_none(), "phantom packet");
     }
 }

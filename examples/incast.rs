@@ -15,16 +15,16 @@ use erpc_bench::experiments::tab5_incast::run_incast;
 fn main() {
     let mut args = std::env::args().skip(1);
     let m: usize = args.next().and_then(|a| a.parse().ok()).unwrap_or(20);
-    let cc = args
-        .next()
-        .map(|a| a != "off")
-        .unwrap_or(true);
+    let cc = args.next().map(|a| a != "off").unwrap_or(true);
     println!(
         "{m}-way incast on the simulated CX4 cluster (25 GbE, 12 MB switch buffers), cc {}",
         if cc { "on (Timely)" } else { "off" }
     );
     let r = run_incast(m, cc, false, 10_000_000);
-    println!("  total goodput at victim : {:.1} Gbps", r.total_goodput_bps / 1e9);
+    println!(
+        "  total goodput at victim : {:.1} Gbps",
+        r.total_goodput_bps / 1e9
+    );
     println!(
         "  client-observed RTTs    : p50 {:.0} µs, p99 {:.0} µs",
         r.rtt.percentile(50.0) as f64 / 1e3,

@@ -36,7 +36,10 @@ fn main() {
     // Server with 2 worker threads for scans.
     let mut server = Rpc::new(
         fabric.create_transport(Addr::new(0, 0)),
-        RpcConfig { num_worker_threads: 2, ..RpcConfig::default() },
+        RpcConfig {
+            num_worker_threads: 2,
+            ..RpcConfig::default()
+        },
     );
     let t_get = Arc::clone(&tree);
     server.register_request_handler(
@@ -62,46 +65,50 @@ fn main() {
     );
 
     // Client.
-    let mut client = Rpc::new(fabric.create_transport(Addr::new(1, 0)), RpcConfig::default());
+    let mut client = Rpc::new(
+        fabric.create_transport(Addr::new(1, 0)),
+        RpcConfig::default(),
+    );
     let sess = client.create_session(Addr::new(0, 0)).unwrap();
     while !client.is_connected(sess) {
         client.run_event_loop_once();
         server.run_event_loop_once();
     }
 
+    // Each request's closure knows what it asked for — no tag dispatch.
     let pending = Rc::new(Cell::new(0u32));
-    let p2 = pending.clone();
-    client.register_continuation(
-        1,
-        Box::new(move |ctx, comp| {
-            assert!(comp.result.is_ok());
-            match comp.tag {
-                0 => {
-                    let v = u64::from_le_bytes(comp.resp.data().try_into().unwrap());
-                    println!("GET user:00000123 → {v}");
-                }
-                _ => {
-                    println!("SCAN from user:00099995 →");
-                    print!("{}", String::from_utf8_lossy(comp.resp.data()));
-                }
-            }
-            p2.set(p2.get() + 1);
-            ctx.free_msg_buffer(comp.req);
-            ctx.free_msg_buffer(comp.resp);
-        }),
-    );
 
     // A point GET (dispatch path).
     let mut req = client.alloc_msg_buffer(16);
     req.fill(b"user:00000123");
     let resp = client.alloc_msg_buffer(16);
-    client.enqueue_request(sess, GET, req, resp, 1, 0).unwrap();
+    let p2 = pending.clone();
+    client
+        .enqueue_request(sess, GET, req, resp, move |ctx, comp| {
+            assert!(comp.result.is_ok());
+            let v = u64::from_le_bytes(comp.resp.data().try_into().unwrap());
+            println!("GET user:00000123 → {v}");
+            p2.set(p2.get() + 1);
+            ctx.free_msg_buffer(comp.req);
+            ctx.free_msg_buffer(comp.resp);
+        })
+        .unwrap();
 
     // A range SCAN (worker path) that runs off the end of the keyspace.
     let mut req = client.alloc_msg_buffer(16);
     req.fill(b"user:00099995");
     let resp = client.alloc_msg_buffer(4096);
-    client.enqueue_request(sess, SCAN, req, resp, 1, 1).unwrap();
+    let p3 = pending.clone();
+    client
+        .enqueue_request(sess, SCAN, req, resp, move |ctx, comp| {
+            assert!(comp.result.is_ok());
+            println!("SCAN from user:00099995 →");
+            print!("{}", String::from_utf8_lossy(comp.resp.data()));
+            p3.set(p3.get() + 1);
+            ctx.free_msg_buffer(comp.req);
+            ctx.free_msg_buffer(comp.resp);
+        })
+        .unwrap();
 
     while pending.get() < 2 {
         client.run_event_loop_once();

@@ -1,30 +1,40 @@
 //! Quickstart: a client and a server `Rpc` endpoint in one process,
 //! exchanging a small RPC over the in-memory fabric.
 //!
-//! Demonstrates the core eRPC workflow (§3.1):
+//! Demonstrates the core eRPC workflow (§3.1), Rust edition:
 //!   1. the server registers a request handler for a request type,
-//!   2. the client creates a session and registers a continuation,
-//!   3. the client enqueues a request with msgbufs it owns,
+//!   2. the client creates a session,
+//!   3. the client enqueues a request with msgbufs it owns and an owned
+//!      `FnOnce` continuation that captures any per-request state it
+//!      needs (no continuation table, no tags — see DESIGN.md),
 //!   4. both sides run their event loops until the continuation fires.
+//!
+//! Then the same exchange again through the high-level `Channel` facade,
+//! which handles buffers and completion plumbing for you.
 //!
 //! Run: `cargo run --example quickstart`
 
 use std::cell::Cell;
 use std::rc::Rc;
 
-use erpc::{Rpc, RpcConfig};
+use erpc::{Channel, Rpc, RpcConfig};
 use erpc_transport::{Addr, MemFabric, MemFabricConfig};
 
 const REQ_HELLO: u8 = 1;
-const CONT_HELLO: u8 = 1;
 
 fn main() {
     // The in-process fabric stands in for the datacenter network.
     let fabric = MemFabric::new(MemFabricConfig::default());
 
     // One Rpc endpoint per "thread" (here, both in main).
-    let mut server = Rpc::new(fabric.create_transport(Addr::new(0, 0)), RpcConfig::default());
-    let mut client = Rpc::new(fabric.create_transport(Addr::new(1, 0)), RpcConfig::default());
+    let mut server = Rpc::new(
+        fabric.create_transport(Addr::new(0, 0)),
+        RpcConfig::default(),
+    );
+    let mut client = Rpc::new(
+        fabric.create_transport(Addr::new(1, 0)),
+        RpcConfig::default(),
+    );
 
     // Server: a dispatch-mode handler. The request slice is zero-copy —
     // it points into the transport's RX ring (§4.2.3).
@@ -37,48 +47,55 @@ fn main() {
         }),
     );
 
-    // Client: continuations are registered once and dispatched by id; the
-    // `tag` distinguishes requests (no per-call allocation, §3.1).
-    let done = Rc::new(Cell::new(false));
-    let done2 = done.clone();
-    client.register_continuation(
-        CONT_HELLO,
-        Box::new(move |_ctx, completion| {
-            match completion.result {
-                Ok(()) => println!(
-                    "response (tag {}, {} ns): {}",
-                    completion.tag,
-                    completion.latency_ns,
-                    String::from_utf8_lossy(completion.resp.data())
-                ),
-                Err(e) => println!("rpc failed: {e}"),
-            }
-            done2.set(true);
-        }),
-    );
-
     // Connect a session (in-band handshake; poll both loops).
-    let session = client.create_session(Addr::new(0, 0)).expect("create_session");
+    let session = client
+        .create_session(Addr::new(0, 0))
+        .expect("create_session");
     while !client.is_connected(session) {
         client.run_event_loop_once();
         server.run_event_loop_once();
     }
     println!("session connected");
 
+    // ── Raw API ─────────────────────────────────────────────────────────
     // Msgbufs are owned by the app, lent to eRPC for the call's duration,
     // and returned through the continuation (§4.2.2's ownership rule —
-    // enforced by Rust's move semantics).
+    // enforced by Rust's move semantics). The continuation is an owned
+    // closure enqueued with the request; whatever context it needs, it
+    // captures (here: a label and the completion flag).
     let mut req = client.alloc_msg_buffer(16);
     req.fill(b"world");
     let resp = client.alloc_msg_buffer(64);
+    let done = Rc::new(Cell::new(false));
+    let done2 = done.clone();
+    let label = "first-rpc";
     client
-        .enqueue_request(session, REQ_HELLO, req, resp, CONT_HELLO, 42)
+        .enqueue_request(session, REQ_HELLO, req, resp, move |_ctx, completion| {
+            match completion.result {
+                Ok(()) => println!(
+                    "response ({label}, {} ns): {}",
+                    completion.latency_ns,
+                    String::from_utf8_lossy(completion.resp.data())
+                ),
+                Err(e) => println!("rpc failed: {e}"),
+            }
+            done2.set(true);
+        })
         .expect("enqueue_request");
 
     while !done.get() {
         client.run_event_loop_once();
         server.run_event_loop_once();
     }
+
+    // ── Channel facade ──────────────────────────────────────────────────
+    // For services: no msgbuf bookkeeping, just bytes in / bytes out.
+    let chan = Channel::new(session);
+    let call = chan.call(&mut client, REQ_HELLO, b"channel").expect("call");
+    let reply = call
+        .wait_with(&mut client, || server.run_event_loop_once())
+        .expect("rpc");
+    println!("channel response: {}", String::from_utf8_lossy(&reply));
 
     println!(
         "client sent {} data packet(s); server handled {} request(s)",

@@ -8,16 +8,17 @@
 //!
 //! Run: `cargo run --example replicated_kv`
 
-use std::cell::{Cell, RefCell};
 use std::collections::HashMap;
-use std::rc::Rc;
 
-use erpc::{Rpc, RpcConfig};
-use erpc_raft::{encode_put, RaftConfig, Replica, KV_GET, KV_PUT, ST_OK};
+use erpc::{Channel, Rpc, RpcConfig};
+use erpc_raft::{KvGet, KvGetResp, KvPut, KvPutResp, RaftConfig, Replica};
 use erpc_transport::{Addr, MemFabric, MemFabricConfig, MemTransport};
 
 fn rpc_cfg() -> RpcConfig {
-    RpcConfig { ping_interval_ns: 0, ..RpcConfig::default() }
+    RpcConfig {
+        ping_interval_ns: 0,
+        ..RpcConfig::default()
+    }
 }
 
 fn main() {
@@ -67,10 +68,11 @@ fn main() {
     };
     println!("node {leader} is the leader (term established)");
 
-    // Client endpoint.
+    // Client endpoint, speaking the typed `Channel` facade: `KvPut` /
+    // `KvGet` structs in, `KvPutResp` / `KvGetResp` out.
     let mut client = Rpc::new(fabric.create_transport(Addr::new(9, 0)), rpc_cfg());
-    let sess = client.create_session(addrs[leader]).unwrap();
-    while !client.is_connected(sess) {
+    let chan = Channel::connect(&mut client, addrs[leader]).unwrap();
+    while !chan.is_connected(&client) {
         client.run_event_loop_once();
         for r in replicas.iter_mut() {
             r.poll();
@@ -78,59 +80,48 @@ fn main() {
     }
 
     // PUT a few keys; each acknowledgment means "committed by a majority".
-    let put_done = Rc::new(Cell::new(0u32));
-    let p2 = put_done.clone();
-    client.register_continuation(
-        1,
-        Box::new(move |ctx, comp| {
-            assert!(comp.result.is_ok());
-            assert_eq!(comp.resp.data(), &[ST_OK], "PUT must commit");
-            println!("  committed PUT #{} in {:.1} µs", comp.tag, comp.latency_ns as f64 / 1e3);
-            p2.set(p2.get() + 1);
-            ctx.free_msg_buffer(comp.req);
-            ctx.free_msg_buffer(comp.resp);
-        }),
-    );
     let puts = 5u32;
     for i in 0..puts {
-        let mut body = Vec::new();
-        encode_put(format!("key-{i}").as_bytes(), format!("value-{i}").as_bytes(), &mut body);
-        let mut req = client.alloc_msg_buffer(body.len());
-        req.fill(&body);
-        let resp = client.alloc_msg_buffer(16);
-        client.enqueue_request(sess, KV_PUT, req, resp, 1, i as u64).unwrap();
-    }
-    while put_done.get() < puts {
-        client.run_event_loop_once();
-        for r in replicas.iter_mut() {
-            r.poll();
-        }
+        let put = KvPut {
+            key: format!("key-{i}").into_bytes(),
+            val: format!("value-{i}").into_bytes(),
+        };
+        let call = chan.call_typed(&mut client, &put).expect("enqueue PUT");
+        let t0 = std::time::Instant::now();
+        let resp = call
+            .wait_with(&mut client, || {
+                for r in replicas.iter_mut() {
+                    r.poll();
+                }
+            })
+            .expect("PUT rpc");
+        assert_eq!(resp, KvPutResp::Ok, "PUT must commit");
+        println!(
+            "  committed PUT #{i} in {:.1} µs",
+            t0.elapsed().as_secs_f64() * 1e6
+        );
     }
 
     // Read one back from the leader.
-    let got = Rc::new(RefCell::new(Vec::new()));
-    let g2 = got.clone();
-    client.register_continuation(
-        2,
-        Box::new(move |ctx, comp| {
-            assert!(comp.result.is_ok());
-            g2.borrow_mut().extend_from_slice(comp.resp.data());
-            ctx.free_msg_buffer(comp.req);
-            ctx.free_msg_buffer(comp.resp);
-        }),
-    );
-    let mut req = client.alloc_msg_buffer(5);
-    req.fill(b"key-3");
-    let resp = client.alloc_msg_buffer(64);
-    client.enqueue_request(sess, KV_GET, req, resp, 2, 0).unwrap();
-    while got.borrow().is_empty() {
-        client.run_event_loop_once();
-        for r in replicas.iter_mut() {
-            r.poll();
-        }
+    let call = chan
+        .call_typed(
+            &mut client,
+            &KvGet {
+                key: b"key-3".to_vec(),
+            },
+        )
+        .expect("enqueue GET");
+    let resp = call
+        .wait_with(&mut client, || {
+            for r in replicas.iter_mut() {
+                r.poll();
+            }
+        })
+        .expect("GET rpc");
+    match resp {
+        KvGetResp::Found(v) => println!("GET key-3 → {:?}", String::from_utf8_lossy(&v)),
+        KvGetResp::NotFound => println!("GET key-3 → not found"),
     }
-    let g = got.borrow();
-    println!("GET key-3 → status {}, value {:?}", g[0], String::from_utf8_lossy(&g[1..]));
 
     // Every replica's MICA store has every key (replication worked).
     loop {

@@ -16,7 +16,6 @@ use erpc_transport::udp::UdpConfig;
 use erpc_transport::{Addr, Transport, UdpTransport};
 
 const ECHO: u8 = 1;
-const CONT: u8 = 1;
 
 fn main() {
     let mut args = std::env::args().skip(1);
@@ -59,16 +58,6 @@ fn main() {
     );
 
     let completed = Rc::new(Cell::new(0u64));
-    let c2 = completed.clone();
-    client.register_continuation(
-        CONT,
-        Box::new(move |ctx, comp| {
-            assert!(comp.result.is_ok(), "rpc failed: {:?}", comp.result);
-            c2.set(c2.get() + 1);
-            ctx.free_msg_buffer(comp.req);
-            ctx.free_msg_buffer(comp.resp);
-        }),
-    );
 
     let sess = client.create_session(server_addr).unwrap();
     while !client.is_connected(sess) {
@@ -84,8 +73,14 @@ fn main() {
             let mut req = client.alloc_msg_buffer(32);
             req.fill(b"abcdefghijklmnopqrstuvwxyz012345");
             let resp = client.alloc_msg_buffer(32);
+            let c2 = completed.clone();
             client
-                .enqueue_request(sess, ECHO, req, resp, CONT, issued)
+                .enqueue_request(sess, ECHO, req, resp, move |ctx, comp| {
+                    assert!(comp.result.is_ok(), "rpc failed: {:?}", comp.result);
+                    c2.set(c2.get() + 1);
+                    ctx.free_msg_buffer(comp.req);
+                    ctx.free_msg_buffer(comp.resp);
+                })
                 .unwrap();
             issued += 1;
         }

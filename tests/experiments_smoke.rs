@@ -12,7 +12,10 @@ fn fig1_shape_cache_cliff() {
     let m = RdmaNicModel::default();
     let small = m.read_rate_mops(100, 1);
     let large = m.read_rate_mops(5_000, 1);
-    assert!(large < small * 0.6, "connection-cache cliff missing: {small} vs {large}");
+    assert!(
+        large < small * 0.6,
+        "connection-cache cliff missing: {small} vs {large}"
+    );
 }
 
 #[test]
@@ -25,7 +28,10 @@ fn tab2_latency_shapes() {
             (1_000..8_000).contains(&erpc_ns),
             "{cluster:?}: eRPC median {erpc_ns} ns out of range"
         );
-        assert!(erpc_ns > rdma_ns, "{cluster:?}: eRPC must cost more than raw RDMA");
+        assert!(
+            erpc_ns > rdma_ns,
+            "{cluster:?}: eRPC must cost more than raw RDMA"
+        );
         assert!(
             erpc_ns < rdma_ns + 1_500,
             "{cluster:?}: eRPC {erpc_ns} vs RDMA {rdma_ns}: gap too large"
@@ -71,11 +77,17 @@ fn fig6_shape_crossover_and_copy_bound() {
     let small = fig6_large_rpc_bw::sim_goodput_bps(4 << 10, 8, RX_COPY_NS_PER_BYTE, 0.0);
     let big = fig6_large_rpc_bw::sim_goodput_bps(2 << 20, 3, RX_COPY_NS_PER_BYTE, 0.0);
     let big_nocopy = fig6_large_rpc_bw::sim_goodput_bps(2 << 20, 3, 0.0, 0.0);
-    assert!(big > small * 3.0, "large messages must amortize: {small:.2e} vs {big:.2e}");
+    assert!(
+        big > small * 3.0,
+        "large messages must amortize: {small:.2e} vs {big:.2e}"
+    );
     assert!(big > 60e9, "plateau too low: {big:.2e}");
     assert!(big_nocopy > big, "removing the RX copy must raise goodput");
     let rdma = RdmaNicModel::default().write_goodput_gbps(2 << 20, 100e9) * 1e9;
-    assert!(big > rdma * 0.7, "paper: ≥70 % of RDMA write for large sizes");
+    assert!(
+        big > rdma * 0.7,
+        "paper: ≥70 % of RDMA write for large sizes"
+    );
 }
 
 #[test]
@@ -129,7 +141,10 @@ fn tab6_raft_latency_single_digit_us() {
         (2_000..9_700).contains(&client_p50),
         "client p50 {client_p50} ns must be single-digit µs (beat NetChain)"
     );
-    assert!(leader_p50 < client_p50, "commit happens before the client reply");
+    assert!(
+        leader_p50 < client_p50,
+        "commit happens before the client reply"
+    );
 }
 
 #[test]

@@ -1,4 +1,5 @@
-//! Property-based tests (proptest) of the end-to-end protocol and the
+//! Property-style tests (seeded-RNG case generation; the workspace
+//! builds offline, so no proptest) of the end-to-end protocol and the
 //! codec layers, spanning crates.
 //!
 //! The headline property, mirroring §5.3's at-most-once + go-back-N
@@ -14,10 +15,10 @@ use erpc::pkthdr::{PktHdr, PktType};
 use erpc::{Rpc, RpcConfig};
 use erpc_transport::codec::{ByteReader, ByteWriter};
 use erpc_transport::{Addr, MemFabric, MemFabricConfig};
-use proptest::prelude::*;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
 
 const ECHO: u8 = 1;
-const CONT: u8 = 9;
 
 fn lossy_roundtrips(loss: f64, seed: u64, sizes: Vec<usize>) {
     let fabric = MemFabric::new(MemFabricConfig {
@@ -42,79 +43,78 @@ fn lossy_roundtrips(loss: f64, seed: u64, sizes: Vec<usize>) {
     );
     let mut client = Rpc::new(fabric.create_transport(Addr::new(1, 0)), cfg);
     let sess = client.create_session(Addr::new(0, 0)).unwrap();
+    let start = std::time::Instant::now();
     while !client.is_connected(sess) {
         client.run_event_loop_once();
         server.run_event_loop_once();
+        assert!(start.elapsed().as_secs() < 30, "connect stalled");
     }
     let credits_before = client.session_credits_available(sess).unwrap();
 
     let done = Rc::new(Cell::new(0usize));
     let payload_ok = Rc::new(Cell::new(true));
-    let (d2, p2) = (done.clone(), payload_ok.clone());
-    client.register_continuation(
-        CONT,
-        Box::new(move |ctx, comp| {
-            if comp.result.is_err() {
-                p2.set(false);
-            } else {
-                let expect: Vec<u8> =
-                    (0..comp.req.len()).map(|i| (i % 251) as u8).rev().collect();
-                if comp.resp.data() != &expect[..] {
-                    p2.set(false);
-                }
-            }
-            ctx.free_msg_buffer(comp.req);
-            ctx.free_msg_buffer(comp.resp);
-            d2.set(d2.get() + 1);
-        }),
-    );
     let n = sizes.len();
-    for (i, &size) in sizes.iter().enumerate() {
+    for &size in sizes.iter() {
         let mut req = client.alloc_msg_buffer(size);
         let payload: Vec<u8> = (0..size).map(|j| (j % 251) as u8).collect();
         req.fill(&payload);
         let resp = client.alloc_msg_buffer(size.max(1));
-        client.enqueue_request(sess, ECHO, req, resp, CONT, i as u64).unwrap();
+        let (d2, p2) = (done.clone(), payload_ok.clone());
+        client
+            .enqueue_request(sess, ECHO, req, resp, move |ctx, comp| {
+                if comp.result.is_err() {
+                    p2.set(false);
+                } else {
+                    let expect: Vec<u8> =
+                        (0..comp.req.len()).map(|i| (i % 251) as u8).rev().collect();
+                    if comp.resp.data() != &expect[..] {
+                        p2.set(false);
+                    }
+                }
+                ctx.free_msg_buffer(comp.req);
+                ctx.free_msg_buffer(comp.resp);
+                d2.set(d2.get() + 1);
+            })
+            .unwrap();
     }
     let start = std::time::Instant::now();
     while done.get() < n {
         client.run_event_loop_once();
         server.run_event_loop_once();
-        assert!(start.elapsed().as_secs() < 60, "stalled: {}/{n}", done.get());
+        assert!(
+            start.elapsed().as_secs() < 60,
+            "stalled: {}/{n}",
+            done.get()
+        );
     }
     // Exactly-once completion, at-most-once execution, intact payloads.
     assert!(payload_ok.get(), "payload corrupted");
     assert_eq!(done.get(), n);
     assert_eq!(server.stats().handlers_invoked as usize, n);
     // No credit leaks after everything quiesces.
-    assert_eq!(client.session_credits_available(sess).unwrap(), credits_before);
+    assert_eq!(
+        client.session_credits_available(sess).unwrap(),
+        credits_before
+    );
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig {
-        cases: 12, ..ProptestConfig::default()
-    })]
-
-    #[test]
-    fn rpcs_complete_exactly_once_under_loss(
-        loss in 0.0f64..0.3,
-        seed in any::<u64>(),
-        sizes in proptest::collection::vec(0usize..6000, 1..8),
-    ) {
+#[test]
+fn rpcs_complete_exactly_once_under_loss() {
+    for case in 0u64..12 {
+        let mut rng = SmallRng::seed_from_u64(0x10551 ^ case);
+        let loss = rng.gen_range(0.0f64..0.3);
+        let seed = rng.gen::<u64>();
+        let n = rng.gen_range(1usize..8);
+        let sizes: Vec<usize> = (0..n).map(|_| rng.gen_range(0usize..6000)).collect();
         lossy_roundtrips(loss, seed, sizes);
     }
+}
 
-    #[test]
-    fn pkthdr_roundtrip(
-        req_type in any::<u8>(),
-        dest_session in any::<u16>(),
-        msg_size in 0u32..=(8 << 20),
-        req_num in 0u64..(1 << 48),
-        pkt_num in any::<u16>(),
-        ecn in any::<bool>(),
-        type_idx in 0u8..10,
-    ) {
-        let pkt_type = match type_idx {
+#[test]
+fn pkthdr_roundtrip() {
+    let mut rng = SmallRng::seed_from_u64(0x9EADE7);
+    for _ in 0..2000 {
+        let pkt_type = match rng.gen_range(0u8..10) {
             0 => PktType::Req,
             1 => PktType::Resp,
             2 => PktType::CreditReturn,
@@ -126,65 +126,100 @@ proptest! {
             8 => PktType::Ping,
             _ => PktType::Pong,
         };
-        let hdr = PktHdr { pkt_type, ecn, req_type, dest_session, msg_size, req_num, pkt_num };
-        prop_assert_eq!(PktHdr::decode(&hdr.encode()).unwrap(), hdr);
+        let hdr = PktHdr {
+            pkt_type,
+            ecn: rng.gen::<bool>(),
+            req_type: rng.gen::<u8>(),
+            dest_session: rng.gen::<u16>(),
+            msg_size: rng.gen_range(0u32..=(8 << 20)),
+            req_num: rng.gen_range(0u64..(1 << 48)),
+            pkt_num: rng.gen::<u16>(),
+        };
+        assert_eq!(PktHdr::decode(&hdr.encode()).unwrap(), hdr);
     }
+}
 
-    #[test]
-    fn pkthdr_never_panics_on_garbage(bytes in proptest::collection::vec(any::<u8>(), 0..64)) {
+#[test]
+fn pkthdr_never_panics_on_garbage() {
+    let mut rng = SmallRng::seed_from_u64(0x6A7BA6E);
+    for _ in 0..5000 {
+        let len = rng.gen_range(0usize..64);
+        let bytes: Vec<u8> = (0..len).map(|_| rng.gen::<u8>()).collect();
         let _ = PktHdr::decode(&bytes); // must not panic
     }
+}
 
-    #[test]
-    fn codec_roundtrip(
-        a in any::<u8>(), b in any::<u16>(), c in any::<u32>(), d in any::<u64>(),
-        e in any::<i64>(), f in any::<bool>(),
-        blob in proptest::collection::vec(any::<u8>(), 0..256),
-    ) {
+#[test]
+fn codec_roundtrip() {
+    let mut rng = SmallRng::seed_from_u64(0xC0DEC);
+    for _ in 0..1000 {
+        let a = rng.gen::<u8>();
+        let b = rng.gen::<u16>();
+        let c = rng.gen::<u32>();
+        let d = rng.gen::<u64>();
+        let e = rng.gen::<i64>();
+        let f = rng.gen::<bool>();
+        let blob: Vec<u8> = (0..rng.gen_range(0usize..256))
+            .map(|_| rng.gen::<u8>())
+            .collect();
         let mut buf = Vec::new();
-        ByteWriter::new(&mut buf).u8(a).u16(b).u32(c).u64(d).i64(e).bool(f).bytes(&blob);
+        ByteWriter::new(&mut buf)
+            .u8(a)
+            .u16(b)
+            .u32(c)
+            .u64(d)
+            .i64(e)
+            .bool(f)
+            .bytes(&blob);
         let mut r = ByteReader::new(&buf);
-        prop_assert_eq!(r.u8().unwrap(), a);
-        prop_assert_eq!(r.u16().unwrap(), b);
-        prop_assert_eq!(r.u32().unwrap(), c);
-        prop_assert_eq!(r.u64().unwrap(), d);
-        prop_assert_eq!(r.i64().unwrap(), e);
-        prop_assert_eq!(r.bool().unwrap(), f);
-        prop_assert_eq!(r.bytes().unwrap(), &blob[..]);
-        prop_assert_eq!(r.remaining(), 0);
+        assert_eq!(r.u8().unwrap(), a);
+        assert_eq!(r.u16().unwrap(), b);
+        assert_eq!(r.u32().unwrap(), c);
+        assert_eq!(r.u64().unwrap(), d);
+        assert_eq!(r.i64().unwrap(), e);
+        assert_eq!(r.bool().unwrap(), f);
+        assert_eq!(r.bytes().unwrap(), &blob[..]);
+        assert_eq!(r.remaining(), 0);
     }
+}
 
-    #[test]
-    fn msgbuf_layout_invariants(
-        size in 0usize..20_000,
-        dpp in prop::sample::select(vec![512usize, 1024, 4096]),
-    ) {
+#[test]
+fn msgbuf_layout_invariants() {
+    let mut rng = SmallRng::seed_from_u64(0x35_6B0F);
+    for _ in 0..300 {
+        let size = rng.gen_range(0usize..20_000);
+        let dpp = *[512usize, 1024, 4096]
+            .get(rng.gen_range(0usize..3))
+            .unwrap();
         let mut pool = erpc::BufPool::new(dpp);
         let mut m = pool.alloc(size);
         let payload: Vec<u8> = (0..size).map(|i| (i % 253) as u8).collect();
         m.fill(&payload);
         // Invariant 1: data region contiguous & intact.
-        prop_assert_eq!(m.data(), &payload[..]);
+        assert_eq!(m.data(), &payload[..]);
         // Invariant 2: per-packet views partition the data.
         let mut reassembled = Vec::new();
         for p in 0..m.num_pkts() {
             let (h, d) = m.tx_view(p);
             if p == 0 {
-                prop_assert!(d.is_empty(), "first packet is one contiguous DMA");
+                assert!(d.is_empty(), "first packet is one contiguous DMA");
                 reassembled.extend_from_slice(&h[erpc::PKT_HDR_SIZE..]);
             } else {
-                prop_assert_eq!(h.len(), erpc::PKT_HDR_SIZE);
+                assert_eq!(h.len(), erpc::PKT_HDR_SIZE);
                 reassembled.extend_from_slice(d);
             }
         }
-        prop_assert_eq!(reassembled, payload);
+        assert_eq!(reassembled, payload);
     }
+}
 
-    #[test]
-    fn timing_wheel_releases_everything_in_order(
-        deadlines in proptest::collection::vec(0u64..100_000, 1..200),
-        granularity in prop::sample::select(vec![64u64, 100, 1000]),
-    ) {
+#[test]
+fn timing_wheel_releases_everything_in_order() {
+    let mut rng = SmallRng::seed_from_u64(0x77EE1);
+    for _ in 0..60 {
+        let n = rng.gen_range(1usize..200);
+        let deadlines: Vec<u64> = (0..n).map(|_| rng.gen_range(0u64..100_000)).collect();
+        let granularity = *[64u64, 100, 1000].get(rng.gen_range(0usize..3)).unwrap();
         let mut wheel = erpc_congestion::TimingWheel::new(256, granularity, 0);
         for (i, &d) in deadlines.iter().enumerate() {
             wheel.insert(d, (d, i));
@@ -200,6 +235,6 @@ proptest! {
             });
             assert!(now < 10_000_000, "wheel failed to drain");
         }
-        prop_assert_eq!(released.len(), deadlines.len());
+        assert_eq!(released.len(), deadlines.len());
     }
 }

@@ -10,7 +10,6 @@ use erpc_sim::{driver, Cluster, FaultConfig, SimNet, SimTransport, Topology};
 use erpc_transport::Addr;
 
 const ECHO: u8 = 1;
-const CONT: u8 = 7;
 
 struct Harness {
     net: erpc_sim::NetHandle,
@@ -39,7 +38,10 @@ fn harness(faults: FaultConfig, rto_ns: u64) -> Harness {
         rto_ns,
         ..RpcConfig::default()
     };
-    let mut server = Rpc::new(SimTransport::new(net.clone(), Addr::new(0, 0)), rpc_cfg.clone());
+    let mut server = Rpc::new(
+        SimTransport::new(net.clone(), Addr::new(0, 0)),
+        rpc_cfg.clone(),
+    );
     server.register_request_handler(
         ECHO,
         Box::new(|ctx, req| {
@@ -61,24 +63,6 @@ fn run_echos(h: &mut Harness, n: u64, size: usize, budget_ns: u64) -> u64 {
     let sess = h.eps[1].rpc.create_session(Addr::new(0, 0)).unwrap();
     let done = Rc::new(Cell::new(0u64));
     let ok = Rc::new(Cell::new(true));
-    let (d2, o2) = (done.clone(), ok.clone());
-    h.eps[1].rpc.register_continuation(
-        CONT,
-        Box::new(move |ctx, comp| {
-            if comp.result.is_err() {
-                o2.set(false);
-            } else {
-                let expect: Vec<u8> =
-                    (0..comp.req.len()).map(|i| (i % 251) as u8).rev().collect();
-                if comp.resp.data() != &expect[..] {
-                    o2.set(false);
-                }
-            }
-            ctx.free_msg_buffer(comp.req);
-            ctx.free_msg_buffer(comp.resp);
-            d2.set(d2.get() + 1);
-        }),
-    );
     // Connect.
     let mut t = 0u64;
     while !h.eps[1].rpc.is_connected(sess) {
@@ -94,7 +78,22 @@ fn run_echos(h: &mut Harness, n: u64, size: usize, budget_ns: u64) -> u64 {
             let payload: Vec<u8> = (0..size).map(|j| (j % 251) as u8).collect();
             req.fill(&payload);
             let resp = rpc.alloc_msg_buffer(size.max(1));
-            rpc.enqueue_request(sess, ECHO, req, resp, CONT, i).unwrap();
+            let (d2, o2) = (done.clone(), ok.clone());
+            rpc.enqueue_request(sess, ECHO, req, resp, move |ctx, comp| {
+                if comp.result.is_err() {
+                    o2.set(false);
+                } else {
+                    let expect: Vec<u8> =
+                        (0..comp.req.len()).map(|i| (i % 251) as u8).rev().collect();
+                    if comp.resp.data() != &expect[..] {
+                        o2.set(false);
+                    }
+                }
+                ctx.free_msg_buffer(comp.req);
+                ctx.free_msg_buffer(comp.resp);
+                d2.set(d2.get() + 1);
+            })
+            .unwrap();
         }
         while done.get() == issued_at {
             t += 100_000;
@@ -115,7 +114,10 @@ fn clean_network_multi_packet() {
 
 #[test]
 fn lossy_network_recovers() {
-    let faults = FaultConfig { drop_prob: 0.05, ..Default::default() };
+    let faults = FaultConfig {
+        drop_prob: 0.05,
+        ..Default::default()
+    };
     let mut h = harness(faults, 1_000_000);
     let retx = run_echos(&mut h, 10, 4000, 60_000_000_000);
     assert!(retx > 0, "5 % loss must trigger go-back-N");
@@ -139,7 +141,10 @@ fn reordering_treated_as_loss() {
 
 #[test]
 fn corruption_dropped_by_fabric() {
-    let faults = FaultConfig { corrupt_prob: 0.1, ..Default::default() };
+    let faults = FaultConfig {
+        corrupt_prob: 0.1,
+        ..Default::default()
+    };
     let mut h = harness(faults, 1_000_000);
     run_echos(&mut h, 8, 3000, 60_000_000_000);
     assert!(h.net.borrow().stats.drops_corrupt > 0);
@@ -160,21 +165,14 @@ fn bdp_credits_sustain_line_rate_without_drops() {
         ..RpcConfig::default()
     }
     .with_bdp_credits(bdp, 1024);
-    let mut server = Rpc::new(SimTransport::new(net.clone(), Addr::new(0, 0)), rpc_cfg.clone());
+    let mut server = Rpc::new(
+        SimTransport::new(net.clone(), Addr::new(0, 0)),
+        rpc_cfg.clone(),
+    );
     server.register_request_handler(ECHO, Box::new(|ctx, _| ctx.respond(&[0; 16])));
     let mut client = Rpc::new(SimTransport::new(net.clone(), Addr::new(1, 0)), rpc_cfg);
     let done = Rc::new(Cell::new(0u64));
-    let d2 = done.clone();
     let bufs: Rc<RefCell<Vec<(erpc::MsgBuf, erpc::MsgBuf)>>> = Rc::new(RefCell::new(Vec::new()));
-    let b2 = bufs.clone();
-    client.register_continuation(
-        CONT,
-        Box::new(move |_ctx, comp| {
-            assert!(comp.result.is_ok());
-            d2.set(d2.get() + 1);
-            b2.borrow_mut().push((comp.req, comp.resp));
-        }),
-    );
     let sess = client.create_session(Addr::new(0, 0)).unwrap();
     let mut eps = vec![Ep { rpc: server }, Ep { rpc: client }];
     let mut t = 0u64;
@@ -184,13 +182,21 @@ fn bdp_credits_sustain_line_rate_without_drops() {
         assert!(t < 1_000_000_000);
     }
     // Stream 512 kB messages, 2 outstanding, for 2 ms of virtual time.
-    let issue = |rpc: &mut Rpc<SimTransport>, bufs: &Rc<RefCell<Vec<(erpc::MsgBuf, erpc::MsgBuf)>>>| {
+    let done2 = done.clone();
+    let issue = move |rpc: &mut Rpc<SimTransport>,
+                      bufs: &Rc<RefCell<Vec<(erpc::MsgBuf, erpc::MsgBuf)>>>| {
         let (mut req, resp) = bufs
             .borrow_mut()
             .pop()
             .unwrap_or((rpc.alloc_msg_buffer(512 << 10), rpc.alloc_msg_buffer(64)));
         req.resize(512 << 10);
-        rpc.enqueue_request(sess, ECHO, req, resp, CONT, 0).unwrap();
+        let (d2, b2) = (done2.clone(), bufs.clone());
+        rpc.enqueue_request(sess, ECHO, req, resp, move |_ctx, comp| {
+            assert!(comp.result.is_ok());
+            d2.set(d2.get() + 1);
+            b2.borrow_mut().push((comp.req, comp.resp));
+        })
+        .unwrap();
     };
     issue(&mut eps[1].rpc, &bufs);
     issue(&mut eps[1].rpc, &bufs);
@@ -211,6 +217,57 @@ fn bdp_credits_sustain_line_rate_without_drops() {
         "goodput {:.1} Gbps should approach the 25 Gbps line",
         goodput / 1e9
     );
-    assert_eq!(net.borrow().stats.drops_switch_buffer, 0, "BDP flow control ⇒ no switch drops");
+    assert_eq!(
+        net.borrow().stats.drops_switch_buffer,
+        0,
+        "BDP flow control ⇒ no switch drops"
+    );
     assert_eq!(eps[1].rpc.stats().retransmissions, 0);
+}
+
+#[test]
+fn channel_call_roundtrip_over_sim_transport() {
+    // The `Channel` facade over the discrete-event fabric: the sim driver
+    // advances virtual time between polls, so the call is resolved with
+    // `is_done`/`try_take` rather than a blocking wait.
+    let mut h = harness(FaultConfig::default(), 5_000_000);
+    let chan = erpc::Channel::connect(&mut h.eps[1].rpc, Addr::new(0, 0)).unwrap();
+    let mut t = 0u64;
+    while !chan.is_connected(&h.eps[1].rpc) {
+        t += 100_000;
+        driver::run(&h.net, &mut h.eps, t);
+        assert!(t < 1_000_000_000, "connect stalled");
+    }
+    let call = chan.call(&mut h.eps[1].rpc, ECHO, b"simulated").unwrap();
+    while !call.is_done() {
+        t += 100_000;
+        driver::run(&h.net, &mut h.eps, t);
+        assert!(t < 10_000_000_000, "channel call stalled in sim");
+    }
+    assert_eq!(call.try_take().unwrap().unwrap(), b"detalumis");
+
+    // A lossy fabric still resolves the call (go-back-N under the hood).
+    let mut h = harness(
+        FaultConfig {
+            drop_prob: 0.05,
+            ..Default::default()
+        },
+        1_000_000,
+    );
+    let chan = erpc::Channel::connect(&mut h.eps[1].rpc, Addr::new(0, 0)).unwrap();
+    let mut t = 0u64;
+    while !chan.is_connected(&h.eps[1].rpc) {
+        t += 100_000;
+        driver::run(&h.net, &mut h.eps, t);
+        assert!(t < 10_000_000_000, "lossy connect stalled");
+    }
+    let payload: Vec<u8> = (0..4000).map(|i| (i % 251) as u8).collect();
+    let call = chan.call(&mut h.eps[1].rpc, ECHO, &payload).unwrap();
+    while !call.is_done() {
+        t += 100_000;
+        driver::run(&h.net, &mut h.eps, t);
+        assert!(t < 60_000_000_000, "lossy channel call stalled");
+    }
+    let expect: Vec<u8> = payload.iter().rev().copied().collect();
+    assert_eq!(call.try_take().unwrap().unwrap(), expect);
 }
