@@ -59,10 +59,20 @@ pub struct RpcConfig {
     /// §4.1.1 / App. A: multi-packet RQ descriptors — re-post one
     /// 512-packet descriptor instead of one descriptor per packet.
     pub opt_multi_packet_rq: bool,
+    /// §4.3 / Table 3 ("transmit batching"): defer every outgoing packet
+    /// into a per-event-loop-pass queue and hand the whole batch to
+    /// `Transport::tx_burst` at once — one DMA doorbell per burst instead
+    /// of one per packet. When off, each packet is burst individually.
+    pub opt_tx_batching: bool,
 
     // ── Event loop tuning ───────────────────────────────────────────────
     /// Max packets per RX burst.
     pub rx_batch: usize,
+    /// Max descriptors in the deferred TX queue before the event loop
+    /// flushes mid-pass (with `opt_tx_batching`). The queue also always
+    /// flushes at the end of every event-loop pass, so this bounds batch
+    /// *size*, not latency.
+    pub tx_batch: usize,
     /// Timing-wheel slot count and width.
     pub wheel_slots: usize,
     pub wheel_granularity_ns: u64,
@@ -111,7 +121,9 @@ impl Default for RpcConfig {
             opt_preallocated_responses: true,
             opt_zero_copy_rx: true,
             opt_multi_packet_rq: true,
+            opt_tx_batching: true,
             rx_batch: 32,
+            tx_batch: 32,
             wheel_slots: 4096,
             wheel_granularity_ns: 200,
             timer_scan_interval_ns: 100_000,
@@ -146,6 +158,7 @@ impl RpcConfig {
         self.opt_preallocated_responses = false;
         self.opt_zero_copy_rx = false;
         self.opt_multi_packet_rq = false;
+        self.opt_tx_batching = false;
         self
     }
 
@@ -190,5 +203,6 @@ mod tests {
         assert!(!c.opt_preallocated_responses);
         assert!(!c.opt_zero_copy_rx);
         assert!(!c.opt_multi_packet_rq);
+        assert!(!c.opt_tx_batching);
     }
 }

@@ -73,9 +73,82 @@ impl ConnectResp {
     }
 }
 
+/// `DisconnectReq` body. Carries the client's identity so the server can
+/// acknowledge even when it no longer has the session: a retransmitted
+/// DisconnectReq for an already-freed session must still be acked
+/// (idempotent disconnect), and by then the server has forgotten the
+/// peer's address and session number.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) struct DisconnectReq {
+    pub client_addr: Addr,
+    pub client_session: u16,
+}
+
+impl DisconnectReq {
+    pub fn encode(&self, out: &mut Vec<u8>) {
+        ByteWriter::new(out)
+            .u32(self.client_addr.key())
+            .u16(self.client_session);
+    }
+
+    pub fn decode(b: &[u8]) -> Result<Self, Truncated> {
+        let mut r = ByteReader::new(b);
+        Ok(Self {
+            client_addr: Addr::from_key(r.u32()?),
+            client_session: r.u16()?,
+        })
+    }
+}
+
+/// `DisconnectResp` body: the acking server's address. The client frees
+/// its session only if this matches the session's peer — a delayed
+/// duplicate ack from an *earlier* disconnect (retries make duplicates
+/// routine) must not tear down a reused session slot that is now
+/// disconnecting from a different server.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) struct DisconnectResp {
+    pub server_addr: Addr,
+}
+
+impl DisconnectResp {
+    pub fn encode(&self, out: &mut Vec<u8>) {
+        ByteWriter::new(out).u32(self.server_addr.key());
+    }
+
+    pub fn decode(b: &[u8]) -> Result<Self, Truncated> {
+        let mut r = ByteReader::new(b);
+        Ok(Self {
+            server_addr: Addr::from_key(r.u32()?),
+        })
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn disconnect_resp_roundtrip() {
+        let m = DisconnectResp {
+            server_addr: Addr::new(9, 2),
+        };
+        let mut buf = Vec::new();
+        m.encode(&mut buf);
+        assert_eq!(DisconnectResp::decode(&buf).unwrap(), m);
+        assert!(DisconnectResp::decode(&buf[..2]).is_err());
+    }
+
+    #[test]
+    fn disconnect_req_roundtrip() {
+        let m = DisconnectReq {
+            client_addr: Addr::new(3, 1),
+            client_session: 12,
+        };
+        let mut buf = Vec::new();
+        m.encode(&mut buf);
+        assert_eq!(DisconnectReq::decode(&buf).unwrap(), m);
+        assert!(DisconnectReq::decode(&buf[..3]).is_err());
+    }
 
     #[test]
     fn connect_req_roundtrip() {

@@ -34,7 +34,7 @@ use parking_lot::RwLock;
 
 use crate::config::{CcAlgorithm, RpcConfig};
 use crate::error::RpcError;
-use crate::mgmt::{ConnectReq, ConnectResp};
+use crate::mgmt::{ConnectReq, ConnectResp, DisconnectReq, DisconnectResp};
 use crate::msgbuf::{BufPool, MsgBuf};
 use crate::pkthdr::{PktHdr, PktType, PKT_HDR_SIZE};
 use crate::session::{
@@ -257,6 +257,61 @@ struct WheelEntry {
     seq: u32,
 }
 
+/// Entry in the deferred TX queue (§4.3's transmit batching): every packet
+/// egress site appends one of these, and the event loop hands the whole
+/// batch to [`Transport::tx_burst`] at once — one DMA doorbell per batch.
+///
+/// Like [`WheelEntry`], msgbuf-backed packets are *descriptors*
+/// (session/slot/req_num/epoch), never buffer references: a descriptor is
+/// re-validated against live slot state when the batch drains, so go-back-N
+/// rollback or slot completion between enqueue and drain simply invalidates
+/// it. This is the Rust analogue of the §4.2.2 DMA-queue flush — stale
+/// descriptors can never reach the wire, and msgbuf ownership can return to
+/// the application without waiting on the queue.
+enum TxDesc {
+    /// Header-only control packet (CR / ping / pong); bytes owned here.
+    Ctrl { dst: Addr, hdr: [u8; PKT_HDR_SIZE] },
+    /// Management packet (connect / disconnect); header + body owned here.
+    Mgmt {
+        dst: Addr,
+        hdr: [u8; PKT_HDR_SIZE],
+        body: Vec<u8>,
+    },
+    /// Client TX sequence `seq` of a slot: request data packet while
+    /// `seq < req_total`, the RFR for response packet `seq − N + 1`
+    /// otherwise. Validated by (req_num, epoch) at drain.
+    ClientSeq {
+        sess: u16,
+        slot: u8,
+        req_num: u64,
+        epoch: u32,
+        seq: u32,
+    },
+    /// Server response packet `pkt` of a slot; validated by req_num and the
+    /// `Responding` phase at drain.
+    SrvResp {
+        sess: u16,
+        slot: u8,
+        req_num: u64,
+        pkt: u16,
+    },
+}
+
+/// Per-descriptor drain resolution (scratch, computed by the validation
+/// pass of [`Rpc::flush_tx_batch`], consumed by the view-building pass).
+enum TxResolved {
+    /// Stale: slot rolled back, completed, or freed since enqueue.
+    Skip,
+    /// Send the descriptor's own owned bytes.
+    Owned,
+    /// RFR header encoded at drain time (from live slot state).
+    Rfr([u8; PKT_HDR_SIZE]),
+    /// Client request data packet; view built from the slot's req msgbuf.
+    Data,
+    /// Server response data packet; view built from the slot's resp msgbuf.
+    Resp,
+}
+
 /// Point-in-time view of a session's health (see [`Rpc::session_info`]).
 #[derive(Debug, Clone)]
 pub struct SessionInfo {
@@ -299,6 +354,11 @@ pub struct Rpc<T: Transport> {
     handlers: Vec<HandlerEntry>,
     wheel: TimingWheel<WheelEntry>,
     wheel_scratch: Vec<WheelEntry>,
+    /// Deferred TX queue: drained into one `tx_burst` per event-loop pass
+    /// (or when it reaches `cfg.tx_batch`).
+    tx_queue: Vec<TxDesc>,
+    /// Reusable scratch for `flush_tx_batch`'s validation pass.
+    tx_resolved: Vec<TxResolved>,
     pending_ops: Vec<QueuedOp>,
     worker_pool: Option<WorkerPool>,
     worker_table: WorkerTable,
@@ -339,6 +399,8 @@ impl<T: Transport> Rpc<T> {
             handlers: (0..256).map(|_| HandlerEntry::None).collect(),
             wheel: TimingWheel::new(cfg.wheel_slots, cfg.wheel_granularity_ns, now),
             wheel_scratch: Vec::new(),
+            tx_queue: Vec::with_capacity(cfg.tx_batch),
+            tx_resolved: Vec::with_capacity(cfg.tx_batch),
             pending_ops: Vec::new(),
             worker_pool,
             worker_table,
@@ -459,7 +521,10 @@ impl<T: Transport> Rpc<T> {
             return Err(RpcError::TooManySessions);
         }
         let num = self.alloc_session_slot();
-        let now = self.now_cache;
+        // Fresh clock (cold path): `now_cache` may be arbitrarily stale if
+        // the app idled without polling the event loop, and a stale
+        // `last_rx_ns` could trip the connect give-up timer instantly.
+        let now = self.transport.now_ns();
         let sess = Session::new_client(
             num,
             peer,
@@ -549,9 +614,14 @@ impl<T: Transport> Rpc<T> {
             return Err(RpcError::NotConnected);
         }
         sess.state = SessionState::Disconnecting;
-        let hdr = PktHdr::control(PktType::DisconnectReq, sess.remote_num, 0, 0);
-        let dst = sess.peer;
-        self.tx_mgmt(dst, hdr, &[]);
+        // Disconnect-start stamp: `last_ping_tx_ns` is unused while
+        // disconnecting, so it bounds how long we retry before freeing the
+        // session locally (dead-peer disconnect must still terminate).
+        // Cold path, so read a fresh clock: `now_cache` may be arbitrarily
+        // stale if the app idled without polling the event loop, and a
+        // stale stamp could expire the whole retry window instantly.
+        sess.last_ping_tx_ns = self.transport.now_ns();
+        self.tx_disconnect_req(h.0);
         Ok(())
     }
 
@@ -613,11 +683,19 @@ impl<T: Transport> Rpc<T> {
         }
         sess.outstanding += 1;
         self.stats.requests_sent += 1;
+        // Fresh clock, not `now_cache`: enqueue is app-facing and may run
+        // arbitrarily long after the last event-loop pass; a stale stamp
+        // would fold application think-time into `Completion::latency_ns`.
+        // One clock read per *request* (not per packet) is outside the
+        // §5.2.2 batched-timestamp optimization's scope.
+        self.stats.clock_reads += 1;
+        let enqueue_ns = self.transport.now_ns();
         sess.backlog.push_back(PendingReq {
             req_type,
             req,
             resp,
             cont,
+            enqueue_ns,
         });
         let idx = h.0;
         if self.sessions[idx as usize].as_ref().unwrap().state == SessionState::Connected {
@@ -669,7 +747,7 @@ impl<T: Transport> Rpc<T> {
     // ── Event loop ─────────────────────────────────────────────────────
 
     /// One pass: RX burst → worker completions → pacing wheel → queued
-    /// ops → timers.
+    /// ops → timers → TX-batch flush.
     pub fn run_event_loop_once(&mut self) {
         // Batched timestamp: one clock read per pass (§5.2.2 opt 3).
         self.now_cache = self.transport.now_ns();
@@ -684,6 +762,9 @@ impl<T: Transport> Rpc<T> {
             self.last_timer_scan_ns = self.now_cache;
             self.run_timers();
         }
+        // Transmit batching (§4.3, Table 3): everything queued this pass
+        // leaves in one burst — one DMA doorbell per pass, not per packet.
+        self.flush_tx_batch();
     }
 
     /// Run the event loop for (at least) `duration_ns` of transport time.
@@ -769,8 +850,8 @@ impl<T: Transport> Rpc<T> {
             PktType::Rfr => self.server_rx_rfr(hdr),
             PktType::ConnectReq => self.rx_connect_req(hdr, tok),
             PktType::ConnectResp => self.rx_connect_resp(hdr, tok),
-            PktType::DisconnectReq => self.rx_disconnect_req(hdr),
-            PktType::DisconnectResp => self.rx_disconnect_resp(hdr),
+            PktType::DisconnectReq => self.rx_disconnect_req(hdr, tok),
+            PktType::DisconnectResp => self.rx_disconnect_resp(hdr, tok),
             PktType::Ping => self.rx_ping(hdr),
             PktType::Pong => self.rx_pong(hdr),
         }
@@ -1411,26 +1492,59 @@ impl<T: Transport> Rpc<T> {
         self.pump_session(body.client_session);
     }
 
-    fn rx_disconnect_req(&mut self, hdr: PktHdr) {
-        // Server side: free the session and confirm.
-        let Some(Some(sess)) = self.sessions.get(hdr.dest_session as usize) else {
-            return;
+    fn rx_disconnect_req(&mut self, hdr: PktHdr, tok: RxToken) {
+        // Server side: free the session (if we still have it) and confirm.
+        // The body identifies the requesting client, which makes the
+        // handshake idempotent: a retransmitted DisconnectReq for a session
+        // we already freed — because our DisconnectResp was lost — is acked
+        // again instead of being silently ignored (which leaked the
+        // client's session forever).
+        let body = {
+            let b = self.transport.rx_bytes(&tok);
+            match DisconnectReq::decode(&b[PKT_HDR_SIZE..]) {
+                Ok(m) => m,
+                Err(_) => return,
+            }
         };
-        if sess.role != Role::Server {
-            return;
+        if let Some(Some(sess)) = self.sessions.get(hdr.dest_session as usize) {
+            // Only free if the session still belongs to this client: the
+            // session number may have been reused for a different peer
+            // after an earlier DisconnectReq already freed it.
+            if sess.role == Role::Server
+                && sess.peer == body.client_addr
+                && sess.remote_num == body.client_session
+            {
+                self.free_server_session(hdr.dest_session);
+            }
         }
-        let peer = sess.peer;
-        let remote = sess.remote_num;
-        self.free_server_session(hdr.dest_session);
-        let resp_hdr = PktHdr::control(PktType::DisconnectResp, remote, 0, 0);
-        self.tx_mgmt(peer, resp_hdr, &[]);
+        let resp_hdr = PktHdr::control(PktType::DisconnectResp, body.client_session, 0, 0);
+        let resp_body = DisconnectResp {
+            server_addr: self.transport.addr(),
+        };
+        let mut buf = Vec::with_capacity(4);
+        resp_body.encode(&mut buf);
+        self.tx_mgmt(body.client_addr, resp_hdr, buf);
     }
 
-    fn rx_disconnect_resp(&mut self, hdr: PktHdr) {
+    fn rx_disconnect_resp(&mut self, hdr: PktHdr, tok: RxToken) {
+        let body = {
+            let b = self.transport.rx_bytes(&tok);
+            match DisconnectResp::decode(&b[PKT_HDR_SIZE..]) {
+                Ok(m) => m,
+                Err(_) => return,
+            }
+        };
         let Some(Some(sess)) = self.sessions.get_mut(hdr.dest_session as usize) else {
             return;
         };
         if sess.role != Role::Client || sess.state != SessionState::Disconnecting {
+            return;
+        }
+        // The ack must come from the peer this session is disconnecting
+        // from: retries make duplicate acks routine, and a delayed ack
+        // from a previous occupant of this session number must not free a
+        // reused slot (which would strand the real disconnect's retries).
+        if sess.peer != body.server_addr {
             return;
         }
         // Return slot msgbufs (none should be active) and free.
@@ -1492,32 +1606,283 @@ impl<T: Transport> Rpc<T> {
         self.worker_done_scratch = done;
     }
 
-    // ── TX path ────────────────────────────────────────────────────────
+    // ── TX path (all egress goes through the deferred batch) ───────────
 
-    fn tx_ctrl(&mut self, dst: Addr, hdr: PktHdr) {
-        let b = hdr.encode();
-        self.transport.tx_burst(&[TxPacket {
-            dst,
-            hdr: &b,
-            data: &[],
-        }]);
-        self.stats.ctrl_pkts_tx += 1;
-        self.work.tx_pkts += 1;
+    /// Append a descriptor to the deferred TX queue. With batching enabled
+    /// the queue drains once per event-loop pass (or at `cfg.tx_batch`);
+    /// with it disabled every packet flushes immediately — the Table 3
+    /// "disable transmit batching" configuration.
+    #[inline]
+    fn queue_tx(&mut self, desc: TxDesc) {
+        self.tx_queue.push(desc);
+        if !self.cfg.opt_tx_batching || self.tx_queue.len() >= self.cfg.tx_batch {
+            self.flush_tx_batch();
+        }
     }
 
-    fn tx_mgmt(&mut self, dst: Addr, hdr: PktHdr, body: &[u8]) {
-        let b = hdr.encode();
-        self.transport.tx_burst(&[TxPacket {
+    /// Shared stale-reference check for deferred TX descriptors and
+    /// pacing-wheel entries: a queued `(sess, slot, req_num, epoch, seq)`
+    /// may transmit only while the slot still carries that exact request
+    /// incarnation. Rollback and completion bump `tx_epoch`; session
+    /// teardown empties the entry or flips its state — each path makes
+    /// every outstanding reference fail here, never reaching a msgbuf.
+    /// Keep this the single definition: the two queues must agree on
+    /// staleness or a rolled-back packet could still reach the wire.
+    fn client_pkt_valid(&self, sess: u16, slot: u8, req_num: u64, epoch: u32, seq: u32) -> bool {
+        self.sessions[sess as usize].as_ref().is_some_and(|s| {
+            s.role == Role::Client && s.state == SessionState::Connected && {
+                let c = s.slots[slot as usize].client();
+                c.active && c.req_num == req_num && c.tx_epoch == epoch && seq < c.num_tx
+            }
+        })
+    }
+
+    /// Drain the deferred TX queue into one `Transport::tx_burst`.
+    ///
+    /// Two passes over the queue:
+    /// 1. *Validate + write headers*: msgbuf-backed descriptors are checked
+    ///    against live slot state exactly like reaped wheel entries — a
+    ///    rollback (epoch bump), completion, or session teardown since
+    ///    enqueue marks the descriptor stale and it is dropped, never sent.
+    ///    Valid data packets get their wire header written into the msgbuf.
+    /// 2. *Build views + burst*: borrow each surviving packet's bytes
+    ///    (msgbuf views for data, owned bytes for ctrl/mgmt) and hand the
+    ///    whole batch to the transport — one doorbell.
+    fn flush_tx_batch(&mut self) {
+        if self.tx_queue.is_empty() {
+            return;
+        }
+        let mut resolved = std::mem::take(&mut self.tx_resolved);
+        resolved.clear();
+        for d in self.tx_queue.iter() {
+            let r = match d {
+                TxDesc::Ctrl { .. } | TxDesc::Mgmt { .. } => TxResolved::Owned,
+                TxDesc::ClientSeq {
+                    sess,
+                    slot,
+                    req_num,
+                    epoch,
+                    seq,
+                } => {
+                    if !self.client_pkt_valid(*sess, *slot, *req_num, *epoch, *seq) {
+                        self.stats.tx_stale_dropped += 1;
+                        TxResolved::Skip
+                    } else {
+                        // Per-packet TX timestamp for RTT sampling: cached
+                        // when batched timestamps are on, a clock read per
+                        // packet when off (Table 3).
+                        let t = if self.cfg.opt_batched_timestamps {
+                            self.now_cache
+                        } else {
+                            self.stats.clock_reads += 1;
+                            self.transport.now_ns()
+                        };
+                        let sess_ref = self.sessions[*sess as usize].as_mut().unwrap();
+                        let remote = sess_ref.remote_num;
+                        let c = sess_ref.slots[*slot as usize].client_mut();
+                        c.stamp_tx(*seq, t);
+                        if *seq < c.req_total {
+                            let req = c.req.as_mut().unwrap();
+                            let hdr = PktHdr {
+                                pkt_type: PktType::Req,
+                                ecn: false,
+                                req_type: c.req_type,
+                                dest_session: remote,
+                                msg_size: req.len() as u32,
+                                req_num: *req_num,
+                                pkt_num: *seq as u16,
+                            };
+                            req.write_hdr(*seq as usize, &hdr);
+                            TxResolved::Data
+                        } else {
+                            let p = *seq - c.req_total + 1;
+                            let hdr = PktHdr::control(PktType::Rfr, remote, *req_num, p as u16);
+                            TxResolved::Rfr(hdr.encode())
+                        }
+                    }
+                }
+                TxDesc::SrvResp {
+                    sess,
+                    slot,
+                    req_num,
+                    pkt,
+                } => {
+                    let valid = self.sessions[*sess as usize].as_ref().is_some_and(|s| {
+                        s.role == Role::Server && {
+                            let srv = s.slots[*slot as usize].server();
+                            srv.req_num == *req_num
+                                && srv.phase == SrvPhase::Responding
+                                && srv
+                                    .resp
+                                    .as_ref()
+                                    .is_some_and(|r| (*pkt as usize) < r.num_pkts())
+                        }
+                    });
+                    if !valid {
+                        self.stats.tx_stale_dropped += 1;
+                        TxResolved::Skip
+                    } else {
+                        let sess_ref = self.sessions[*sess as usize].as_mut().unwrap();
+                        let remote = sess_ref.remote_num;
+                        let srv = sess_ref.slots[*slot as usize].server_mut();
+                        let echo_ecn = std::mem::take(&mut srv.echo_ecn);
+                        let resp = srv.resp.as_mut().unwrap();
+                        let mut hdr = PktHdr {
+                            pkt_type: PktType::Resp,
+                            ecn: echo_ecn,
+                            req_type: srv.req_type,
+                            dest_session: remote,
+                            msg_size: resp.len() as u32,
+                            req_num: *req_num,
+                            pkt_num: *pkt,
+                        };
+                        // Duplicate descriptors for the same response packet
+                        // (retransmitted request + lost first response) share
+                        // this header region. The first took `echo_ecn`; a
+                        // later rewrite must not clear its ECN mark before
+                        // the batch has even left — keep the mark sticky when
+                        // the in-place header is this same packet.
+                        if !hdr.ecn {
+                            if let Ok(prev) = PktHdr::decode(resp.tx_view(*pkt as usize).0) {
+                                if prev.ecn && (PktHdr { ecn: false, ..prev }) == hdr {
+                                    hdr.ecn = true;
+                                }
+                            }
+                        }
+                        resp.write_hdr(*pkt as usize, &hdr);
+                        TxResolved::Resp
+                    }
+                }
+            };
+            resolved.push(r);
+        }
+        // Pass 2: packet views into bursts. Borrows are per-field
+        // (sessions/tx_queue immutably, transport mutably), so the batch
+        // can reference msgbufs in place — no copies on the egress path.
+        // Views accumulate in a stack chunk (`TxPacket` is `Copy`), not a
+        // heap Vec: no allocation on the per-pass hot path. Batches larger
+        // than the chunk ring the doorbell once per chunk.
+        const TX_CHUNK: usize = 64;
+        let empty = TxPacket {
+            dst: Addr::new(0, 0),
+            hdr: &[],
+            data: &[],
+        };
+        // Single-descriptor flushes (the `opt_tx_batching = false` ablation
+        // flushes per packet) use a 1-element buffer so the per-packet path
+        // does not pay the full chunk's initialization.
+        let (mut chunk1, mut chunk64);
+        let chunk: &mut [TxPacket<'_>] = if self.tx_queue.len() == 1 {
+            chunk1 = [empty; 1];
+            &mut chunk1
+        } else {
+            chunk64 = [empty; TX_CHUNK];
+            &mut chunk64
+        };
+        let mut n = 0usize;
+        let mut sent = 0usize;
+        for (d, r) in self.tx_queue.iter().zip(resolved.iter()) {
+            let pkt = match (d, r) {
+                (_, TxResolved::Skip) => continue,
+                (TxDesc::Ctrl { dst, hdr }, TxResolved::Owned) => {
+                    self.stats.ctrl_pkts_tx += 1;
+                    TxPacket {
+                        dst: *dst,
+                        hdr,
+                        data: &[],
+                    }
+                }
+                (TxDesc::Mgmt { dst, hdr, body }, TxResolved::Owned) => {
+                    self.stats.mgmt_pkts_tx += 1;
+                    TxPacket {
+                        dst: *dst,
+                        hdr,
+                        data: body,
+                    }
+                }
+                (
+                    TxDesc::ClientSeq {
+                        sess, slot, seq, ..
+                    },
+                    TxResolved::Data,
+                ) => {
+                    let s = self.sessions[*sess as usize].as_ref().unwrap();
+                    let c = s.slots[*slot as usize].client();
+                    let (h, d) = c.req.as_ref().unwrap().tx_view(*seq as usize);
+                    self.stats.data_pkts_tx += 1;
+                    TxPacket {
+                        dst: s.peer,
+                        hdr: h,
+                        data: d,
+                    }
+                }
+                (TxDesc::ClientSeq { sess, .. }, TxResolved::Rfr(bytes)) => {
+                    let s = self.sessions[*sess as usize].as_ref().unwrap();
+                    self.stats.ctrl_pkts_tx += 1;
+                    TxPacket {
+                        dst: s.peer,
+                        hdr: bytes,
+                        data: &[],
+                    }
+                }
+                (
+                    TxDesc::SrvResp {
+                        sess, slot, pkt, ..
+                    },
+                    TxResolved::Resp,
+                ) => {
+                    let s = self.sessions[*sess as usize].as_ref().unwrap();
+                    let srv = s.slots[*slot as usize].server();
+                    let (h, d) = srv.resp.as_ref().unwrap().tx_view(*pkt as usize);
+                    self.stats.data_pkts_tx += 1;
+                    TxPacket {
+                        dst: s.peer,
+                        hdr: h,
+                        data: d,
+                    }
+                }
+                _ => unreachable!("descriptor/resolution mismatch"),
+            };
+            chunk[n] = pkt;
+            n += 1;
+            if n == chunk.len() {
+                self.transport.tx_burst(chunk);
+                self.stats.tx_bursts += 1;
+                self.stats.tx_batch_hist.record(n as u64);
+                sent += n;
+                n = 0;
+            }
+        }
+        if n > 0 {
+            self.transport.tx_burst(&chunk[..n]);
+            self.stats.tx_bursts += 1;
+            self.stats.tx_batch_hist.record(n as u64);
+            sent += n;
+        }
+
+        self.work.tx_pkts += sent as u64;
+        self.tx_queue.clear();
+        self.tx_resolved = resolved;
+    }
+
+    fn tx_ctrl(&mut self, dst: Addr, hdr: PktHdr) {
+        self.queue_tx(TxDesc::Ctrl {
             dst,
-            hdr: &b,
-            data: body,
-        }]);
-        self.stats.mgmt_pkts_tx += 1;
-        self.work.tx_pkts += 1;
+            hdr: hdr.encode(),
+        });
+    }
+
+    fn tx_mgmt(&mut self, dst: Addr, hdr: PktHdr, body: Vec<u8>) {
+        self.queue_tx(TxDesc::Mgmt {
+            dst,
+            hdr: hdr.encode(),
+            body,
+        });
     }
 
     fn tx_connect_req(&mut self, sess_idx: u16) {
-        let now = self.now_cache;
+        // Fresh clock: also reachable from the `create_session` cold path.
+        let now = self.transport.now_ns();
         let sess = self.sessions[sess_idx as usize].as_mut().unwrap();
         sess.connect_sent_ns = now;
         let body = ConnectReq {
@@ -1530,44 +1895,50 @@ impl<T: Transport> Rpc<T> {
         let mut buf = Vec::with_capacity(16);
         body.encode(&mut buf);
         let hdr = PktHdr::control(PktType::ConnectReq, MGMT_SESSION, 0, 0);
-        self.tx_mgmt(dst, hdr, &buf);
+        self.tx_mgmt(dst, hdr, buf);
     }
 
     fn tx_connect_resp(&mut self, dst: Addr, body: ConnectResp) {
         let mut buf = Vec::with_capacity(8);
         body.encode(&mut buf);
         let hdr = PktHdr::control(PktType::ConnectResp, body.client_session, 0, 0);
-        self.tx_mgmt(dst, hdr, &buf);
+        self.tx_mgmt(dst, hdr, buf);
     }
 
-    /// Send response packet `p` of a server slot (direct, unpaced: servers
-    /// are passive, §5).
-    fn tx_resp_pkt(&mut self, sess_idx: u16, slot_idx: usize, p: usize) {
-        let this = &mut *self;
-        let sess = this.sessions[sess_idx as usize].as_mut().unwrap();
-        let dst = sess.peer;
-        let remote = sess.remote_num;
-        let s = sess.slots[slot_idx].server_mut();
-        let echo_ecn = std::mem::take(&mut s.echo_ecn);
-        let resp = s.resp.as_mut().unwrap();
-        let hdr = PktHdr {
-            pkt_type: PktType::Resp,
-            ecn: echo_ecn,
-            req_type: s.req_type,
-            dest_session: remote,
-            msg_size: resp.len() as u32,
-            req_num: s.req_num,
-            pkt_num: p as u16,
+    /// (Re)send the DisconnectReq for a disconnecting client session. The
+    /// body carries our identity so the server can ack even after it has
+    /// freed its end (idempotent disconnect under loss).
+    fn tx_disconnect_req(&mut self, sess_idx: u16) {
+        // Fresh clock: also reachable from the `disconnect()` cold path,
+        // where `now_cache` may be stale.
+        let now = self.transport.now_ns();
+        let client_addr = self.transport.addr();
+        let sess = self.sessions[sess_idx as usize].as_mut().unwrap();
+        sess.connect_sent_ns = now; // retry pacing, as for ConnectReq
+        let body = DisconnectReq {
+            client_addr,
+            client_session: sess.local_num,
         };
-        resp.write_hdr(p, &hdr);
-        let (h, d) = resp.tx_view(p);
-        this.transport.tx_burst(&[TxPacket {
-            dst,
-            hdr: h,
-            data: d,
-        }]);
-        this.stats.data_pkts_tx += 1;
-        this.work.tx_pkts += 1;
+        let hdr = PktHdr::control(PktType::DisconnectReq, sess.remote_num, 0, 0);
+        let dst = sess.peer;
+        let mut buf = Vec::with_capacity(8);
+        body.encode(&mut buf);
+        self.tx_mgmt(dst, hdr, buf);
+    }
+
+    /// Queue response packet `p` of a server slot (unpaced: servers are
+    /// passive, §5). The header is written and the msgbuf view taken at
+    /// drain time, so a slot reused before the drain drops the packet.
+    fn tx_resp_pkt(&mut self, sess_idx: u16, slot_idx: usize, p: usize) {
+        let req_num = self.sessions[sess_idx as usize].as_ref().unwrap().slots[slot_idx]
+            .server()
+            .req_num;
+        self.queue_tx(TxDesc::SrvResp {
+            sess: sess_idx,
+            slot: slot_idx as u8,
+            req_num,
+            pkt: p as u16,
+        });
     }
 
     /// Advance all transmittable work on a client session: send request
@@ -1632,7 +2003,10 @@ impl<T: Transport> Rpc<T> {
         c.req = Some(p.req);
         c.resp = Some(p.resp);
         c.cont = Some(p.cont);
-        c.start_ns = now;
+        // Latency is documented as enqueue → continuation: a request that
+        // waited in the backlog keeps its original enqueue stamp, so
+        // queueing time is not silently excluded.
+        c.start_ns = p.enqueue_ns;
         c.num_tx = 0;
         c.num_rx = 0;
         c.resp_rcvd = 0;
@@ -1649,7 +2023,7 @@ impl<T: Transport> Rpc<T> {
         let sess = self.sessions[sess_idx as usize].as_mut().unwrap();
         if uncontrolled || (self.cfg.opt_rate_limiter_bypass && sess.cc.is_uncongested()) {
             self.stats.pkts_bypassed_pacer += 1;
-            self.tx_client_seq(sess_idx, slot_idx, seq, now);
+            self.tx_client_seq(sess_idx, slot_idx, seq);
             return;
         }
         // Paced path: reserve wire time at the session's allowed rate.
@@ -1673,7 +2047,7 @@ impl<T: Transport> Rpc<T> {
         sess.cc.next_tx_ns = (t + (bytes as f64 * ns_per_byte(rate)) as u64).min(now + horizon);
         if t <= now {
             self.stats.pkts_paced += 1;
-            self.tx_client_seq(sess_idx, slot_idx, seq, now);
+            self.tx_client_seq(sess_idx, slot_idx, seq);
         } else {
             self.stats.pkts_paced += 1;
             self.wheel.insert(
@@ -1689,47 +2063,22 @@ impl<T: Transport> Rpc<T> {
         }
     }
 
-    /// Transmit TX sequence `seq`: request packet `seq` when `seq < N`,
-    /// otherwise the RFR for response packet `seq − N + 1`.
-    fn tx_client_seq(&mut self, sess_idx: u16, slot_idx: usize, seq: u32, now: u64) {
-        let this = &mut *self;
-        let sess = this.sessions[sess_idx as usize].as_mut().unwrap();
-        let dst = sess.peer;
-        let remote = sess.remote_num;
-        let c = sess.slots[slot_idx].client_mut();
-        c.stamp_tx(seq, now);
-        if seq < c.req_total {
-            let req = c.req.as_mut().unwrap();
-            let hdr = PktHdr {
-                pkt_type: PktType::Req,
-                ecn: false,
-                req_type: c.req_type,
-                dest_session: remote,
-                msg_size: req.len() as u32,
-                req_num: c.req_num,
-                pkt_num: seq as u16,
-            };
-            req.write_hdr(seq as usize, &hdr);
-            let (h, d) = req.tx_view(seq as usize);
-            this.transport.tx_burst(&[TxPacket {
-                dst,
-                hdr: h,
-                data: d,
-            }]);
-            this.stats.data_pkts_tx += 1;
-            this.work.tx_pkts += 1;
-        } else {
-            let p = seq - c.req_total + 1;
-            let hdr = PktHdr::control(PktType::Rfr, remote, c.req_num, p as u16);
-            let b = hdr.encode();
-            this.transport.tx_burst(&[TxPacket {
-                dst,
-                hdr: &b,
-                data: &[],
-            }]);
-            this.stats.ctrl_pkts_tx += 1;
-            this.work.tx_pkts += 1;
-        }
+    /// Queue TX sequence `seq` of a client slot: request packet `seq` when
+    /// `seq < N`, otherwise the RFR for response packet `seq − N + 1`. The
+    /// descriptor carries (req_num, epoch) so rollback or completion before
+    /// the batch drains invalidates it.
+    fn tx_client_seq(&mut self, sess_idx: u16, slot_idx: usize, seq: u32) {
+        let (req_num, epoch) = {
+            let c = self.sessions[sess_idx as usize].as_ref().unwrap().slots[slot_idx].client();
+            (c.req_num, c.tx_epoch)
+        };
+        self.queue_tx(TxDesc::ClientSeq {
+            sess: sess_idx,
+            slot: slot_idx as u8,
+            req_num,
+            epoch,
+            seq,
+        });
     }
 
     // ── Pacing wheel ───────────────────────────────────────────────────
@@ -1743,17 +2092,10 @@ impl<T: Transport> Rpc<T> {
         self.wheel.reap(now, |e| scratch.push(e));
         for e in scratch.drain(..) {
             // Validate against slot state: stale epochs (rollback) and
-            // reused slots are silently skipped.
-            let valid = self.sessions[e.sess as usize].as_ref().is_some_and(|s| {
-                if s.state != SessionState::Connected {
-                    return false;
-                }
-                let c = s.slots[e.slot as usize].client();
-                c.active && c.req_num == e.req_num && c.tx_epoch == e.epoch && e.seq < c.num_tx
-            });
-            if valid {
-                let now = self.pkt_now();
-                self.tx_client_seq(e.sess, e.slot as usize, e.seq, now);
+            // reused slots are silently skipped (same rule as the deferred
+            // TX queue's drain).
+            if self.client_pkt_valid(e.sess, e.slot, e.req_num, e.epoch, e.seq) {
+                self.tx_client_seq(e.sess, e.slot as usize, e.seq);
             }
         }
         self.wheel_scratch = scratch;
@@ -1811,16 +2153,28 @@ impl<T: Transport> Rpc<T> {
                 (Role::Client, SessionState::Connecting)
                     if now.saturating_sub(sess.connect_sent_ns) >= self.cfg.connect_retry_ns =>
                 {
-                    let give_up = {
-                        let s = self.sessions[idx as usize].as_mut().unwrap();
-                        s.last_ping_tx_ns = now; // reuse as retry counter base
-                        now.saturating_sub(s.last_rx_ns) >= self.cfg.failure_timeout_ns
-                            && self.cfg.ping_interval_ns > 0
-                    };
-                    if give_up {
+                    // Give up after `failure_timeout_ns` with no response,
+                    // unconditionally: connect liveness must not depend on
+                    // pings being enabled, or a dead peer strands every
+                    // enqueued request in the backlog forever.
+                    if now.saturating_sub(sess.last_rx_ns) >= self.cfg.failure_timeout_ns {
                         self.fail_session(idx, RpcError::RemoteFailure);
                     } else {
                         self.tx_connect_req(idx);
+                    }
+                }
+                (Role::Client, SessionState::Disconnecting) => {
+                    // Lost-DisconnectResp handling: retry the DisconnectReq
+                    // on the connect-retry timer; if the peer never answers
+                    // within the failure timeout (dead server), free the
+                    // session locally — it holds no application buffers
+                    // (disconnect requires an idle session).
+                    if now.saturating_sub(sess.last_ping_tx_ns) >= self.cfg.failure_timeout_ns {
+                        self.stats.sessions_failed += 1;
+                        self.sessions[idx as usize] = None;
+                    } else if now.saturating_sub(sess.connect_sent_ns) >= self.cfg.connect_retry_ns
+                    {
+                        self.tx_disconnect_req(idx);
                     }
                 }
                 (Role::Client, SessionState::Connected) => {
@@ -1899,7 +2253,11 @@ impl<T: Transport> Rpc<T> {
             return;
         }
         // Flush the DMA queue: afterwards no queued TX references the
-        // msgbuf (the invariant processing the response relies on).
+        // msgbuf (the invariant processing the response relies on). Two
+        // queues are involved: the transport's (flushed by the barrier
+        // below) and our deferred TX batch, whose descriptors for this slot
+        // die at drain time via the epoch bump — the §4.2.2 flush without
+        // walking the queue.
         self.transport.tx_flush();
         self.stats.tx_flushes += 1;
         {
@@ -1907,7 +2265,7 @@ impl<T: Transport> Rpc<T> {
             let c = sess.slots[slot_idx].client_mut();
             let reclaimed = c.in_flight();
             c.num_tx = c.num_rx;
-            c.tx_epoch = c.tx_epoch.wrapping_add(1); // invalidate wheel refs
+            c.tx_epoch = c.tx_epoch.wrapping_add(1); // invalidate wheel + batch refs
             c.last_progress_ns = now;
             sess.credits += reclaimed;
             // The rolled-back packets' pacing reservations are void: release
@@ -1919,7 +2277,11 @@ impl<T: Transport> Rpc<T> {
     }
 
     /// Declare the remote dead for one session (Appendix B): flush TX,
-    /// error out every pending request, clear the backlog.
+    /// error out every pending request, clear the backlog. Deferred TX
+    /// descriptors for this session's slots are invalidated by the epoch
+    /// bump in `complete_slot` (and the `Failed` state check at drain), so
+    /// buffer ownership returns to the continuations with nothing queued
+    /// that could still reference it.
     fn fail_session(&mut self, sess_idx: u16, err: RpcError) {
         self.stats.sessions_failed += 1;
         self.transport.tx_flush();
@@ -1951,13 +2313,14 @@ impl<T: Transport> Rpc<T> {
                 sess.outstanding -= 1;
             }
             self.stats.requests_failed += 1;
+            let latency_ns = self.now_cache.saturating_sub(p.enqueue_ns);
             self.invoke_continuation(
                 p.cont,
                 Completion {
                     req: p.req,
                     resp: p.resp,
                     result: Err(err),
-                    latency_ns: 0,
+                    latency_ns,
                     session: SessionHandle(sess_idx),
                 },
             );

@@ -61,6 +61,10 @@ pub(crate) struct PendingReq {
     pub req: MsgBuf,
     pub resp: MsgBuf,
     pub cont: Continuation,
+    /// When the application enqueued the request. Backlog time counts
+    /// toward `Completion::latency_ns` (enqueue → continuation), so this
+    /// travels into the slot's `start_ns` unchanged.
+    pub enqueue_ns: u64,
 }
 
 /// Client-side slot: wire-protocol state for one outstanding request.
@@ -252,6 +256,13 @@ impl Slot {
     }
 
     pub fn server_mut(&mut self) -> &mut ServerSlot {
+        match self {
+            Slot::Server(s) => s,
+            Slot::Client(_) => panic!("client slot in server session"),
+        }
+    }
+
+    pub fn server(&self) -> &ServerSlot {
         match self {
             Slot::Server(s) => s,
             Slot::Client(_) => panic!("client slot in server session"),

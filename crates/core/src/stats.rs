@@ -30,6 +30,15 @@ pub struct RpcStats {
     pub retransmissions: u64,
     /// TX DMA queue flushes (rare path, §4.2.2).
     pub tx_flushes: u64,
+    /// `Transport::tx_burst` calls issued (each is one DMA doorbell).
+    pub tx_bursts: u64,
+    /// Distribution of packets-per-`tx_burst` (the §4.3 transmit-batching
+    /// factor): `mean()` > 1 means batching is real, not just plumbed.
+    pub tx_batch_hist: LatencyHistogram,
+    /// Queued TX descriptors dropped at drain time because their slot was
+    /// rolled back / completed / freed first (the Rust analogue of the
+    /// §4.2.2 DMA-queue flush: a stale descriptor never reaches the wire).
+    pub tx_stale_dropped: u64,
     /// Packets that went through the timing wheel (not bypassed).
     pub pkts_paced: u64,
     /// Packets that bypassed the rate limiter (§5.2.2 opt 2).

@@ -124,8 +124,14 @@ pub struct TransportStats {
     pub tx_drop_fault: u64,
     /// Packets dropped because the destination address is unknown/failed.
     pub tx_drop_no_route: u64,
+    /// Packets dropped by a transmit error that is neither backpressure nor
+    /// a missing route (e.g. a kernel `send_to` failure on a known route).
+    pub tx_drop_err: u64,
     pub rx_pkts: u64,
     pub rx_bytes: u64,
+    /// Received datagrams dropped because they exceeded the transport MTU
+    /// and would have been silently truncated by the RX buffer.
+    pub rx_drop_truncated: u64,
     /// `tx_flush` invocations (rare path: retransmission / failure).
     pub tx_flushes: u64,
 }

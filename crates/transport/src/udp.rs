@@ -53,10 +53,14 @@ pub struct UdpTransport {
     cfg: UdpConfig,
     clock: MonoClock,
     /// Reusable RX slots; `claimed` indexes into this between release calls.
+    /// Each slot is one byte larger than the MTU so an oversized datagram is
+    /// detectable (rather than silently truncated by `recv_from`).
     slots: Vec<Box<[u8]>>,
     slot_lens: Vec<u32>,
     claimed: usize,
     scratch: Vec<u8>,
+    /// Gather list for one TX burst: `(socket dst, byte range in scratch)`.
+    gather: Vec<(SocketAddr, std::ops::Range<usize>)>,
     rng: SmallRng,
     stats: TransportStats,
 }
@@ -67,7 +71,7 @@ impl UdpTransport {
         let socket = UdpSocket::bind(local)?;
         socket.set_nonblocking(true)?;
         let slots = (0..cfg.ring_capacity)
-            .map(|_| vec![0u8; cfg.mtu.max(64)].into_boxed_slice())
+            .map(|_| vec![0u8; cfg.mtu.max(64) + 1].into_boxed_slice())
             .collect();
         Ok(Self {
             addr,
@@ -78,6 +82,7 @@ impl UdpTransport {
             slot_lens: vec![0; cfg.ring_capacity],
             claimed: 0,
             scratch: Vec::with_capacity(cfg.mtu),
+            gather: Vec::new(),
             rng: SmallRng::seed_from_u64(cfg.seed ^ (addr.key() as u64) << 17),
             cfg,
             stats: TransportStats::default(),
@@ -115,6 +120,13 @@ impl Transport for UdpTransport {
     }
 
     fn tx_burst(&mut self, pkts: &[TxPacket<'_>]) {
+        // Stage 1 — gather: resolve routes, apply fault injection, and copy
+        // every surviving packet's header+data into one contiguous scratch
+        // region. This mirrors a NIC driver building the whole descriptor
+        // batch before ringing the doorbell: no syscall until the batch is
+        // fully assembled.
+        self.scratch.clear();
+        self.gather.clear();
         for p in pkts {
             debug_assert!(p.len() <= self.cfg.mtu, "packet exceeds MTU");
             if self.cfg.loss_prob > 0.0 && self.rng.gen_bool(self.cfg.loss_prob) {
@@ -125,25 +137,26 @@ impl Transport for UdpTransport {
                 self.stats.tx_drop_no_route += 1;
                 continue;
             };
-            // Gather header+data; one syscall per packet.
-            let buf: &[u8] = if p.data.is_empty() {
-                p.hdr
-            } else {
-                self.scratch.clear();
-                self.scratch.extend_from_slice(p.hdr);
-                self.scratch.extend_from_slice(p.data);
-                &self.scratch
-            };
-            match self.socket.send_to(buf, dst) {
+            let start = self.scratch.len();
+            self.scratch.extend_from_slice(p.hdr);
+            self.scratch.extend_from_slice(p.data);
+            self.gather.push((dst, start..self.scratch.len()));
+        }
+        // Stage 2 — doorbell: the syscalls, back to back.
+        for (dst, range) in self.gather.drain(..) {
+            let len = range.len();
+            match self.socket.send_to(&self.scratch[range], dst) {
                 Ok(_) => {
                     self.stats.tx_pkts += 1;
-                    self.stats.tx_bytes += p.len() as u64;
+                    self.stats.tx_bytes += len as u64;
                 }
                 Err(e) if e.kind() == ErrorKind::WouldBlock => {
                     self.stats.tx_drop_ring_full += 1;
                 }
                 Err(_) => {
-                    self.stats.tx_drop_no_route += 1;
+                    // A route existed; the kernel refused the send for some
+                    // other reason. Not a routing failure.
+                    self.stats.tx_drop_err += 1;
                 }
             }
         }
@@ -156,10 +169,24 @@ impl Transport for UdpTransport {
 
     fn rx_burst(&mut self, max: usize, out: &mut Vec<RxToken>) -> usize {
         let mut n = 0;
-        while n < max && self.claimed < self.slots.len() {
+        // Budget is `max` *syscalls*, not `max` accepted packets: a flood
+        // of dropped (oversized) datagrams must not let one burst drain
+        // the socket unboundedly and stall the event-loop pass.
+        for _ in 0..max {
+            if self.claimed >= self.slots.len() {
+                break;
+            }
             let slot = self.claimed;
             match self.socket.recv_from(&mut self.slots[slot]) {
                 Ok((len, _src)) => {
+                    // Slots are mtu+1 bytes: a datagram that fills the whole
+                    // slot was larger than the MTU and has been truncated by
+                    // `recv_from`. Handing it up would look like a corrupt
+                    // packet; drop it here and count it.
+                    if len >= self.slots[slot].len() {
+                        self.stats.rx_drop_truncated += 1;
+                        continue;
+                    }
                     self.slot_lens[slot] = len as u32;
                     out.push(RxToken::new(slot as u64, len as u32));
                     self.claimed += 1;
@@ -233,6 +260,67 @@ mod tests {
         }
         assert_eq!(toks.len(), 1, "datagram not delivered on loopback");
         assert_eq!(b.rx_bytes(&toks[0]), b"hdr!body");
+        b.rx_release();
+    }
+
+    #[test]
+    fn oversized_datagram_dropped_not_truncated() {
+        let (a, mut b) = loopback_pair();
+        let ba = b.local_addr().unwrap();
+        drop(a);
+        // Bypass the transport: a raw socket delivers a datagram larger
+        // than the transport MTU (e.g. a mis-configured peer).
+        let raw = UdpSocket::bind("127.0.0.1:0").unwrap();
+        let oversized = vec![0xEEu8; UdpConfig::default().mtu + 200];
+        raw.send_to(&oversized, ba).unwrap();
+        let mut toks = Vec::new();
+        for _ in 0..1000 {
+            if b.rx_burst(8, &mut toks) > 0 || b.stats().rx_drop_truncated > 0 {
+                break;
+            }
+            std::thread::yield_now();
+        }
+        assert_eq!(toks.len(), 0, "truncated datagram must not surface");
+        assert_eq!(b.stats().rx_drop_truncated, 1);
+        assert_eq!(b.stats().rx_pkts, 0);
+        // The transport still receives well-formed datagrams afterwards.
+        let exact = vec![0x11u8; UdpConfig::default().mtu];
+        raw.send_to(&exact, ba).unwrap();
+        for _ in 0..1000 {
+            if b.rx_burst(8, &mut toks) > 0 {
+                break;
+            }
+            std::thread::yield_now();
+        }
+        assert_eq!(toks.len(), 1, "MTU-sized datagram must be delivered");
+        assert_eq!(b.rx_bytes(&toks[0]), &exact[..]);
+        b.rx_release();
+    }
+
+    #[test]
+    fn tx_burst_gathers_batch() {
+        let (mut a, mut b) = loopback_pair();
+        let pkts: Vec<TxPacket<'_>> = (0..4)
+            .map(|_| TxPacket {
+                dst: Addr::new(1, 0),
+                hdr: b"hdrX",
+                data: b"body",
+            })
+            .collect();
+        a.tx_burst(&pkts);
+        assert_eq!(a.stats().tx_pkts, 4);
+        let mut toks = Vec::new();
+        for _ in 0..1000 {
+            b.rx_burst(8, &mut toks);
+            if toks.len() == 4 {
+                break;
+            }
+            std::thread::yield_now();
+        }
+        assert_eq!(toks.len(), 4, "whole burst must be delivered");
+        for t in &toks {
+            assert_eq!(b.rx_bytes(t), b"hdrXbody");
+        }
         b.rx_release();
     }
 
