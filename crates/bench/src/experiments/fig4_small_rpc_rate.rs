@@ -18,7 +18,9 @@ use erpc::RpcConfig;
 /// fabric's RTT (the paper's 50 µs t_low assumes ~6 µs datacenter RTTs;
 /// loopback RTTs under a 60-deep window are hundreds of µs). This keeps
 /// the *uncongested* common case actually uncongested, as in §6.2.
-fn wall_clock_timely() -> erpc_congestion::TimelyConfig {
+/// Shared with the other wall-clock `MemFabric` experiments (fig5's
+/// real-threads mode).
+pub fn wall_clock_timely() -> erpc_congestion::TimelyConfig {
     erpc_congestion::TimelyConfig {
         t_low_ns: 5_000_000,
         t_high_ns: 50_000_000,

@@ -249,9 +249,7 @@ pub fn run() -> String {
         us(low.get_latency.percentile(50.0))
     ));
     t.note("paper: 14.3 M GET/s over 14 dispatch cores; GET p99 12 µs (workers) vs 26 µs (dispatch-only)");
-    let cores = std::thread::available_parallelism()
-        .map(|n| n.get())
-        .unwrap_or(1);
+    let cores = crate::host_cores();
     if cores <= 1 {
         t.note(format!(
             "CAVEAT: this host has {cores} core — worker threads preempt the dispatch loop instead \

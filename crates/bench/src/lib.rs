@@ -24,6 +24,7 @@
 //!   Figure 5, 100-way incast); several minutes.
 
 pub mod experiments;
+pub mod multi_thread_cluster;
 pub mod sim_harness;
 pub mod table;
 pub mod thread_cluster;
@@ -36,17 +37,20 @@ pub fn bench_millis() -> u64 {
         .unwrap_or(500)
 }
 
+/// CPU cores on this host (the one definition every experiment shares;
+/// falls back to 1 when the runtime cannot tell).
+pub fn host_cores() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
+
 /// Threads for wall-clock experiments.
 pub fn bench_threads() -> usize {
     std::env::var("ERPC_BENCH_THREADS")
         .ok()
         .and_then(|v| v.parse().ok())
-        .unwrap_or_else(|| {
-            let cores = std::thread::available_parallelism()
-                .map(|n| n.get())
-                .unwrap_or(4);
-            (cores.saturating_sub(1)).clamp(2, 6)
-        })
+        .unwrap_or_else(|| host_cores().saturating_sub(1).clamp(2, 6))
 }
 
 /// Whether to run full-scale (paper-sized) configurations.

@@ -1,0 +1,351 @@
+//! Real-OS-thread harness: T `Rpc` endpoints on T threads, all created
+//! from one [`Nexus`] over a shared [`MemFabric`] — the paper's §3
+//! threading model made literal, and the wall-clock counterpart of the
+//! single-thread [`crate::thread_cluster`] harness.
+//!
+//! Each thread owns its `Rpc` exclusively (created *on* the thread; the
+//! datapath shares nothing), runs the §6.2 symmetric workload — every
+//! thread is client and server, keeping `window` small RPCs in flight to
+//! uniformly random peers — and reports its own completion count, latency
+//! histogram, and [`RpcStats`]. The harness merges them with
+//! [`RpcStats::merge`] / `LatencyHistogram::merge`, so aggregate Mrps and
+//! cross-thread latency percentiles come from one histogram, the way
+//! Figure 5 reports per-node numbers as the sum over that node's threads.
+//!
+//! With `threads == 1` the single endpoint runs the workload against a
+//! loopback session to itself (it still performs both the client and the
+//! server half of every RPC on its core, like every thread in the T ≥ 2
+//! all-to-all mesh), so T = 1 is a comparable per-thread baseline.
+
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use erpc::{LatencyHistogram, MsgBuf, Nexus, NexusConfig, RpcConfig, RpcStats};
+use erpc_transport::{MemFabric, MemFabricConfig};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+const ECHO: u8 = 1;
+
+/// Options for the real-threads symmetric workload.
+#[derive(Clone)]
+pub struct ThreadedOpts {
+    /// OS threads = `Rpc` endpoints (Figure 5's T).
+    pub threads: usize,
+    /// Requests issued per batch (Figure 4's B).
+    pub batch: usize,
+    pub req_size: usize,
+    pub resp_size: usize,
+    /// Target in-flight requests per thread (paper: 60).
+    pub window: usize,
+    pub warmup_ms: u64,
+    pub measure_ms: u64,
+    pub rpc_cfg: RpcConfig,
+    pub fabric_cfg: MemFabricConfig,
+}
+
+impl Default for ThreadedOpts {
+    fn default() -> Self {
+        Self {
+            threads: 2,
+            batch: 3,
+            req_size: 32,
+            resp_size: 32,
+            window: 60,
+            warmup_ms: 100,
+            measure_ms: 500,
+            rpc_cfg: RpcConfig {
+                ping_interval_ns: 0,
+                ..RpcConfig::default()
+            },
+            fabric_cfg: MemFabricConfig::default(),
+        }
+    }
+}
+
+/// One thread's share of a [`ThreadedResult`].
+pub struct ThreadShare {
+    pub thread_id: u8,
+    /// RPCs this thread completed during the measure window.
+    pub completed: u64,
+    /// This thread's completion rate (RPCs/s).
+    pub rate: f64,
+    /// This thread's endpoint counters.
+    pub stats: RpcStats,
+}
+
+/// Result of a real-threads run.
+pub struct ThreadedResult {
+    /// RPCs/s summed over all threads (Figure 5's per-node rate).
+    pub aggregate_rate: f64,
+    pub total_completed: u64,
+    /// Completion latencies merged across threads (measure window only),
+    /// so percentiles are cross-thread.
+    pub latency: LatencyHistogram,
+    /// Endpoint counters merged across threads via [`RpcStats::merge`].
+    pub stats: RpcStats,
+    /// Per-thread breakdown (scaling-efficiency diagnostics).
+    pub per_thread: Vec<ThreadShare>,
+}
+
+/// Run the symmetric workload on `opts.threads` real OS threads.
+pub fn run_symmetric_threads(opts: ThreadedOpts) -> ThreadedResult {
+    // Thread ids are u8 endpoint addresses: 255 is the hard ceiling (256
+    // would truncate to id 0 and spawn nothing).
+    assert!(opts.threads >= 1 && opts.threads <= u8::MAX as usize);
+    let nexus = Arc::new(Nexus::new(
+        MemFabric::new(opts.fabric_cfg.clone()),
+        0,
+        NexusConfig::default(),
+    ));
+    let measuring = Arc::new(AtomicBool::new(false));
+    let stop = Arc::new(AtomicBool::new(false));
+    // Rendezvous *counters*, not barriers: a thread that reached a phase
+    // keeps polling its event loop until every thread has — blocking at a
+    // barrier would stop it serving peers' handshakes/responses and
+    // deadlock the mesh (every endpoint is also a server).
+    let ready = Arc::new(AtomicUsize::new(0));
+    let drained = Arc::new(AtomicUsize::new(0));
+
+    let mut handles = Vec::with_capacity(opts.threads);
+    for t in 0..opts.threads as u8 {
+        let nexus = Arc::clone(&nexus);
+        let opts = opts.clone();
+        let measuring = Arc::clone(&measuring);
+        let stop = Arc::clone(&stop);
+        let ready = Arc::clone(&ready);
+        let drained = Arc::clone(&drained);
+        handles.push(
+            std::thread::Builder::new()
+                .name(format!("erpc-fig5-{t}"))
+                .spawn(move || thread_body(&nexus, t, &opts, &measuring, &stop, &ready, &drained))
+                .expect("spawn harness thread"),
+        );
+    }
+
+    // Drive the phases by wall clock; threads sample the flags. Bounded:
+    // a peer that failed to connect (or panicked before signalling ready)
+    // must fail the run loudly, not hang it until the CI job timeout.
+    let connect_deadline = Instant::now() + Duration::from_secs(30);
+    while ready.load(Ordering::SeqCst) < opts.threads {
+        assert!(
+            Instant::now() < connect_deadline,
+            "mesh did not connect: {}/{} threads ready after 30 s",
+            ready.load(Ordering::SeqCst),
+            opts.threads
+        );
+        std::thread::sleep(Duration::from_millis(1));
+    }
+    std::thread::sleep(Duration::from_millis(opts.warmup_ms));
+    measuring.store(true, Ordering::SeqCst);
+    let t0 = Instant::now();
+    std::thread::sleep(Duration::from_millis(opts.measure_ms));
+    measuring.store(false, Ordering::SeqCst);
+    let secs = t0.elapsed().as_secs_f64();
+    stop.store(true, Ordering::SeqCst);
+
+    let mut per_thread = Vec::with_capacity(opts.threads);
+    let mut latency = LatencyHistogram::new();
+    let mut stats = RpcStats::default();
+    let mut total = 0u64;
+    for h in handles {
+        let (thread_id, completed, hist, st) = h.join().expect("harness thread panicked");
+        latency.merge(&hist);
+        stats.merge(&st);
+        total += completed;
+        per_thread.push(ThreadShare {
+            thread_id,
+            completed,
+            rate: completed as f64 / secs,
+            stats: st,
+        });
+    }
+    per_thread.sort_by_key(|s| s.thread_id);
+    ThreadedResult {
+        aggregate_rate: total as f64 / secs,
+        total_completed: total,
+        latency,
+        stats,
+        per_thread,
+    }
+}
+
+#[allow(clippy::too_many_arguments)]
+fn thread_body(
+    nexus: &Nexus<MemFabric>,
+    t: u8,
+    opts: &ThreadedOpts,
+    measuring: &Arc<AtomicBool>,
+    stop: &Arc<AtomicBool>,
+    ready: &Arc<AtomicUsize>,
+    drained: &Arc<AtomicUsize>,
+) -> (u8, u64, LatencyHistogram, RpcStats) {
+    use std::cell::{Cell, RefCell};
+    use std::rc::Rc;
+
+    // The Rpc is created on (and never leaves) its owning thread.
+    let mut rpc = nexus
+        .create_rpc(t, opts.rpc_cfg.clone())
+        .expect("unique thread id");
+    let resp_size = opts.resp_size;
+    rpc.register_request_handler(
+        ECHO,
+        Box::new(move |ctx, _req| {
+            let resp = [0x5Au8; 4096];
+            ctx.respond(&resp[..resp_size]);
+        }),
+    );
+
+    // Peers: every other thread; with T = 1, a loopback session to self.
+    let peers: Vec<u8> = if opts.threads == 1 {
+        vec![t]
+    } else {
+        (0..opts.threads as u8).filter(|&p| p != t).collect()
+    };
+    let sessions: Vec<erpc::SessionHandle> = peers
+        .iter()
+        .map(|&p| rpc.create_session(nexus.addr_of(p)).expect("session"))
+        .collect();
+    // Poll-and-yield: when a pass receives nothing, hand the core to
+    // whichever peer we are waiting on. On hosts with cores ≥ threads the
+    // yield almost never fires (there is always RX work); on oversubscribed
+    // hosts it turns scheduler-quantum stalls (tens of ms per round trip)
+    // into cooperative rotation. Mirrors eRPC's guidance that dispatch
+    // threads busy-poll *dedicated* cores — yielding is the graceful
+    // degradation when cores are shared.
+    let poll = |rpc: &mut erpc::Rpc<_>| {
+        let rx_before = rpc.stats().pkts_rx;
+        rpc.run_event_loop_once();
+        if rpc.stats().pkts_rx == rx_before {
+            std::thread::yield_now();
+        }
+    };
+    // Bounded, and alert on failure: a session the management layer gave
+    // up on (peer's endpoint never appeared within failure_timeout_ns)
+    // stays Failed forever — spinning on is_connected would hang the run.
+    let connect_deadline = Instant::now() + Duration::from_secs(25);
+    while !sessions.iter().all(|&s| rpc.is_connected(s)) {
+        poll(&mut rpc);
+        for &s in &sessions {
+            assert_ne!(
+                rpc.session_state(s),
+                Some(erpc::SessionState::Failed),
+                "thread {t}: session to a peer failed during connect"
+            );
+        }
+        assert!(
+            Instant::now() < connect_deadline,
+            "thread {t}: mesh sessions not connected after 25 s"
+        );
+    }
+    // Own client sessions are up; keep polling (serving peers' handshakes)
+    // in the main loop below while the rest of the mesh finishes.
+    ready.fetch_add(1, Ordering::SeqCst);
+
+    let outstanding = Rc::new(Cell::new(0usize));
+    let completed = Rc::new(Cell::new(0u64));
+    let hist = Rc::new(RefCell::new(LatencyHistogram::new()));
+    let freelist: Rc<RefCell<Vec<(MsgBuf, MsgBuf)>>> = Rc::new(RefCell::new(Vec::new()));
+    let mut rng = SmallRng::seed_from_u64(0xF165_0000 ^ t as u64);
+
+    while !stop.load(Ordering::Relaxed) {
+        while outstanding.get() + opts.batch <= opts.window {
+            let mut enqueue_failed = false;
+            for _ in 0..opts.batch {
+                let (mut req, resp) = freelist.borrow_mut().pop().unwrap_or((
+                    rpc.alloc_msg_buffer(opts.req_size),
+                    rpc.alloc_msg_buffer(opts.resp_size.max(1)),
+                ));
+                req.resize(opts.req_size);
+                let sess = sessions[rng.gen_range(0..sessions.len())];
+                let (o, c, h, fl) = (
+                    outstanding.clone(),
+                    completed.clone(),
+                    hist.clone(),
+                    freelist.clone(),
+                );
+                let m = Arc::clone(measuring);
+                let cont = move |_ctx: &mut erpc::ContContext<'_>, comp: erpc::Completion| {
+                    assert!(comp.result.is_ok(), "rpc failed: {:?}", comp.result);
+                    o.set(o.get() - 1);
+                    if m.load(Ordering::Relaxed) {
+                        c.set(c.get() + 1);
+                        h.borrow_mut().record(comp.latency_ns);
+                    }
+                    fl.borrow_mut().push((comp.req, comp.resp));
+                };
+                match rpc.enqueue_request(sess, ECHO, req, resp, cont) {
+                    Ok(()) => outstanding.set(outstanding.get() + 1),
+                    Err(e) => {
+                        freelist.borrow_mut().push((e.req, e.resp));
+                        enqueue_failed = true;
+                        break;
+                    }
+                }
+            }
+            if enqueue_failed {
+                break;
+            }
+        }
+        poll(&mut rpc);
+    }
+
+    // Drain in-flight requests so every continuation fires before the
+    // endpoint goes away; bounded so a wedged peer cannot hang the run.
+    let deadline = Instant::now() + Duration::from_secs(5);
+    while outstanding.get() > 0 && Instant::now() < deadline {
+        poll(&mut rpc);
+    }
+    assert_eq!(
+        outstanding.get(),
+        0,
+        "thread {t}: in-flight RPCs not drained"
+    );
+    // Keep serving peers (their drains need our responses) until everyone
+    // has drained; only then may endpoints deregister.
+    drained.fetch_add(1, Ordering::SeqCst);
+    while drained.load(Ordering::SeqCst) < opts.threads && Instant::now() < deadline {
+        poll(&mut rpc);
+    }
+
+    let stats = rpc.stats().clone();
+    let hist = hist.borrow().clone();
+    (t, completed.get(), hist, stats)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn threads_smoke_t2() {
+        let r = run_symmetric_threads(ThreadedOpts {
+            threads: 2,
+            warmup_ms: 20,
+            measure_ms: 60,
+            ..Default::default()
+        });
+        assert!(r.total_completed > 100, "completed {}", r.total_completed);
+        assert_eq!(r.per_thread.len(), 2);
+        assert_eq!(
+            r.per_thread.iter().map(|s| s.completed).sum::<u64>(),
+            r.total_completed
+        );
+        assert_eq!(r.latency.count(), r.total_completed);
+        // Merged stats really aggregate both endpoints.
+        assert!(r.stats.responses_completed >= r.total_completed);
+    }
+
+    #[test]
+    fn single_thread_loopback_works() {
+        let r = run_symmetric_threads(ThreadedOpts {
+            threads: 1,
+            warmup_ms: 10,
+            measure_ms: 40,
+            ..Default::default()
+        });
+        assert!(r.total_completed > 50, "completed {}", r.total_completed);
+        assert_eq!(r.per_thread.len(), 1);
+    }
+}

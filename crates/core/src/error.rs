@@ -24,6 +24,9 @@ pub enum RpcError {
     TooManySessions,
     /// All 8 request slots are busy and the transparent backlog is full.
     BacklogFull,
+    /// `Nexus::create_rpc` was called with a thread id that already has a
+    /// live `Rpc` registered (thread ids are unique per Nexus, §3).
+    ThreadIdInUse,
 }
 
 impl core::fmt::Display for RpcError {
@@ -38,6 +41,7 @@ impl core::fmt::Display for RpcError {
             RpcError::Disconnected => "session disconnected",
             RpcError::TooManySessions => "session limit reached (|RQ|/C)",
             RpcError::BacklogFull => "request backlog full",
+            RpcError::ThreadIdInUse => "thread id already registered on this Nexus",
         };
         f.write_str(s)
     }

@@ -57,13 +57,16 @@
 //! ```
 //!
 //! For services, the [`Channel`] facade layers typed request/response
-//! calls (via [`RpcMessage`] / [`RpcCall`]) on top of this API.
+//! calls (via [`RpcMessage`] / [`RpcCall`]) on top of this API. To scale
+//! across cores, create one process-wide [`Nexus`] and one `Rpc` per
+//! OS thread from it (§3's threading model; see `nexus` module docs).
 
 pub mod channel;
 pub mod config;
 pub mod error;
 pub mod mgmt;
 pub mod msgbuf;
+pub mod nexus;
 pub mod pkthdr;
 pub mod rpc;
 pub mod session;
@@ -74,6 +77,7 @@ pub use channel::{CallHandle, Channel, RpcCall, RpcMessage, TypedCallHandle};
 pub use config::{CcAlgorithm, RpcConfig};
 pub use error::RpcError;
 pub use msgbuf::{BufPool, MsgBuf};
+pub use nexus::{Fabric, Nexus, NexusConfig};
 pub use pkthdr::{PktHdr, PktType, ECN_BYTE, ECN_MASK, PKT_HDR_SIZE};
 pub use rpc::{
     Completion, ContContext, Continuation, DeferredHandle, DispatchFn, EnqueueError, ReqContext,

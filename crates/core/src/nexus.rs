@@ -1,0 +1,262 @@
+//! The process-wide **Nexus** (§3): shared substrate under per-thread
+//! `Rpc` endpoints.
+//!
+//! eRPC's threading model is *share-nothing on the datapath*: each
+//! dispatch thread owns an `Rpc` exclusively (no locks on packet
+//! processing), while one per-process Nexus owns what genuinely must be
+//! shared — the transport fabric handle (hugepages + NIC in the paper, a
+//! [`Fabric`] here), the background worker pool for long-running handlers
+//! (§3.2), and the thread-ID namespace that gives every `Rpc` a unique
+//! endpoint address.
+//!
+//! Session-management routing: in the paper the Nexus hosts a management
+//! thread that forwards SM packets to the owning `Rpc` through queues. In
+//! this reproduction the routing is collapsed into transport addressing —
+//! [`Nexus::create_rpc`] registers thread `t` at `Addr::new(node, t)`, so
+//! the fabric delivers SM (and data) packets directly into the owning
+//! thread's RX ring. The invariant is the same: SM traffic for a session
+//! is only ever processed by the thread that owns its endpoint.
+//!
+//! ```
+//! use std::sync::Arc;
+//! use erpc::{Nexus, NexusConfig, RpcConfig};
+//! use erpc_transport::{MemFabric, MemFabricConfig};
+//!
+//! let nexus = Arc::new(Nexus::new(
+//!     MemFabric::new(MemFabricConfig::default()),
+//!     0, // node id
+//!     NexusConfig::default(),
+//! ));
+//! let mut handles = Vec::new();
+//! for t in 0..2u8 {
+//!     let nexus = Arc::clone(&nexus);
+//!     handles.push(std::thread::spawn(move || {
+//!         // Each thread constructs its own Rpc — endpoints never migrate.
+//!         let _rpc = nexus.create_rpc(t, RpcConfig::default()).unwrap();
+//!     }));
+//! }
+//! for h in handles {
+//!     h.join().unwrap();
+//! }
+//! ```
+
+use std::collections::HashSet;
+use std::sync::Arc;
+
+use erpc_transport::{Addr, MemFabric, MemTransport, Transport};
+use parking_lot::{Mutex, RwLock};
+
+use crate::config::RpcConfig;
+use crate::error::RpcError;
+use crate::rpc::Rpc;
+use crate::worker::{WorkerFn, WorkerPool, WorkerTable};
+
+/// A source of transport endpoints: the process-wide fabric handle a
+/// [`Nexus`] owns. `Send + Sync` because `create_endpoint` is called from
+/// the thread that will own the endpoint (endpoints themselves never
+/// migrate — one `Rpc` per thread, §3).
+pub trait Fabric: Send + Sync {
+    type Endpoint: Transport;
+
+    /// Create (and register) the endpoint for `addr`. Called once per
+    /// `(node, thread)` address; implementations may panic on duplicate
+    /// registration — [`Nexus`] prevents duplicates via its thread-ID set.
+    fn create_endpoint(&self, addr: Addr) -> Self::Endpoint;
+}
+
+impl Fabric for MemFabric {
+    type Endpoint = MemTransport;
+
+    fn create_endpoint(&self, addr: Addr) -> MemTransport {
+        self.create_transport(addr)
+    }
+}
+
+/// Shared fabric handles work too (e.g. one `Arc<MemFabric>` owned jointly
+/// by a Nexus and a harness).
+impl<F: Fabric> Fabric for Arc<F> {
+    type Endpoint = F::Endpoint;
+
+    fn create_endpoint(&self, addr: Addr) -> Self::Endpoint {
+        (**self).create_endpoint(addr)
+    }
+}
+
+/// Nexus construction parameters.
+#[derive(Debug, Clone, Default)]
+pub struct NexusConfig {
+    /// Background worker threads shared by every `Rpc` on this Nexus
+    /// (§3.2's worker threads; the paper's `num_bg_threads`). 0 = no
+    /// shared pool; each `Rpc` may still spawn its own via
+    /// `RpcConfig::num_worker_threads`.
+    pub num_bg_threads: usize,
+}
+
+/// The process-wide runtime object: one per process (per node id), shared
+/// across dispatch threads behind an `Arc`. See the module docs.
+pub struct Nexus<F: Fabric> {
+    fabric: F,
+    node: u16,
+    /// Thread IDs with a live (or never-released) `Rpc`. Uniqueness makes
+    /// every endpoint address unique, which is what routes SM traffic to
+    /// the owning thread.
+    registered: Mutex<HashSet<u8>>,
+    /// The shared worker pool and its process-wide handler table
+    /// (`None` when `num_bg_threads == 0`).
+    workers: Option<(WorkerPool, WorkerTable)>,
+}
+
+impl<F: Fabric> Nexus<F> {
+    /// Create the Nexus for this process. `node` is the endpoint-address
+    /// namespace every thread of this process registers under.
+    pub fn new(fabric: F, node: u16, cfg: NexusConfig) -> Self {
+        let workers = if cfg.num_bg_threads > 0 {
+            let table: WorkerTable = Arc::new(RwLock::new(std::collections::HashMap::new()));
+            let pool = WorkerPool::spawn(cfg.num_bg_threads, Arc::clone(&table));
+            Some((pool, table))
+        } else {
+            None
+        };
+        Self {
+            fabric,
+            node,
+            registered: Mutex::new(HashSet::new()),
+            workers,
+        }
+    }
+
+    /// This process's node id.
+    pub fn node(&self) -> u16 {
+        self.node
+    }
+
+    /// The fabric handle (e.g. for harnesses that also create endpoints
+    /// outside the Nexus).
+    pub fn fabric(&self) -> &F {
+        &self.fabric
+    }
+
+    /// The endpoint address thread `thread_id` registers at — what peers
+    /// pass to `create_session` to reach that thread.
+    pub fn addr_of(&self, thread_id: u8) -> Addr {
+        Addr::new(self.node, thread_id)
+    }
+
+    /// Thread IDs currently registered (diagnostics).
+    pub fn registered_threads(&self) -> Vec<u8> {
+        let mut v: Vec<u8> = self.registered.lock().iter().copied().collect();
+        v.sort_unstable();
+        v
+    }
+
+    /// Whether this Nexus runs a shared background worker pool.
+    pub fn has_bg_threads(&self) -> bool {
+        self.workers.is_some()
+    }
+
+    /// Register a worker-mode handler in the process-wide table, like the
+    /// paper's Nexus-level handler registration. `Rpc`s created *after*
+    /// this call serve `req_type` immediately; `Rpc`s that already exist
+    /// opt in via their own [`Rpc::register_worker_handler`] (which writes
+    /// the same shared table). Registering handlers before spawning
+    /// dispatch threads — the paper's order — needs nothing per thread.
+    ///
+    /// # Panics
+    /// Panics if the Nexus was built with `num_bg_threads == 0`.
+    pub fn register_worker_handler(&self, req_type: u8, f: WorkerFn) {
+        let (_, table) = self
+            .workers
+            .as_ref()
+            .expect("register_worker_handler requires num_bg_threads > 0");
+        table.write().insert(req_type, f);
+    }
+
+    /// Create the `Rpc` endpoint for `thread_id`, registered at
+    /// [`Nexus::addr_of`]`(thread_id)`. Call from the thread that will own
+    /// and poll the endpoint (the `Rpc` is deliberately not `Sync`, and
+    /// dispatch handlers need not be `Send`).
+    ///
+    /// Thread IDs are unique per Nexus: a second `create_rpc` with a live
+    /// id fails with [`RpcError::ThreadIdInUse`]. After dropping an `Rpc`,
+    /// free its id with [`Nexus::release_thread`] before reusing it.
+    ///
+    /// When the Nexus has background threads, the new `Rpc` is attached to
+    /// the shared pool (its `RpcConfig::num_worker_threads` is ignored);
+    /// otherwise a per-`Rpc` pool is spawned if the config asks for one.
+    pub fn create_rpc(&self, thread_id: u8, cfg: RpcConfig) -> Result<Rpc<F::Endpoint>, RpcError> {
+        {
+            let mut reg = self.registered.lock();
+            if !reg.insert(thread_id) {
+                return Err(RpcError::ThreadIdInUse);
+            }
+        }
+        let transport = self.fabric.create_endpoint(self.addr_of(thread_id));
+        let worker = match &self.workers {
+            Some((pool, _)) => Some(pool.handle()),
+            None if cfg.num_worker_threads > 0 => {
+                Some(crate::worker::WorkerHandle::owned(cfg.num_worker_threads))
+            }
+            None => None,
+        };
+        Ok(Rpc::new_with_worker(transport, cfg, worker))
+    }
+
+    /// Release a thread id so it can be registered again. Call only after
+    /// the `Rpc` created under this id has been dropped (its endpoint must
+    /// have deregistered from the fabric first).
+    pub fn release_thread(&self, thread_id: u8) {
+        self.registered.lock().remove(&thread_id);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use erpc_transport::MemFabricConfig;
+
+    fn nexus() -> Nexus<MemFabric> {
+        Nexus::new(
+            MemFabric::new(MemFabricConfig::default()),
+            7,
+            NexusConfig::default(),
+        )
+    }
+
+    #[test]
+    fn nexus_is_send_and_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<Nexus<MemFabric>>();
+        assert_send_sync::<Arc<Nexus<MemFabric>>>();
+    }
+
+    #[test]
+    fn thread_ids_are_unique() {
+        let n = nexus();
+        let r0 = n.create_rpc(0, RpcConfig::default()).unwrap();
+        assert_eq!(r0.addr(), Addr::new(7, 0));
+        assert!(matches!(
+            n.create_rpc(0, RpcConfig::default()),
+            Err(RpcError::ThreadIdInUse)
+        ));
+        let r1 = n.create_rpc(1, RpcConfig::default()).unwrap();
+        assert_eq!(r1.addr(), Addr::new(7, 1));
+        assert_eq!(n.registered_threads(), vec![0, 1]);
+    }
+
+    #[test]
+    fn release_allows_reuse() {
+        let n = nexus();
+        let r0 = n.create_rpc(3, RpcConfig::default()).unwrap();
+        drop(r0); // endpoint deregisters from the fabric
+        n.release_thread(3);
+        let r0b = n.create_rpc(3, RpcConfig::default()).unwrap();
+        assert_eq!(r0b.addr(), Addr::new(7, 3));
+    }
+
+    #[test]
+    #[should_panic(expected = "num_bg_threads")]
+    fn worker_registration_requires_bg_threads() {
+        let n = nexus();
+        n.register_worker_handler(1, Arc::new(|_req, _resp| {}));
+    }
+}

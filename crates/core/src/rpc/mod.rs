@@ -1,0 +1,750 @@
+//! The `Rpc` endpoint: event loop, wire protocol, and public API (§3, §5).
+//!
+//! One `Rpc` per user thread, exclusive (eRPC's threading model). The
+//! owning thread must call [`Rpc::run_event_loop_once`] periodically; the
+//! event loop performs all datapath work: packet RX/TX, congestion
+//! control, retransmission, session management, and handler/continuation
+//! dispatch.
+//!
+//! ## Module layout
+//!
+//! The endpoint is one struct with a layered implementation, one file per
+//! datapath layer (none of them changes the public surface):
+//!
+//! * [`mod@self`] — public API: construction, buffers, handlers, sessions,
+//!   request enqueue, and the event-loop driver.
+//! * `tx` — the egress datapath: the deferred TX batch (§4.3 transmit
+//!   batching), the pacing wheel (§5.2), and session pumping.
+//! * `rx` — the ingress datapath: RX burst dispatch, the client and server
+//!   halves of the wire protocol (§5.1), and handler/continuation
+//!   invocation.
+//! * `sm` — session management: connect/disconnect handshakes, timers,
+//!   failure detection (Appendix B), and go-back-N recovery (§5.3).
+//!
+//! Process-wide resources (the transport fabric handle, the shared worker
+//! pool, thread-ID allocation) live in [`crate::Nexus`]; an `Rpc` is the
+//! cheap per-thread object created from it (§3's "one Rpc per thread").
+//!
+//! ## Wire protocol (§5.1, client-driven)
+//!
+//! Every server packet responds to a client packet. A request of N packets
+//! and response of M packets exchanges:
+//!
+//! ```text
+//! client → server : N request data packets        (paced, credit-limited)
+//! server → client : N−1 credit returns (CR)       (16 B)
+//! server → client : response packet 0             (implicitly returns the
+//!                                                  last request credit)
+//! client → server : M−1 request-for-response (RFR)
+//! server → client : response packets 1..M−1
+//! ```
+//!
+//! Loss handling is go-back-N at the client only (§5.3): the client rolls
+//! its two protocol counters back, reclaims credits, flushes the TX DMA
+//! queue (§4.2.2), and retransmits. Servers never run a handler twice for
+//! one request number (at-most-once).
+
+mod rx;
+mod sm;
+mod tx;
+
+use std::collections::HashMap;
+
+use erpc_congestion::TimingWheel;
+use erpc_transport::{Addr, RxToken, Transport};
+
+use crate::config::RpcConfig;
+use crate::error::RpcError;
+use crate::msgbuf::{BufPool, MsgBuf};
+use crate::pkthdr::PKT_HDR_SIZE;
+use crate::session::{PendingReq, Role, Session, SessionHandle, SessionState, Slot};
+use crate::stats::RpcStats;
+use crate::worker::{WorkDone, WorkerFn, WorkerHandle};
+
+use tx::{TxDesc, TxResolved, WheelEntry};
+
+/// Dispatch-mode request handler: runs inside the event loop on the
+/// dispatch thread (§3.2). For single-packet requests the payload slice
+/// borrows the transport RX ring directly (zero-copy RX, §4.2.3).
+pub type DispatchFn = Box<dyn FnMut(&mut ReqContext<'_>, &[u8])>;
+
+/// Continuation: an owned `FnOnce` invoked exactly once when its RPC
+/// completes (or fails), with ownership of both msgbufs returned to the
+/// application (§4.2.2's ownership rule). Unlike the paper's C++
+/// implementation — which pre-registers continuations in a `u8`-indexed
+/// table and threads a `(cont_id, tag)` pair through every call — each
+/// request carries its own closure, stored in the request's session slot.
+/// Captured state replaces the `tag`, and the type system guarantees the
+/// at-most-once invocation the table-based design only promised.
+pub type Continuation = Box<dyn FnOnce(&mut ContContext<'_>, Completion)>;
+
+enum HandlerEntry {
+    None,
+    Dispatch(DispatchFn),
+    Worker,
+}
+
+/// Delivered to a continuation when its RPC completes.
+pub struct Completion {
+    /// The request msgbuf, ownership returned.
+    pub req: MsgBuf,
+    /// The response msgbuf; on success its length is the response size.
+    pub resp: MsgBuf,
+    /// `Ok` or the failure reason (e.g. [`RpcError::RemoteFailure`]).
+    pub result: Result<(), RpcError>,
+    /// Completion latency (enqueue → continuation), transport clock.
+    pub latency_ns: u64,
+    /// The session the request ran on.
+    pub session: SessionHandle,
+}
+
+/// Handle to a request whose response will be enqueued later (nested /
+/// long-running RPCs, §3.1: "the handler need not enqueue a response
+/// before returning").
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DeferredHandle {
+    sess: u16,
+    slot: u8,
+    req_num: u64,
+}
+
+/// Operations queued by handlers/continuations (executed by the event loop
+/// right after the callback returns, avoiding reentrancy).
+enum QueuedOp {
+    Request {
+        sess: SessionHandle,
+        req_type: u8,
+        req: MsgBuf,
+        resp: MsgBuf,
+        cont: Continuation,
+    },
+    Response {
+        handle: DeferredHandle,
+        data: Vec<u8>,
+    },
+}
+
+/// Context available to dispatch-mode request handlers.
+pub struct ReqContext<'a> {
+    pool: &'a mut BufPool,
+    ops: &'a mut Vec<QueuedOp>,
+    prealloc: Option<MsgBuf>,
+    prealloc_enabled: bool,
+    resp_built: Option<(MsgBuf, bool)>,
+    deferred: bool,
+    handle: DeferredHandle,
+    max_msg_size: usize,
+}
+
+impl ReqContext<'_> {
+    /// Enqueue the response for this request. The common case: small
+    /// responses are served from the slot's preallocated msgbuf with no
+    /// allocator traffic (§4.3).
+    pub fn respond(&mut self, data: &[u8]) {
+        assert!(!self.deferred, "respond() after defer()");
+        assert!(self.resp_built.is_none(), "respond() called twice");
+        assert!(data.len() <= self.max_msg_size, "response exceeds max size");
+        let (mut buf, is_prealloc) = match self.prealloc.take() {
+            Some(p) if self.prealloc_enabled && data.len() <= p.capacity() => (p, true),
+            other => {
+                // Put an unsuitable prealloc back for future requests.
+                self.prealloc = other;
+                (self.pool.alloc(data.len()), false)
+            }
+        };
+        buf.fill(data);
+        self.resp_built = Some((buf, is_prealloc));
+    }
+
+    /// Defer the response: the handler returns without responding, and the
+    /// application calls [`Rpc::enqueue_response`] (or
+    /// [`ContContext::enqueue_response`]) with this handle later.
+    pub fn defer(&mut self) -> DeferredHandle {
+        assert!(self.resp_built.is_none(), "defer() after respond()");
+        self.deferred = true;
+        self.handle
+    }
+
+    /// This request's handle (for logging / correlation).
+    pub fn handle(&self) -> DeferredHandle {
+        self.handle
+    }
+
+    /// Issue a nested RPC from inside the handler; it is enqueued when the
+    /// handler returns. The continuation runs when the nested RPC
+    /// completes (capture the [`DeferredHandle`] from [`ReqContext::defer`]
+    /// to answer the original caller from it).
+    pub fn enqueue_request(
+        &mut self,
+        sess: SessionHandle,
+        req_type: u8,
+        req: MsgBuf,
+        resp: MsgBuf,
+        cont: impl FnOnce(&mut ContContext<'_>, Completion) + 'static,
+    ) {
+        self.ops.push(QueuedOp::Request {
+            sess,
+            req_type,
+            req,
+            resp,
+            cont: Box::new(cont),
+        });
+    }
+
+    /// Allocate a msgbuf (for nested requests).
+    pub fn alloc_msg_buffer(&mut self, size: usize) -> MsgBuf {
+        self.pool.alloc(size)
+    }
+
+    /// Return a msgbuf to the pool.
+    pub fn free_msg_buffer(&mut self, m: MsgBuf) {
+        self.pool.free(m);
+    }
+}
+
+/// Context available to continuations.
+pub struct ContContext<'a> {
+    pool: &'a mut BufPool,
+    ops: &'a mut Vec<QueuedOp>,
+}
+
+impl ContContext<'_> {
+    /// Issue a follow-up RPC (the closed-loop pattern: re-enqueue from the
+    /// continuation, reusing the completed msgbufs).
+    pub fn enqueue_request(
+        &mut self,
+        sess: SessionHandle,
+        req_type: u8,
+        req: MsgBuf,
+        resp: MsgBuf,
+        cont: impl FnOnce(&mut ContContext<'_>, Completion) + 'static,
+    ) {
+        self.ops.push(QueuedOp::Request {
+            sess,
+            req_type,
+            req,
+            resp,
+            cont: Box::new(cont),
+        });
+    }
+
+    /// Enqueue a deferred response from within a continuation (the nested-
+    /// RPC pattern: parent response depends on a child RPC's completion).
+    pub fn enqueue_response(&mut self, handle: DeferredHandle, data: &[u8]) {
+        self.ops.push(QueuedOp::Response {
+            handle,
+            data: data.to_vec(),
+        });
+    }
+
+    pub fn alloc_msg_buffer(&mut self, size: usize) -> MsgBuf {
+        self.pool.alloc(size)
+    }
+
+    pub fn free_msg_buffer(&mut self, m: MsgBuf) {
+        self.pool.free(m);
+    }
+}
+
+/// Failed `enqueue_request`, returning buffer ownership with the reason.
+/// The continuation comes back too, unfired — the caller decides whether
+/// to retry with it or drop it.
+pub struct EnqueueError {
+    pub err: RpcError,
+    pub req: MsgBuf,
+    pub resp: MsgBuf,
+    pub cont: Continuation,
+}
+
+impl core::fmt::Debug for EnqueueError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(f, "EnqueueError({})", self.err)
+    }
+}
+
+/// Point-in-time view of a session's health (see [`Rpc::session_info`]).
+#[derive(Debug, Clone)]
+pub struct SessionInfo {
+    pub state: SessionState,
+    /// True for client-mode sessions.
+    pub is_client: bool,
+    pub peer: Addr,
+    /// Credits currently available (client side).
+    pub credits_available: u32,
+    /// Requests enqueued but not completed (slots + backlog).
+    pub outstanding_requests: u32,
+    /// Requests waiting for a free slot.
+    pub backlogged: usize,
+    /// Packets in flight (unacknowledged) across all slots.
+    pub in_flight_pkts: u32,
+    /// Congestion-controlled rate, if a controller is attached.
+    pub rate_bps: Option<f64>,
+    /// Whether the pacer is currently bypassed (§5.2.2).
+    pub uncongested: bool,
+}
+
+/// Work performed since the last [`Rpc::take_work`] (the simulator's
+/// CPU-cost driver consumes this).
+#[derive(Debug, Default, Clone, Copy)]
+pub struct WorkCounts {
+    pub tx_pkts: u64,
+    pub rx_pkts: u64,
+    pub callbacks: u64,
+    pub rx_bytes: u64,
+}
+
+/// An eRPC endpoint. Generic over the transport; `!Sync` by design.
+pub struct Rpc<T: Transport> {
+    transport: T,
+    cfg: RpcConfig,
+    pool: BufPool,
+    sessions: Vec<Option<Session>>,
+    /// (peer key, peer's client session num) → local server session num.
+    connect_map: HashMap<(u32, u16), u16>,
+    handlers: Vec<HandlerEntry>,
+    wheel: TimingWheel<WheelEntry>,
+    wheel_scratch: Vec<WheelEntry>,
+    /// Deferred TX queue: drained into one `tx_burst` per event-loop pass
+    /// (or when it reaches `cfg.tx_batch`).
+    tx_queue: Vec<TxDesc>,
+    /// Reusable scratch for `flush_tx_batch`'s validation pass.
+    tx_resolved: Vec<TxResolved>,
+    pending_ops: Vec<QueuedOp>,
+    /// Worker-pool attachment: `Rpc`-owned threads (standalone) or a handle
+    /// into the process-wide pool of the owning [`crate::Nexus`].
+    worker: Option<WorkerHandle>,
+    worker_done_scratch: Vec<WorkDone>,
+    stats: RpcStats,
+    work: WorkCounts,
+    /// Batched timestamp (§5.2.2 opt 3): refreshed once per loop pass.
+    now_cache: u64,
+    last_timer_scan_ns: u64,
+    rx_tokens: Vec<RxToken>,
+    /// Per-packet RTT samples (enabled by `record_rtt_samples`).
+    rtt_hist: crate::stats::LatencyHistogram,
+    /// Emulated RX descriptor ring for the multi-packet-RQ cost model.
+    desc_scratch: Vec<u8>,
+    desc_counter: u64,
+    /// Data bytes per packet: transport MTU − 16 B header.
+    dpp: usize,
+}
+
+impl<T: Transport> Rpc<T> {
+    pub fn new(transport: T, cfg: RpcConfig) -> Self {
+        let worker = if cfg.num_worker_threads > 0 {
+            Some(WorkerHandle::owned(cfg.num_worker_threads))
+        } else {
+            None
+        };
+        Self::new_with_worker(transport, cfg, worker)
+    }
+
+    /// Construct with an explicit worker-pool attachment (`None` = no
+    /// worker threads at all). [`crate::Nexus::create_rpc`] uses this to
+    /// hand every per-thread `Rpc` a handle into the one shared pool.
+    pub(crate) fn new_with_worker(
+        transport: T,
+        cfg: RpcConfig,
+        worker: Option<WorkerHandle>,
+    ) -> Self {
+        let dpp = transport.mtu() - PKT_HDR_SIZE;
+        assert!(dpp > 0, "transport MTU too small for the packet header");
+        let now = transport.now_ns();
+        // Handler functions already in the (shared) worker table — e.g.
+        // registered at the Nexus before this Rpc existed — are served
+        // from the start, like the paper's Nexus-registered handlers.
+        let mut handlers: Vec<HandlerEntry> = (0..256).map(|_| HandlerEntry::None).collect();
+        if let Some(w) = &worker {
+            for rt in w.registered_types() {
+                handlers[rt as usize] = HandlerEntry::Worker;
+            }
+        }
+        Self {
+            pool: BufPool::new(dpp),
+            sessions: Vec::new(),
+            connect_map: HashMap::new(),
+            handlers,
+            wheel: TimingWheel::new(cfg.wheel_slots, cfg.wheel_granularity_ns, now),
+            wheel_scratch: Vec::new(),
+            tx_queue: Vec::with_capacity(cfg.tx_batch),
+            tx_resolved: Vec::with_capacity(cfg.tx_batch),
+            pending_ops: Vec::new(),
+            worker,
+            worker_done_scratch: Vec::new(),
+            stats: RpcStats::default(),
+            work: WorkCounts::default(),
+            now_cache: now,
+            last_timer_scan_ns: now,
+            rx_tokens: Vec::with_capacity(cfg.rx_batch),
+            rtt_hist: crate::stats::LatencyHistogram::new(),
+            desc_scratch: vec![0u8; 64 * 64],
+            desc_counter: 0,
+            dpp,
+            transport,
+            cfg,
+        }
+    }
+
+    // ── Accessors ───────────────────────────────────────────────────────
+
+    pub fn addr(&self) -> Addr {
+        self.transport.addr()
+    }
+
+    pub fn config(&self) -> &RpcConfig {
+        &self.cfg
+    }
+
+    pub fn stats(&self) -> &RpcStats {
+        &self.stats
+    }
+
+    pub fn transport(&self) -> &T {
+        &self.transport
+    }
+
+    pub fn transport_mut(&mut self) -> &mut T {
+        &mut self.transport
+    }
+
+    /// Data bytes carried per packet.
+    pub fn data_per_pkt(&self) -> usize {
+        self.dpp
+    }
+
+    /// Maximum sessions this endpoint supports: |RQ| / C (§4.3.1).
+    pub fn session_limit(&self) -> usize {
+        (self.transport.rx_ring_size() / self.cfg.session_credits as usize).max(1)
+    }
+
+    fn live_sessions(&self) -> usize {
+        self.sessions.iter().flatten().count()
+    }
+
+    /// Number of live sessions (client + server roles) on this endpoint.
+    pub fn active_sessions(&self) -> usize {
+        self.live_sessions()
+    }
+
+    /// Drain the work counters (simulator CPU charging).
+    pub fn take_work(&mut self) -> WorkCounts {
+        std::mem::take(&mut self.work)
+    }
+
+    /// Client-side per-packet RTT samples (when `record_rtt_samples`).
+    pub fn rtt_histogram(&self) -> &crate::stats::LatencyHistogram {
+        &self.rtt_hist
+    }
+
+    /// Reset the RTT histogram (e.g. after a warmup window).
+    pub fn clear_rtt_histogram(&mut self) {
+        self.rtt_hist.clear();
+    }
+
+    // ── Buffers, handlers, continuations ───────────────────────────────
+
+    /// Allocate a DMA-capable msgbuf holding up to `size` bytes.
+    pub fn alloc_msg_buffer(&mut self, size: usize) -> MsgBuf {
+        assert!(size <= self.cfg.max_msg_size, "msgbuf beyond max_msg_size");
+        self.pool.alloc(size)
+    }
+
+    pub fn free_msg_buffer(&mut self, m: MsgBuf) {
+        self.pool.free(m);
+    }
+
+    /// Register a dispatch-mode handler for `req_type` (§3.2: handlers of
+    /// up to a few hundred nanoseconds belong here).
+    pub fn register_request_handler(&mut self, req_type: u8, f: DispatchFn) {
+        self.handlers[req_type as usize] = HandlerEntry::Dispatch(f);
+    }
+
+    /// Register a worker-mode handler for `req_type` (long-running
+    /// handlers; requires worker threads — `num_worker_threads > 0` or a
+    /// Nexus-shared pool — otherwise it runs in dispatch as a degraded
+    /// mode). On a Nexus-attached `Rpc` the handler function lands in the
+    /// process-wide worker table (shared by all threads, like the paper's
+    /// Nexus-registered handlers), but it serves requests only on `Rpc`s
+    /// that registered the type.
+    pub fn register_worker_handler(&mut self, req_type: u8, f: WorkerFn) {
+        if let Some(w) = &self.worker {
+            w.register(req_type, f);
+            self.handlers[req_type as usize] = HandlerEntry::Worker;
+        } else {
+            let g = f;
+            self.handlers[req_type as usize] =
+                HandlerEntry::Dispatch(Box::new(move |ctx: &mut ReqContext<'_>, req: &[u8]| {
+                    let mut out = Vec::new();
+                    g(req, &mut out);
+                    ctx.respond(&out);
+                }));
+        }
+    }
+
+    // ── Sessions ────────────────────────────────────────────────────────
+
+    /// Start connecting a client session to the endpoint at `peer`. Poll
+    /// [`Rpc::is_connected`] (while running the event loop) to learn when
+    /// the handshake completes.
+    pub fn create_session(&mut self, peer: Addr) -> Result<SessionHandle, RpcError> {
+        if self.live_sessions() + 1 > self.session_limit() {
+            return Err(RpcError::TooManySessions);
+        }
+        let num = self.alloc_session_slot();
+        // Fresh clock (cold path): `now_cache` may be arbitrarily stale if
+        // the app idled without polling the event loop, and a stale
+        // `last_rx_ns` could trip the connect give-up timer instantly.
+        let now = self.transport.now_ns();
+        let sess = Session::new_client(
+            num,
+            peer,
+            self.cfg.session_credits,
+            self.cfg.slots_per_session,
+            now,
+        );
+        self.sessions[num as usize] = Some(sess);
+        self.init_session_cc(num);
+        self.tx_connect_req(num);
+        Ok(SessionHandle(num))
+    }
+
+    pub fn session_state(&self, h: SessionHandle) -> Option<SessionState> {
+        self.sessions
+            .get(h.0 as usize)
+            .and_then(|s| s.as_ref())
+            .map(|s| s.state)
+    }
+
+    pub fn is_connected(&self, h: SessionHandle) -> bool {
+        self.session_state(h) == Some(SessionState::Connected)
+    }
+
+    /// Credits currently available on a session (tests/diagnostics).
+    pub fn session_credits_available(&self, h: SessionHandle) -> Option<u32> {
+        self.sessions
+            .get(h.0 as usize)
+            .and_then(|s| s.as_ref())
+            .map(|s| s.credits)
+    }
+
+    /// Introspection snapshot of one session (diagnostics/monitoring).
+    pub fn session_info(&self, h: SessionHandle) -> Option<SessionInfo> {
+        let sess = self.sessions.get(h.0 as usize)?.as_ref()?;
+        let in_flight = sess
+            .slots
+            .iter()
+            .map(|s| match s {
+                Slot::Client(c) if c.active => c.in_flight(),
+                _ => 0,
+            })
+            .sum();
+        Some(SessionInfo {
+            state: sess.state,
+            is_client: sess.role == Role::Client,
+            peer: sess.peer,
+            credits_available: sess.credits,
+            outstanding_requests: sess.outstanding,
+            backlogged: sess.backlog.len(),
+            in_flight_pkts: in_flight,
+            rate_bps: sess.cc.rate_bps(),
+            uncongested: sess.cc.is_uncongested(),
+        })
+    }
+
+    /// Begin disconnecting an idle client session.
+    pub fn disconnect(&mut self, h: SessionHandle) -> Result<(), RpcError> {
+        let sess = self
+            .sessions
+            .get_mut(h.0 as usize)
+            .and_then(|s| s.as_mut())
+            .ok_or(RpcError::InvalidSession)?;
+        if sess.role != Role::Client || sess.state != SessionState::Connected {
+            return Err(RpcError::NotConnected);
+        }
+        if sess.outstanding > 0 {
+            return Err(RpcError::NotConnected);
+        }
+        sess.state = SessionState::Disconnecting;
+        // Disconnect-start stamp: `last_ping_tx_ns` is unused while
+        // disconnecting, so it bounds how long we retry before freeing the
+        // session locally (dead-peer disconnect must still terminate).
+        // Cold path, so read a fresh clock: `now_cache` may be arbitrarily
+        // stale if the app idled without polling the event loop, and a
+        // stale stamp could expire the whole retry window instantly.
+        sess.last_ping_tx_ns = self.transport.now_ns();
+        self.tx_disconnect_req(h.0);
+        Ok(())
+    }
+
+    // ── Request enqueue ────────────────────────────────────────────────
+
+    /// Queue a request on a session. Asynchronous: `cont` fires exactly
+    /// once when the RPC completes (successfully or with an error), with
+    /// ownership of both msgbufs. On an immediate enqueue failure the
+    /// continuation is returned *unfired* inside the [`EnqueueError`].
+    ///
+    /// If all slots are busy the request is transparently backlogged
+    /// (§4.3). Requests enqueued while the session is still connecting are
+    /// also backlogged and sent once the handshake completes.
+    pub fn enqueue_request(
+        &mut self,
+        h: SessionHandle,
+        req_type: u8,
+        req: MsgBuf,
+        resp: MsgBuf,
+        cont: impl FnOnce(&mut ContContext<'_>, Completion) + 'static,
+    ) -> Result<(), EnqueueError> {
+        self.enqueue_request_boxed(h, req_type, req, resp, Box::new(cont))
+    }
+
+    /// Monomorphization-free inner enqueue; also the path the event loop
+    /// uses for already-boxed continuations (nested RPCs, backlog).
+    fn enqueue_request_boxed(
+        &mut self,
+        h: SessionHandle,
+        req_type: u8,
+        req: MsgBuf,
+        resp: MsgBuf,
+        cont: Continuation,
+    ) -> Result<(), EnqueueError> {
+        let err = |err, req, resp, cont| {
+            Err(EnqueueError {
+                err,
+                req,
+                resp,
+                cont,
+            })
+        };
+        if req.len() > self.cfg.max_msg_size {
+            return err(RpcError::MsgTooLarge, req, resp, cont);
+        }
+        let Some(sess) = self.sessions.get_mut(h.0 as usize).and_then(|s| s.as_mut()) else {
+            return err(RpcError::InvalidSession, req, resp, cont);
+        };
+        if sess.role != Role::Client {
+            return err(RpcError::InvalidSession, req, resp, cont);
+        }
+        match sess.state {
+            SessionState::Connected | SessionState::Connecting => {}
+            SessionState::Failed => return err(RpcError::RemoteFailure, req, resp, cont),
+            SessionState::Disconnecting => return err(RpcError::Disconnected, req, resp, cont),
+        }
+        if sess.backlog.len() >= self.cfg.backlog_cap {
+            return err(RpcError::BacklogFull, req, resp, cont);
+        }
+        sess.outstanding += 1;
+        self.stats.requests_sent += 1;
+        // Fresh clock, not `now_cache`: enqueue is app-facing and may run
+        // arbitrarily long after the last event-loop pass; a stale stamp
+        // would fold application think-time into `Completion::latency_ns`.
+        // One clock read per *request* (not per packet) is outside the
+        // §5.2.2 batched-timestamp optimization's scope.
+        self.stats.clock_reads += 1;
+        let enqueue_ns = self.transport.now_ns();
+        sess.backlog.push_back(PendingReq {
+            req_type,
+            req,
+            resp,
+            cont,
+            enqueue_ns,
+        });
+        let idx = h.0;
+        if self.sessions[idx as usize].as_ref().unwrap().state == SessionState::Connected {
+            self.pump_session(idx);
+        }
+        Ok(())
+    }
+
+    /// Enqueue the response for a previously deferred request (§3.1's
+    /// nested-RPC flow). Call between event-loop iterations or from a
+    /// continuation via [`ContContext::enqueue_response`].
+    pub fn enqueue_response(
+        &mut self,
+        handle: DeferredHandle,
+        data: &[u8],
+    ) -> Result<(), RpcError> {
+        let Some(sess) = self
+            .sessions
+            .get_mut(handle.sess as usize)
+            .and_then(|s| s.as_mut())
+        else {
+            return Err(RpcError::InvalidSession);
+        };
+        if sess.role != Role::Server {
+            return Err(RpcError::InvalidSession);
+        }
+        let slot = sess.slots[handle.slot as usize].server_mut();
+        if slot.req_num != handle.req_num || slot.phase != crate::session::SrvPhase::Processing {
+            return Err(RpcError::InvalidSession);
+        }
+        // Build the response msgbuf: preallocated when it fits (§4.3).
+        let (mut buf, is_prealloc) = match slot.prealloc.take() {
+            Some(p) if self.cfg.opt_preallocated_responses && data.len() <= p.capacity() => {
+                (p, true)
+            }
+            other => {
+                slot.prealloc = other;
+                (self.pool.alloc(data.len()), false)
+            }
+        };
+        buf.fill(data);
+        slot.resp = Some(buf);
+        slot.resp_is_prealloc = is_prealloc;
+        slot.phase = crate::session::SrvPhase::Responding;
+        self.tx_resp_pkt(handle.sess, handle.slot as usize, 0);
+        Ok(())
+    }
+
+    // ── Event loop ─────────────────────────────────────────────────────
+
+    /// One pass: RX burst → worker completions → pacing wheel → queued
+    /// ops → timers → TX-batch flush.
+    pub fn run_event_loop_once(&mut self) {
+        // Batched timestamp: one clock read per pass (§5.2.2 opt 3).
+        self.now_cache = self.transport.now_ns();
+        self.stats.clock_reads += 1;
+
+        self.process_rx();
+        self.process_worker_completions();
+        self.reap_wheel();
+        self.drain_pending_ops();
+        if self.now_cache.saturating_sub(self.last_timer_scan_ns) >= self.cfg.timer_scan_interval_ns
+        {
+            self.last_timer_scan_ns = self.now_cache;
+            self.run_timers();
+        }
+        // Transmit batching (§4.3, Table 3): everything queued this pass
+        // leaves in one burst — one DMA doorbell per pass, not per packet.
+        self.flush_tx_batch();
+    }
+
+    /// Run the event loop for (at least) `duration_ns` of transport time.
+    /// Only meaningful on wall-clock transports; simulations use
+    /// `erpc_sim::driver` instead.
+    pub fn run_event_loop(&mut self, duration_ns: u64) {
+        let start = self.transport.now_ns();
+        while self.transport.now_ns() - start < duration_ns {
+            self.run_event_loop_once();
+        }
+    }
+
+    /// Per-packet timestamp: cached when batching is on, a real clock read
+    /// when off (Table 3's "disable batched RTT timestamps").
+    #[inline]
+    fn pkt_now(&mut self) -> u64 {
+        if self.cfg.opt_batched_timestamps {
+            self.now_cache
+        } else {
+            self.stats.clock_reads += 1;
+            self.transport.now_ns()
+        }
+    }
+}
+
+impl<T: Transport> Drop for Rpc<T> {
+    fn drop(&mut self) {
+        // Owned worker threads are joined by `WorkerHandle::drop`; handles
+        // into a Nexus-shared pool detach without joining (the pool belongs
+        // to the Nexus). Buffers are freed with the pool.
+    }
+}

@@ -1,0 +1,709 @@
+//! Ingress datapath: RX burst dispatch, the client and server halves of
+//! the wire protocol (§5.1), and handler/continuation invocation.
+//!
+//! All dispatch happens on the owning thread (§3.2): short handlers run
+//! inline on the RX-ring bytes (zero-copy, §4.2.3); long handlers are
+//! shipped to the worker pool and their completions re-enter the event
+//! loop through [`Rpc::process_worker_completions`].
+
+use erpc_transport::{RxToken, Transport};
+
+use crate::error::RpcError;
+use crate::pkthdr::{PktHdr, PktType, PKT_HDR_SIZE};
+use crate::session::{Role, SessionState, SrvPhase};
+
+use super::{Completion, ContContext, Continuation, DeferredHandle, HandlerEntry};
+use super::{QueuedOp, ReqContext, Rpc};
+
+impl<T: Transport> Rpc<T> {
+    // ── RX path ────────────────────────────────────────────────────────
+
+    pub(super) fn process_rx(&mut self) {
+        debug_assert!(self.rx_tokens.is_empty());
+        let mut toks = std::mem::take(&mut self.rx_tokens);
+        let n = self.transport.rx_burst(self.cfg.rx_batch, &mut toks);
+        if n == 0 {
+            self.rx_tokens = toks;
+            return;
+        }
+        for tok in toks.drain(..) {
+            self.emulate_rq_descriptor_repost();
+            self.process_one_pkt(tok);
+        }
+        self.transport.rx_release();
+        self.rx_tokens = toks;
+    }
+
+    /// The multi-packet RQ cost model (§4.1.1, Table 3): with 512-way
+    /// descriptors the CPU re-posts one descriptor per 512 packets; with
+    /// traditional RQs it writes one descriptor per packet. The descriptor
+    /// write is real work (64 B into the emulated ring).
+    #[inline]
+    fn emulate_rq_descriptor_repost(&mut self) {
+        self.desc_counter += 1;
+        let factor = if self.cfg.opt_multi_packet_rq {
+            self.cfg.rq_multi_packet_factor as u64
+        } else {
+            1
+        };
+        if self.desc_counter.is_multiple_of(factor) {
+            let idx = ((self.desc_counter / factor) % 64) as usize * 64;
+            let ctr = self.desc_counter;
+            for (i, b) in self.desc_scratch[idx..idx + 64].iter_mut().enumerate() {
+                *b = (ctr as u8).wrapping_add(i as u8);
+            }
+            std::hint::black_box(&mut self.desc_scratch[idx]);
+        }
+    }
+
+    fn process_one_pkt(&mut self, tok: RxToken) {
+        self.stats.pkts_rx += 1;
+        self.work.rx_pkts += 1;
+        self.work.rx_bytes += tok.len() as u64;
+        let hdr = {
+            let b = self.transport.rx_bytes(&tok);
+            match PktHdr::decode(b) {
+                Ok(h) => h,
+                Err(_) => {
+                    self.stats.rx_dropped_stale += 1;
+                    return;
+                }
+            }
+        };
+        match hdr.pkt_type {
+            PktType::Req => self.server_rx_req(hdr, tok),
+            PktType::Resp => self.client_rx_resp(hdr, tok),
+            PktType::CreditReturn => self.client_rx_cr(hdr),
+            PktType::Rfr => self.server_rx_rfr(hdr),
+            PktType::ConnectReq => self.rx_connect_req(hdr, tok),
+            PktType::ConnectResp => self.rx_connect_resp(hdr, tok),
+            PktType::DisconnectReq => self.rx_disconnect_req(hdr, tok),
+            PktType::DisconnectResp => self.rx_disconnect_resp(hdr, tok),
+            PktType::Ping => self.rx_ping(hdr),
+            PktType::Pong => self.rx_pong(hdr),
+        }
+    }
+
+    pub(super) fn touch_session_rx(&mut self, sess_idx: u16) {
+        let now = self.now_cache;
+        if let Some(Some(s)) = self.sessions.get_mut(sess_idx as usize) {
+            s.last_rx_ns = now;
+        }
+    }
+
+    // ── Client RX: credit returns and responses ────────────────────────
+
+    /// Validate a client-session/slot pair for an incoming packet; returns
+    /// the session index if the packet is current.
+    fn client_slot_current(&mut self, hdr: &PktHdr) -> Option<u16> {
+        let sess = self
+            .sessions
+            .get(hdr.dest_session as usize)?
+            .as_ref()
+            .filter(|s| s.role == Role::Client && s.state == SessionState::Connected)?;
+        let slot_idx = (hdr.req_num % sess.slots.len() as u64) as usize;
+        let c = sess.slots[slot_idx].client();
+        if !c.active || c.req_num != hdr.req_num {
+            return None;
+        }
+        Some(hdr.dest_session)
+    }
+
+    fn client_rx_cr(&mut self, hdr: PktHdr) {
+        self.touch_session_rx(hdr.dest_session);
+        let Some(sess_idx) = self.client_slot_current(&hdr) else {
+            self.stats.rx_dropped_stale += 1;
+            return;
+        };
+        let now = self.pkt_now();
+        let n_slots = self.cfg.slots_per_session as u64;
+        let sess = self.sessions[sess_idx as usize].as_mut().unwrap();
+        let slot_idx = (hdr.req_num % n_slots) as usize;
+        let c = sess.slots[slot_idx].client_mut();
+        // A CR acknowledges request packet `pkt_num`; in-order fabrics make
+        // this cumulative. RX sequence for request pkt k is k.
+        let rx_seq = hdr.pkt_num as u32;
+        if rx_seq >= c.num_tx || rx_seq < c.num_rx || rx_seq >= c.req_total {
+            self.stats.rx_dropped_stale += 1;
+            return;
+        }
+        let newly = rx_seq + 1 - c.num_rx;
+        c.num_rx = rx_seq + 1;
+        c.last_progress_ns = now;
+        c.retries = 0;
+        let rtt = c.rtt_sample(rx_seq, now);
+        sess.credits += newly;
+        self.cc_on_ack(sess_idx, rtt, hdr.ecn, now);
+        self.pump_session(sess_idx);
+    }
+
+    fn client_rx_resp(&mut self, hdr: PktHdr, tok: RxToken) {
+        self.touch_session_rx(hdr.dest_session);
+        let Some(sess_idx) = self.client_slot_current(&hdr) else {
+            self.stats.rx_dropped_stale += 1;
+            return;
+        };
+        let now = self.pkt_now();
+        let dpp = self.dpp;
+        let n_slots = self.cfg.slots_per_session as u64;
+        let slot_idx = (hdr.req_num % n_slots) as usize;
+
+        // Split borrows: payload from transport, slot from sessions.
+        let this = &mut *self;
+        let sess = this.sessions[sess_idx as usize].as_mut().unwrap();
+        let c = sess.slots[slot_idx].client_mut();
+        let p = hdr.pkt_num as u32;
+
+        // First response packet: reveals size, acks all request packets.
+        if p == 0 && c.resp_rcvd == 0 {
+            if c.num_rx >= c.req_total {
+                this.stats.rx_dropped_stale += 1;
+                return;
+            }
+            let resp_pkts = if hdr.msg_size == 0 {
+                1
+            } else {
+                (hdr.msg_size as usize).div_ceil(dpp) as u32
+            };
+            let rtt = c.rtt_sample(c.req_total - 1, now);
+            if hdr.msg_size as usize > c.resp.as_ref().unwrap().capacity() {
+                // Response doesn't fit the application's buffer: complete
+                // with an error (buffers returned to the app).
+                let returned = c.num_tx - c.num_rx;
+                c.num_rx = c.num_tx;
+                sess.credits += returned;
+                this.cc_on_ack(sess_idx, rtt, hdr.ecn, now);
+                this.complete_slot(sess_idx, slot_idx, Err(RpcError::MsgTooLarge));
+                return;
+            }
+            let returned = c.req_total - c.num_rx;
+            c.num_rx = c.req_total;
+            c.resp_total = resp_pkts;
+            c.resp_rcvd = 1;
+            c.last_progress_ns = now;
+            c.retries = 0;
+            let resp_buf = c.resp.as_mut().unwrap();
+            resp_buf.resize(hdr.msg_size as usize);
+            let payload = &this.transport.rx_bytes(&tok)[PKT_HDR_SIZE..];
+            resp_buf.write_pkt_data(0, payload);
+            sess.credits += returned;
+            this.cc_on_ack(sess_idx, rtt, hdr.ecn, now);
+            if this.sessions[sess_idx as usize].as_ref().unwrap().slots[slot_idx]
+                .client()
+                .done()
+            {
+                this.complete_slot(sess_idx, slot_idx, Ok(()));
+            } else {
+                this.pump_session(sess_idx);
+            }
+            return;
+        }
+
+        // Later response packets must arrive in order (§5.3: reordered
+        // packets are treated as losses and dropped).
+        if c.resp_total == 0 || p != c.resp_rcvd || p >= c.resp_total {
+            this.stats.rx_dropped_stale += 1;
+            return;
+        }
+        let rx_seq = c.req_total + p - 1; // RFR for pkt p had TX seq N+p-1
+        if rx_seq >= c.num_tx {
+            this.stats.rx_dropped_stale += 1;
+            return;
+        }
+        let rtt = c.rtt_sample(rx_seq, now);
+        c.num_rx += 1;
+        c.resp_rcvd += 1;
+        c.last_progress_ns = now;
+        c.retries = 0;
+        let payload = &this.transport.rx_bytes(&tok)[PKT_HDR_SIZE..];
+        c.resp.as_mut().unwrap().write_pkt_data(p as usize, payload);
+        sess.credits += 1;
+        this.cc_on_ack(sess_idx, rtt, hdr.ecn, now);
+        if this.sessions[sess_idx as usize].as_ref().unwrap().slots[slot_idx]
+            .client()
+            .done()
+        {
+            this.complete_slot(sess_idx, slot_idx, Ok(()));
+        } else {
+            this.pump_session(sess_idx);
+        }
+    }
+
+    /// Congestion-control reaction to an acked packet (client side only,
+    /// §5.2.1). ECN feeds DCQCN; RTT feeds Timely, subject to the Timely
+    /// bypass (§5.2.2 opt 1).
+    fn cc_on_ack(&mut self, sess_idx: u16, rtt_ns: u64, ecn: bool, now: u64) {
+        if self.cfg.record_rtt_samples {
+            self.rtt_hist.record(rtt_ns);
+        }
+        let sess = self.sessions[sess_idx as usize].as_mut().unwrap();
+        if ecn {
+            self.stats.ecn_marks_seen += 1;
+        }
+        if let Some(d) = sess.cc.dcqcn.as_mut() {
+            if ecn {
+                d.on_congestion_notification(now);
+            }
+        }
+        if let Some(t) = sess.cc.timely.as_mut() {
+            if self.cfg.opt_timely_bypass && t.can_bypass_update(rtt_ns) {
+                self.stats.timely_bypasses += 1;
+            } else {
+                t.update(rtt_ns, now);
+                self.stats.timely_updates += 1;
+            }
+        }
+    }
+
+    /// Complete a client slot: free it, advance its request number, and
+    /// invoke the continuation with buffer ownership.
+    pub(super) fn complete_slot(
+        &mut self,
+        sess_idx: u16,
+        slot_idx: usize,
+        result: Result<(), RpcError>,
+    ) {
+        let n_slots = self.cfg.slots_per_session as u64;
+        let now = self.now_cache;
+        let sess = self.sessions[sess_idx as usize].as_mut().unwrap();
+        let c = sess.slots[slot_idx].client_mut();
+        debug_assert!(c.active);
+        let req = c.req.take().unwrap();
+        let resp = c.resp.take().unwrap();
+        let cont = c.cont.take().expect("active slot owns its continuation");
+        let latency_ns = now.saturating_sub(c.start_ns);
+        c.active = false;
+        c.req_num += n_slots;
+        c.tx_epoch = c.tx_epoch.wrapping_add(1); // kill any paced leftovers
+        sess.outstanding -= 1;
+        match result {
+            Ok(()) => self.stats.responses_completed += 1,
+            Err(_) => self.stats.requests_failed += 1,
+        }
+        self.invoke_continuation(
+            cont,
+            Completion {
+                req,
+                resp,
+                result,
+                latency_ns,
+                session: crate::session::SessionHandle(sess_idx),
+            },
+        );
+        // A slot freed: promote the backlog.
+        self.pump_session(sess_idx);
+    }
+
+    /// Consume a continuation: `FnOnce` + move-out-of-slot means each
+    /// request's closure runs at most once, structurally.
+    pub(super) fn invoke_continuation(&mut self, cont: Continuation, completion: Completion) {
+        self.work.callbacks += 1;
+        let mut ctx = ContContext {
+            pool: &mut self.pool,
+            ops: &mut self.pending_ops,
+        };
+        cont(&mut ctx, completion);
+    }
+
+    // ── Server RX: requests and RFRs ────────────────────────────────────
+
+    fn server_rx_req(&mut self, hdr: PktHdr, tok: RxToken) {
+        self.touch_session_rx(hdr.dest_session);
+        let dpp = self.dpp;
+        let n_slots = self.cfg.slots_per_session;
+        let Some(Some(sess)) = self.sessions.get_mut(hdr.dest_session as usize) else {
+            self.stats.rx_dropped_stale += 1;
+            return;
+        };
+        if sess.role != Role::Server {
+            self.stats.rx_dropped_stale += 1;
+            return;
+        }
+        let sess_idx = hdr.dest_session;
+        let slot_idx = (hdr.req_num % n_slots as u64) as usize;
+        let peer = sess.peer;
+        let remote = sess.remote_num;
+        let s = sess.slots[slot_idx].server_mut();
+
+        let req_pkts = if hdr.msg_size == 0 {
+            1
+        } else {
+            (hdr.msg_size as usize).div_ceil(dpp) as u32
+        };
+
+        // New request for this slot?
+        let is_new = s.req_num == u64::MAX || hdr.req_num > s.req_num;
+        if is_new {
+            // The client only reuses a slot after completing its previous
+            // request, so the previous response can be reclaimed.
+            if s.phase == SrvPhase::Processing {
+                // Should not happen with a correct client; drop.
+                self.stats.rx_dropped_stale += 1;
+                return;
+            }
+            if let Some(old) = s.resp.take() {
+                if s.resp_is_prealloc {
+                    s.prealloc = Some(old);
+                } else {
+                    self.pool.free(old);
+                }
+            }
+            if hdr.msg_size as usize > self.cfg.max_msg_size {
+                self.stats.rx_dropped_stale += 1;
+                return;
+            }
+            s.phase = SrvPhase::Receiving;
+            s.req_num = hdr.req_num;
+            s.req_type = hdr.req_type;
+            s.req_rcvd = 0;
+            s.req_total = req_pkts;
+            s.echo_ecn = false;
+            if req_pkts > 1 {
+                let mut buf = self.pool.alloc(hdr.msg_size as usize);
+                buf.resize(hdr.msg_size as usize);
+                s.req_buf = Some(buf);
+            }
+        } else if hdr.req_num < s.req_num {
+            self.stats.rx_dropped_stale += 1;
+            return;
+        }
+
+        let (phase, req_rcvd, req_total) = {
+            let s = self.sessions[sess_idx as usize].as_mut().unwrap().slots[slot_idx].server_mut();
+            (s.phase, s.req_rcvd, s.req_total)
+        };
+        let p = hdr.pkt_num as u32;
+
+        // Duplicate (retransmitted) packet handling.
+        if phase != SrvPhase::Receiving || p < req_rcvd {
+            if phase == SrvPhase::Responding && p + 1 == req_total {
+                // Retransmitted last request packet: the client lost our
+                // first response packet; resend it (§5.3 via go-back-N).
+                self.tx_resp_pkt(sess_idx, slot_idx, 0);
+            } else if p + 1 < req_total
+                && matches!(
+                    phase,
+                    SrvPhase::Receiving | SrvPhase::Processing | SrvPhase::Responding
+                )
+            {
+                // Lost CR: resend it.
+                let cr = PktHdr::control(PktType::CreditReturn, remote, hdr.req_num, p as u16);
+                self.tx_ctrl(peer, cr);
+            } else {
+                self.stats.rx_dropped_stale += 1;
+            }
+            return;
+        }
+
+        // In-order new request packet?
+        if p != req_rcvd {
+            self.stats.rx_dropped_stale += 1; // reordering == loss (§5.3)
+            return;
+        }
+        {
+            let s = self.sessions[sess_idx as usize].as_mut().unwrap().slots[slot_idx].server_mut();
+            s.req_rcvd += 1;
+        }
+
+        // Multi-packet requests are assembled by copying; single-packet
+        // requests stay zero-copy (§4.2.3).
+        if req_total > 1 {
+            let this = &mut *self;
+            let sess = this.sessions[sess_idx as usize].as_mut().unwrap();
+            let s = sess.slots[slot_idx].server_mut();
+            let payload = &this.transport.rx_bytes(&tok)[PKT_HDR_SIZE..];
+            s.req_buf
+                .as_mut()
+                .unwrap()
+                .write_pkt_data(p as usize, payload);
+        }
+
+        // CR for request packets before the last (§5.1). An ECN mark on
+        // the request packet is echoed on its CR — the receiver-side half
+        // of DCQCN's congestion notification path. With `cr_batch` > 1,
+        // CRs are sent cumulatively every batch-th packet (§6.4's
+        // future-work optimization); the batch is capped at C/2 so the
+        // client's credit window keeps sliding.
+        if p + 1 < req_pkts {
+            let batch = {
+                let sess = self.sessions[sess_idx as usize].as_ref().unwrap();
+                self.cfg
+                    .cr_batch
+                    .clamp(1, (sess.credits as usize / 2).max(1))
+            };
+            if (p as usize + 1).is_multiple_of(batch) {
+                let mut cr = PktHdr::control(PktType::CreditReturn, remote, hdr.req_num, p as u16);
+                cr.ecn = hdr.ecn;
+                self.tx_ctrl(peer, cr);
+            }
+            return;
+        }
+        if hdr.ecn {
+            let s = self.sessions[sess_idx as usize].as_mut().unwrap().slots[slot_idx].server_mut();
+            s.echo_ecn = true;
+        }
+
+        // Last packet: the request is complete once req_rcvd == req_total.
+        let complete = {
+            let s = self.sessions[sess_idx as usize].as_mut().unwrap().slots[slot_idx].server_mut();
+            s.req_rcvd == s.req_total
+        };
+        if complete {
+            self.dispatch_request(sess_idx, slot_idx, hdr, tok);
+        }
+    }
+
+    /// Run (or dispatch) the request handler for a fully received request.
+    fn dispatch_request(&mut self, sess_idx: u16, slot_idx: usize, hdr: PktHdr, tok: RxToken) {
+        self.stats.handlers_invoked += 1;
+        self.work.callbacks += 1;
+        let req_num = hdr.req_num;
+        let handle = DeferredHandle {
+            sess: sess_idx,
+            slot: slot_idx as u8,
+            req_num,
+        };
+
+        // Extract what the handler needs from the slot.
+        let (multi_buf, prealloc) = {
+            let s = self.sessions[sess_idx as usize].as_mut().unwrap().slots[slot_idx].server_mut();
+            s.phase = SrvPhase::Processing;
+            (s.req_buf.take(), s.prealloc.take())
+        };
+
+        // What remains to do once the handler-table borrow ends.
+        enum After {
+            SendRespPkt0,
+            RespondEmpty,
+            Nothing,
+        }
+        let after = {
+            let this = &mut *self;
+            match &mut this.handlers[hdr.req_type as usize] {
+                HandlerEntry::None => {
+                    // Unknown request type: respond empty so the client
+                    // completes (the application sees a 0-byte response).
+                    if let Some(b) = multi_buf {
+                        this.pool.free(b);
+                    }
+                    let s = this.sessions[sess_idx as usize].as_mut().unwrap().slots[slot_idx]
+                        .server_mut();
+                    s.prealloc = prealloc;
+                    After::RespondEmpty
+                }
+                HandlerEntry::Dispatch(f) => {
+                    let mut ctx = ReqContext {
+                        pool: &mut this.pool,
+                        ops: &mut this.pending_ops,
+                        prealloc,
+                        prealloc_enabled: this.cfg.opt_preallocated_responses,
+                        resp_built: None,
+                        deferred: false,
+                        handle,
+                        max_msg_size: this.cfg.max_msg_size,
+                    };
+                    match &multi_buf {
+                        Some(b) => f(&mut ctx, b.data()),
+                        None if this.cfg.opt_zero_copy_rx => {
+                            // Zero-copy: handler reads the RX ring directly.
+                            let payload = &this.transport.rx_bytes(&tok)[PKT_HDR_SIZE..];
+                            f(&mut ctx, payload);
+                        }
+                        None => {
+                            // Table 3's "disable 0-copy request processing":
+                            // copy into a pooled msgbuf first.
+                            let payload_len = tok.len() - PKT_HDR_SIZE;
+                            let mut copy = ctx.pool.alloc(payload_len);
+                            {
+                                let payload = &this.transport.rx_bytes(&tok)[PKT_HDR_SIZE..];
+                                copy.fill(payload);
+                            }
+                            f(&mut ctx, copy.data());
+                            ctx.pool.free(copy);
+                        }
+                    }
+                    let ReqContext {
+                        prealloc,
+                        resp_built,
+                        deferred,
+                        ..
+                    } = ctx;
+                    if let Some(b) = multi_buf {
+                        this.pool.free(b);
+                    }
+                    let s = this.sessions[sess_idx as usize].as_mut().unwrap().slots[slot_idx]
+                        .server_mut();
+                    s.prealloc = prealloc;
+                    match resp_built {
+                        Some((buf, is_prealloc)) => {
+                            s.resp = Some(buf);
+                            s.resp_is_prealloc = is_prealloc;
+                            s.phase = SrvPhase::Responding;
+                            After::SendRespPkt0
+                        }
+                        None => {
+                            assert!(
+                                deferred,
+                                "dispatch handler must respond() or defer() (req_type {})",
+                                hdr.req_type
+                            );
+                            After::Nothing // stays Processing until enqueue_response
+                        }
+                    }
+                }
+                HandlerEntry::Worker => {
+                    this.stats.handlers_to_workers += 1;
+                    // Copy the payload out of the RX ring (zero-copy cannot
+                    // cross threads; §4.2.3 applies to dispatch mode only).
+                    let data = match &multi_buf {
+                        Some(b) => b.data().to_vec(),
+                        None => this.transport.rx_bytes(&tok)[PKT_HDR_SIZE..].to_vec(),
+                    };
+                    if let Some(b) = multi_buf {
+                        this.pool.free(b);
+                    }
+                    let s = this.sessions[sess_idx as usize].as_mut().unwrap().slots[slot_idx]
+                        .server_mut();
+                    s.prealloc = prealloc;
+                    this.worker.as_ref().unwrap().submit(
+                        sess_idx,
+                        slot_idx as u8,
+                        req_num,
+                        hdr.req_type,
+                        data,
+                    );
+                    After::Nothing
+                }
+            }
+        };
+        match after {
+            After::SendRespPkt0 => self.tx_resp_pkt(sess_idx, slot_idx, 0),
+            After::RespondEmpty => {
+                let _ = self.finish_response(handle, &[]);
+            }
+            After::Nothing => {}
+        }
+    }
+
+    /// Install a built response and send its first packet (shared by the
+    /// unknown-type path and worker completions).
+    pub(super) fn finish_response(
+        &mut self,
+        handle: DeferredHandle,
+        data: &[u8],
+    ) -> Result<(), RpcError> {
+        let Some(sess) = self
+            .sessions
+            .get_mut(handle.sess as usize)
+            .and_then(|s| s.as_mut())
+        else {
+            return Err(RpcError::InvalidSession);
+        };
+        let slot = sess.slots[handle.slot as usize].server_mut();
+        if slot.req_num != handle.req_num || slot.phase != SrvPhase::Processing {
+            return Err(RpcError::InvalidSession);
+        }
+        let (mut buf, is_prealloc) = match slot.prealloc.take() {
+            Some(p) if self.cfg.opt_preallocated_responses && data.len() <= p.capacity() => {
+                (p, true)
+            }
+            other => {
+                slot.prealloc = other;
+                (self.pool.alloc(data.len()), false)
+            }
+        };
+        buf.fill(data);
+        slot.resp = Some(buf);
+        slot.resp_is_prealloc = is_prealloc;
+        slot.phase = SrvPhase::Responding;
+        self.tx_resp_pkt(handle.sess, handle.slot as usize, 0);
+        Ok(())
+    }
+
+    fn server_rx_rfr(&mut self, hdr: PktHdr) {
+        self.touch_session_rx(hdr.dest_session);
+        let n_slots = self.cfg.slots_per_session;
+        let Some(Some(sess)) = self.sessions.get_mut(hdr.dest_session as usize) else {
+            self.stats.rx_dropped_stale += 1;
+            return;
+        };
+        if sess.role != Role::Server {
+            self.stats.rx_dropped_stale += 1;
+            return;
+        }
+        let slot_idx = (hdr.req_num % n_slots as u64) as usize;
+        let s = sess.slots[slot_idx].server_mut();
+        if s.req_num != hdr.req_num || s.phase != SrvPhase::Responding {
+            self.stats.rx_dropped_stale += 1;
+            return;
+        }
+        let total = s.resp.as_ref().unwrap().num_pkts() as u32;
+        let p = hdr.pkt_num as u32;
+        if p == 0 || p >= total {
+            self.stats.rx_dropped_stale += 1;
+            return;
+        }
+        // RFRs are idempotent: duplicates (from go-back-N) re-send.
+        self.tx_resp_pkt(hdr.dest_session, slot_idx, p as usize);
+    }
+
+    // ── Worker completions ─────────────────────────────────────────────
+
+    pub(super) fn process_worker_completions(&mut self) {
+        let Some(worker) = &self.worker else {
+            return;
+        };
+        let mut done = std::mem::take(&mut self.worker_done_scratch);
+        worker.drain_completed(&mut done);
+        for d in done.drain(..) {
+            let handle = DeferredHandle {
+                sess: d.sess,
+                slot: d.slot,
+                req_num: d.req_num,
+            };
+            // The session may have been freed while the worker ran; ignore.
+            let _ = self.finish_response(handle, &d.resp);
+        }
+        self.worker_done_scratch = done;
+    }
+
+    // ── Queued ops from callbacks ──────────────────────────────────────
+
+    pub(super) fn drain_pending_ops(&mut self) {
+        let mut guard = 0u32;
+        while !self.pending_ops.is_empty() {
+            guard += 1;
+            assert!(guard < 1_000_000, "callback op livelock");
+            let ops = std::mem::take(&mut self.pending_ops);
+            for op in ops {
+                match op {
+                    QueuedOp::Request {
+                        sess,
+                        req_type,
+                        req,
+                        resp,
+                        cont,
+                    } => {
+                        if let Err(e) = self.enqueue_request_boxed(sess, req_type, req, resp, cont)
+                        {
+                            // Deliver the failure through the continuation
+                            // (the enqueue error hands it back unfired).
+                            let completion = Completion {
+                                req: e.req,
+                                resp: e.resp,
+                                result: Err(e.err),
+                                latency_ns: 0,
+                                session: sess,
+                            };
+                            self.stats.requests_failed += 1;
+                            self.invoke_continuation(e.cont, completion);
+                        }
+                    }
+                    QueuedOp::Response { handle, data } => {
+                        let _ = self.finish_response(handle, &data);
+                    }
+                }
+            }
+        }
+    }
+}

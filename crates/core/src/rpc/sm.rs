@@ -1,0 +1,457 @@
+//! Session management: connect/disconnect handshakes, session-number
+//! allocation, timers, failure detection (Appendix B), and go-back-N
+//! recovery (§5.3).
+//!
+//! SM packets address the *endpoint*, not a session: a `ConnectReq`
+//! arrives with the sentinel management session number and carries the
+//! client's identity in its body. Under a [`crate::Nexus`], each thread's
+//! endpoint has a unique `Addr(node, thread_id)`, so the fabric delivers
+//! SM traffic directly to the ring of the owning thread — the paper's
+//! "Nexus routes session management to the owning Rpc" collapsed into
+//! transport addressing (no cross-thread queues needed).
+
+use erpc_congestion::{Dcqcn, Timely};
+use erpc_transport::{Addr, RxToken, Transport};
+
+use crate::config::CcAlgorithm;
+use crate::error::RpcError;
+use crate::mgmt::{ConnectReq, ConnectResp, DisconnectReq, DisconnectResp};
+use crate::pkthdr::{PktHdr, PktType, PKT_HDR_SIZE};
+use crate::session::{Role, ServerSlot, Session, SessionHandle, SessionState, Slot};
+
+use super::{Completion, Rpc};
+
+/// Sentinel `dest_session` for packets that precede session establishment.
+const MGMT_SESSION: u16 = u16::MAX;
+
+impl<T: Transport> Rpc<T> {
+    // ── Session-number allocation ───────────────────────────────────────
+
+    pub(super) fn alloc_session_slot(&mut self) -> u16 {
+        if let Some(i) = self.sessions.iter().position(|s| s.is_none()) {
+            i as u16
+        } else {
+            self.sessions.push(None);
+            (self.sessions.len() - 1) as u16
+        }
+    }
+
+    pub(super) fn init_session_cc(&mut self, num: u16) {
+        let cc = &self.cfg.cc;
+        let sess = self.sessions[num as usize].as_mut().unwrap();
+        match cc {
+            CcAlgorithm::None => {}
+            CcAlgorithm::Timely(tc) => sess.cc.timely = Some(Timely::new(tc.clone())),
+            CcAlgorithm::Dcqcn(dc) => sess.cc.dcqcn = Some(Dcqcn::new(dc.clone())),
+        }
+    }
+
+    // ── Management RX ───────────────────────────────────────────────────
+
+    pub(super) fn rx_connect_req(&mut self, _hdr: PktHdr, tok: RxToken) {
+        let body = {
+            let b = self.transport.rx_bytes(&tok);
+            match ConnectReq::decode(&b[PKT_HDR_SIZE..]) {
+                Ok(m) => m,
+                Err(_) => return,
+            }
+        };
+        let key = (body.client_addr.key(), body.client_session);
+        // Duplicate ConnectReq (retry): re-send the stored answer.
+        if let Some(&num) = self.connect_map.get(&key) {
+            let resp = ConnectResp {
+                client_session: body.client_session,
+                server_session: num,
+                ok: true,
+            };
+            self.tx_connect_resp(body.client_addr, resp);
+            return;
+        }
+        // Config compatibility and capacity checks (§4.3.1 session limit).
+        let acceptable = body.num_slots as usize == self.cfg.slots_per_session
+            && self.live_sessions() < self.session_limit();
+        if !acceptable {
+            let resp = ConnectResp {
+                client_session: body.client_session,
+                server_session: u16::MAX,
+                ok: false,
+            };
+            self.tx_connect_resp(body.client_addr, resp);
+            return;
+        }
+        let num = self.alloc_session_slot();
+        let dpp = self.dpp;
+        let slots: Vec<Slot> = (0..self.cfg.slots_per_session)
+            .map(|_| Slot::Server(ServerSlot::new(self.pool.alloc(dpp))))
+            .collect();
+        let sess = Session::new_server(
+            num,
+            body.client_addr,
+            body.client_session,
+            body.credits,
+            slots,
+            self.now_cache,
+        );
+        self.sessions[num as usize] = Some(sess);
+        self.connect_map.insert(key, num);
+        let resp = ConnectResp {
+            client_session: body.client_session,
+            server_session: num,
+            ok: true,
+        };
+        self.tx_connect_resp(body.client_addr, resp);
+    }
+
+    pub(super) fn rx_connect_resp(&mut self, hdr: PktHdr, tok: RxToken) {
+        let body = {
+            let b = self.transport.rx_bytes(&tok);
+            match ConnectResp::decode(&b[PKT_HDR_SIZE..]) {
+                Ok(m) => m,
+                Err(_) => return,
+            }
+        };
+        let _ = hdr;
+        let Some(Some(sess)) = self.sessions.get_mut(body.client_session as usize) else {
+            return;
+        };
+        if sess.role != Role::Client || sess.state != SessionState::Connecting {
+            return; // duplicate
+        }
+        if !body.ok {
+            self.fail_session(body.client_session, RpcError::TooManySessions);
+            return;
+        }
+        sess.state = SessionState::Connected;
+        sess.remote_num = body.server_session;
+        sess.last_rx_ns = self.now_cache;
+        self.pump_session(body.client_session);
+    }
+
+    pub(super) fn rx_disconnect_req(&mut self, hdr: PktHdr, tok: RxToken) {
+        // Server side: free the session (if we still have it) and confirm.
+        // The body identifies the requesting client, which makes the
+        // handshake idempotent: a retransmitted DisconnectReq for a session
+        // we already freed — because our DisconnectResp was lost — is acked
+        // again instead of being silently ignored (which leaked the
+        // client's session forever).
+        let body = {
+            let b = self.transport.rx_bytes(&tok);
+            match DisconnectReq::decode(&b[PKT_HDR_SIZE..]) {
+                Ok(m) => m,
+                Err(_) => return,
+            }
+        };
+        if let Some(Some(sess)) = self.sessions.get(hdr.dest_session as usize) {
+            // Only free if the session still belongs to this client: the
+            // session number may have been reused for a different peer
+            // after an earlier DisconnectReq already freed it.
+            if sess.role == Role::Server
+                && sess.peer == body.client_addr
+                && sess.remote_num == body.client_session
+            {
+                self.free_server_session(hdr.dest_session);
+            }
+        }
+        let resp_hdr = PktHdr::control(PktType::DisconnectResp, body.client_session, 0, 0);
+        let resp_body = DisconnectResp {
+            server_addr: self.transport.addr(),
+        };
+        let mut buf = Vec::with_capacity(4);
+        resp_body.encode(&mut buf);
+        self.tx_mgmt(body.client_addr, resp_hdr, buf);
+    }
+
+    pub(super) fn rx_disconnect_resp(&mut self, hdr: PktHdr, tok: RxToken) {
+        let body = {
+            let b = self.transport.rx_bytes(&tok);
+            match DisconnectResp::decode(&b[PKT_HDR_SIZE..]) {
+                Ok(m) => m,
+                Err(_) => return,
+            }
+        };
+        let Some(Some(sess)) = self.sessions.get_mut(hdr.dest_session as usize) else {
+            return;
+        };
+        if sess.role != Role::Client || sess.state != SessionState::Disconnecting {
+            return;
+        }
+        // The ack must come from the peer this session is disconnecting
+        // from: retries make duplicate acks routine, and a delayed ack
+        // from a previous occupant of this session number must not free a
+        // reused slot (which would strand the real disconnect's retries).
+        if sess.peer != body.server_addr {
+            return;
+        }
+        // Return slot msgbufs (none should be active) and free.
+        self.sessions[hdr.dest_session as usize] = None;
+    }
+
+    pub(super) fn rx_ping(&mut self, hdr: PktHdr) {
+        self.touch_session_rx(hdr.dest_session);
+        let Some(Some(sess)) = self.sessions.get(hdr.dest_session as usize) else {
+            return;
+        };
+        let pong = PktHdr::control(PktType::Pong, sess.remote_num, 0, 0);
+        let dst = sess.peer;
+        self.tx_ctrl(dst, pong);
+    }
+
+    pub(super) fn rx_pong(&mut self, hdr: PktHdr) {
+        self.touch_session_rx(hdr.dest_session);
+    }
+
+    pub(super) fn free_server_session(&mut self, idx: u16) {
+        if let Some(sess) = self.sessions[idx as usize].take() {
+            self.connect_map.remove(&(sess.peer.key(), sess.remote_num));
+            for slot in sess.slots {
+                if let Slot::Server(mut s) = slot {
+                    if let Some(b) = s.resp.take() {
+                        if !s.resp_is_prealloc {
+                            self.pool.free(b);
+                        }
+                    }
+                    if let Some(b) = s.req_buf.take() {
+                        self.pool.free(b);
+                    }
+                    if let Some(b) = s.prealloc.take() {
+                        self.pool.free(b);
+                    }
+                }
+            }
+        }
+    }
+
+    // ── Management TX ───────────────────────────────────────────────────
+
+    pub(super) fn tx_connect_req(&mut self, sess_idx: u16) {
+        // Fresh clock: also reachable from the `create_session` cold path.
+        let now = self.transport.now_ns();
+        let sess = self.sessions[sess_idx as usize].as_mut().unwrap();
+        sess.connect_sent_ns = now;
+        let body = ConnectReq {
+            client_addr: self.transport.addr(),
+            client_session: sess.local_num,
+            credits: self.cfg.session_credits,
+            num_slots: self.cfg.slots_per_session as u8,
+        };
+        let dst = sess.peer;
+        let mut buf = Vec::with_capacity(16);
+        body.encode(&mut buf);
+        let hdr = PktHdr::control(PktType::ConnectReq, MGMT_SESSION, 0, 0);
+        self.tx_mgmt(dst, hdr, buf);
+    }
+
+    fn tx_connect_resp(&mut self, dst: Addr, body: ConnectResp) {
+        let mut buf = Vec::with_capacity(8);
+        body.encode(&mut buf);
+        let hdr = PktHdr::control(PktType::ConnectResp, body.client_session, 0, 0);
+        self.tx_mgmt(dst, hdr, buf);
+    }
+
+    /// (Re)send the DisconnectReq for a disconnecting client session. The
+    /// body carries our identity so the server can ack even after it has
+    /// freed its end (idempotent disconnect under loss).
+    pub(super) fn tx_disconnect_req(&mut self, sess_idx: u16) {
+        // Fresh clock: also reachable from the `disconnect()` cold path,
+        // where `now_cache` may be stale.
+        let now = self.transport.now_ns();
+        let client_addr = self.transport.addr();
+        let sess = self.sessions[sess_idx as usize].as_mut().unwrap();
+        sess.connect_sent_ns = now; // retry pacing, as for ConnectReq
+        let body = DisconnectReq {
+            client_addr,
+            client_session: sess.local_num,
+        };
+        let hdr = PktHdr::control(PktType::DisconnectReq, sess.remote_num, 0, 0);
+        let dst = sess.peer;
+        let mut buf = Vec::with_capacity(8);
+        body.encode(&mut buf);
+        self.tx_mgmt(dst, hdr, buf);
+    }
+
+    // ── Timers: RTO, connects, pings, failure detection ─────────────────
+
+    pub(super) fn run_timers(&mut self) {
+        let now = self.now_cache;
+        for idx in 0..self.sessions.len() as u16 {
+            let Some(sess) = self.sessions[idx as usize].as_ref() else {
+                continue;
+            };
+            match (sess.role, sess.state) {
+                (Role::Client, SessionState::Connecting)
+                    if now.saturating_sub(sess.connect_sent_ns) >= self.cfg.connect_retry_ns =>
+                {
+                    // Give up after `failure_timeout_ns` with no response,
+                    // unconditionally: connect liveness must not depend on
+                    // pings being enabled, or a dead peer strands every
+                    // enqueued request in the backlog forever.
+                    if now.saturating_sub(sess.last_rx_ns) >= self.cfg.failure_timeout_ns {
+                        self.fail_session(idx, RpcError::RemoteFailure);
+                    } else {
+                        self.tx_connect_req(idx);
+                    }
+                }
+                (Role::Client, SessionState::Disconnecting) => {
+                    // Lost-DisconnectResp handling: retry the DisconnectReq
+                    // on the connect-retry timer; if the peer never answers
+                    // within the failure timeout (dead server), free the
+                    // session locally — it holds no application buffers
+                    // (disconnect requires an idle session).
+                    if now.saturating_sub(sess.last_ping_tx_ns) >= self.cfg.failure_timeout_ns {
+                        self.stats.sessions_failed += 1;
+                        self.sessions[idx as usize] = None;
+                    } else if now.saturating_sub(sess.connect_sent_ns) >= self.cfg.connect_retry_ns
+                    {
+                        self.tx_disconnect_req(idx);
+                    }
+                }
+                (Role::Client, SessionState::Connected) => {
+                    self.client_session_timers(idx, now);
+                }
+                (Role::Server, SessionState::Connected)
+                    if self.cfg.ping_interval_ns > 0
+                        && now.saturating_sub(sess.last_rx_ns) >= self.cfg.failure_timeout_ns =>
+                {
+                    // Client vanished: reclaim resources (Appendix B).
+                    self.stats.sessions_failed += 1;
+                    self.free_server_session(idx);
+                }
+                _ => {}
+            }
+        }
+    }
+
+    fn client_session_timers(&mut self, idx: u16, now: u64) {
+        // DCQCN timers.
+        {
+            let sess = self.sessions[idx as usize].as_mut().unwrap();
+            if let Some(d) = sess.cc.dcqcn.as_mut() {
+                d.on_timer(now);
+            }
+        }
+        // Failure detection (Appendix B).
+        let (idle, last_rx, last_ping) = {
+            let sess = self.sessions[idx as usize].as_ref().unwrap();
+            (sess.outstanding == 0, sess.last_rx_ns, sess.last_ping_tx_ns)
+        };
+        if self.cfg.ping_interval_ns > 0 {
+            if now.saturating_sub(last_rx) >= self.cfg.failure_timeout_ns {
+                self.fail_session(idx, RpcError::RemoteFailure);
+                return;
+            }
+            if idle && now.saturating_sub(last_ping) >= self.cfg.ping_interval_ns {
+                let sess = self.sessions[idx as usize].as_mut().unwrap();
+                sess.last_ping_tx_ns = now;
+                let hdr = PktHdr::control(PktType::Ping, sess.remote_num, 0, 0);
+                let dst = sess.peer;
+                self.tx_ctrl(dst, hdr);
+            }
+        }
+        // RTO scan (go-back-N, §5.3).
+        if idle {
+            return;
+        }
+        for slot_idx in 0..self.cfg.slots_per_session {
+            let needs_rto = {
+                let sess = self.sessions[idx as usize].as_ref().unwrap();
+                let c = sess.slots[slot_idx].client();
+                c.active
+                    && c.in_flight() > 0
+                    && now.saturating_sub(c.last_progress_ns) >= self.cfg.rto_ns
+            };
+            if needs_rto {
+                self.rollback_and_retransmit(idx, slot_idx, now);
+            }
+        }
+    }
+
+    /// Go-back-N rollback (§5.3): reclaim credits for unacked packets,
+    /// flush the TX DMA queue so no msgbuf references linger (§4.2.2),
+    /// and retransmit from the last acknowledged state.
+    fn rollback_and_retransmit(&mut self, sess_idx: u16, slot_idx: usize, now: u64) {
+        self.stats.retransmissions += 1;
+        let give_up = {
+            let sess = self.sessions[sess_idx as usize].as_mut().unwrap();
+            let c = sess.slots[slot_idx].client_mut();
+            c.retries += 1;
+            c.retries > self.cfg.max_retransmissions
+        };
+        if give_up {
+            self.fail_session(sess_idx, RpcError::RemoteFailure);
+            return;
+        }
+        // Flush the DMA queue: afterwards no queued TX references the
+        // msgbuf (the invariant processing the response relies on). Two
+        // queues are involved: the transport's (flushed by the barrier
+        // below) and our deferred TX batch, whose descriptors for this slot
+        // die at drain time via the epoch bump — the §4.2.2 flush without
+        // walking the queue.
+        self.transport.tx_flush();
+        self.stats.tx_flushes += 1;
+        {
+            let sess = self.sessions[sess_idx as usize].as_mut().unwrap();
+            let c = sess.slots[slot_idx].client_mut();
+            let reclaimed = c.in_flight();
+            c.num_tx = c.num_rx;
+            c.tx_epoch = c.tx_epoch.wrapping_add(1); // invalidate wheel + batch refs
+            c.last_progress_ns = now;
+            sess.credits += reclaimed;
+            // The rolled-back packets' pacing reservations are void: release
+            // the horizon so retransmissions aren't scheduled behind wire
+            // time that will never be used.
+            sess.cc.next_tx_ns = now;
+        }
+        self.pump_session(sess_idx);
+    }
+
+    /// Declare the remote dead for one session (Appendix B): flush TX,
+    /// error out every pending request, clear the backlog. Deferred TX
+    /// descriptors for this session's slots are invalidated by the epoch
+    /// bump in `complete_slot` (and the `Failed` state check at drain), so
+    /// buffer ownership returns to the continuations with nothing queued
+    /// that could still reference it.
+    pub(super) fn fail_session(&mut self, sess_idx: u16, err: RpcError) {
+        self.stats.sessions_failed += 1;
+        self.transport.tx_flush();
+        self.stats.tx_flushes += 1;
+        let n_slots = self.cfg.slots_per_session;
+        {
+            let sess = self.sessions[sess_idx as usize].as_mut().unwrap();
+            sess.state = SessionState::Failed;
+        }
+        // Error out active slots.
+        for slot_idx in 0..n_slots {
+            let active = {
+                let sess = self.sessions[sess_idx as usize].as_ref().unwrap();
+                matches!(&sess.slots[slot_idx], Slot::Client(c) if c.active)
+            };
+            if active {
+                self.complete_slot(sess_idx, slot_idx, Err(err));
+            }
+        }
+        // Error out the backlog.
+        loop {
+            let p = {
+                let sess = self.sessions[sess_idx as usize].as_mut().unwrap();
+                sess.backlog.pop_front()
+            };
+            let Some(p) = p else { break };
+            {
+                let sess = self.sessions[sess_idx as usize].as_mut().unwrap();
+                sess.outstanding -= 1;
+            }
+            self.stats.requests_failed += 1;
+            let latency_ns = self.now_cache.saturating_sub(p.enqueue_ns);
+            self.invoke_continuation(
+                p.cont,
+                Completion {
+                    req: p.req,
+                    resp: p.resp,
+                    result: Err(err),
+                    latency_ns,
+                    session: SessionHandle(sess_idx),
+                },
+            );
+        }
+    }
+}

@@ -1,0 +1,536 @@
+//! Egress datapath: the deferred TX batch (§4.3's transmit batching), the
+//! pacing wheel (§5.2), and session pumping.
+//!
+//! Every packet-egress site in the endpoint appends a [`TxDesc`] here; the
+//! event loop drains the queue into one [`Transport::tx_burst`] per pass —
+//! one DMA doorbell per burst. Msgbuf-backed descriptors are re-validated
+//! against live slot state at drain, so a go-back-N rollback or completion
+//! between enqueue and drain invalidates them (the Rust analogue of the
+//! §4.2.2 DMA-queue flush).
+
+use erpc_congestion::ns_per_byte;
+use erpc_transport::{Addr, Transport, TxPacket};
+
+use crate::config::CcAlgorithm;
+use crate::pkthdr::{PktHdr, PktType, PKT_HDR_SIZE};
+use crate::session::{PendingReq, Role, SessionState, SrvPhase};
+
+use super::Rpc;
+
+/// Entry in the pacing wheel: a *descriptor* of a packet to send, never a
+/// buffer reference — so rollback invalidation is a generation bump and
+/// the msgbuf-ownership invariant of §4.2.2/App. C holds structurally.
+#[derive(Debug, Clone, Copy)]
+pub(super) struct WheelEntry {
+    pub sess: u16,
+    pub slot: u8,
+    pub req_num: u64,
+    pub epoch: u32,
+    pub seq: u32,
+}
+
+/// Entry in the deferred TX queue (§4.3's transmit batching): every packet
+/// egress site appends one of these, and the event loop hands the whole
+/// batch to [`Transport::tx_burst`] at once — one DMA doorbell per batch.
+///
+/// Like [`WheelEntry`], msgbuf-backed packets are *descriptors*
+/// (session/slot/req_num/epoch), never buffer references: a descriptor is
+/// re-validated against live slot state when the batch drains, so go-back-N
+/// rollback or slot completion between enqueue and drain simply invalidates
+/// it. This is the Rust analogue of the §4.2.2 DMA-queue flush — stale
+/// descriptors can never reach the wire, and msgbuf ownership can return to
+/// the application without waiting on the queue.
+pub(super) enum TxDesc {
+    /// Header-only control packet (CR / ping / pong); bytes owned here.
+    Ctrl { dst: Addr, hdr: [u8; PKT_HDR_SIZE] },
+    /// Management packet (connect / disconnect); header + body owned here.
+    Mgmt {
+        dst: Addr,
+        hdr: [u8; PKT_HDR_SIZE],
+        body: Vec<u8>,
+    },
+    /// Client TX sequence `seq` of a slot: request data packet while
+    /// `seq < req_total`, the RFR for response packet `seq − N + 1`
+    /// otherwise. Validated by (req_num, epoch) at drain.
+    ClientSeq {
+        sess: u16,
+        slot: u8,
+        req_num: u64,
+        epoch: u32,
+        seq: u32,
+    },
+    /// Server response packet `pkt` of a slot; validated by req_num and the
+    /// `Responding` phase at drain.
+    SrvResp {
+        sess: u16,
+        slot: u8,
+        req_num: u64,
+        pkt: u16,
+    },
+}
+
+/// Per-descriptor drain resolution (scratch, computed by the validation
+/// pass of [`Rpc::flush_tx_batch`], consumed by the view-building pass).
+pub(super) enum TxResolved {
+    /// Stale: slot rolled back, completed, or freed since enqueue.
+    Skip,
+    /// Send the descriptor's own owned bytes.
+    Owned,
+    /// RFR header encoded at drain time (from live slot state).
+    Rfr([u8; PKT_HDR_SIZE]),
+    /// Client request data packet; view built from the slot's req msgbuf.
+    Data,
+    /// Server response data packet; view built from the slot's resp msgbuf.
+    Resp,
+}
+
+impl<T: Transport> Rpc<T> {
+    // ── TX path (all egress goes through the deferred batch) ───────────
+
+    /// Append a descriptor to the deferred TX queue. With batching enabled
+    /// the queue drains once per event-loop pass (or at `cfg.tx_batch`);
+    /// with it disabled every packet flushes immediately — the Table 3
+    /// "disable transmit batching" configuration.
+    #[inline]
+    pub(super) fn queue_tx(&mut self, desc: TxDesc) {
+        self.tx_queue.push(desc);
+        if !self.cfg.opt_tx_batching || self.tx_queue.len() >= self.cfg.tx_batch {
+            self.flush_tx_batch();
+        }
+    }
+
+    /// Shared stale-reference check for deferred TX descriptors and
+    /// pacing-wheel entries: a queued `(sess, slot, req_num, epoch, seq)`
+    /// may transmit only while the slot still carries that exact request
+    /// incarnation. Rollback and completion bump `tx_epoch`; session
+    /// teardown empties the entry or flips its state — each path makes
+    /// every outstanding reference fail here, never reaching a msgbuf.
+    /// Keep this the single definition: the two queues must agree on
+    /// staleness or a rolled-back packet could still reach the wire.
+    fn client_pkt_valid(&self, sess: u16, slot: u8, req_num: u64, epoch: u32, seq: u32) -> bool {
+        self.sessions[sess as usize].as_ref().is_some_and(|s| {
+            s.role == Role::Client && s.state == SessionState::Connected && {
+                let c = s.slots[slot as usize].client();
+                c.active && c.req_num == req_num && c.tx_epoch == epoch && seq < c.num_tx
+            }
+        })
+    }
+
+    /// Drain the deferred TX queue into one `Transport::tx_burst`.
+    ///
+    /// Two passes over the queue:
+    /// 1. *Validate + write headers*: msgbuf-backed descriptors are checked
+    ///    against live slot state exactly like reaped wheel entries — a
+    ///    rollback (epoch bump), completion, or session teardown since
+    ///    enqueue marks the descriptor stale and it is dropped, never sent.
+    ///    Valid data packets get their wire header written into the msgbuf.
+    /// 2. *Build views + burst*: borrow each surviving packet's bytes
+    ///    (msgbuf views for data, owned bytes for ctrl/mgmt) and hand the
+    ///    whole batch to the transport — one doorbell.
+    pub(super) fn flush_tx_batch(&mut self) {
+        if self.tx_queue.is_empty() {
+            return;
+        }
+        let mut resolved = std::mem::take(&mut self.tx_resolved);
+        resolved.clear();
+        for d in self.tx_queue.iter() {
+            let r = match d {
+                TxDesc::Ctrl { .. } | TxDesc::Mgmt { .. } => TxResolved::Owned,
+                TxDesc::ClientSeq {
+                    sess,
+                    slot,
+                    req_num,
+                    epoch,
+                    seq,
+                } => {
+                    if !self.client_pkt_valid(*sess, *slot, *req_num, *epoch, *seq) {
+                        self.stats.tx_stale_dropped += 1;
+                        TxResolved::Skip
+                    } else {
+                        // Per-packet TX timestamp for RTT sampling: cached
+                        // when batched timestamps are on, a clock read per
+                        // packet when off (Table 3).
+                        let t = if self.cfg.opt_batched_timestamps {
+                            self.now_cache
+                        } else {
+                            self.stats.clock_reads += 1;
+                            self.transport.now_ns()
+                        };
+                        let sess_ref = self.sessions[*sess as usize].as_mut().unwrap();
+                        let remote = sess_ref.remote_num;
+                        let c = sess_ref.slots[*slot as usize].client_mut();
+                        c.stamp_tx(*seq, t);
+                        if *seq < c.req_total {
+                            let req = c.req.as_mut().unwrap();
+                            let hdr = PktHdr {
+                                pkt_type: PktType::Req,
+                                ecn: false,
+                                req_type: c.req_type,
+                                dest_session: remote,
+                                msg_size: req.len() as u32,
+                                req_num: *req_num,
+                                pkt_num: *seq as u16,
+                            };
+                            req.write_hdr(*seq as usize, &hdr);
+                            TxResolved::Data
+                        } else {
+                            let p = *seq - c.req_total + 1;
+                            let hdr = PktHdr::control(PktType::Rfr, remote, *req_num, p as u16);
+                            TxResolved::Rfr(hdr.encode())
+                        }
+                    }
+                }
+                TxDesc::SrvResp {
+                    sess,
+                    slot,
+                    req_num,
+                    pkt,
+                } => {
+                    let valid = self.sessions[*sess as usize].as_ref().is_some_and(|s| {
+                        s.role == Role::Server && {
+                            let srv = s.slots[*slot as usize].server();
+                            srv.req_num == *req_num
+                                && srv.phase == SrvPhase::Responding
+                                && srv
+                                    .resp
+                                    .as_ref()
+                                    .is_some_and(|r| (*pkt as usize) < r.num_pkts())
+                        }
+                    });
+                    if !valid {
+                        self.stats.tx_stale_dropped += 1;
+                        TxResolved::Skip
+                    } else {
+                        let sess_ref = self.sessions[*sess as usize].as_mut().unwrap();
+                        let remote = sess_ref.remote_num;
+                        let srv = sess_ref.slots[*slot as usize].server_mut();
+                        let echo_ecn = std::mem::take(&mut srv.echo_ecn);
+                        let resp = srv.resp.as_mut().unwrap();
+                        let mut hdr = PktHdr {
+                            pkt_type: PktType::Resp,
+                            ecn: echo_ecn,
+                            req_type: srv.req_type,
+                            dest_session: remote,
+                            msg_size: resp.len() as u32,
+                            req_num: *req_num,
+                            pkt_num: *pkt,
+                        };
+                        // Duplicate descriptors for the same response packet
+                        // (retransmitted request + lost first response) share
+                        // this header region. The first took `echo_ecn`; a
+                        // later rewrite must not clear its ECN mark before
+                        // the batch has even left — keep the mark sticky when
+                        // the in-place header is this same packet.
+                        if !hdr.ecn {
+                            if let Ok(prev) = PktHdr::decode(resp.tx_view(*pkt as usize).0) {
+                                if prev.ecn && (PktHdr { ecn: false, ..prev }) == hdr {
+                                    hdr.ecn = true;
+                                }
+                            }
+                        }
+                        resp.write_hdr(*pkt as usize, &hdr);
+                        TxResolved::Resp
+                    }
+                }
+            };
+            resolved.push(r);
+        }
+        // Pass 2: packet views into bursts. Borrows are per-field
+        // (sessions/tx_queue immutably, transport mutably), so the batch
+        // can reference msgbufs in place — no copies on the egress path.
+        // Views accumulate in a stack chunk (`TxPacket` is `Copy`), not a
+        // heap Vec: no allocation on the per-pass hot path. Batches larger
+        // than the chunk ring the doorbell once per chunk.
+        const TX_CHUNK: usize = 64;
+        let empty = TxPacket {
+            dst: Addr::new(0, 0),
+            hdr: &[],
+            data: &[],
+        };
+        // Single-descriptor flushes (the `opt_tx_batching = false` ablation
+        // flushes per packet) use a 1-element buffer so the per-packet path
+        // does not pay the full chunk's initialization.
+        let (mut chunk1, mut chunk64);
+        let chunk: &mut [TxPacket<'_>] = if self.tx_queue.len() == 1 {
+            chunk1 = [empty; 1];
+            &mut chunk1
+        } else {
+            chunk64 = [empty; TX_CHUNK];
+            &mut chunk64
+        };
+        let mut n = 0usize;
+        let mut sent = 0usize;
+        for (d, r) in self.tx_queue.iter().zip(resolved.iter()) {
+            let pkt = match (d, r) {
+                (_, TxResolved::Skip) => continue,
+                (TxDesc::Ctrl { dst, hdr }, TxResolved::Owned) => {
+                    self.stats.ctrl_pkts_tx += 1;
+                    TxPacket {
+                        dst: *dst,
+                        hdr,
+                        data: &[],
+                    }
+                }
+                (TxDesc::Mgmt { dst, hdr, body }, TxResolved::Owned) => {
+                    self.stats.mgmt_pkts_tx += 1;
+                    TxPacket {
+                        dst: *dst,
+                        hdr,
+                        data: body,
+                    }
+                }
+                (
+                    TxDesc::ClientSeq {
+                        sess, slot, seq, ..
+                    },
+                    TxResolved::Data,
+                ) => {
+                    let s = self.sessions[*sess as usize].as_ref().unwrap();
+                    let c = s.slots[*slot as usize].client();
+                    let (h, d) = c.req.as_ref().unwrap().tx_view(*seq as usize);
+                    self.stats.data_pkts_tx += 1;
+                    TxPacket {
+                        dst: s.peer,
+                        hdr: h,
+                        data: d,
+                    }
+                }
+                (TxDesc::ClientSeq { sess, .. }, TxResolved::Rfr(bytes)) => {
+                    let s = self.sessions[*sess as usize].as_ref().unwrap();
+                    self.stats.ctrl_pkts_tx += 1;
+                    TxPacket {
+                        dst: s.peer,
+                        hdr: bytes,
+                        data: &[],
+                    }
+                }
+                (
+                    TxDesc::SrvResp {
+                        sess, slot, pkt, ..
+                    },
+                    TxResolved::Resp,
+                ) => {
+                    let s = self.sessions[*sess as usize].as_ref().unwrap();
+                    let srv = s.slots[*slot as usize].server();
+                    let (h, d) = srv.resp.as_ref().unwrap().tx_view(*pkt as usize);
+                    self.stats.data_pkts_tx += 1;
+                    TxPacket {
+                        dst: s.peer,
+                        hdr: h,
+                        data: d,
+                    }
+                }
+                _ => unreachable!("descriptor/resolution mismatch"),
+            };
+            chunk[n] = pkt;
+            n += 1;
+            if n == chunk.len() {
+                self.transport.tx_burst(chunk);
+                self.stats.tx_bursts += 1;
+                self.stats.tx_batch_hist.record(n as u64);
+                sent += n;
+                n = 0;
+            }
+        }
+        if n > 0 {
+            self.transport.tx_burst(&chunk[..n]);
+            self.stats.tx_bursts += 1;
+            self.stats.tx_batch_hist.record(n as u64);
+            sent += n;
+        }
+
+        self.work.tx_pkts += sent as u64;
+        self.tx_queue.clear();
+        self.tx_resolved = resolved;
+    }
+
+    pub(super) fn tx_ctrl(&mut self, dst: Addr, hdr: PktHdr) {
+        self.queue_tx(TxDesc::Ctrl {
+            dst,
+            hdr: hdr.encode(),
+        });
+    }
+
+    pub(super) fn tx_mgmt(&mut self, dst: Addr, hdr: PktHdr, body: Vec<u8>) {
+        self.queue_tx(TxDesc::Mgmt {
+            dst,
+            hdr: hdr.encode(),
+            body,
+        });
+    }
+
+    /// Queue response packet `p` of a server slot (unpaced: servers are
+    /// passive, §5). The header is written and the msgbuf view taken at
+    /// drain time, so a slot reused before the drain drops the packet.
+    pub(super) fn tx_resp_pkt(&mut self, sess_idx: u16, slot_idx: usize, p: usize) {
+        let req_num = self.sessions[sess_idx as usize].as_ref().unwrap().slots[slot_idx]
+            .server()
+            .req_num;
+        self.queue_tx(TxDesc::SrvResp {
+            sess: sess_idx,
+            slot: slot_idx as u8,
+            req_num,
+            pkt: p as u16,
+        });
+    }
+
+    /// Advance all transmittable work on a client session: send request
+    /// packets and RFRs while credits allow, then promote the backlog into
+    /// free slots.
+    pub(super) fn pump_session(&mut self, sess_idx: u16) {
+        let n_slots = self.cfg.slots_per_session;
+        loop {
+            let sess = match self.sessions[sess_idx as usize].as_mut() {
+                Some(s) if s.role == Role::Client && s.state == SessionState::Connected => s,
+                _ => return,
+            };
+            // Promote backlogged requests into free slots first.
+            if let Some(slot_idx) = sess.free_slot() {
+                if let Some(p) = sess.backlog.pop_front() {
+                    self.start_request(sess_idx, slot_idx, p);
+                    continue;
+                }
+            }
+            // Transmit pending sequences, round-robin across slots.
+            let mut sent_any = false;
+            for slot_idx in 0..n_slots {
+                loop {
+                    let sess = self.sessions[sess_idx as usize].as_mut().unwrap();
+                    if sess.credits == 0 {
+                        break;
+                    }
+                    let c = sess.slots[slot_idx].client_mut();
+                    if !c.active || c.num_tx >= c.tx_target() {
+                        break;
+                    }
+                    let seq = c.num_tx;
+                    c.num_tx += 1;
+                    sess.credits -= 1;
+                    self.pace_or_send(sess_idx, slot_idx, seq);
+                    sent_any = true;
+                }
+            }
+            if !sent_any {
+                return;
+            }
+            // Loop again: sends may have been the last packets needed to
+            // free a slot? (No — slots free on RX.) Backlog may still have
+            // entries but no free slot; exit.
+            return;
+        }
+    }
+
+    fn start_request(&mut self, sess_idx: u16, slot_idx: usize, p: PendingReq) {
+        let now = self.now_cache;
+        let dpp = self.dpp;
+        let sess = self.sessions[sess_idx as usize].as_mut().unwrap();
+        let c = sess.slots[slot_idx].client_mut();
+        debug_assert!(!c.active);
+        c.active = true;
+        c.req_type = p.req_type;
+        c.req_total = if p.req.is_empty() {
+            1
+        } else {
+            p.req.len().div_ceil(dpp) as u32
+        };
+        c.req = Some(p.req);
+        c.resp = Some(p.resp);
+        c.cont = Some(p.cont);
+        // Latency is documented as enqueue → continuation: a request that
+        // waited in the backlog keeps its original enqueue stamp, so
+        // queueing time is not silently excluded.
+        c.start_ns = p.enqueue_ns;
+        c.num_tx = 0;
+        c.num_rx = 0;
+        c.resp_rcvd = 0;
+        c.resp_total = 0;
+        c.last_progress_ns = now;
+        c.retries = 0;
+    }
+
+    /// Send TX sequence `seq` of a slot now, or schedule it in the pacing
+    /// wheel (§5.2's rate limiter with the §5.2.2 bypass).
+    fn pace_or_send(&mut self, sess_idx: u16, slot_idx: usize, seq: u32) {
+        let now = self.pkt_now();
+        let uncontrolled = matches!(self.cfg.cc, CcAlgorithm::None);
+        let sess = self.sessions[sess_idx as usize].as_mut().unwrap();
+        if uncontrolled || (self.cfg.opt_rate_limiter_bypass && sess.cc.is_uncongested()) {
+            self.stats.pkts_bypassed_pacer += 1;
+            self.tx_client_seq(sess_idx, slot_idx, seq);
+            return;
+        }
+        // Paced path: reserve wire time at the session's allowed rate.
+        // Reservations are bounded to a wide safety horizon (16× the wheel
+        // span): deadlines past the wheel re-insert correctly, but an
+        // unbounded reservation backlog — e.g. repeated rollbacks at the
+        // minimum rate — must not be able to push a slot past its RTO
+        // budget forever. (Rollback also releases its reservations.)
+        let horizon = 16 * self.cfg.wheel_slots as u64 * self.cfg.wheel_granularity_ns;
+        let rate = sess.cc.rate_bps().unwrap_or(self.cfg.link_bps);
+        let c = sess.slots[slot_idx].client_mut();
+        let bytes = if seq < c.req_total {
+            let chunk = c.req.as_ref().unwrap().pkt_data_len(seq as usize);
+            PKT_HDR_SIZE + chunk
+        } else {
+            PKT_HDR_SIZE
+        };
+        let slot_epoch = c.tx_epoch;
+        let req_num = c.req_num;
+        let t = sess.cc.next_tx_ns.max(now);
+        sess.cc.next_tx_ns = (t + (bytes as f64 * ns_per_byte(rate)) as u64).min(now + horizon);
+        if t <= now {
+            self.stats.pkts_paced += 1;
+            self.tx_client_seq(sess_idx, slot_idx, seq);
+        } else {
+            self.stats.pkts_paced += 1;
+            self.wheel.insert(
+                t,
+                WheelEntry {
+                    sess: sess_idx,
+                    slot: slot_idx as u8,
+                    req_num,
+                    epoch: slot_epoch,
+                    seq,
+                },
+            );
+        }
+    }
+
+    /// Queue TX sequence `seq` of a client slot: request packet `seq` when
+    /// `seq < N`, otherwise the RFR for response packet `seq − N + 1`. The
+    /// descriptor carries (req_num, epoch) so rollback or completion before
+    /// the batch drains invalidates it.
+    fn tx_client_seq(&mut self, sess_idx: u16, slot_idx: usize, seq: u32) {
+        let (req_num, epoch) = {
+            let c = self.sessions[sess_idx as usize].as_ref().unwrap().slots[slot_idx].client();
+            (c.req_num, c.tx_epoch)
+        };
+        self.queue_tx(TxDesc::ClientSeq {
+            sess: sess_idx,
+            slot: slot_idx as u8,
+            req_num,
+            epoch,
+            seq,
+        });
+    }
+
+    // ── Pacing wheel ───────────────────────────────────────────────────
+
+    pub(super) fn reap_wheel(&mut self) {
+        if self.wheel.is_empty() {
+            return;
+        }
+        let now = self.now_cache;
+        let mut scratch = std::mem::take(&mut self.wheel_scratch);
+        self.wheel.reap(now, |e| scratch.push(e));
+        for e in scratch.drain(..) {
+            // Validate against slot state: stale epochs (rollback) and
+            // reused slots are silently skipped (same rule as the deferred
+            // TX queue's drain).
+            if self.client_pkt_valid(e.sess, e.slot, e.req_num, e.epoch, e.seq) {
+                self.tx_client_seq(e.sess, e.slot as usize, e.seq);
+            }
+        }
+        self.wheel_scratch = scratch;
+    }
+}

@@ -54,6 +54,62 @@ pub struct RpcStats {
     pub ecn_marks_seen: u64,
 }
 
+impl RpcStats {
+    /// Fold another endpoint's counters into this one — the cross-thread
+    /// aggregation step for multi-`Rpc` runs (Figure 5's per-node numbers
+    /// are the sum over that node's dispatch threads). Counters add;
+    /// `tx_batch_hist` merges bucket-wise, so percentile queries on the
+    /// merged histogram see every thread's samples.
+    pub fn merge(&mut self, other: &RpcStats) {
+        let RpcStats {
+            requests_sent,
+            responses_completed,
+            requests_failed,
+            handlers_invoked,
+            handlers_to_workers,
+            data_pkts_tx,
+            ctrl_pkts_tx,
+            mgmt_pkts_tx,
+            pkts_rx,
+            rx_dropped_stale,
+            retransmissions,
+            tx_flushes,
+            tx_bursts,
+            tx_batch_hist,
+            tx_stale_dropped,
+            pkts_paced,
+            pkts_bypassed_pacer,
+            timely_updates,
+            timely_bypasses,
+            clock_reads,
+            sessions_failed,
+            ecn_marks_seen,
+        } = other;
+        self.requests_sent += requests_sent;
+        self.responses_completed += responses_completed;
+        self.requests_failed += requests_failed;
+        self.handlers_invoked += handlers_invoked;
+        self.handlers_to_workers += handlers_to_workers;
+        self.data_pkts_tx += data_pkts_tx;
+        self.ctrl_pkts_tx += ctrl_pkts_tx;
+        self.mgmt_pkts_tx += mgmt_pkts_tx;
+        self.pkts_rx += pkts_rx;
+        self.rx_dropped_stale += rx_dropped_stale;
+        self.retransmissions += retransmissions;
+        self.tx_flushes += tx_flushes;
+        self.tx_bursts += tx_bursts;
+        self.tx_batch_hist.merge(tx_batch_hist);
+        self.tx_stale_dropped += tx_stale_dropped;
+        self.pkts_paced += pkts_paced;
+        self.pkts_bypassed_pacer += pkts_bypassed_pacer;
+        self.timely_updates += timely_updates;
+        self.timely_bypasses += timely_bypasses;
+        self.clock_reads += clock_reads;
+        self.sessions_failed += sessions_failed;
+        self.ecn_marks_seen += ecn_marks_seen;
+    }
+}
+
 /// Log-bucketed latency histogram: 2 % worst-case relative error, constant
 /// memory, O(1) record.
 #[derive(Clone)]
@@ -254,6 +310,31 @@ mod tests {
         }
         assert_eq!(h.count(), 4);
         assert!(h.percentile(100.0) <= 3);
+    }
+
+    #[test]
+    fn rpc_stats_merge_sums_counters_and_histograms() {
+        let mut a = RpcStats {
+            requests_sent: 10,
+            responses_completed: 9,
+            data_pkts_tx: 100,
+            ..RpcStats::default()
+        };
+        a.tx_batch_hist.record(4);
+        let mut b = RpcStats {
+            requests_sent: 5,
+            responses_completed: 5,
+            retransmissions: 2,
+            ..RpcStats::default()
+        };
+        b.tx_batch_hist.record(8);
+        a.merge(&b);
+        assert_eq!(a.requests_sent, 15);
+        assert_eq!(a.responses_completed, 14);
+        assert_eq!(a.data_pkts_tx, 100);
+        assert_eq!(a.retransmissions, 2);
+        assert_eq!(a.tx_batch_hist.count(), 2);
+        assert_eq!(a.tx_batch_hist.max(), 8);
     }
 
     #[test]

@@ -9,8 +9,19 @@
 //!
 //! The dispatch thread copies the request payload (zero-copy RX cannot
 //! outlive the RX descriptor re-post) and sends a [`WorkItem`] through an
-//! unbounded channel; a worker runs the registered function and returns a
-//! [`WorkDone`], which the event loop turns into `enqueue_response`.
+//! unbounded channel; a worker runs the registered function and routes the
+//! [`WorkDone`] back through the *submitting endpoint's* completion
+//! channel, which its event loop drains into `enqueue_response`.
+//!
+//! Two ownership shapes share this machinery:
+//!
+//! * **Owned** — a standalone `Rpc` with `num_worker_threads > 0` spawns
+//!   its own [`WorkerPool`] and joins it on drop (the seed behavior).
+//! * **Shared** — a [`crate::Nexus`] spawns one process-wide pool; every
+//!   per-thread `Rpc` gets a [`WorkerHandle`] into it. Because each
+//!   `WorkItem` carries its origin's completion sender, responses always
+//!   come back to the dispatch thread that owns the request slot — workers
+//!   never touch another thread's `Rpc` state.
 
 use std::collections::HashMap;
 use std::sync::Arc;
@@ -24,13 +35,15 @@ use parking_lot::RwLock;
 /// that).
 pub type WorkerFn = Arc<dyn Fn(&[u8], &mut Vec<u8>) + Send + Sync>;
 
-/// A request dispatched to the worker pool.
+/// A request dispatched to the worker pool. Carries the completion sender
+/// of the submitting endpoint so the result returns to the owning thread.
 pub(crate) struct WorkItem {
     pub sess: u16,
     pub slot: u8,
     pub req_num: u64,
     pub req_type: u8,
     pub data: Vec<u8>,
+    pub done_tx: Sender<WorkDone>,
 }
 
 /// A completed worker invocation.
@@ -44,44 +57,59 @@ pub(crate) struct WorkDone {
 /// Shared registry of worker handlers, readable from worker threads.
 pub(crate) type WorkerTable = Arc<RwLock<HashMap<u8, WorkerFn>>>;
 
+/// One message on the pool's work channel.
+enum PoolMsg {
+    Work(WorkItem),
+    /// Shutdown sentinel: the receiving worker exits after draining the
+    /// items queued ahead of it. One sentinel per thread means the pool
+    /// joins deterministically even while other `Sender` clones (handles
+    /// held by live `Rpc`s) still exist.
+    Shutdown,
+}
+
+/// A pool of `erpc-worker-*` OS threads plus the shared handler table.
 pub(crate) struct WorkerPool {
-    tx: Sender<WorkItem>,
-    rx: Receiver<WorkDone>,
+    tx: Sender<PoolMsg>,
+    table: WorkerTable,
     threads: Vec<std::thread::JoinHandle<()>>,
+    /// Cleared at the start of shutdown. Handles check it on submit: work
+    /// sent to a dead pool would sit in an unread channel forever (the
+    /// request slot would stay `Processing`, never answered), so handles
+    /// degrade to inline execution instead.
+    alive: Arc<std::sync::atomic::AtomicBool>,
 }
 
 impl WorkerPool {
     pub fn spawn(num_threads: usize, table: WorkerTable) -> Self {
-        let (item_tx, item_rx) = unbounded::<WorkItem>();
-        let (done_tx, done_rx) = unbounded::<WorkDone>();
+        let (item_tx, item_rx) = unbounded::<PoolMsg>();
         let mut threads = Vec::with_capacity(num_threads);
         for i in 0..num_threads {
             let rx = item_rx.clone();
-            let tx = done_tx.clone();
             let table = Arc::clone(&table);
             threads.push(
                 std::thread::Builder::new()
                     .name(format!("erpc-worker-{i}"))
                     .spawn(move || {
-                        // Exits when the Rpc drops the item sender.
-                        while let Ok(item) = rx.recv() {
+                        while let Ok(msg) = rx.recv() {
+                            let item = match msg {
+                                PoolMsg::Work(item) => item,
+                                PoolMsg::Shutdown => break,
+                            };
                             let handler = table.read().get(&item.req_type).cloned();
                             let mut resp = Vec::new();
                             if let Some(h) = handler {
                                 h(&item.data, &mut resp);
                             }
-                            // Receiver gone ⇒ Rpc dropped; just exit.
-                            if tx
-                                .send(WorkDone {
-                                    sess: item.sess,
-                                    slot: item.slot,
-                                    req_num: item.req_num,
-                                    resp,
-                                })
-                                .is_err()
-                            {
-                                break;
-                            }
+                            // The origin Rpc may already be gone; the
+                            // completion then sits in its orphaned queue
+                            // and is freed with the channel. Never an
+                            // error path for the worker.
+                            let _ = item.done_tx.send(WorkDone {
+                                sess: item.sess,
+                                slot: item.slot,
+                                req_num: item.req_num,
+                                resp,
+                            });
                         }
                     })
                     .expect("spawn worker thread"),
@@ -89,31 +117,118 @@ impl WorkerPool {
         }
         Self {
             tx: item_tx,
-            rx: done_rx,
+            table,
             threads,
+            alive: Arc::new(std::sync::atomic::AtomicBool::new(true)),
         }
     }
 
-    pub fn submit(&self, item: WorkItem) {
-        // Unbounded channel: cannot fail while workers live.
-        let _ = self.tx.send(item);
-    }
-
-    /// Drain completed work without blocking.
-    pub fn drain_completed(&self, out: &mut Vec<WorkDone>) {
-        while let Ok(done) = self.rx.try_recv() {
-            out.push(done);
+    /// A detached handle into this pool (for Nexus-attached `Rpc`s). The
+    /// handle can submit work and drain its own completions, but dropping
+    /// it does not stop the pool.
+    pub fn handle(&self) -> WorkerHandle {
+        let (done_tx, done_rx) = unbounded::<WorkDone>();
+        WorkerHandle {
+            item_tx: self.tx.clone(),
+            done_tx,
+            done_rx,
+            table: Arc::clone(&self.table),
+            pool_alive: Arc::clone(&self.alive),
+            owned: None,
         }
     }
 }
 
 impl Drop for WorkerPool {
     fn drop(&mut self) {
-        // Close the item channel so workers exit, then join them.
-        let (dead_tx, _) = unbounded();
-        self.tx = dead_tx;
+        // Flip `alive` first: submits racing the shutdown degrade to
+        // inline execution instead of landing in a channel nobody reads.
+        self.alive.store(false, std::sync::atomic::Ordering::SeqCst);
+        // One sentinel per thread: each worker drains the work queued
+        // ahead of it, sees one Shutdown, and exits — no dependence on
+        // every Sender clone being gone first.
+        for _ in &self.threads {
+            let _ = self.tx.send(PoolMsg::Shutdown);
+        }
         for t in self.threads.drain(..) {
             let _ = t.join();
+        }
+    }
+}
+
+/// An `Rpc`'s attachment to a worker pool: submit side, this endpoint's
+/// private completion channel, and the handler table. `owned` is the pool
+/// itself for standalone endpoints (joined when the handle drops) and
+/// `None` for handles into a Nexus-shared pool.
+pub(crate) struct WorkerHandle {
+    item_tx: Sender<PoolMsg>,
+    done_tx: Sender<WorkDone>,
+    done_rx: Receiver<WorkDone>,
+    table: WorkerTable,
+    /// Whether the pool behind `item_tx` still has live workers.
+    pool_alive: Arc<std::sync::atomic::AtomicBool>,
+    /// Declared last: the submit sender above drops first, then the owned
+    /// pool (if any) sends its sentinels and joins.
+    owned: Option<WorkerPool>,
+}
+
+impl WorkerHandle {
+    /// Spawn a pool owned by one endpoint (the standalone-`Rpc` shape).
+    pub fn owned(num_threads: usize) -> Self {
+        let table: WorkerTable = Arc::new(RwLock::new(HashMap::new()));
+        let pool = WorkerPool::spawn(num_threads, table);
+        let mut h = pool.handle();
+        h.owned = Some(pool);
+        h
+    }
+
+    pub fn register(&self, req_type: u8, f: WorkerFn) {
+        self.table.write().insert(req_type, f);
+    }
+
+    /// Request types currently in the handler table (the Nexus-registered
+    /// set a newly created `Rpc` starts serving, paper §3.2).
+    pub fn registered_types(&self) -> Vec<u8> {
+        self.table.read().keys().copied().collect()
+    }
+
+    pub fn submit(&self, sess: u16, slot: u8, req_num: u64, req_type: u8, data: Vec<u8>) {
+        // A dead pool (e.g. the Nexus was dropped while this Rpc lives)
+        // would swallow the item unread and leave the request slot in
+        // `Processing` forever; degrade to inline execution instead —
+        // same semantics as the `num_worker_threads == 0` fallback, just
+        // discovered at runtime. (A submit racing the pool's shutdown can
+        // still land behind the sentinels; that single item is lost with
+        // the channel — concurrent teardown is best-effort by design.)
+        if !self.pool_alive.load(std::sync::atomic::Ordering::SeqCst) {
+            let handler = self.table.read().get(&req_type).cloned();
+            let mut resp = Vec::new();
+            if let Some(h) = handler {
+                h(&data, &mut resp);
+            }
+            let _ = self.done_tx.send(WorkDone {
+                sess,
+                slot,
+                req_num,
+                resp,
+            });
+            return;
+        }
+        // Unbounded channel: cannot fail while the pool lives.
+        let _ = self.item_tx.send(PoolMsg::Work(WorkItem {
+            sess,
+            slot,
+            req_num,
+            req_type,
+            data,
+            done_tx: self.done_tx.clone(),
+        }));
+    }
+
+    /// Drain completed work without blocking.
+    pub fn drain_completed(&self, out: &mut Vec<WorkDone>) {
+        while let Ok(done) = self.done_rx.try_recv() {
+            out.push(done);
         }
     }
 }
@@ -134,24 +249,24 @@ mod tests {
         table
     }
 
-    #[test]
-    fn worker_roundtrip() {
-        let pool = WorkerPool::spawn(2, table_with_echo());
-        pool.submit(WorkItem {
-            sess: 3,
-            slot: 1,
-            req_num: 9,
-            req_type: 1,
-            data: b"abc".to_vec(),
-        });
+    fn wait_done(h: &WorkerHandle, want: usize) -> Vec<WorkDone> {
         let mut done = Vec::new();
-        for _ in 0..1000 {
-            pool.drain_completed(&mut done);
-            if !done.is_empty() {
+        for _ in 0..2000 {
+            h.drain_completed(&mut done);
+            if done.len() >= want {
                 break;
             }
             std::thread::sleep(std::time::Duration::from_millis(1));
         }
+        done
+    }
+
+    #[test]
+    fn worker_roundtrip() {
+        let pool = WorkerPool::spawn(2, table_with_echo());
+        let h = pool.handle();
+        h.submit(3, 1, 9, 1, b"abc".to_vec());
+        let done = wait_done(&h, 1);
         assert_eq!(done.len(), 1);
         assert_eq!(done[0].resp, b"cba");
         assert_eq!((done[0].sess, done[0].slot, done[0].req_num), (3, 1, 9));
@@ -160,21 +275,9 @@ mod tests {
     #[test]
     fn unknown_type_returns_empty() {
         let pool = WorkerPool::spawn(1, table_with_echo());
-        pool.submit(WorkItem {
-            sess: 0,
-            slot: 0,
-            req_num: 0,
-            req_type: 99,
-            data: b"x".to_vec(),
-        });
-        let mut done = Vec::new();
-        for _ in 0..1000 {
-            pool.drain_completed(&mut done);
-            if !done.is_empty() {
-                break;
-            }
-            std::thread::sleep(std::time::Duration::from_millis(1));
-        }
+        let h = pool.handle();
+        h.submit(0, 0, 0, 99, b"x".to_vec());
+        let done = wait_done(&h, 1);
         assert_eq!(done.len(), 1);
         assert!(done[0].resp.is_empty());
     }
@@ -182,15 +285,39 @@ mod tests {
     #[test]
     fn pool_drop_joins_cleanly() {
         let pool = WorkerPool::spawn(4, table_with_echo());
+        let h = pool.handle();
         for i in 0..100 {
-            pool.submit(WorkItem {
-                sess: 0,
-                slot: 0,
-                req_num: i,
-                req_type: 1,
-                data: vec![1, 2, 3],
-            });
+            h.submit(0, 0, i, 1, vec![1, 2, 3]);
         }
-        drop(pool); // must not hang
+        drop(pool); // must not hang, even with the handle still alive
+        drop(h);
+    }
+
+    #[test]
+    fn completions_route_to_the_submitting_handle() {
+        let pool = WorkerPool::spawn(2, table_with_echo());
+        let a = pool.handle();
+        let b = pool.handle();
+        a.submit(1, 0, 10, 1, b"aa".to_vec());
+        b.submit(2, 0, 20, 1, b"bb".to_vec());
+        let da = wait_done(&a, 1);
+        let db = wait_done(&b, 1);
+        assert_eq!(da.len(), 1);
+        assert_eq!(da[0].sess, 1);
+        assert_eq!(db.len(), 1);
+        assert_eq!(db[0].sess, 2);
+    }
+
+    #[test]
+    fn owned_handle_drop_joins() {
+        let h = WorkerHandle::owned(2);
+        h.register(
+            1,
+            Arc::new(|req: &[u8], resp: &mut Vec<u8>| resp.extend_from_slice(req)) as WorkerFn,
+        );
+        for i in 0..50 {
+            h.submit(0, 0, i, 1, vec![7]);
+        }
+        drop(h); // joins the owned pool; pending WorkDones freed with it
     }
 }

@@ -1,0 +1,227 @@
+//! `WorkerPool` shutdown coverage: dropping an `Rpc` with in-flight
+//! worker items must join every `erpc-worker-*` thread without deadlock,
+//! and `WorkDone`s pending for a dead endpoint must be dropped safely.
+//! Same for a Nexus-shared pool shutting down after its `Rpc`s.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use erpc::{Nexus, NexusConfig, Rpc, RpcConfig};
+use erpc_transport::{Addr, MemFabric, MemFabricConfig, MemTransport};
+
+const SLOW: u8 = 9;
+
+fn worker_cfg(n: usize) -> RpcConfig {
+    RpcConfig {
+        ping_interval_ns: 0,
+        cc: erpc::CcAlgorithm::None,
+        num_worker_threads: n,
+        ..RpcConfig::default()
+    }
+}
+
+/// Run `f` on a watchdog thread: panics (failing the test) instead of
+/// hanging forever if shutdown deadlocks.
+fn with_deadline(secs: u64, f: impl FnOnce() + Send + 'static) {
+    let h = std::thread::spawn(f);
+    let deadline = Instant::now() + Duration::from_secs(secs);
+    while !h.is_finished() {
+        assert!(Instant::now() < deadline, "shutdown deadlocked");
+        std::thread::sleep(Duration::from_millis(10));
+    }
+    h.join().expect("shutdown path panicked");
+}
+
+/// Submit `n` SLOW requests from a client and return (client, server,
+/// session) with the requests accepted by the server's worker pool but
+/// (mostly) not yet completed.
+fn setup_inflight(
+    fabric: &MemFabric,
+    n: usize,
+    handler_sleep_ms: u64,
+    submitted: Arc<AtomicUsize>,
+) -> (Rpc<MemTransport>, Rpc<MemTransport>, erpc::SessionHandle) {
+    let mut server = Rpc::new(fabric.create_transport(Addr::new(0, 0)), worker_cfg(2));
+    let sub = Arc::clone(&submitted);
+    server.register_worker_handler(
+        SLOW,
+        Arc::new(move |req: &[u8], out: &mut Vec<u8>| {
+            sub.fetch_add(1, Ordering::SeqCst);
+            std::thread::sleep(Duration::from_millis(handler_sleep_ms));
+            out.extend_from_slice(req);
+        }),
+    );
+    let mut client = Rpc::new(fabric.create_transport(Addr::new(1, 0)), worker_cfg(0));
+    let sess = client.create_session(Addr::new(0, 0)).unwrap();
+    while !client.is_connected(sess) {
+        client.run_event_loop_once();
+        server.run_event_loop_once();
+        std::thread::yield_now();
+    }
+    for i in 0..n {
+        let mut req = client.alloc_msg_buffer(8);
+        req.fill(&(i as u64).to_le_bytes());
+        let resp = client.alloc_msg_buffer(16);
+        client
+            .enqueue_request(sess, SLOW, req, resp, |_ctx, _comp| {})
+            .unwrap();
+    }
+    // Pump until the server has shipped work to its pool (handlers start
+    // running on worker threads).
+    let deadline = Instant::now() + Duration::from_secs(5);
+    while server.stats().handlers_to_workers == 0 && Instant::now() < deadline {
+        client.run_event_loop_once();
+        server.run_event_loop_once();
+        std::thread::yield_now();
+    }
+    assert!(
+        server.stats().handlers_to_workers > 0,
+        "work reached the pool"
+    );
+    (client, server, sess)
+}
+
+#[test]
+fn rpc_drop_with_inflight_work_joins_workers() {
+    with_deadline(30, || {
+        let fabric = MemFabric::new(MemFabricConfig::default());
+        let submitted = Arc::new(AtomicUsize::new(0));
+        let (client, server, _sess) = setup_inflight(&fabric, 6, 50, Arc::clone(&submitted));
+        // Drop the server while its workers hold in-flight items and more
+        // sit queued: the pool's shutdown sentinels queue behind them, so
+        // drop blocks until workers drain — but must always terminate.
+        drop(server);
+        drop(client);
+    });
+}
+
+#[test]
+fn pending_work_done_for_dead_rpc_is_dropped_safely() {
+    with_deadline(30, || {
+        let fabric = MemFabric::new(MemFabricConfig::default());
+        let submitted = Arc::new(AtomicUsize::new(0));
+        let (client, server, _sess) = setup_inflight(&fabric, 4, 20, Arc::clone(&submitted));
+        // Let workers finish so completed `WorkDone`s pile up in the
+        // server's completion channel, never drained...
+        let deadline = Instant::now() + Duration::from_secs(10);
+        while submitted.load(Ordering::SeqCst) < 4 && Instant::now() < deadline {
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        std::thread::sleep(Duration::from_millis(120));
+        // ...then drop the endpoint without another event-loop pass. The
+        // orphaned completions free with the channel; nothing hangs.
+        drop(server);
+        drop(client);
+    });
+}
+
+#[test]
+fn nexus_pool_shutdown_after_rpcs() {
+    with_deadline(30, || {
+        let nx = Arc::new(Nexus::new(
+            MemFabric::new(MemFabricConfig::default()),
+            3,
+            NexusConfig { num_bg_threads: 2 },
+        ));
+        nx.register_worker_handler(
+            SLOW,
+            Arc::new(|req: &[u8], out: &mut Vec<u8>| {
+                std::thread::sleep(Duration::from_millis(20));
+                out.extend_from_slice(req);
+            }),
+        );
+        let mut server = nx.create_rpc(0, worker_cfg(0)).unwrap();
+        let mut client = nx.create_rpc(1, worker_cfg(0)).unwrap();
+        let sess = client.create_session(nx.addr_of(0)).unwrap();
+        while !client.is_connected(sess) {
+            client.run_event_loop_once();
+            server.run_event_loop_once();
+        }
+        for i in 0..4u64 {
+            let mut req = client.alloc_msg_buffer(8);
+            req.fill(&i.to_le_bytes());
+            let resp = client.alloc_msg_buffer(16);
+            client
+                .enqueue_request(sess, SLOW, req, resp, |_ctx, _comp| {})
+                .unwrap();
+        }
+        let deadline = Instant::now() + Duration::from_secs(5);
+        while server.stats().handlers_to_workers == 0 && Instant::now() < deadline {
+            client.run_event_loop_once();
+            server.run_event_loop_once();
+        }
+        // Rpcs drop first (detach from the shared pool without joining),
+        // then the Nexus joins its workers — with items still in flight.
+        drop(server);
+        drop(client);
+        drop(nx);
+    });
+}
+
+#[test]
+fn nexus_drop_before_rpcs_does_not_deadlock() {
+    with_deadline(30, || {
+        // The wrong-order drop: the Nexus (and its pool) goes away while
+        // per-thread Rpcs still hold submit handles. Shutdown sentinels
+        // make the join independent of those handles.
+        let nx = Nexus::new(
+            MemFabric::new(MemFabricConfig::default()),
+            4,
+            NexusConfig { num_bg_threads: 2 },
+        );
+        let rpc = nx.create_rpc(0, worker_cfg(0)).unwrap();
+        drop(nx); // joins workers while `rpc`'s handle is alive
+        drop(rpc);
+    });
+}
+
+#[test]
+fn requests_after_nexus_drop_degrade_to_inline_execution() {
+    with_deadline(30, || {
+        // Worker-mode requests arriving after the shared pool shut down
+        // must still be answered (served inline on the dispatch thread),
+        // not left in `Processing` forever.
+        let nx = Nexus::new(
+            MemFabric::new(MemFabricConfig::default()),
+            5,
+            NexusConfig { num_bg_threads: 2 },
+        );
+        nx.register_worker_handler(
+            SLOW,
+            Arc::new(|req: &[u8], out: &mut Vec<u8>| {
+                out.extend_from_slice(req);
+                out.reverse();
+            }),
+        );
+        let mut server = nx.create_rpc(0, worker_cfg(0)).unwrap();
+        let mut client = nx.create_rpc(1, worker_cfg(0)).unwrap();
+        let sess = client.create_session(nx.addr_of(0)).unwrap();
+        while !client.is_connected(sess) {
+            client.run_event_loop_once();
+            server.run_event_loop_once();
+        }
+        drop(nx); // pool is gone; endpoints still serve traffic
+
+        use std::cell::Cell;
+        use std::rc::Rc;
+        let got = Rc::new(Cell::new(false));
+        let got2 = got.clone();
+        let mut req = client.alloc_msg_buffer(3);
+        req.fill(b"abc");
+        let resp = client.alloc_msg_buffer(8);
+        client
+            .enqueue_request(sess, SLOW, req, resp, move |_ctx, comp| {
+                assert!(comp.result.is_ok());
+                assert_eq!(comp.resp.data(), b"cba");
+                got2.set(true);
+            })
+            .unwrap();
+        let deadline = Instant::now() + Duration::from_secs(10);
+        while !got.get() && Instant::now() < deadline {
+            client.run_event_loop_once();
+            server.run_event_loop_once();
+        }
+        assert!(got.get(), "worker request answered despite dead pool");
+    });
+}

@@ -10,6 +10,14 @@
 //! Fault injection: an optional seeded Bernoulli drop probability on the TX
 //! path turns the fabric lossy for the loss-tolerance experiments
 //! (Table 4).
+//!
+//! Endpoint lifecycle: dropping a `MemTransport` (or calling
+//! [`MemFabric::remove_endpoint`]) closes its ring and deregisters the
+//! address. Senders holding a cached route see the closed ring on their
+//! next send, drop the cache entry, and re-resolve — so packets to a dead
+//! endpoint are *counted* (`tx_drop_no_route`) rather than silently
+//! swallowed by a ring nobody drains, and a re-registered address starts
+//! receiving without any manual cache invalidation.
 
 use std::collections::HashMap;
 use std::sync::Arc;
@@ -103,9 +111,14 @@ impl MemFabric {
     }
 
     /// Deregister an endpoint; subsequent sends to it count as
-    /// `tx_drop_no_route` (used to emulate node failure).
+    /// `tx_drop_no_route` (used to emulate node failure). Closing the ring
+    /// makes senders with a cached route observe the death too — their
+    /// next send invalidates the cache entry instead of pushing packets
+    /// into a ring nobody will ever drain.
     pub fn remove_endpoint(&self, addr: Addr) {
-        self.inner.endpoints.write().remove(&addr.key());
+        if let Some(ring) = self.inner.endpoints.write().remove(&addr.key()) {
+            ring.close();
+        }
     }
 }
 
@@ -125,17 +138,46 @@ pub struct MemTransport {
 impl MemTransport {
     fn route(&mut self, dst: Addr) -> Option<Arc<PacketRing>> {
         if let Some(r) = self.route_cache.get(&dst.key()) {
-            return Some(Arc::clone(r));
+            if !r.is_closed() {
+                return Some(Arc::clone(r));
+            }
+            // The cached peer died (endpoint dropped or removed): forget
+            // the ghost ring and re-resolve — the address may have been
+            // re-registered by a replacement endpoint.
+            self.route_cache.remove(&dst.key());
         }
         let r = self.fabric.endpoints.read().get(&dst.key()).cloned()?;
+        if r.is_closed() {
+            // Raced a teardown between registry read and use.
+            return None;
+        }
         self.route_cache.insert(dst.key(), Arc::clone(&r));
         Some(r)
     }
 
     /// Drop a cached route (e.g. after the peer was removed). The datapath
-    /// re-resolves on next use.
+    /// re-resolves on next use. Since endpoints now close their rings on
+    /// drop/removal, stale cache entries also self-invalidate; this hook
+    /// remains for tests and explicit failover.
     pub fn invalidate_route(&mut self, dst: Addr) {
         self.route_cache.remove(&dst.key());
+    }
+}
+
+impl Drop for MemTransport {
+    fn drop(&mut self) {
+        // Endpoint teardown: mark our ring dead so peers' cached routes
+        // observe it (packets then count as `tx_drop_no_route` at the
+        // sender instead of vanishing into an undrained ring), and free
+        // the address for re-registration — but only if the registry still
+        // holds *this* ring (a replacement endpoint may already own it).
+        self.rx.close();
+        let mut eps = self.fabric.endpoints.write();
+        if let Some(cur) = eps.get(&self.addr.key()) {
+            if Arc::ptr_eq(cur, &self.rx) {
+                eps.remove(&self.addr.key());
+            }
+        }
     }
 }
 
@@ -301,6 +343,73 @@ mod tests {
         a.invalidate_route(dst);
         send(&mut a, dst, b"x", b"");
         assert_eq!(a.stats().tx_drop_no_route, 1);
+    }
+
+    #[test]
+    fn fabric_and_endpoints_cross_threads() {
+        // The Nexus threading model needs the fabric handle shareable
+        // across threads and endpoints constructible/ownable per thread.
+        fn assert_send<T: Send>() {}
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<MemFabric>();
+        assert_send::<MemTransport>();
+        assert_send::<crate::UdpTransport>();
+    }
+
+    #[test]
+    fn dropped_endpoint_deregisters_and_counts_sends() {
+        // Regression: endpoints used to stay in the registry (and in
+        // peers' route caches) forever, so a dropped transport left a
+        // ghost ring that silently swallowed packets.
+        let f = MemFabric::new(MemFabricConfig::default());
+        let mut a = f.create_transport(Addr::new(0, 0));
+        let b = f.create_transport(Addr::new(1, 0));
+        let dst = b.addr();
+        send(&mut a, dst, b"x", b"");
+        assert_eq!(a.stats().tx_pkts, 1, "route cached and used");
+        drop(b);
+        // No manual invalidate_route: the cached route self-invalidates.
+        send(&mut a, dst, b"x", b"");
+        assert_eq!(
+            a.stats().tx_pkts,
+            1,
+            "send to dropped endpoint not counted as delivered"
+        );
+        assert_eq!(a.stats().tx_drop_no_route, 1, "drop must be counted");
+    }
+
+    #[test]
+    fn address_is_reusable_after_drop() {
+        let f = MemFabric::new(MemFabricConfig::default());
+        let mut a = f.create_transport(Addr::new(0, 0));
+        let addr = Addr::new(1, 0);
+        let b = f.create_transport(addr);
+        send(&mut a, addr, b"to-old", b"");
+        drop(b);
+        // Same address, new endpoint: must not panic, and cached senders
+        // must reach the replacement without manual invalidation.
+        let mut b2 = f.create_transport(addr);
+        send(&mut a, addr, b"to-new", b"");
+        let mut toks = Vec::new();
+        assert_eq!(b2.rx_burst(8, &mut toks), 1);
+        assert_eq!(b2.rx_bytes(&toks[0]), b"to-new");
+        b2.rx_release();
+    }
+
+    #[test]
+    fn remove_endpoint_closes_cached_routes() {
+        let f = MemFabric::new(MemFabricConfig::default());
+        let mut a = f.create_transport(Addr::new(0, 0));
+        let b = f.create_transport(Addr::new(1, 0));
+        let dst = b.addr();
+        send(&mut a, dst, b"x", b"");
+        assert_eq!(a.stats().tx_pkts, 1);
+        f.remove_endpoint(dst);
+        // Victim transport still exists, but senders must observe the
+        // removal through their cache — no invalidate_route call.
+        send(&mut a, dst, b"x", b"");
+        assert_eq!(a.stats().tx_drop_no_route, 1);
+        drop(b); // second close + registry check are no-ops
     }
 
     #[test]

@@ -20,7 +20,7 @@
 //! to the consumer.
 
 use std::cell::UnsafeCell;
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 
 use crossbeam::utils::CachePadded;
 
@@ -47,6 +47,10 @@ pub struct PacketRing {
     enqueue_pos: CachePadded<AtomicUsize>,
     /// Only the consumer advances this.
     dequeue_pos: CachePadded<AtomicUsize>,
+    /// Set when the consumer endpoint goes away (NIC teardown). Producers
+    /// holding a stale `Arc` to this ring check it before pushing, so a
+    /// dropped endpoint cannot silently swallow packets forever.
+    closed: AtomicBool,
 }
 
 // SAFETY: slots are handed between threads with acquire/release ordering on
@@ -80,7 +84,22 @@ impl PacketRing {
             mask: cap - 1,
             enqueue_pos: CachePadded::new(AtomicUsize::new(0)),
             dequeue_pos: CachePadded::new(AtomicUsize::new(0)),
+            closed: AtomicBool::new(false),
         }
+    }
+
+    /// Mark the ring dead: its consumer is gone and nothing will ever
+    /// drain it again. Producers observe this via [`PacketRing::is_closed`]
+    /// and drop (and count) instead of enqueueing into the void.
+    pub fn close(&self) {
+        self.closed.store(true, Ordering::Release);
+    }
+
+    /// Whether the consumer endpoint has been torn down. One relaxed-ish
+    /// atomic load — cheap enough for the per-packet TX path.
+    #[inline]
+    pub fn is_closed(&self) -> bool {
+        self.closed.load(Ordering::Acquire)
     }
 
     /// Number of slots.

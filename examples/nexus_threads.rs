@@ -1,0 +1,144 @@
+//! Multi-core eRPC: one process-wide `Nexus`, one `Rpc` per OS thread —
+//! the paper's §3 threading model (and the structure behind Figure 5).
+//!
+//! Demonstrates:
+//!   1. the `Nexus` owning the shared substrate: the fabric handle, the
+//!      background worker pool, and the thread-ID namespace,
+//!   2. worker handlers registered once at the Nexus and served by every
+//!      thread's endpoint (§3.2),
+//!   3. each thread creating *its own* `Rpc` (endpoints never migrate;
+//!      the datapath shares nothing),
+//!   4. all-to-all sessions between threads, with per-thread `RpcStats`
+//!      merged into process totals via `RpcStats::merge`.
+//!
+//! Run: `cargo run --example nexus_threads`
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+
+use erpc::{Nexus, NexusConfig, RpcConfig, RpcStats};
+use erpc_transport::{MemFabric, MemFabricConfig};
+
+const ECHO: u8 = 1;
+const HASH: u8 = 2; // "long-running": served by the shared worker pool
+
+const THREADS: usize = 3;
+const REQS_PER_PEER: usize = 100;
+
+fn main() {
+    // The Nexus: one per process. Two background worker threads are
+    // shared by every dispatch thread below.
+    let nexus = Arc::new(Nexus::new(
+        MemFabric::new(MemFabricConfig::default()),
+        0, // node id
+        NexusConfig { num_bg_threads: 2 },
+    ));
+
+    // Worker handlers registered at the Nexus (before any Rpc exists) are
+    // served by every thread with no per-thread plumbing.
+    nexus.register_worker_handler(
+        HASH,
+        Arc::new(|req: &[u8], out: &mut Vec<u8>| {
+            let h = req.iter().fold(0xcbf29ce484222325u64, |a, &b| {
+                (a ^ b as u64).wrapping_mul(0x100000001b3)
+            });
+            out.extend_from_slice(&h.to_le_bytes());
+        }),
+    );
+
+    let ready = Arc::new(AtomicUsize::new(0));
+    let done = Arc::new(AtomicUsize::new(0));
+    let mut handles = Vec::new();
+    for t in 0..THREADS as u8 {
+        let nexus = Arc::clone(&nexus);
+        let ready = Arc::clone(&ready);
+        let done = Arc::clone(&done);
+        handles.push(std::thread::spawn(move || {
+            // Created on the owning thread: `Rpc` is deliberately not
+            // `Sync`, and dispatch closures need not be `Send`.
+            let mut rpc = nexus
+                .create_rpc(
+                    t,
+                    RpcConfig {
+                        ping_interval_ns: 0,
+                        ..RpcConfig::default()
+                    },
+                )
+                .expect("unique thread id");
+            rpc.register_request_handler(ECHO, Box::new(|ctx, req| ctx.respond(req)));
+
+            // All-to-all: one session to every other thread's endpoint.
+            let sessions: Vec<_> = (0..THREADS as u8)
+                .filter(|&p| p != t)
+                .map(|p| rpc.create_session(nexus.addr_of(p)).unwrap())
+                .collect();
+            let poll = |rpc: &mut erpc::Rpc<_>| {
+                let rx = rpc.stats().pkts_rx;
+                rpc.run_event_loop_once();
+                if rpc.stats().pkts_rx == rx {
+                    std::thread::yield_now(); // be a good neighbor on shared cores
+                }
+            };
+            while !sessions.iter().all(|&s| rpc.is_connected(s)) {
+                poll(&mut rpc);
+            }
+            ready.fetch_add(1, Ordering::SeqCst);
+            while ready.load(Ordering::SeqCst) < THREADS {
+                poll(&mut rpc);
+            }
+
+            // Fire ECHO (dispatch) and HASH (worker) requests at every peer.
+            use std::cell::Cell;
+            use std::rc::Rc;
+            let completed = Rc::new(Cell::new(0usize));
+            let total = sessions.len() * REQS_PER_PEER;
+            for i in 0..REQS_PER_PEER {
+                for &sess in &sessions {
+                    let ty = if i % 4 == 0 { HASH } else { ECHO };
+                    let mut req = rpc.alloc_msg_buffer(8);
+                    req.fill(&(i as u64).to_le_bytes());
+                    let resp = rpc.alloc_msg_buffer(16);
+                    let c = completed.clone();
+                    rpc.enqueue_request(sess, ty, req, resp, move |ctx, comp| {
+                        assert!(comp.result.is_ok());
+                        c.set(c.get() + 1);
+                        ctx.free_msg_buffer(comp.req);
+                        ctx.free_msg_buffer(comp.resp);
+                    })
+                    .unwrap();
+                }
+            }
+            while completed.get() < total {
+                poll(&mut rpc);
+            }
+
+            // Keep serving peers until everyone is done, then shut down.
+            done.fetch_add(1, Ordering::SeqCst);
+            while done.load(Ordering::SeqCst) < THREADS {
+                poll(&mut rpc);
+            }
+            println!(
+                "thread {t}: {} RPCs completed, {} handlers served ({} via workers)",
+                rpc.stats().responses_completed,
+                rpc.stats().handlers_invoked,
+                rpc.stats().handlers_to_workers,
+            );
+            rpc.stats().clone()
+        }));
+    }
+
+    let mut merged = RpcStats::default();
+    for h in handles {
+        merged.merge(&h.join().unwrap());
+    }
+    println!(
+        "process totals: {} RPCs, {} worker dispatches, mean TX batch {:.1}",
+        merged.responses_completed,
+        merged.handlers_to_workers,
+        merged.tx_batch_hist.mean(),
+    );
+    assert_eq!(
+        merged.responses_completed,
+        (THREADS * (THREADS - 1) * REQS_PER_PEER) as u64
+    );
+}
