@@ -1,15 +1,26 @@
 //! Criterion micro-benchmarks for the hot datapath pieces: header codec,
-//! msgbuf pool, timing wheel, packet ring, Timely, and the stores.
+//! msgbuf pool, timing wheel, packet ring, Timely, and the stores —
+//! plus the per-RPC allocation/copy accounting rows (the binary registers
+//! the counting global allocator, so `rpc_path_costs` measures real heap
+//! traffic per small RPC on the dispatch, worker, and Channel paths).
 //!
 //! These are sanity gauges for the common-case-optimization story (§4/§5):
-//! everything on the per-packet path should be tens of nanoseconds.
+//! everything on the per-packet path should be tens of nanoseconds, and
+//! steady state should allocate nothing.
+
+use std::cell::{Cell, RefCell};
 
 use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use erpc::alloc_count::{snapshot, CountingAlloc};
 use erpc::msgbuf::BufPool;
 use erpc::pkthdr::{PktHdr, PktType};
+use erpc::{CcAlgorithm, Completion, ContContext, MsgBuf, Rpc, RpcConfig, SessionHandle};
 use erpc_congestion::{Timely, TimelyConfig, TimingWheel};
 use erpc_store::{Masstree, Mica};
-use erpc_transport::PacketRing;
+use erpc_transport::{Addr, MemFabric, MemFabricConfig, MemTransport, PacketRing};
+
+#[global_allocator]
+static ALLOC: CountingAlloc = CountingAlloc;
 
 fn bench_pkthdr(c: &mut Criterion) {
     let hdr = PktHdr {
@@ -117,12 +128,143 @@ fn bench_stores(c: &mut Criterion) {
     });
 }
 
+// ── Per-RPC allocation/copy accounting (fig4/tab2's "before/after") ─────
+
+const PATH_ECHO: u8 = 1;
+const PATH_WARMUP: u64 = 512;
+const PATH_MEASURE: u64 = 4096;
+
+thread_local! {
+    static DONE: Cell<u64> = const { Cell::new(0) };
+    static PAIR: RefCell<Option<(MsgBuf, MsgBuf)>> = const { RefCell::new(None) };
+}
+
+// Zero-sized fn item: boxing it allocates nothing, so the client side of
+// the measurement adds no allocator traffic of its own.
+fn path_cont(_ctx: &mut ContContext<'_>, comp: Completion) {
+    assert!(comp.result.is_ok());
+    DONE.with(|c| c.set(c.get() + 1));
+    PAIR.with(|b| *b.borrow_mut() = Some((comp.req, comp.resp)));
+}
+
+fn path_cfg() -> RpcConfig {
+    RpcConfig {
+        ping_interval_ns: 0,
+        cc: CcAlgorithm::None,
+        ..RpcConfig::default()
+    }
+}
+
+fn drive_path(
+    client: &mut Rpc<MemTransport>,
+    server: &mut Rpc<MemTransport>,
+    sess: SessionHandle,
+    n: u64,
+) {
+    let target = DONE.with(|c| c.get()) + n;
+    while DONE.with(|c| c.get()) < target {
+        if let Some((mut req, resp)) = PAIR.with(|b| b.borrow_mut().take()) {
+            req.resize(32);
+            client
+                .enqueue_request(sess, PATH_ECHO, req, resp, path_cont)
+                .unwrap();
+        }
+        client.run_event_loop_once();
+        server.run_event_loop_once();
+    }
+}
+
+/// One closed-loop scenario: returns (allocs/RPC, frees/RPC, pool
+/// misses/RPC, pool hits/RPC) over the measured window.
+fn measure_path(
+    mut server: Rpc<MemTransport>,
+    mut client: Rpc<MemTransport>,
+) -> (f64, f64, f64, f64) {
+    let sess = client.create_session(server.addr()).unwrap();
+    while !client.is_connected(sess) {
+        client.run_event_loop_once();
+        server.run_event_loop_once();
+    }
+    PAIR.with(|b| {
+        *b.borrow_mut() = Some((client.alloc_msg_buffer(32), client.alloc_msg_buffer(64)));
+    });
+    drive_path(&mut client, &mut server, sess, PATH_WARMUP);
+    let a0 = snapshot();
+    let pool0 = (
+        client.stats().pool_allocs_new + server.stats().pool_allocs_new,
+        client.stats().pool_allocs_reused + server.stats().pool_allocs_reused,
+    );
+    drive_path(&mut client, &mut server, sess, PATH_MEASURE);
+    let d = snapshot().since(&a0);
+    let n = PATH_MEASURE as f64;
+    let misses = client.stats().pool_allocs_new + server.stats().pool_allocs_new - pool0.0;
+    let hits = client.stats().pool_allocs_reused + server.stats().pool_allocs_reused - pool0.1;
+    PAIR.with(|b| b.borrow_mut().take());
+    (
+        d.allocs as f64 / n,
+        d.deallocs as f64 / n,
+        misses as f64 / n,
+        hits as f64 / n,
+    )
+}
+
+/// Allocs/copies per small RPC for the three application paths. The
+/// "copies" column is the structural count for a single-packet 32 B
+/// RPC: dispatch = respond-into-prealloc + client RX assemble; worker
+/// adds the one unavoidable cross-thread copy of the request (§4.2.3).
+fn bench_rpc_path_costs(_c: &mut Criterion) {
+    let fabric = MemFabric::new(MemFabricConfig::default());
+
+    let mut server = Rpc::new(fabric.create_transport(Addr::new(0, 0)), path_cfg());
+    server.register_request_handler(
+        PATH_ECHO,
+        Box::new(|ctx, req| {
+            let mut out = [0u8; 64];
+            let n = req.len().min(64);
+            out[..n].copy_from_slice(&req[..n]);
+            ctx.respond(&out[..n]);
+        }),
+    );
+    let client = Rpc::new(fabric.create_transport(Addr::new(1, 0)), path_cfg());
+    let dispatch = measure_path(server, client);
+
+    let mut wcfg = path_cfg();
+    wcfg.num_worker_threads = 1;
+    let mut server = Rpc::new(fabric.create_transport(Addr::new(2, 0)), wcfg);
+    server.register_worker_handler(
+        PATH_ECHO,
+        std::sync::Arc::new(|req: &[u8], out: &mut MsgBuf| out.append(req)),
+    );
+    let client = Rpc::new(fabric.create_transport(Addr::new(3, 0)), path_cfg());
+    let worker = measure_path(server, client);
+
+    println!(
+        "
+per-RPC datapath cost (32 B echo, {PATH_MEASURE} RPCs after {PATH_WARMUP} warmup):"
+    );
+    println!(
+        "{:<18} {:>11} {:>10} {:>13} {:>12} {:>14}",
+        "path", "allocs/RPC", "frees/RPC", "pool miss/RPC", "pool hit/RPC", "copies (anal.)"
+    );
+    for (name, m, copies) in [
+        ("rpc_dispatch", dispatch, "2 (1/dir)"),
+        ("rpc_worker", worker, "3 (req ×2)"),
+    ] {
+        println!(
+            "{:<18} {:>11.4} {:>10.4} {:>13.4} {:>12.4} {:>14}",
+            name, m.0, m.1, m.2, m.3, copies
+        );
+    }
+    assert_eq!(dispatch.0, 0.0, "dispatch path must not allocate");
+    assert_eq!(worker.0, 0.0, "worker path must not allocate");
+}
+
 criterion_group! {
     name = micro;
     config = Criterion::default()
         .sample_size(20)
         .measurement_time(std::time::Duration::from_millis(500))
         .warm_up_time(std::time::Duration::from_millis(200));
-    targets = bench_pkthdr, bench_bufpool, bench_wheel, bench_ring, bench_timely, bench_stores
+    targets = bench_pkthdr, bench_bufpool, bench_wheel, bench_ring, bench_timely, bench_stores, bench_rpc_path_costs
 }
 criterion_main!(micro);

@@ -93,7 +93,7 @@ pub fn run_masstree(
     let t_scan = Arc::clone(&tree);
     server.register_worker_handler(
         SCAN,
-        Arc::new(move |req: &[u8], out: &mut Vec<u8>| {
+        Arc::new(move |req: &[u8], out: &mut erpc::MsgBuf| {
             let mut sum = 0u64;
             let mut n = 0;
             t_scan.read().scan_from(req, |_k, v| {
@@ -101,7 +101,7 @@ pub fn run_masstree(
                 n += 1;
                 n < scan_len
             });
-            out.extend_from_slice(&sum.to_le_bytes());
+            out.append(&sum.to_le_bytes());
         }),
     );
 

@@ -20,7 +20,7 @@ use std::cell::{Cell, RefCell};
 use std::rc::Rc;
 use std::time::{Duration, Instant};
 
-use erpc::{LatencyHistogram, MsgBuf, Rpc, RpcConfig};
+use erpc::{LatencyHistogram, MsgBuf, Rpc, RpcConfig, RpcStats};
 use erpc_transport::{Addr, MemFabric, MemFabricConfig, MemTransport};
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
@@ -76,6 +76,9 @@ pub struct SymmetricResult {
     pub latency: LatencyHistogram,
     /// Total go-back-N retransmissions observed.
     pub retransmissions: u64,
+    /// Endpoint counters merged across all endpoints (whole run, incl.
+    /// warmup) — the tables print pool hit/miss behavior from this.
+    pub stats: RpcStats,
 }
 
 struct EpState {
@@ -143,10 +146,15 @@ pub fn run_symmetric(opts: SymmetricOpts) -> SymmetricResult {
 
     let issue_batch = |rpc: &mut Rpc<MemTransport>, st: &mut EpState| {
         for _ in 0..opts.batch {
-            let (mut req, resp) = st.freelist.borrow_mut().pop().unwrap_or((
-                rpc.alloc_msg_buffer(opts.req_size),
-                rpc.alloc_msg_buffer(opts.resp_size.max(1)),
-            ));
+            // `unwrap_or_else`, not `unwrap_or`: the eager variant
+            // allocated two fresh buffers per issued RPC and dropped them
+            // (caught by the pool-miss counters — ~2.3 misses/RPC).
+            let (mut req, resp) = st.freelist.borrow_mut().pop().unwrap_or_else(|| {
+                (
+                    rpc.alloc_msg_buffer(opts.req_size),
+                    rpc.alloc_msg_buffer(opts.resp_size.max(1)),
+                )
+            });
             req.resize(opts.req_size);
             let sess = st.sessions[st.rng.gen_range(0..st.sessions.len())];
             let (o, c, m, h, fl) = (
@@ -209,12 +217,17 @@ pub fn run_symmetric(opts: SymmetricOpts) -> SymmetricResult {
     measuring.set(false);
 
     let retransmissions = rpcs.iter().map(|r| r.stats().retransmissions).sum();
+    let mut stats = RpcStats::default();
+    for r in &rpcs {
+        stats.merge(r.stats());
+    }
     let latency = hist.borrow().clone();
     SymmetricResult {
         per_core_rate: completed.get() as f64 / secs,
         total_completed: completed.get(),
         latency,
         retransmissions,
+        stats,
     }
 }
 
@@ -284,10 +297,12 @@ pub fn run_bandwidth(opts: BandwidthOpts) -> BandwidthResult {
     let completed = Rc::new(Cell::new(0usize));
     let bufs: Rc<RefCell<Option<(MsgBuf, MsgBuf)>>> = Rc::new(RefCell::new(None));
     let issue = |client: &mut Rpc<MemTransport>| {
-        let (mut req, resp) = bufs.borrow_mut().take().unwrap_or((
-            client.alloc_msg_buffer(opts.req_size),
-            client.alloc_msg_buffer(64),
-        ));
+        let (mut req, resp) = bufs.borrow_mut().take().unwrap_or_else(|| {
+            (
+                client.alloc_msg_buffer(opts.req_size),
+                client.alloc_msg_buffer(64),
+            )
+        });
         req.resize(opts.req_size);
         let (c2, b2) = (completed.clone(), bufs.clone());
         client

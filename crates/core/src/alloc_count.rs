@@ -1,0 +1,97 @@
+//! Counting global allocator for allocation-regression tests and benches.
+//!
+//! The paper's datapath performs **zero allocator traffic per small RPC**
+//! in steady state (hugepage msgbuf pools §4.2.1, preallocated responses
+//! §4.3). This port enforces that with a harness, not a code review: a
+//! test/bench binary registers [`CountingAlloc`] as its global allocator,
+//! warms the path up, snapshots the counters, drives N RPCs, and asserts
+//! the delta is zero (`tests/alloc_steady_state.rs`; the `micro` bench
+//! prints allocs-per-RPC rows from the same counters).
+//!
+//! The type lives in the library so tests and benches share one
+//! implementation, but it does nothing unless a binary opts in with
+//! `#[global_allocator]` — production builds never pay for it.
+//!
+//! ```ignore
+//! #[global_allocator]
+//! static ALLOC: erpc::alloc_count::CountingAlloc = erpc::alloc_count::CountingAlloc;
+//!
+//! let before = erpc::alloc_count::snapshot();
+//! // ... hot loop ...
+//! let delta = erpc::alloc_count::snapshot().since(&before);
+//! assert_eq!(delta.allocs, 0);
+//! ```
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+static ALLOCS: AtomicU64 = AtomicU64::new(0);
+static DEALLOCS: AtomicU64 = AtomicU64::new(0);
+static BYTES: AtomicU64 = AtomicU64::new(0);
+
+/// A `System`-backed allocator that counts every allocation, reallocation
+/// and deallocation process-wide (all threads — worker-pool allocations
+/// count too, which is the point).
+pub struct CountingAlloc;
+
+// SAFETY: defers entirely to `System`; the counters are relaxed atomics
+// with no allocation of their own.
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        BYTES.fetch_add(layout.size() as u64, Ordering::Relaxed);
+        unsafe { System.alloc(layout) }
+    }
+
+    unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        BYTES.fetch_add(layout.size() as u64, Ordering::Relaxed);
+        unsafe { System.alloc_zeroed(layout) }
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        DEALLOCS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.dealloc(ptr, layout) }
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        // A realloc is allocator traffic either way; count it as one
+        // alloc + one dealloc so grow-in-place cannot hide.
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        DEALLOCS.fetch_add(1, Ordering::Relaxed);
+        BYTES.fetch_add(new_size as u64, Ordering::Relaxed);
+        unsafe { System.realloc(ptr, layout, new_size) }
+    }
+}
+
+/// Point-in-time view of the counters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AllocSnapshot {
+    /// Allocations (incl. reallocs) since process start.
+    pub allocs: u64,
+    /// Deallocations (incl. reallocs) since process start.
+    pub deallocs: u64,
+    /// Bytes requested since process start.
+    pub bytes: u64,
+}
+
+impl AllocSnapshot {
+    /// Counter deltas since an earlier snapshot.
+    pub fn since(&self, earlier: &AllocSnapshot) -> AllocSnapshot {
+        AllocSnapshot {
+            allocs: self.allocs - earlier.allocs,
+            deallocs: self.deallocs - earlier.deallocs,
+            bytes: self.bytes - earlier.bytes,
+        }
+    }
+}
+
+/// Read the process-wide counters (zeros unless [`CountingAlloc`] is the
+/// registered global allocator).
+pub fn snapshot() -> AllocSnapshot {
+    AllocSnapshot {
+        allocs: ALLOCS.load(Ordering::Relaxed),
+        deallocs: DEALLOCS.load(Ordering::Relaxed),
+        bytes: BYTES.load(Ordering::Relaxed),
+    }
+}

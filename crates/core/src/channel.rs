@@ -5,10 +5,14 @@
 //! msgbufs, thread continuations by hand, and slice response bytes
 //! themselves — the shape the paper's benchmarks need (§3.1). Services
 //! want something higher: *call this request type on that session and
-//! give me the decoded response*. `Channel` provides exactly that, built
-//! entirely on the public per-request-continuation API (it lives in this
-//! crate only for discoverability — nothing here touches `Rpc` internals
-//! beyond its public surface).
+//! give me the decoded response*. `Channel` provides exactly that, and it
+//! preserves the paper's allocation discipline: requests serialize
+//! directly into pooled msgbufs (slice-writer encode, no intermediate
+//! `Vec`), completions land in recycled outcome cells carried by a
+//! closure-free [`crate::Continuation`], and responses come back as the
+//! pooled [`MsgBuf`] itself — `.to_vec()` is an explicit convenience, not
+//! the default. A warmed-up channel issues typed calls with **zero heap
+//! allocations** per RPC.
 //!
 //! ```
 //! use erpc::{Channel, Rpc, RpcConfig};
@@ -31,14 +35,16 @@
 //! assert_eq!(resp, b"cba");
 //! ```
 
-use std::cell::RefCell;
+use std::cell::{Cell, RefCell};
 use std::marker::PhantomData;
 use std::rc::Rc;
 
+use erpc_transport::codec::ByteSink;
 use erpc_transport::{Addr, Transport};
 
 use crate::error::RpcError;
-use crate::rpc::{ReqContext, Rpc};
+use crate::msgbuf::MsgBuf;
+use crate::rpc::{CompletionCell, Continuation, ReqContext, Rpc};
 use crate::session::SessionHandle;
 
 /// A message that can travel as an eRPC request or response body.
@@ -48,17 +54,24 @@ use crate::session::SessionHandle;
 /// pairing is [`erpc_transport::codec::ByteWriter`] /
 /// [`erpc_transport::codec::ByteReader`], but any byte format works.
 pub trait RpcMessage: Sized {
-    /// Append this message's encoding to `out`.
-    fn encode(&self, out: &mut Vec<u8>);
+    /// Append this message's encoding to `out` — a `Vec<u8>` on cold
+    /// paths, or a [`erpc_transport::codec::SliceSink`] over a msgbuf's
+    /// data region on the no-copy datapath.
+    fn encode<S: ByteSink>(&self, out: &mut S);
 
     /// Decode a message from `bytes` (the full request/response body).
+    /// Borrow-decode where possible: `bytes` stays valid for the call.
     fn decode(bytes: &[u8]) -> Result<Self, RpcError>;
 
-    /// Encoding size hint for buffer pre-sizing (a loose upper bound is
-    /// fine; the default re-encodes small messages cheaply).
-    fn encoded_len_hint(&self) -> usize {
-        64
-    }
+    /// **Upper bound** on the encoded size. Sizes the pooled msgbuf that
+    /// the message serializes into on the no-copy path, so it must never
+    /// under-estimate (the slice writer panics loudly if it does). Loose
+    /// over-estimates merely waste buffer slack; a hint beyond the
+    /// endpoint's `max_msg_size` falls back to a `Vec` encode that checks
+    /// the actual size. Deliberately has no default: a silent default
+    /// turned under-estimation into a runtime panic, a compile error is
+    /// cheaper.
+    fn encoded_len_hint(&self) -> usize;
 }
 
 /// A callable request message: binds a request type id and the response
@@ -70,20 +83,40 @@ pub trait RpcCall: RpcMessage {
     type Resp: RpcMessage;
 }
 
-/// Shared completion cell between a [`CallHandle`] and the continuation
-/// enqueued on its behalf.
-type CallCell = Rc<RefCell<Option<Result<Vec<u8>, RpcError>>>>;
+/// Recycled outcome cells shared by a [`Channel`] and its call handles:
+/// steady state performs zero `Rc` allocations per call.
+type CellPool = Rc<RefCell<Vec<CompletionCell>>>;
+
+/// Retention cap for recycled cells (bounds idle memory, covers any
+/// realistic in-flight window).
+const MAX_POOLED_CELLS: usize = 64;
+
+fn recycle_cell(pool: &CellPool, cell: CompletionCell) {
+    let mut cells = pool.borrow_mut();
+    if cells.len() < MAX_POOLED_CELLS {
+        cells.push(cell);
+    }
+}
+
+/// Response msgbufs abandoned by fire-and-forget call handles (completed
+/// but never taken). A dropped `CallHandle` has no `Rpc` to return the
+/// buffer to the endpoint's pool with, so the channel keeps it and the
+/// next call reuses it as its response buffer — fire-and-forget stays
+/// allocation-free too.
+type SparePool = Rc<RefCell<Vec<MsgBuf>>>;
 
 /// A client call facade bound to one session.
 ///
-/// `Channel` is `Copy`-cheap and stateless beyond the session handle and
-/// a response-capacity setting; it borrows the `Rpc` only for the
-/// duration of each operation, so one endpoint can serve any number of
-/// channels (one per session, or several per session).
+/// `Channel` is cheap to clone (clones share the session handle and the
+/// recycled-cell pool); it borrows the `Rpc` only for the duration of
+/// each operation, so one endpoint can serve any number of channels (one
+/// per session, or several per session).
 #[derive(Debug, Clone)]
 pub struct Channel {
     sess: SessionHandle,
     resp_capacity: usize,
+    cells: CellPool,
+    spares: SparePool,
 }
 
 impl Channel {
@@ -95,6 +128,8 @@ impl Channel {
         Self {
             sess,
             resp_capacity: Self::DEFAULT_RESP_CAPACITY,
+            cells: Rc::new(RefCell::new(Vec::new())),
+            spares: Rc::new(RefCell::new(Vec::new())),
         }
     }
 
@@ -123,9 +158,10 @@ impl Channel {
     }
 
     /// Start a raw call: send `payload` as a `req_type` request and
-    /// resolve the returned handle with the response bytes. The msgbufs
-    /// are allocated from and returned to the endpoint's pool internally.
-    /// Payloads beyond the endpoint's `max_msg_size` are rejected with
+    /// resolve the returned handle with the response. The msgbufs are
+    /// allocated from and returned to the endpoint's pool internally (the
+    /// one copy is `payload` into the request buffer). Payloads beyond the
+    /// endpoint's `max_msg_size` are rejected with
     /// [`RpcError::MsgTooLarge`].
     pub fn call<T: Transport>(
         &self,
@@ -140,20 +176,87 @@ impl Channel {
         }
         let mut req = rpc.alloc_msg_buffer(payload.len());
         req.fill(payload);
-        let resp = rpc.alloc_msg_buffer(self.resp_capacity.min(rpc.config().max_msg_size));
-        let cell: CallCell = Rc::new(RefCell::new(None));
-        let cell2 = Rc::clone(&cell);
-        let enq = rpc.enqueue_request(self.sess, req_type, req, resp, move |ctx, comp| {
-            let outcome = comp.result.map(|()| comp.resp.data().to_vec());
-            ctx.free_msg_buffer(comp.req);
-            ctx.free_msg_buffer(comp.resp);
-            *cell2.borrow_mut() = Some(outcome);
-        });
-        match enq {
-            Ok(()) => Ok(CallHandle { cell }),
+        self.start(rpc, req_type, req)
+    }
+
+    /// Start a typed call: serialize `req` directly into a pooled msgbuf
+    /// (slice-writer encode — no intermediate `Vec`), dispatch it under
+    /// [`RpcCall::REQ_TYPE`], and resolve the handle with the decoded
+    /// [`RpcCall::Resp`].
+    pub fn call_typed<T: Transport, C: RpcCall>(
+        &self,
+        rpc: &mut Rpc<T>,
+        req: &C,
+    ) -> Result<TypedCallHandle<C::Resp>, RpcError> {
+        let hint = req.encoded_len_hint();
+        let max = rpc.config().max_msg_size;
+        let buf = if hint <= max {
+            // Fast path: serialize straight into the pooled msgbuf.
+            let mut b = rpc.alloc_msg_buffer(hint);
+            b.fill_with(|sink| req.encode(sink));
+            b
+        } else {
+            // The hint (an over-estimate) exceeds the cap, but the actual
+            // encoding may still fit: encode into a Vec (cold path — only
+            // messages within a hint's slack of max_msg_size land here)
+            // and judge by the real size.
+            let mut v = Vec::with_capacity(max.min(hint));
+            req.encode(&mut v);
+            if v.len() > max {
+                return Err(RpcError::MsgTooLarge);
+            }
+            let mut b = rpc.alloc_msg_buffer(v.len());
+            b.fill(&v);
+            b
+        };
+        Ok(TypedCallHandle {
+            raw: self.start(rpc, C::REQ_TYPE, buf)?,
+            _resp: PhantomData,
+        })
+    }
+
+    /// Enqueue an already-built request msgbuf with a recycled outcome
+    /// cell — the shared core of [`Channel::call`] / [`Channel::call_typed`].
+    fn start<T: Transport>(
+        &self,
+        rpc: &mut Rpc<T>,
+        req_type: u8,
+        req: MsgBuf,
+    ) -> Result<CallHandle, RpcError> {
+        let resp_cap = self.resp_capacity.min(rpc.config().max_msg_size);
+        // Prefer a buffer abandoned by a fire-and-forget handle; one of
+        // the wrong capacity (channel clones may differ) goes back to the
+        // endpoint's pool instead.
+        let resp = match self.spares.borrow_mut().pop() {
+            Some(b) if b.capacity() >= resp_cap => b,
+            Some(b) => {
+                rpc.free_msg_buffer(b);
+                rpc.alloc_msg_buffer(resp_cap)
+            }
+            None => rpc.alloc_msg_buffer(resp_cap),
+        };
+        let cell = self
+            .cells
+            .borrow_mut()
+            .pop()
+            .unwrap_or_else(|| Rc::new(RefCell::new(None)));
+        debug_assert!(cell.borrow().is_none(), "recycled cell must be empty");
+        match rpc.enqueue_request_cont(
+            self.sess,
+            req_type,
+            req,
+            resp,
+            Continuation::cell(Rc::clone(&cell)),
+        ) {
+            Ok(()) => Ok(CallHandle {
+                cell,
+                cells: Rc::clone(&self.cells),
+                spares: Rc::clone(&self.spares),
+                taken: Cell::new(false),
+            }),
             Err(e) => {
-                // Return the pooled buffers before surfacing the error
-                // (plain destructuring; the unfired continuation drops).
+                // Return the pooled buffers and the (unfired) cell before
+                // surfacing the error.
                 let crate::rpc::EnqueueError {
                     err,
                     req,
@@ -162,46 +265,34 @@ impl Channel {
                 } = e;
                 rpc.free_msg_buffer(req);
                 rpc.free_msg_buffer(resp);
+                recycle_cell(&self.cells, cell);
                 Err(err)
             }
         }
-    }
-
-    /// Start a typed call: encode `req`, dispatch it under
-    /// [`RpcCall::REQ_TYPE`], and resolve the handle with the decoded
-    /// [`RpcCall::Resp`].
-    pub fn call_typed<T: Transport, C: RpcCall>(
-        &self,
-        rpc: &mut Rpc<T>,
-        req: &C,
-    ) -> Result<TypedCallHandle<C::Resp>, RpcError> {
-        let mut body = Vec::with_capacity(req.encoded_len_hint());
-        req.encode(&mut body);
-        Ok(TypedCallHandle {
-            raw: self.call(rpc, C::REQ_TYPE, &body)?,
-            _resp: PhantomData,
-        })
     }
 }
 
 /// An in-flight raw call. Resolves when the request's continuation runs
 /// inside [`Rpc::run_event_loop_once`].
+///
+/// The response arrives as the pooled [`MsgBuf`] itself ([`CallHandle::
+/// try_take`]); return it with `Rpc::free_msg_buffer` — or use
+/// [`CallHandle::try_take_with`], which borrows the bytes and recycles the
+/// buffer automatically. Copying out (`try_take_vec`/`wait`) is the
+/// explicit convenience path.
 #[must_use = "a CallHandle resolves only while the event loop is polled"]
 pub struct CallHandle {
-    cell: CallCell,
+    cell: CompletionCell,
+    cells: CellPool,
+    spares: SparePool,
+    /// Whether the outcome was consumed through this handle (drives cell
+    /// recycling on drop).
+    taken: Cell<bool>,
 }
 
 impl std::fmt::Debug for CallHandle {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("CallHandle")
-            .field("done", &self.is_done())
-            .finish()
-    }
-}
-
-impl<M: RpcMessage> std::fmt::Debug for TypedCallHandle<M> {
-    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_struct("TypedCallHandle")
             .field("done", &self.is_done())
             .finish()
     }
@@ -213,10 +304,44 @@ impl CallHandle {
         self.cell.borrow().is_some()
     }
 
-    /// Take the outcome if the call has completed. Returns `None` while
-    /// still in flight; after a `Some`, subsequent calls return `None`.
-    pub fn try_take(&self) -> Option<Result<Vec<u8>, RpcError>> {
-        self.cell.borrow_mut().take()
+    /// Take the outcome if the call has completed: the response msgbuf on
+    /// success, zero-copy. Return it to the endpoint's pool with
+    /// `Rpc::free_msg_buffer` to keep steady state allocation-free.
+    /// Returns `None` while still in flight; after a `Some`, subsequent
+    /// calls return `None`.
+    pub fn try_take(&self) -> Option<Result<MsgBuf, RpcError>> {
+        let out = self.cell.borrow_mut().take();
+        if out.is_some() {
+            self.taken.set(true);
+        }
+        out
+    }
+
+    /// Borrow-decode the completed response without copying: `f` sees the
+    /// response bytes in the pooled buffer, which then returns to the
+    /// endpoint's pool automatically.
+    pub fn try_take_with<T: Transport, R>(
+        &self,
+        rpc: &mut Rpc<T>,
+        f: impl FnOnce(&[u8]) -> R,
+    ) -> Option<Result<R, RpcError>> {
+        self.try_take().map(|outcome| match outcome {
+            Ok(buf) => {
+                let r = f(buf.data());
+                rpc.free_msg_buffer(buf);
+                Ok(r)
+            }
+            Err(e) => Err(e),
+        })
+    }
+
+    /// Copy the completed response out (the explicit `.to_vec()`
+    /// convenience); the pooled buffer is recycled.
+    pub fn try_take_vec<T: Transport>(
+        &self,
+        rpc: &mut Rpc<T>,
+    ) -> Option<Result<Vec<u8>, RpcError>> {
+        self.try_take_with(rpc, |b| b.to_vec())
     }
 
     /// Poll this endpoint's event loop to completion. Only correct when
@@ -229,6 +354,8 @@ impl CallHandle {
 
     /// Poll this endpoint's event loop to completion, calling `step`
     /// after every pass (drive peer endpoints, advance a simulator, …).
+    /// Returns a copy of the response bytes; for the zero-copy variant see
+    /// [`CallHandle::wait_buf_with`].
     ///
     /// The loop terminates whenever the continuation fires — on success
     /// or on any error path (retransmission limit, node failure,
@@ -245,7 +372,23 @@ impl CallHandle {
         mut step: impl FnMut(),
     ) -> Result<Vec<u8>, RpcError> {
         loop {
-            if let Some(outcome) = self.cell.borrow_mut().take() {
+            if let Some(outcome) = self.try_take_vec(rpc) {
+                return outcome;
+            }
+            rpc.run_event_loop_once();
+            step();
+        }
+    }
+
+    /// Like [`CallHandle::wait_with`] but hands back the response msgbuf
+    /// itself (no copy). Return it with `Rpc::free_msg_buffer`.
+    pub fn wait_buf_with<T: Transport>(
+        self,
+        rpc: &mut Rpc<T>,
+        mut step: impl FnMut(),
+    ) -> Result<MsgBuf, RpcError> {
+        loop {
+            if let Some(outcome) = self.try_take() {
                 return outcome;
             }
             rpc.run_event_loop_once();
@@ -254,11 +397,44 @@ impl CallHandle {
     }
 }
 
-/// An in-flight typed call; like [`CallHandle`] but decodes the response.
+impl Drop for CallHandle {
+    fn drop(&mut self) {
+        if !self.taken.get() {
+            let outcome = self.cell.borrow_mut().take();
+            match outcome {
+                // Still in flight: the continuation holds the other Rc;
+                // the cell dies with it (abandoned-call cold path).
+                None => return,
+                // Fire-and-forget: keep the abandoned response buffer for
+                // the channel's next call (bounded) so even untaken calls
+                // stay allocation-free in steady state.
+                Some(Ok(buf)) => {
+                    let mut spares = self.spares.borrow_mut();
+                    if spares.len() < MAX_POOLED_CELLS {
+                        spares.push(buf);
+                    }
+                }
+                Some(Err(_)) => {}
+            }
+        }
+        recycle_cell(&self.cells, Rc::clone(&self.cell));
+    }
+}
+
+/// An in-flight typed call; like [`CallHandle`] but borrow-decodes the
+/// response from the pooled buffer (no copy) before recycling it.
 #[must_use = "a TypedCallHandle resolves only while the event loop is polled"]
 pub struct TypedCallHandle<M: RpcMessage> {
     raw: CallHandle,
     _resp: PhantomData<M>,
+}
+
+impl<M: RpcMessage> std::fmt::Debug for TypedCallHandle<M> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("TypedCallHandle")
+            .field("done", &self.is_done())
+            .finish()
+    }
 }
 
 impl<M: RpcMessage> TypedCallHandle<M> {
@@ -266,10 +442,12 @@ impl<M: RpcMessage> TypedCallHandle<M> {
         self.raw.is_done()
     }
 
-    pub fn try_take(&self) -> Option<Result<M, RpcError>> {
+    /// Decode and take the outcome if the call has completed; the pooled
+    /// response buffer returns to `rpc`'s pool.
+    pub fn try_take<T: Transport>(&self, rpc: &mut Rpc<T>) -> Option<Result<M, RpcError>> {
         self.raw
-            .try_take()
-            .map(|outcome| outcome.and_then(|bytes| M::decode(&bytes)))
+            .try_take_with(rpc, |bytes| M::decode(bytes))
+            .map(|outcome| outcome.and_then(|r| r))
     }
 
     /// See [`CallHandle::wait`].
@@ -281,16 +459,23 @@ impl<M: RpcMessage> TypedCallHandle<M> {
     pub fn wait_with<T: Transport>(
         self,
         rpc: &mut Rpc<T>,
-        step: impl FnMut(),
+        mut step: impl FnMut(),
     ) -> Result<M, RpcError> {
-        let bytes = self.raw.wait_with(rpc, step)?;
-        M::decode(&bytes)
+        loop {
+            if let Some(outcome) = self.try_take(rpc) {
+                return outcome;
+            }
+            rpc.run_event_loop_once();
+            step();
+        }
     }
 }
 
 impl<T: Transport> Rpc<T> {
     /// Register a typed dispatch-mode handler: decodes the request as
-    /// `C`, runs `f`, and responds with the encoded [`RpcCall::Resp`].
+    /// `C`, runs `f`, and responds with the encoded [`RpcCall::Resp`] —
+    /// serialized directly into the slot's preallocated msgbuf via
+    /// [`ReqContext::respond_typed`] (no intermediate `Vec`).
     ///
     /// Requests that fail to decode get an *empty* response. Typed
     /// clients surface that as [`RpcError::Decode`] **provided the
@@ -308,12 +493,7 @@ impl<T: Transport> Rpc<T> {
             C::REQ_TYPE,
             Box::new(
                 move |ctx: &mut ReqContext<'_>, req: &[u8]| match C::decode(req) {
-                    Ok(msg) => {
-                        let resp = f(msg);
-                        let mut out = Vec::with_capacity(resp.encoded_len_hint());
-                        resp.encode(&mut out);
-                        ctx.respond(&out);
-                    }
+                    Ok(msg) => ctx.respond_typed(&f(msg)),
                     Err(_) => ctx.respond(&[]),
                 },
             ),
@@ -325,8 +505,8 @@ impl<T: Transport> Rpc<T> {
 // unit response without defining wrapper types.
 
 impl RpcMessage for Vec<u8> {
-    fn encode(&self, out: &mut Vec<u8>) {
-        out.extend_from_slice(self);
+    fn encode<S: ByteSink>(&self, out: &mut S) {
+        out.put(self);
     }
 
     fn decode(bytes: &[u8]) -> Result<Self, RpcError> {
@@ -339,7 +519,7 @@ impl RpcMessage for Vec<u8> {
 }
 
 impl RpcMessage for () {
-    fn encode(&self, _out: &mut Vec<u8>) {}
+    fn encode<S: ByteSink>(&self, _out: &mut S) {}
 
     fn decode(_bytes: &[u8]) -> Result<Self, RpcError> {
         Ok(())

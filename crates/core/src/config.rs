@@ -97,6 +97,12 @@ pub struct RpcConfig {
     /// Worker threads for long-running handlers (§3.2). 0 = none; worker
     /// handler registration then falls back to dispatch.
     pub num_worker_threads: usize,
+    /// Capacity of the pooled response msgbuf handed to worker-mode
+    /// handlers (capped at `max_msg_size`). Workers write into this
+    /// pre-sized buffer in place — the dispatch thread installs it as the
+    /// slot's response without copying — so a worker response cannot
+    /// exceed it (growing past capacity panics loudly in the handler).
+    pub worker_resp_capacity: usize,
     /// Record every client-side RTT sample into a histogram readable via
     /// `Rpc::rtt_histogram` (Table 5 uses per-packet RTTs measured at
     /// clients as the switch-queueing proxy). Off by default: it adds a
@@ -133,6 +139,7 @@ impl Default for RpcConfig {
             failure_timeout_ns: 500_000_000,
             connect_retry_ns: 20_000_000,
             num_worker_threads: 0,
+            worker_resp_capacity: 64 << 10,
             record_rtt_samples: false,
         }
     }

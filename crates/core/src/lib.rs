@@ -61,6 +61,7 @@
 //! across cores, create one process-wide [`Nexus`] and one `Rpc` per
 //! OS thread from it (§3's threading model; see `nexus` module docs).
 
+pub mod alloc_count;
 pub mod channel;
 pub mod config;
 pub mod error;

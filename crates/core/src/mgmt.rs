@@ -6,6 +6,8 @@
 //! timers — which preserves the semantics (connect/disconnect handshakes,
 //! ping-based failure detection) without a second socket layer. Bodies are
 //! encoded with the little-endian codec and follow the 16 B packet header.
+//! The body types are public so protocol-level tests (e.g. forged-packet
+//! hardening) and external tooling can speak the handshake directly.
 
 use erpc_transport::codec::{ByteReader, ByteWriter, Truncated};
 use erpc_transport::Addr;
@@ -13,7 +15,7 @@ use erpc_transport::Addr;
 /// `ConnectReq` body: everything the server needs to build the matching
 /// server-mode session.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub(crate) struct ConnectReq {
+pub struct ConnectReq {
     /// Client endpoint address (so the server can route replies).
     pub client_addr: Addr,
     /// Client's session number (echoed in the response).
@@ -46,7 +48,7 @@ impl ConnectReq {
 
 /// `ConnectResp` body.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub(crate) struct ConnectResp {
+pub struct ConnectResp {
     pub client_session: u16,
     /// Server's session number; the client addresses all future packets to
     /// it. Meaningless when `ok` is false.
@@ -79,7 +81,7 @@ impl ConnectResp {
 /// (idempotent disconnect), and by then the server has forgotten the
 /// peer's address and session number.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub(crate) struct DisconnectReq {
+pub struct DisconnectReq {
     pub client_addr: Addr,
     pub client_session: u16,
 }
@@ -106,7 +108,7 @@ impl DisconnectReq {
 /// routine) must not tear down a reused session slot that is now
 /// disconnecting from a different server.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub(crate) struct DisconnectResp {
+pub struct DisconnectResp {
     pub server_addr: Addr,
 }
 

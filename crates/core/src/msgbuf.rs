@@ -22,6 +22,8 @@
 //! `enqueue_request` by value and receives it back in the continuation, so
 //! it is statically impossible to touch a buffer the Rpc still references.
 
+use erpc_transport::codec::{ByteSink, SliceSink};
+
 use crate::pkthdr::{PktHdr, PKT_HDR_SIZE};
 
 /// A DMA-capable message buffer. Create via [`BufPool::alloc`] (or
@@ -97,6 +99,37 @@ impl MsgBuf {
     pub fn fill(&mut self, src: &[u8]) {
         self.resize(src.len());
         self.data_mut().copy_from_slice(src);
+    }
+
+    /// Set the length to zero (e.g. before a handler appends a response).
+    #[inline]
+    pub fn clear(&mut self) {
+        self.data_len = 0;
+    }
+
+    /// Append `src` after the current contents, growing the length within
+    /// capacity (worker handlers build responses incrementally with this).
+    pub fn append(&mut self, src: &[u8]) {
+        let old = self.len();
+        self.resize(old + src.len());
+        self.data_mut()[old..].copy_from_slice(src);
+    }
+
+    /// Serialize directly into the data region: runs `f` over a
+    /// [`SliceSink`] spanning the full capacity, then sets the message
+    /// length to the bytes written — the no-copy encode path (typed
+    /// requests and responses serialize straight into pooled buffers).
+    pub fn fill_with<R>(&mut self, f: impl FnOnce(&mut SliceSink<'_>) -> R) -> R {
+        let cap = self.capacity();
+        self.resize(cap);
+        let (r, n) = {
+            let mut sink = SliceSink::new(self.data_mut());
+            let r = f(&mut sink);
+            let n = sink.written();
+            (r, n)
+        };
+        self.resize(n);
+        r
     }
 
     /// Byte offset of packet `i`'s header within the backing buffer.
@@ -325,6 +358,63 @@ mod tests {
         p.free(small);
         let _big = p.alloc(1 << 20);
         assert_eq!(p.allocs_new, 2, "1 MB alloc must not reuse the 64 B buffer");
+    }
+
+    #[test]
+    fn required_size_landing_on_power_of_two() {
+        // Single-packet msgbuf: required = 16 hdr + max_data. max_data=48
+        // lands exactly on 64 — it must use the 64-byte class, and the
+        // next byte up must move to the 128-byte class (no off-by-one at
+        // the boundary in either direction).
+        let mut p = pool();
+        let exact = p.alloc(48);
+        assert_eq!(exact.buf.len(), 64, "required==64 stays in the 64 class");
+        p.free(exact);
+        let _reuse = p.alloc(48);
+        assert_eq!((p.allocs_new, p.allocs_reused), (1, 1));
+        let bigger = p.alloc(49); // required = 65 → 128 class
+        assert_eq!(bigger.buf.len(), 128);
+        assert_eq!(p.allocs_new, 2, "65 bytes must not reuse the 64 class");
+        // Multi-packet landing exactly on a power of two:
+        // 2 pkts → 16 + max + 16 = pow2 at max = 2016 (2048).
+        let multi = p.alloc(2016);
+        assert_eq!(multi.num_pkts(), 2);
+        assert_eq!(multi.buf.len(), 2048);
+    }
+
+    #[test]
+    fn per_class_retention_cap_bounds_pool_growth() {
+        let mut p = pool();
+        let bufs: Vec<MsgBuf> = (0..1100).map(|_| p.alloc(32)).collect();
+        assert_eq!(p.allocs_new, 1100);
+        for b in bufs {
+            p.free(b);
+        }
+        // Only 1024 were retained: re-allocating 1100 reuses exactly the
+        // cap and heap-allocates the overflow.
+        let _round2: Vec<MsgBuf> = (0..1100).map(|_| p.alloc(32)).collect();
+        assert_eq!(p.allocs_reused, 1024);
+        assert_eq!(p.allocs_new, 1100 + 76);
+    }
+
+    #[test]
+    fn zero_length_messages_through_slice_writer() {
+        let mut p = pool();
+        let mut m = p.alloc(64);
+        // Encoding nothing must produce a valid zero-length message…
+        m.fill_with(|_sink| {});
+        assert_eq!(m.len(), 0);
+        assert_eq!(m.num_pkts(), 1); // …which still travels as one packet
+        assert_eq!(m.pkt_data_len(0), 0);
+        assert!(m.data().is_empty());
+        // …and a zero-capacity msgbuf accepts the empty encode too.
+        let mut z = p.alloc(0);
+        z.fill_with(|_sink| {});
+        assert_eq!(z.len(), 0);
+        // Writing again after a zero-length pass works (len restored from
+        // the sink, not left stale).
+        m.fill_with(|sink| erpc_transport::codec::ByteSink::put(sink, b"abc"));
+        assert_eq!(m.data(), b"abc");
     }
 
     #[test]

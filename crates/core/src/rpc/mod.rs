@@ -68,15 +68,61 @@ use tx::{TxDesc, TxResolved, WheelEntry};
 /// borrows the transport RX ring directly (zero-copy RX, §4.2.3).
 pub type DispatchFn = Box<dyn FnMut(&mut ReqContext<'_>, &[u8])>;
 
-/// Continuation: an owned `FnOnce` invoked exactly once when its RPC
-/// completes (or fails), with ownership of both msgbufs returned to the
-/// application (§4.2.2's ownership rule). Unlike the paper's C++
-/// implementation — which pre-registers continuations in a `u8`-indexed
-/// table and threads a `(cont_id, tag)` pair through every call — each
-/// request carries its own closure, stored in the request's session slot.
-/// Captured state replaces the `tag`, and the type system guarantees the
-/// at-most-once invocation the table-based design only promised.
-pub type Continuation = Box<dyn FnOnce(&mut ContContext<'_>, Completion)>;
+/// Continuation: invoked exactly once when its RPC completes (or fails),
+/// with ownership of both msgbufs returned to the application (§4.2.2's
+/// ownership rule). Unlike the paper's C++ implementation — which
+/// pre-registers continuations in a `u8`-indexed table and threads a
+/// `(cont_id, tag)` pair through every call — each request carries its own
+/// continuation, stored in the request's session slot. Captured state
+/// replaces the `tag`, and the type system guarantees the at-most-once
+/// invocation the table-based design only promised.
+///
+/// Two shapes share the slot: the general owned-`FnOnce` closure
+/// ([`Continuation::new`]; boxing a zero-sized closure allocates nothing),
+/// and the [`crate::Channel`] fast path, which carries only a shared
+/// outcome cell — no closure, no per-call heap box — so typed calls stay
+/// allocation-free in steady state.
+pub struct Continuation(ContInner);
+
+/// The boxed general-path continuation closure.
+type BoxedCont = Box<dyn FnOnce(&mut ContContext<'_>, Completion)>;
+
+pub(crate) enum ContInner {
+    /// General path: an owned `FnOnce` closure.
+    Boxed(BoxedCont),
+    /// Channel fast path: deposit the response msgbuf into the shared
+    /// cell; the request msgbuf (and, on failure, the response msgbuf)
+    /// recycles through the pool.
+    Cell(CompletionCell),
+}
+
+/// Outcome cell shared between a [`crate::CallHandle`] and the endpoint.
+pub(crate) type CompletionCell = std::rc::Rc<std::cell::RefCell<Option<Result<MsgBuf, RpcError>>>>;
+
+impl Continuation {
+    /// Wrap an owned closure. A zero-capture closure (or fn item) is
+    /// zero-sized, so this performs no heap allocation for it.
+    pub fn new(f: impl FnOnce(&mut ContContext<'_>, Completion) + 'static) -> Self {
+        Continuation(ContInner::Boxed(Box::new(f)))
+    }
+
+    pub(crate) fn cell(c: CompletionCell) -> Self {
+        Continuation(ContInner::Cell(c))
+    }
+
+    pub(crate) fn into_inner(self) -> ContInner {
+        self.0
+    }
+}
+
+impl core::fmt::Debug for Continuation {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match &self.0 {
+            ContInner::Boxed(_) => f.write_str("Continuation::Boxed"),
+            ContInner::Cell(_) => f.write_str("Continuation::Cell"),
+        }
+    }
+}
 
 enum HandlerEntry {
     None,
@@ -120,7 +166,8 @@ enum QueuedOp {
     },
     Response {
         handle: DeferredHandle,
-        data: Vec<u8>,
+        /// Pooled response msgbuf, installed into the slot without copying.
+        resp: MsgBuf,
     },
 }
 
@@ -156,6 +203,41 @@ impl ReqContext<'_> {
         self.resp_built = Some((buf, is_prealloc));
     }
 
+    /// Enqueue a response the handler built directly in a msgbuf (from
+    /// [`ReqContext::alloc_msg_buffer`], so it recycles through the pool
+    /// when the slot is reused) — no copy into a fresh buffer. For typed
+    /// messages prefer [`ReqContext::respond_typed`].
+    pub fn respond_with(&mut self, buf: MsgBuf) {
+        assert!(!self.deferred, "respond_with() after defer()");
+        assert!(self.resp_built.is_none(), "respond() called twice");
+        assert!(buf.len() <= self.max_msg_size, "response exceeds max size");
+        self.resp_built = Some((buf, false));
+    }
+
+    /// Respond with a typed message, serialized directly into the slot's
+    /// preallocated msgbuf (or a pooled one) via the slice-writer path —
+    /// no intermediate `Vec`, no copy.
+    pub fn respond_typed<M: crate::channel::RpcMessage>(&mut self, m: &M) {
+        assert!(!self.deferred, "respond_typed() after defer()");
+        assert!(self.resp_built.is_none(), "respond() called twice");
+        let cap = m.encoded_len_hint().min(self.max_msg_size);
+        let (mut buf, is_prealloc) = match self.prealloc.take() {
+            Some(p) if self.prealloc_enabled && cap <= p.capacity() => (p, true),
+            other => {
+                self.prealloc = other;
+                (self.pool.alloc(cap), false)
+            }
+        };
+        buf.resize(cap);
+        let n = {
+            let mut sink = erpc_transport::codec::SliceSink::new(buf.data_mut());
+            m.encode(&mut sink);
+            erpc_transport::codec::ByteSink::written(&sink)
+        };
+        buf.resize(n);
+        self.resp_built = Some((buf, is_prealloc));
+    }
+
     /// Defer the response: the handler returns without responding, and the
     /// application calls [`Rpc::enqueue_response`] (or
     /// [`ContContext::enqueue_response`]) with this handle later.
@@ -187,7 +269,7 @@ impl ReqContext<'_> {
             req_type,
             req,
             resp,
-            cont: Box::new(cont),
+            cont: Continuation::new(cont),
         });
     }
 
@@ -224,17 +306,25 @@ impl ContContext<'_> {
             req_type,
             req,
             resp,
-            cont: Box::new(cont),
+            cont: Continuation::new(cont),
         });
     }
 
     /// Enqueue a deferred response from within a continuation (the nested-
     /// RPC pattern: parent response depends on a child RPC's completion).
+    /// The bytes are copied once into a pooled msgbuf (no `Vec`); to skip
+    /// that copy, build the buffer yourself and use
+    /// [`ContContext::enqueue_response_buf`].
     pub fn enqueue_response(&mut self, handle: DeferredHandle, data: &[u8]) {
-        self.ops.push(QueuedOp::Response {
-            handle,
-            data: data.to_vec(),
-        });
+        let mut resp = self.pool.alloc(data.len());
+        resp.fill(data);
+        self.ops.push(QueuedOp::Response { handle, resp });
+    }
+
+    /// Enqueue a deferred response from an already-built pooled msgbuf —
+    /// installed into the request slot without copying.
+    pub fn enqueue_response_buf(&mut self, handle: DeferredHandle, resp: MsgBuf) {
+        self.ops.push(QueuedOp::Response { handle, resp });
     }
 
     pub fn alloc_msg_buffer(&mut self, size: usize) -> MsgBuf {
@@ -446,11 +536,22 @@ impl<T: Transport> Rpc<T> {
     /// Allocate a DMA-capable msgbuf holding up to `size` bytes.
     pub fn alloc_msg_buffer(&mut self, size: usize) -> MsgBuf {
         assert!(size <= self.cfg.max_msg_size, "msgbuf beyond max_msg_size");
-        self.pool.alloc(size)
+        let m = self.pool.alloc(size);
+        self.sync_pool_stats();
+        m
     }
 
     pub fn free_msg_buffer(&mut self, m: MsgBuf) {
         self.pool.free(m);
+        self.sync_pool_stats();
+    }
+
+    /// Mirror the buffer pool's hit/miss counters into [`RpcStats`] (two
+    /// stores; called once per event-loop pass and per public pool op).
+    #[inline]
+    fn sync_pool_stats(&mut self) {
+        self.stats.pool_allocs_new = self.pool.allocs_new;
+        self.stats.pool_allocs_reused = self.pool.allocs_reused;
     }
 
     /// Register a dispatch-mode handler for `req_type` (§3.2: handlers of
@@ -472,13 +573,34 @@ impl<T: Transport> Rpc<T> {
             self.handlers[req_type as usize] = HandlerEntry::Worker;
         } else {
             let g = f;
+            let cap = self.worker_resp_cap();
             self.handlers[req_type as usize] =
                 HandlerEntry::Dispatch(Box::new(move |ctx: &mut ReqContext<'_>, req: &[u8]| {
-                    let mut out = Vec::new();
-                    g(req, &mut out);
-                    ctx.respond(&out);
+                    // Degraded inline mode still speaks msgbufs: the
+                    // handler writes into a pooled buffer installed
+                    // directly as the response (no Vec, no extra copy).
+                    // Same panic containment as the worker-thread path: a
+                    // handler panic (e.g. overflow past the response
+                    // capacity) answers empty instead of unwinding the
+                    // event loop.
+                    let mut out = ctx.alloc_msg_buffer(cap);
+                    out.clear();
+                    if std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| g(req, &mut out)))
+                        .is_err()
+                    {
+                        out.clear();
+                    }
+                    ctx.respond_with(out);
                 }));
         }
+    }
+
+    /// Capacity of the pooled response buffer handed to worker handlers.
+    fn worker_resp_cap(&self) -> usize {
+        self.cfg
+            .worker_resp_capacity
+            .min(self.cfg.max_msg_size)
+            .max(1)
     }
 
     // ── Sessions ────────────────────────────────────────────────────────
@@ -594,12 +716,14 @@ impl<T: Transport> Rpc<T> {
         resp: MsgBuf,
         cont: impl FnOnce(&mut ContContext<'_>, Completion) + 'static,
     ) -> Result<(), EnqueueError> {
-        self.enqueue_request_boxed(h, req_type, req, resp, Box::new(cont))
+        self.enqueue_request_cont(h, req_type, req, resp, Continuation::new(cont))
     }
 
-    /// Monomorphization-free inner enqueue; also the path the event loop
-    /// uses for already-boxed continuations (nested RPCs, backlog).
-    fn enqueue_request_boxed(
+    /// Monomorphization-free inner enqueue taking a pre-built
+    /// [`Continuation`]; also the path the event loop uses for queued
+    /// continuations (nested RPCs, backlog) and the `Channel` facade's
+    /// allocation-free cell continuations.
+    pub fn enqueue_request_cont(
         &mut self,
         h: SessionHandle,
         req_type: u8,
@@ -716,6 +840,7 @@ impl<T: Transport> Rpc<T> {
         // Transmit batching (§4.3, Table 3): everything queued this pass
         // leaves in one burst — one DMA doorbell per pass, not per packet.
         self.flush_tx_batch();
+        self.sync_pool_stats();
     }
 
     /// Run the event loop for (at least) `duration_ns` of transport time.

@@ -9,6 +9,7 @@
 use erpc_transport::{RxToken, Transport};
 
 use crate::error::RpcError;
+use crate::msgbuf::MsgBuf;
 use crate::pkthdr::{PktHdr, PktType, PKT_HDR_SIZE};
 use crate::session::{Role, SessionState, SrvPhase};
 
@@ -166,6 +167,18 @@ impl<T: Transport> Rpc<T> {
                 (hdr.msg_size as usize).div_ceil(dpp) as u32
             };
             let rtt = c.rtt_sample(c.req_total - 1, now);
+            // Malformed-packet hardening FIRST: the packet must carry
+            // exactly the bytes its msg_size implies for packet 0 — a
+            // forged/truncated payload would corrupt (or overrun) the
+            // application's response buffer. Checked before the
+            // too-large branch below so a provably-inconsistent header
+            // cannot abort a legitimate in-flight RPC either: drop it
+            // like a loss (§5.3) and let the real response arrive.
+            let expected = (hdr.msg_size as usize).min(dpp);
+            if tok.len() - PKT_HDR_SIZE != expected {
+                this.stats.rx_dropped_stale += 1;
+                return;
+            }
             if hdr.msg_size as usize > c.resp.as_ref().unwrap().capacity() {
                 // Response doesn't fit the application's buffer: complete
                 // with an error (buffers returned to the app).
@@ -207,6 +220,13 @@ impl<T: Transport> Rpc<T> {
         }
         let rx_seq = c.req_total + p - 1; // RFR for pkt p had TX seq N+p-1
         if rx_seq >= c.num_tx {
+            this.stats.rx_dropped_stale += 1;
+            return;
+        }
+        // Malformed-packet hardening: later response packets must carry
+        // exactly the chunk the (already-sized) response buffer expects at
+        // index `p`, or the copy below would index out of range.
+        if tok.len() - PKT_HDR_SIZE != c.resp.as_ref().unwrap().pkt_data_len(p as usize) {
             this.stats.rx_dropped_stale += 1;
             return;
         }
@@ -295,14 +315,35 @@ impl<T: Transport> Rpc<T> {
     }
 
     /// Consume a continuation: `FnOnce` + move-out-of-slot means each
-    /// request's closure runs at most once, structurally.
+    /// request's closure runs at most once, structurally. The `Channel`
+    /// cell shape bypasses the closure machinery entirely: the request
+    /// msgbuf recycles through the pool and the response msgbuf (or the
+    /// error) lands in the shared cell — no per-RPC allocation.
     pub(super) fn invoke_continuation(&mut self, cont: Continuation, completion: Completion) {
         self.work.callbacks += 1;
-        let mut ctx = ContContext {
-            pool: &mut self.pool,
-            ops: &mut self.pending_ops,
-        };
-        cont(&mut ctx, completion);
+        match cont.into_inner() {
+            super::ContInner::Boxed(f) => {
+                let mut ctx = ContContext {
+                    pool: &mut self.pool,
+                    ops: &mut self.pending_ops,
+                };
+                f(&mut ctx, completion);
+            }
+            super::ContInner::Cell(cell) => {
+                let Completion {
+                    req, resp, result, ..
+                } = completion;
+                self.pool.free(req);
+                let outcome = match result {
+                    Ok(()) => Ok(resp),
+                    Err(e) => {
+                        self.pool.free(resp);
+                        Err(e)
+                    }
+                };
+                *cell.borrow_mut() = Some(outcome);
+            }
+        }
     }
 
     // ── Server RX: requests and RFRs ────────────────────────────────────
@@ -398,6 +439,24 @@ impl<T: Transport> Rpc<T> {
         // In-order new request packet?
         if p != req_rcvd {
             self.stats.rx_dropped_stale += 1; // reordering == loss (§5.3)
+            return;
+        }
+
+        // Malformed-packet hardening: the payload length must match what
+        // this packet index should carry *for the request being assembled*
+        // before any bytes touch the assembly buffer — a forged/truncated
+        // packet whose payload disagrees with its header would otherwise
+        // index out of the buffer's range. Dropped like a loss (§5.3).
+        let payload_len = tok.len() - PKT_HDR_SIZE;
+        let expected = {
+            let s = self.sessions[sess_idx as usize].as_ref().unwrap().slots[slot_idx].server();
+            match &s.req_buf {
+                Some(b) => b.pkt_data_len(p as usize),
+                None => hdr.msg_size as usize, // single-packet request
+            }
+        };
+        if payload_len != expected {
+            self.stats.rx_dropped_stale += 1;
             return;
         }
         {
@@ -553,15 +612,22 @@ impl<T: Transport> Rpc<T> {
                 }
                 HandlerEntry::Worker => {
                     this.stats.handlers_to_workers += 1;
-                    // Copy the payload out of the RX ring (zero-copy cannot
-                    // cross threads; §4.2.3 applies to dispatch mode only).
-                    let data = match &multi_buf {
-                        Some(b) => b.data().to_vec(),
-                        None => this.transport.rx_bytes(&tok)[PKT_HDR_SIZE..].to_vec(),
+                    // The assembled multi-packet msgbuf moves to the worker
+                    // whole; a single RX packet is copied into a pooled
+                    // buffer once (zero-copy RX bytes cannot outlive the
+                    // descriptor re-post, and cannot cross threads; §4.2.3
+                    // applies to dispatch mode only). Either way: pooled
+                    // buffers, zero heap allocations in steady state.
+                    let req = match multi_buf {
+                        Some(b) => b,
+                        None => {
+                            let payload_len = tok.len() - PKT_HDR_SIZE;
+                            let mut b = this.pool.alloc(payload_len);
+                            b.fill(&this.transport.rx_bytes(&tok)[PKT_HDR_SIZE..]);
+                            b
+                        }
                     };
-                    if let Some(b) = multi_buf {
-                        this.pool.free(b);
-                    }
+                    let resp = this.pool.alloc(this.worker_resp_cap());
                     let s = this.sessions[sess_idx as usize].as_mut().unwrap().slots[slot_idx]
                         .server_mut();
                     s.prealloc = prealloc;
@@ -570,7 +636,8 @@ impl<T: Transport> Rpc<T> {
                         slot_idx as u8,
                         req_num,
                         hdr.req_type,
-                        data,
+                        req,
+                        resp,
                     );
                     After::Nothing
                 }
@@ -585,8 +652,10 @@ impl<T: Transport> Rpc<T> {
         }
     }
 
-    /// Install a built response and send its first packet (shared by the
-    /// unknown-type path and worker completions).
+    /// Build a response from `data` (preallocated msgbuf when it fits,
+    /// §4.3) and send its first packet — the copying path, used for the
+    /// unknown-type empty response and the public slice-based
+    /// [`Rpc::enqueue_response`].
     pub(super) fn finish_response(
         &mut self,
         handle: DeferredHandle,
@@ -615,6 +684,37 @@ impl<T: Transport> Rpc<T> {
         buf.fill(data);
         slot.resp = Some(buf);
         slot.resp_is_prealloc = is_prealloc;
+        slot.phase = SrvPhase::Responding;
+        self.tx_resp_pkt(handle.sess, handle.slot as usize, 0);
+        Ok(())
+    }
+
+    /// Install an already-built pooled response msgbuf into its slot and
+    /// send the first packet — the zero-copy path for worker completions
+    /// and deferred responses built in msgbufs. On a stale handle (the
+    /// session was freed or the slot reused while the response was being
+    /// produced) the buffer is handed back for recycling.
+    pub(super) fn install_response(
+        &mut self,
+        handle: DeferredHandle,
+        resp: MsgBuf,
+    ) -> Result<(), MsgBuf> {
+        let Some(sess) = self
+            .sessions
+            .get_mut(handle.sess as usize)
+            .and_then(|s| s.as_mut())
+        else {
+            return Err(resp);
+        };
+        if sess.role != Role::Server {
+            return Err(resp);
+        }
+        let slot = sess.slots[handle.slot as usize].server_mut();
+        if slot.req_num != handle.req_num || slot.phase != SrvPhase::Processing {
+            return Err(resp);
+        }
+        slot.resp = Some(resp);
+        slot.resp_is_prealloc = false;
         slot.phase = SrvPhase::Responding;
         self.tx_resp_pkt(handle.sess, handle.slot as usize, 0);
         Ok(())
@@ -661,8 +761,13 @@ impl<T: Transport> Rpc<T> {
                 slot: d.slot,
                 req_num: d.req_num,
             };
-            // The session may have been freed while the worker ran; ignore.
-            let _ = self.finish_response(handle, &d.resp);
+            // Both msgbufs come home: the request buffer recycles through
+            // the pool; the response installs into the slot with no copy.
+            self.pool.free(d.req);
+            if let Err(resp) = self.install_response(handle, d.resp) {
+                // The session was freed while the worker ran; recycle.
+                self.pool.free(resp);
+            }
         }
         self.worker_done_scratch = done;
     }
@@ -684,8 +789,7 @@ impl<T: Transport> Rpc<T> {
                         resp,
                         cont,
                     } => {
-                        if let Err(e) = self.enqueue_request_boxed(sess, req_type, req, resp, cont)
-                        {
+                        if let Err(e) = self.enqueue_request_cont(sess, req_type, req, resp, cont) {
                             // Deliver the failure through the continuation
                             // (the enqueue error hands it back unfired).
                             let completion = Completion {
@@ -699,8 +803,10 @@ impl<T: Transport> Rpc<T> {
                             self.invoke_continuation(e.cont, completion);
                         }
                     }
-                    QueuedOp::Response { handle, data } => {
-                        let _ = self.finish_response(handle, &data);
+                    QueuedOp::Response { handle, resp } => {
+                        if let Err(buf) = self.install_response(handle, resp) {
+                            self.pool.free(buf);
+                        }
                     }
                 }
             }

@@ -52,6 +52,14 @@ pub struct RpcStats {
     pub sessions_failed: u64,
     /// ECN-marked packets observed (DCQCN mode).
     pub ecn_marks_seen: u64,
+    /// Msgbuf-pool misses: allocations that hit the heap because no
+    /// pooled buffer of the size class was free (§4.2.1 — should stop
+    /// growing once warm). Synced from `BufPool` once per event-loop pass
+    /// and on every `alloc_msg_buffer`/`free_msg_buffer` call.
+    pub pool_allocs_new: u64,
+    /// Msgbuf-pool hits: allocations served from a freelist (steady-state
+    /// allocations are all of this kind).
+    pub pool_allocs_reused: u64,
 }
 
 impl RpcStats {
@@ -84,6 +92,8 @@ impl RpcStats {
             clock_reads,
             sessions_failed,
             ecn_marks_seen,
+            pool_allocs_new,
+            pool_allocs_reused,
         } = other;
         self.requests_sent += requests_sent;
         self.responses_completed += responses_completed;
@@ -107,6 +117,8 @@ impl RpcStats {
         self.clock_reads += clock_reads;
         self.sessions_failed += sessions_failed;
         self.ecn_marks_seen += ecn_marks_seen;
+        self.pool_allocs_new += pool_allocs_new;
+        self.pool_allocs_reused += pool_allocs_reused;
     }
 }
 

@@ -7,11 +7,16 @@
 //! request type at registration — "the only additional user input required
 //! in eRPC".
 //!
-//! The dispatch thread copies the request payload (zero-copy RX cannot
-//! outlive the RX descriptor re-post) and sends a [`WorkItem`] through an
-//! unbounded channel; a worker runs the registered function and routes the
-//! [`WorkDone`] back through the *submitting endpoint's* completion
-//! channel, which its event loop drains into `enqueue_response`.
+//! The worker hop moves *pooled msgbufs*, never `Vec`s: the dispatch
+//! thread puts the request into a pooled [`MsgBuf`] (the assembled
+//! multi-packet buffer moves in whole; a single RX packet is copied into a
+//! pooled buffer once — the unavoidable cross-thread copy, since zero-copy
+//! RX bytes cannot outlive the RX descriptor re-post, §4.2.3) and pairs it
+//! with a pre-sized pooled response buffer. The worker writes the response
+//! in place and sends both buffers back through the *submitting
+//! endpoint's* completion channel; its event loop installs the response
+//! msgbuf directly into the request slot and recycles the request buffer —
+//! zero heap allocations and one copy per direction in steady state.
 //!
 //! Two ownership shapes share this machinery:
 //!
@@ -29,11 +34,14 @@ use std::sync::Arc;
 use crossbeam::channel::{unbounded, Receiver, Sender};
 use parking_lot::RwLock;
 
-/// Worker-mode handler: pure function from request bytes to response
-/// bytes. Runs outside the dispatch thread, so it must be `Send + Sync`
-/// and cannot issue nested RPCs (use a dispatch handler with `defer` for
-/// that).
-pub type WorkerFn = Arc<dyn Fn(&[u8], &mut Vec<u8>) + Send + Sync>;
+use crate::msgbuf::MsgBuf;
+
+/// Worker-mode handler: reads the request bytes and writes the response
+/// into a pre-sized pooled msgbuf (it arrives empty; `append`/`fill`/
+/// `data_mut` build the response in place — no intermediate `Vec`). Runs
+/// outside the dispatch thread, so it must be `Send + Sync` and cannot
+/// issue nested RPCs (use a dispatch handler with `defer` for that).
+pub type WorkerFn = Arc<dyn Fn(&[u8], &mut MsgBuf) + Send + Sync>;
 
 /// A request dispatched to the worker pool. Carries the completion sender
 /// of the submitting endpoint so the result returns to the owning thread.
@@ -42,16 +50,21 @@ pub(crate) struct WorkItem {
     pub slot: u8,
     pub req_num: u64,
     pub req_type: u8,
-    pub data: Vec<u8>,
+    /// Pooled request buffer (owned across the thread hop).
+    pub req: MsgBuf,
+    /// Pooled response buffer the handler fills in place.
+    pub resp: MsgBuf,
     pub done_tx: Sender<WorkDone>,
 }
 
-/// A completed worker invocation.
+/// A completed worker invocation: both msgbufs return to the dispatch
+/// thread — `req` for pool recycling, `resp` for zero-copy installation.
 pub(crate) struct WorkDone {
     pub sess: u16,
     pub slot: u8,
     pub req_num: u64,
-    pub resp: Vec<u8>,
+    pub req: MsgBuf,
+    pub resp: MsgBuf,
 }
 
 /// Shared registry of worker handlers, readable from worker threads.
@@ -65,6 +78,37 @@ enum PoolMsg {
     /// joins deterministically even while other `Sender` clones (handles
     /// held by live `Rpc`s) still exist.
     Shutdown,
+}
+
+/// Run one work item: look up the handler and fill `resp` in place. An
+/// unregistered type leaves the response empty (the client sees 0 bytes).
+///
+/// The handler runs under `catch_unwind`: a panic — e.g. a response
+/// appended past `worker_resp_capacity` — must not kill the worker thread
+/// (the pool would silently shrink) or strand the request slot in
+/// `Processing` forever. The panicking request gets an *empty* response,
+/// like an unregistered type, and the panic is logged to stderr by the
+/// default hook.
+fn run_item(table: &WorkerTable, item: WorkItem) -> WorkDone {
+    let handler = table.read().get(&item.req_type).cloned();
+    let mut resp = item.resp;
+    resp.clear();
+    if let Some(h) = handler {
+        if std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            h(item.req.data(), &mut resp)
+        }))
+        .is_err()
+        {
+            resp.clear();
+        }
+    }
+    WorkDone {
+        sess: item.sess,
+        slot: item.slot,
+        req_num: item.req_num,
+        req: item.req,
+        resp,
+    }
 }
 
 /// A pool of `erpc-worker-*` OS threads plus the shared handler table.
@@ -95,21 +139,12 @@ impl WorkerPool {
                                 PoolMsg::Work(item) => item,
                                 PoolMsg::Shutdown => break,
                             };
-                            let handler = table.read().get(&item.req_type).cloned();
-                            let mut resp = Vec::new();
-                            if let Some(h) = handler {
-                                h(&item.data, &mut resp);
-                            }
+                            let done_tx = item.done_tx.clone();
                             // The origin Rpc may already be gone; the
                             // completion then sits in its orphaned queue
                             // and is freed with the channel. Never an
                             // error path for the worker.
-                            let _ = item.done_tx.send(WorkDone {
-                                sess: item.sess,
-                                slot: item.slot,
-                                req_num: item.req_num,
-                                resp,
-                            });
+                            let _ = done_tx.send(run_item(&table, item));
                         }
                     })
                     .expect("spawn worker thread"),
@@ -192,7 +227,27 @@ impl WorkerHandle {
         self.table.read().keys().copied().collect()
     }
 
-    pub fn submit(&self, sess: u16, slot: u8, req_num: u64, req_type: u8, data: Vec<u8>) {
+    /// Submit a request: `req` holds the request bytes, `resp` is the
+    /// pre-sized pooled buffer the handler writes into. Both come back
+    /// through [`WorkerHandle::drain_completed`].
+    pub fn submit(
+        &self,
+        sess: u16,
+        slot: u8,
+        req_num: u64,
+        req_type: u8,
+        req: MsgBuf,
+        resp: MsgBuf,
+    ) {
+        let item = WorkItem {
+            sess,
+            slot,
+            req_num,
+            req_type,
+            req,
+            resp,
+            done_tx: self.done_tx.clone(),
+        };
         // A dead pool (e.g. the Nexus was dropped while this Rpc lives)
         // would swallow the item unread and leave the request slot in
         // `Processing` forever; degrade to inline execution instead —
@@ -201,28 +256,11 @@ impl WorkerHandle {
         // still land behind the sentinels; that single item is lost with
         // the channel — concurrent teardown is best-effort by design.)
         if !self.pool_alive.load(std::sync::atomic::Ordering::SeqCst) {
-            let handler = self.table.read().get(&req_type).cloned();
-            let mut resp = Vec::new();
-            if let Some(h) = handler {
-                h(&data, &mut resp);
-            }
-            let _ = self.done_tx.send(WorkDone {
-                sess,
-                slot,
-                req_num,
-                resp,
-            });
+            let _ = self.done_tx.send(run_item(&self.table, item));
             return;
         }
         // Unbounded channel: cannot fail while the pool lives.
-        let _ = self.item_tx.send(PoolMsg::Work(WorkItem {
-            sess,
-            slot,
-            req_num,
-            req_type,
-            data,
-            done_tx: self.done_tx.clone(),
-        }));
+        let _ = self.item_tx.send(PoolMsg::Work(item));
     }
 
     /// Drain completed work without blocking.
@@ -236,17 +274,24 @@ impl WorkerHandle {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::msgbuf::BufPool;
 
     fn table_with_echo() -> WorkerTable {
         let table: WorkerTable = Arc::new(RwLock::new(HashMap::new()));
         table.write().insert(
             1,
-            Arc::new(|req: &[u8], resp: &mut Vec<u8>| {
-                resp.extend_from_slice(req);
-                resp.reverse();
+            Arc::new(|req: &[u8], resp: &mut MsgBuf| {
+                resp.append(req);
+                resp.data_mut().reverse();
             }) as WorkerFn,
         );
         table
+    }
+
+    fn bufs(pool: &mut BufPool, req: &[u8]) -> (MsgBuf, MsgBuf) {
+        let mut r = pool.alloc(req.len());
+        r.fill(req);
+        (r, pool.alloc(64))
     }
 
     fn wait_done(h: &WorkerHandle, want: usize) -> Vec<WorkDone> {
@@ -263,20 +308,25 @@ mod tests {
 
     #[test]
     fn worker_roundtrip() {
-        let pool = WorkerPool::spawn(2, table_with_echo());
-        let h = pool.handle();
-        h.submit(3, 1, 9, 1, b"abc".to_vec());
+        let mut pool = BufPool::new(1024);
+        let wp = WorkerPool::spawn(2, table_with_echo());
+        let h = wp.handle();
+        let (req, resp) = bufs(&mut pool, b"abc");
+        h.submit(3, 1, 9, 1, req, resp);
         let done = wait_done(&h, 1);
         assert_eq!(done.len(), 1);
-        assert_eq!(done[0].resp, b"cba");
+        assert_eq!(done[0].resp.data(), b"cba");
+        assert_eq!(done[0].req.data(), b"abc", "request buffer returns");
         assert_eq!((done[0].sess, done[0].slot, done[0].req_num), (3, 1, 9));
     }
 
     #[test]
     fn unknown_type_returns_empty() {
-        let pool = WorkerPool::spawn(1, table_with_echo());
-        let h = pool.handle();
-        h.submit(0, 0, 0, 99, b"x".to_vec());
+        let mut pool = BufPool::new(1024);
+        let wp = WorkerPool::spawn(1, table_with_echo());
+        let h = wp.handle();
+        let (req, resp) = bufs(&mut pool, b"x");
+        h.submit(0, 0, 0, 99, req, resp);
         let done = wait_done(&h, 1);
         assert_eq!(done.len(), 1);
         assert!(done[0].resp.is_empty());
@@ -284,22 +334,27 @@ mod tests {
 
     #[test]
     fn pool_drop_joins_cleanly() {
-        let pool = WorkerPool::spawn(4, table_with_echo());
-        let h = pool.handle();
+        let mut pool = BufPool::new(1024);
+        let wp = WorkerPool::spawn(4, table_with_echo());
+        let h = wp.handle();
         for i in 0..100 {
-            h.submit(0, 0, i, 1, vec![1, 2, 3]);
+            let (req, resp) = bufs(&mut pool, &[1, 2, 3]);
+            h.submit(0, 0, i, 1, req, resp);
         }
-        drop(pool); // must not hang, even with the handle still alive
+        drop(wp); // must not hang, even with the handle still alive
         drop(h);
     }
 
     #[test]
     fn completions_route_to_the_submitting_handle() {
-        let pool = WorkerPool::spawn(2, table_with_echo());
-        let a = pool.handle();
-        let b = pool.handle();
-        a.submit(1, 0, 10, 1, b"aa".to_vec());
-        b.submit(2, 0, 20, 1, b"bb".to_vec());
+        let mut pool = BufPool::new(1024);
+        let wp = WorkerPool::spawn(2, table_with_echo());
+        let a = wp.handle();
+        let b = wp.handle();
+        let (req, resp) = bufs(&mut pool, b"aa");
+        a.submit(1, 0, 10, 1, req, resp);
+        let (req, resp) = bufs(&mut pool, b"bb");
+        b.submit(2, 0, 20, 1, req, resp);
         let da = wait_done(&a, 1);
         let db = wait_done(&b, 1);
         assert_eq!(da.len(), 1);
@@ -310,14 +365,75 @@ mod tests {
 
     #[test]
     fn owned_handle_drop_joins() {
+        let mut pool = BufPool::new(1024);
         let h = WorkerHandle::owned(2);
         h.register(
             1,
-            Arc::new(|req: &[u8], resp: &mut Vec<u8>| resp.extend_from_slice(req)) as WorkerFn,
+            Arc::new(|req: &[u8], resp: &mut MsgBuf| resp.append(req)) as WorkerFn,
         );
         for i in 0..50 {
-            h.submit(0, 0, i, 1, vec![7]);
+            let (req, resp) = bufs(&mut pool, &[7]);
+            h.submit(0, 0, i, 1, req, resp);
         }
         drop(h); // joins the owned pool; pending WorkDones freed with it
+    }
+
+    #[test]
+    fn panicking_handler_answers_empty_and_pool_survives() {
+        // A handler panic (e.g. appending past the response capacity)
+        // must neither kill the worker thread nor swallow the WorkDone:
+        // the request gets an empty response and the next item is served
+        // normally by the same single-thread pool.
+        //
+        // Silence the default panic hook for the intentional panic so the
+        // test log doesn't carry a spurious "panicked at" line (restored
+        // before the assertions).
+        let prev_hook = std::panic::take_hook();
+        std::panic::set_hook(Box::new(|_| {}));
+        let mut pool = BufPool::new(1024);
+        let table: WorkerTable = Arc::new(RwLock::new(HashMap::new()));
+        table.write().insert(
+            1,
+            Arc::new(|req: &[u8], resp: &mut MsgBuf| {
+                if req == b"boom" {
+                    // Overflow: resp capacity is 64 in this test.
+                    resp.append(&[0u8; 1000]);
+                }
+                resp.append(b"ok");
+            }) as WorkerFn,
+        );
+        let wp = WorkerPool::spawn(1, table);
+        let h = wp.handle();
+        let (req, resp) = bufs(&mut pool, b"boom");
+        h.submit(0, 0, 0, 1, req, resp);
+        let (req, resp) = bufs(&mut pool, b"fine");
+        h.submit(0, 0, 1, 1, req, resp);
+        let done = wait_done(&h, 2);
+        std::panic::set_hook(prev_hook);
+        assert_eq!(done.len(), 2, "both items complete despite the panic");
+        assert!(done[0].resp.is_empty(), "handler panic answers empty");
+        assert_eq!(done[1].resp.data(), b"ok", "same worker serves the next");
+    }
+
+    #[test]
+    fn response_arrives_cleared() {
+        // The resp buffer may carry stale bytes from its previous pool
+        // life; handlers must see it empty.
+        let mut pool = BufPool::new(1024);
+        let table: WorkerTable = Arc::new(RwLock::new(HashMap::new()));
+        table.write().insert(
+            1,
+            Arc::new(|_req: &[u8], resp: &mut MsgBuf| {
+                assert!(resp.is_empty(), "resp must arrive cleared");
+                resp.append(b"ok");
+            }) as WorkerFn,
+        );
+        let wp = WorkerPool::spawn(1, table);
+        let h = wp.handle();
+        let (req, mut resp) = bufs(&mut pool, b"q");
+        resp.fill(b"stale-bytes");
+        h.submit(0, 0, 0, 1, req, resp);
+        let done = wait_done(&h, 1);
+        assert_eq!(done[0].resp.data(), b"ok");
     }
 }

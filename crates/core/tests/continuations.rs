@@ -276,7 +276,13 @@ fn channel_call_roundtrip_over_memfabric() {
     }
     for (i, c) in calls.into_iter().enumerate() {
         let i = i as u8;
-        assert_eq!(c.try_take().unwrap().unwrap(), vec![i + 2, i + 1, i]);
+        // Zero-copy take: borrow the pooled response buffer, which then
+        // recycles through the endpoint's pool.
+        let ok = c
+            .try_take_with(&mut client, |bytes| bytes == [i + 2, i + 1, i])
+            .unwrap()
+            .unwrap();
+        assert!(ok);
     }
 }
 
@@ -309,9 +315,13 @@ struct AddResp {
 }
 
 impl RpcMessage for AddReq {
-    fn encode(&self, out: &mut Vec<u8>) {
-        out.extend_from_slice(&self.a.to_le_bytes());
-        out.extend_from_slice(&self.b.to_le_bytes());
+    fn encode<S: erpc_transport::codec::ByteSink>(&self, out: &mut S) {
+        out.put(&self.a.to_le_bytes());
+        out.put(&self.b.to_le_bytes());
+    }
+
+    fn encoded_len_hint(&self) -> usize {
+        8
     }
 
     fn decode(bytes: &[u8]) -> Result<Self, RpcError> {
@@ -331,8 +341,12 @@ impl RpcCall for AddReq {
 }
 
 impl RpcMessage for AddResp {
-    fn encode(&self, out: &mut Vec<u8>) {
-        out.extend_from_slice(&self.sum.to_le_bytes());
+    fn encode<S: erpc_transport::codec::ByteSink>(&self, out: &mut S) {
+        out.put(&self.sum.to_le_bytes());
+    }
+
+    fn encoded_len_hint(&self) -> usize {
+        4
     }
 
     fn decode(bytes: &[u8]) -> Result<Self, RpcError> {
@@ -378,6 +392,150 @@ fn channel_typed_decode_failure_is_surfaced() {
         .wait_with(&mut client, || server.run_event_loop_once())
         .unwrap_err();
     assert_eq!(err, RpcError::Decode);
+}
+
+/// Zero-length message through the slice-writer encode path: `()`
+/// encodes to zero bytes, travels as one empty packet, and decodes.
+struct NopReq;
+
+impl RpcMessage for NopReq {
+    fn encode<S: erpc_transport::codec::ByteSink>(&self, _out: &mut S) {}
+
+    fn decode(bytes: &[u8]) -> Result<Self, RpcError> {
+        if bytes.is_empty() {
+            Ok(NopReq)
+        } else {
+            Err(RpcError::Decode)
+        }
+    }
+
+    fn encoded_len_hint(&self) -> usize {
+        0
+    }
+}
+
+impl RpcCall for NopReq {
+    const REQ_TYPE: u8 = 77;
+    type Resp = AddResp;
+}
+
+#[test]
+fn channel_zero_length_typed_request_roundtrips() {
+    let fabric = MemFabric::new(MemFabricConfig::default());
+    let mut server = Rpc::new(fabric.create_transport(Addr::new(0, 0)), cfg());
+    let mut hits = 0u32;
+    let hits_cell = std::rc::Rc::new(std::cell::Cell::new(0u32));
+    let h2 = hits_cell.clone();
+    server.register_typed_handler::<NopReq, _>(move |_req| {
+        h2.set(h2.get() + 1);
+        AddResp { sum: 7 }
+    });
+    let mut client = Rpc::new(fabric.create_transport(Addr::new(1, 0)), cfg());
+    let chan = Channel::connect(&mut client, Addr::new(0, 0)).unwrap();
+    for _ in 0..3 {
+        let call = chan.call_typed(&mut client, &NopReq).unwrap();
+        let resp = call
+            .wait_with(&mut client, || server.run_event_loop_once())
+            .unwrap();
+        assert_eq!(resp, AddResp { sum: 7 });
+        hits += 1;
+    }
+    assert_eq!(hits_cell.get(), hits, "empty requests reach the handler");
+
+    // Raw zero-length payloads round-trip too.
+    let echoed = chan
+        .call(&mut client, NopReq::REQ_TYPE, b"")
+        .unwrap()
+        .wait_with(&mut client, || server.run_event_loop_once())
+        .unwrap();
+    assert_eq!(echoed, 7u32.to_le_bytes());
+}
+
+/// A message whose `encoded_len_hint` over-estimates past `max_msg_size`
+/// while the actual encoding fits: `call_typed` must judge by the real
+/// size (Vec fallback), not reject on the hint.
+struct PaddedHint(Vec<u8>);
+
+impl RpcMessage for PaddedHint {
+    fn encode<S: erpc_transport::codec::ByteSink>(&self, out: &mut S) {
+        out.put(&self.0);
+    }
+
+    fn decode(bytes: &[u8]) -> Result<Self, RpcError> {
+        Ok(Self(bytes.to_vec()))
+    }
+
+    fn encoded_len_hint(&self) -> usize {
+        self.0.len() + 64 // deliberately loose upper bound
+    }
+}
+
+impl RpcCall for PaddedHint {
+    const REQ_TYPE: u8 = ECHO;
+    type Resp = Vec<u8>;
+}
+
+#[test]
+fn call_typed_near_max_msg_size_judges_actual_encoding_not_hint() {
+    let fabric = MemFabric::new(MemFabricConfig::default());
+    let max = 2048;
+    let mk_cfg = || RpcConfig {
+        max_msg_size: max,
+        ..cfg()
+    };
+    let mut server = echo_server(&fabric, 0, mk_cfg());
+    let mut client = Rpc::new(fabric.create_transport(Addr::new(1, 0)), mk_cfg());
+    let chan = Channel::connect(&mut client, Addr::new(0, 0)).unwrap();
+
+    // Actual encoding = max - 10 fits, though hint = max + 54 exceeds max.
+    let msg = PaddedHint(vec![7u8; max - 10]);
+    assert!(msg.encoded_len_hint() > max);
+    let resp = chan
+        .call_typed(&mut client, &msg)
+        .expect("actual size fits; hint must not reject")
+        .wait_with(&mut client, || server.run_event_loop_once())
+        .unwrap();
+    assert_eq!(resp.len(), max - 10);
+
+    // Actual encoding > max is still an error, not a panic.
+    let too_big = PaddedHint(vec![7u8; max + 1]);
+    assert_eq!(
+        chan.call_typed(&mut client, &too_big).unwrap_err(),
+        RpcError::MsgTooLarge
+    );
+}
+
+#[test]
+fn fire_and_forget_channel_calls_stay_pool_stable() {
+    // Completed-but-never-taken handles hand their response buffer back
+    // to the channel (the next call reuses it), so fire-and-forget does
+    // not grow the pool or leak buffers to the heap.
+    let fabric = MemFabric::new(MemFabricConfig::default());
+    let mut server = echo_server(&fabric, 0, cfg());
+    let mut client = Rpc::new(fabric.create_transport(Addr::new(1, 0)), cfg());
+    let chan = Channel::connect(&mut client, Addr::new(0, 0)).unwrap();
+
+    let fire_and_forget = |client: &mut TestRpc, server: &mut TestRpc| {
+        let call = chan.call(client, ECHO, b"fnf").unwrap();
+        let start = std::time::Instant::now();
+        while !call.is_done() {
+            client.run_event_loop_once();
+            server.run_event_loop_once();
+            assert!(start.elapsed().as_secs() < 10, "call stalled");
+        }
+        // Dropped here without try_take: the completed response buffer
+        // must be kept by the channel, not heap-freed.
+    };
+    fire_and_forget(&mut client, &mut server);
+    let misses_after_first = client.stats().pool_allocs_new;
+    for _ in 0..10 {
+        fire_and_forget(&mut client, &mut server);
+    }
+    assert_eq!(
+        client.stats().pool_allocs_new,
+        misses_after_first,
+        "repeated fire-and-forget calls must not allocate new buffers"
+    );
 }
 
 #[test]

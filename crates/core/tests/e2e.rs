@@ -349,11 +349,11 @@ fn worker_thread_handlers() {
     const SLOW: u8 = 5;
     server.register_worker_handler(
         SLOW,
-        std::sync::Arc::new(|req: &[u8], out: &mut Vec<u8>| {
+        std::sync::Arc::new(|req: &[u8], out: &mut erpc::MsgBuf| {
             // A "long-running" handler (§3.2).
             std::thread::sleep(std::time::Duration::from_millis(1));
-            out.extend_from_slice(req);
-            out.push(b'!');
+            out.append(req);
+            out.append(b"!");
         }),
     );
     let sess = connect(&mut client, &mut server, Addr::new(0, 0));

@@ -1,0 +1,311 @@
+//! Malformed-packet hardening (regression): an RX data packet whose
+//! payload length disagrees with what its header implies used to panic
+//! the receiver — `MsgBuf::write_pkt_data` slices `buf[off..off+len]`, so
+//! a forged packet claiming a small `msg_size` while carrying a large
+//! payload indexed out of the assembly buffer's range. Such packets must
+//! be dropped and counted as `rx_dropped_stale` instead, and the protocol
+//! must recover when the correct packet later arrives.
+//!
+//! The tests run a *raw* fake peer on the MemFabric: it speaks the
+//! connect handshake with real `mgmt` bodies, then injects hand-crafted
+//! data packets at the real endpoint.
+
+use std::cell::Cell;
+use std::rc::Rc;
+
+use erpc::mgmt::{ConnectReq, ConnectResp};
+use erpc::{CcAlgorithm, PktHdr, PktType, Rpc, RpcConfig, PKT_HDR_SIZE};
+use erpc_transport::{Addr, MemFabric, MemFabricConfig, MemTransport, Transport, TxPacket};
+
+fn cfg() -> RpcConfig {
+    RpcConfig {
+        ping_interval_ns: 0,
+        cc: CcAlgorithm::None,
+        // Long RTO: retransmissions must not race the fake peer's script.
+        rto_ns: 60_000_000_000,
+        ..RpcConfig::default()
+    }
+}
+
+/// Drain every packet currently in the fake peer's ring.
+fn recv_all(t: &mut MemTransport) -> Vec<(PktHdr, Vec<u8>)> {
+    let mut toks = Vec::new();
+    t.rx_burst(64, &mut toks);
+    let out = toks
+        .iter()
+        .map(|tok| {
+            let bytes = t.rx_bytes(tok);
+            (
+                PktHdr::decode(bytes).expect("fake peer got undecodable pkt"),
+                bytes[PKT_HDR_SIZE..].to_vec(),
+            )
+        })
+        .collect();
+    t.rx_release();
+    out
+}
+
+fn send(t: &mut MemTransport, dst: Addr, hdr: &PktHdr, payload: &[u8]) {
+    let bytes = hdr.encode();
+    t.tx_burst(&[TxPacket {
+        dst,
+        hdr: &bytes,
+        data: payload,
+    }]);
+}
+
+/// Poll `rpc` until the fake peer receives at least one packet matching
+/// `want` (returns all packets drained along the way).
+fn pump_until(
+    rpc: &mut Rpc<MemTransport>,
+    fake: &mut MemTransport,
+    mut want: impl FnMut(&PktHdr) -> bool,
+) -> Vec<(PktHdr, Vec<u8>)> {
+    for _ in 0..10_000 {
+        rpc.run_event_loop_once();
+        let got = recv_all(fake);
+        if got.iter().any(|(h, _)| want(h)) {
+            return got;
+        }
+    }
+    panic!("fake peer never saw the expected packet");
+}
+
+/// Forged *response* packets at a real client: oversized first packet,
+/// then (multi-packet flow) an oversized continuation packet that used to
+/// index out of the response buffer's backing allocation.
+#[test]
+fn client_drops_forged_response_payloads() {
+    let fabric = MemFabric::new(MemFabricConfig::default());
+    let mut client = Rpc::new(fabric.create_transport(Addr::new(1, 0)), cfg());
+    let fake_addr = Addr::new(9, 0);
+    let mut fake = fabric.create_transport(fake_addr);
+
+    // Handshake: accept the client's session as our session 42.
+    let sess = client.create_session(fake_addr).unwrap();
+    let pkts = pump_until(&mut client, &mut fake, |h| {
+        h.pkt_type == PktType::ConnectReq
+    });
+    let (_, body) = &pkts[0];
+    let creq = ConnectReq::decode(body).unwrap();
+    let mut resp_body = Vec::new();
+    ConnectResp {
+        client_session: creq.client_session,
+        server_session: 42,
+        ok: true,
+    }
+    .encode(&mut resp_body);
+    send(
+        &mut fake,
+        client.addr(),
+        &PktHdr::control(PktType::ConnectResp, u16::MAX, 0, 0),
+        &resp_body,
+    );
+    while !client.is_connected(sess) {
+        client.run_event_loop_once();
+    }
+
+    // One 32 B request; response buffer sized for a 1500 B response.
+    let mut req = client.alloc_msg_buffer(32);
+    req.fill(&[7u8; 32]);
+    let resp = client.alloc_msg_buffer(1500);
+    let done: Rc<Cell<Option<usize>>> = Rc::new(Cell::new(None));
+    let done2 = done.clone();
+    client
+        .enqueue_request(sess, 3, req, resp, move |ctx, comp| {
+            comp.result.expect("rpc must succeed after recovery");
+            done2.set(Some(comp.resp.len()));
+            ctx.free_msg_buffer(comp.req);
+            ctx.free_msg_buffer(comp.resp);
+        })
+        .unwrap();
+    pump_until(&mut client, &mut fake, |h| h.pkt_type == PktType::Req);
+    let client_sess = sess.num();
+
+    // Forged pkt 0: msg_size claims 64 B, payload carries 1000 B. Without
+    // validation this writes 1000 B into a 64 B-class region.
+    let forged0 = PktHdr {
+        pkt_type: PktType::Resp,
+        ecn: false,
+        req_type: 3,
+        dest_session: client_sess,
+        msg_size: 64,
+        req_num: 0,
+        pkt_num: 0,
+    };
+    let dropped_before = client.stats().rx_dropped_stale;
+    send(&mut fake, client.addr(), &forged0, &[0xEE; 1000]);
+    // Undersized variant too: claims 64 B, carries 10.
+    send(&mut fake, client.addr(), &forged0, &[0xEE; 10]);
+    // Inconsistent packet whose msg_size also exceeds the response
+    // capacity (1500 B): it must be *dropped as malformed*, not trusted
+    // into aborting the in-flight call with MsgTooLarge.
+    let forged_big = PktHdr {
+        msg_size: 2000,
+        ..forged0
+    };
+    send(&mut fake, client.addr(), &forged_big, &[0xEE; 10]);
+    for _ in 0..10 {
+        client.run_event_loop_once();
+    }
+    assert!(
+        client.stats().rx_dropped_stale >= dropped_before + 3,
+        "forged first response packets must be dropped and counted"
+    );
+    assert!(
+        done.get().is_none(),
+        "call must still be pending (no forged MsgTooLarge abort)"
+    );
+
+    // Correct pkt 0 of a 1500 B response (2 packets at 1024 B/pkt).
+    let good0 = PktHdr {
+        msg_size: 1500,
+        ..forged0
+    };
+    send(&mut fake, client.addr(), &good0, &[0xAB; 1024]);
+    // The client now RFRs for packet 1.
+    pump_until(&mut client, &mut fake, |h| h.pkt_type == PktType::Rfr);
+
+    // Forged pkt 1: carries a full 1024 B where 476 B are expected —
+    // offset 1040 + 1024 overruns the 2048 B backing class (the old
+    // panic).
+    let pkt1 = PktHdr {
+        pkt_num: 1,
+        ..good0
+    };
+    let dropped_before = client.stats().rx_dropped_stale;
+    send(&mut fake, client.addr(), &pkt1, &[0xEE; 1024]);
+    for _ in 0..10 {
+        client.run_event_loop_once();
+    }
+    assert!(
+        client.stats().rx_dropped_stale > dropped_before,
+        "forged continuation packet must be dropped and counted"
+    );
+    assert!(done.get().is_none());
+
+    // Correct pkt 1 completes the call.
+    send(&mut fake, client.addr(), &pkt1, &[0xCD; 476]);
+    for _ in 0..100 {
+        client.run_event_loop_once();
+        if done.get().is_some() {
+            break;
+        }
+    }
+    assert_eq!(done.get(), Some(1500), "call completes after recovery");
+}
+
+/// Forged *request* packets at a real server: a continuation packet whose
+/// payload exceeds the expected chunk used to overrun the request
+/// assembly buffer; single-packet requests with payload ≠ msg_size are
+/// dropped before the handler can see an inconsistent slice.
+#[test]
+fn server_drops_forged_request_payloads() {
+    let fabric = MemFabric::new(MemFabricConfig::default());
+    let mut server = Rpc::new(fabric.create_transport(Addr::new(0, 0)), cfg());
+    let handled: Rc<Cell<u64>> = Rc::new(Cell::new(0));
+    let handled2 = handled.clone();
+    server.register_request_handler(
+        3,
+        Box::new(move |ctx, req| {
+            handled2.set(handled2.get() + 1);
+            ctx.respond(&req.len().to_le_bytes());
+        }),
+    );
+    let fake_addr = Addr::new(9, 0);
+    let mut fake = fabric.create_transport(fake_addr);
+
+    // Handshake from the fake client.
+    let mut creq_body = Vec::new();
+    ConnectReq {
+        client_addr: fake_addr,
+        client_session: 0,
+        credits: 32,
+        num_slots: 8,
+    }
+    .encode(&mut creq_body);
+    send(
+        &mut fake,
+        server.addr(),
+        &PktHdr::control(PktType::ConnectReq, u16::MAX, 0, 0),
+        &creq_body,
+    );
+    let srv_sess = loop {
+        server.run_event_loop_once();
+        let pkts = recv_all(&mut fake);
+        if let Some((_, body)) = pkts
+            .iter()
+            .find(|(h, _)| h.pkt_type == PktType::ConnectResp)
+        {
+            let cresp = ConnectResp::decode(body).unwrap();
+            assert!(cresp.ok);
+            break cresp.server_session;
+        }
+    };
+
+    // Single-packet request with payload ≠ msg_size (both directions).
+    let req_hdr = PktHdr {
+        pkt_type: PktType::Req,
+        ecn: false,
+        req_type: 3,
+        dest_session: srv_sess,
+        msg_size: 64,
+        req_num: 0,
+        pkt_num: 0,
+    };
+    let dropped_before = server.stats().rx_dropped_stale;
+    send(&mut fake, server.addr(), &req_hdr, &[0xEE; 1000]); // oversized
+    send(&mut fake, server.addr(), &req_hdr, &[0xEE; 10]); // undersized
+    for _ in 0..10 {
+        server.run_event_loop_once();
+    }
+    assert!(
+        server.stats().rx_dropped_stale >= dropped_before + 2,
+        "inconsistent single-packet requests must be dropped"
+    );
+    assert_eq!(handled.get(), 0, "handler must not see forged requests");
+
+    // Multi-packet request (1500 B = 2 packets): legit pkt 0, then a
+    // forged pkt 1 carrying 1024 B where 476 B are expected — offset
+    // 1040 + 1024 overruns the 2048 B backing class (the old panic).
+    let multi_hdr = PktHdr {
+        msg_size: 1500,
+        req_num: 1,
+        ..req_hdr
+    };
+    send(&mut fake, server.addr(), &multi_hdr, &[0xAB; 1024]);
+    for _ in 0..10 {
+        server.run_event_loop_once();
+    }
+    let pkt1 = PktHdr {
+        pkt_num: 1,
+        ..multi_hdr
+    };
+    let dropped_before = server.stats().rx_dropped_stale;
+    send(&mut fake, server.addr(), &pkt1, &[0xEE; 1024]);
+    for _ in 0..10 {
+        server.run_event_loop_once();
+    }
+    assert!(
+        server.stats().rx_dropped_stale > dropped_before,
+        "forged continuation packet must be dropped and counted"
+    );
+    assert_eq!(handled.get(), 0);
+
+    // The correct pkt 1 assembles the request; the handler runs once and
+    // the response comes back to the fake client.
+    send(&mut fake, server.addr(), &pkt1, &[0xCD; 476]);
+    let resp = loop {
+        server.run_event_loop_once();
+        let pkts = recv_all(&mut fake);
+        if let Some(p) = pkts.into_iter().find(|(h, _)| h.pkt_type == PktType::Resp) {
+            break p;
+        }
+    };
+    assert_eq!(handled.get(), 1, "handler runs exactly once after recovery");
+    assert_eq!(
+        u64::from_le_bytes(resp.1[..8].try_into().unwrap()),
+        1500,
+        "handler saw the fully assembled 1500 B request"
+    );
+}

@@ -207,9 +207,9 @@ fn shared_worker_pool_serves_all_threads() {
     // Nexus-level registration: process-wide handler table (§3.2).
     nx.register_worker_handler(
         SLOW,
-        Arc::new(|req: &[u8], out: &mut Vec<u8>| {
-            out.extend_from_slice(req);
-            out.push(b'!');
+        Arc::new(|req: &[u8], out: &mut erpc::MsgBuf| {
+            out.append(req);
+            out.append(b"!");
         }),
     );
 

@@ -46,10 +46,10 @@ fn setup_inflight(
     let sub = Arc::clone(&submitted);
     server.register_worker_handler(
         SLOW,
-        Arc::new(move |req: &[u8], out: &mut Vec<u8>| {
+        Arc::new(move |req: &[u8], out: &mut erpc::MsgBuf| {
             sub.fetch_add(1, Ordering::SeqCst);
             std::thread::sleep(Duration::from_millis(handler_sleep_ms));
-            out.extend_from_slice(req);
+            out.append(req);
         }),
     );
     let mut client = Rpc::new(fabric.create_transport(Addr::new(1, 0)), worker_cfg(0));
@@ -126,9 +126,9 @@ fn nexus_pool_shutdown_after_rpcs() {
         ));
         nx.register_worker_handler(
             SLOW,
-            Arc::new(|req: &[u8], out: &mut Vec<u8>| {
+            Arc::new(|req: &[u8], out: &mut erpc::MsgBuf| {
                 std::thread::sleep(Duration::from_millis(20));
-                out.extend_from_slice(req);
+                out.append(req);
             }),
         );
         let mut server = nx.create_rpc(0, worker_cfg(0)).unwrap();
@@ -189,9 +189,9 @@ fn requests_after_nexus_drop_degrade_to_inline_execution() {
         );
         nx.register_worker_handler(
             SLOW,
-            Arc::new(|req: &[u8], out: &mut Vec<u8>| {
-                out.extend_from_slice(req);
-                out.reverse();
+            Arc::new(|req: &[u8], out: &mut erpc::MsgBuf| {
+                out.append(req);
+                out.data_mut().reverse();
             }),
         );
         let mut server = nx.create_rpc(0, worker_cfg(0)).unwrap();

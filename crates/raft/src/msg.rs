@@ -5,7 +5,7 @@
 //! handling RPCs", §7.1). Messages serialize with the little-endian codec
 //! so the eRPC adapter can ship them as msgbuf payloads.
 
-use erpc_transport::codec::{ByteReader, ByteWriter, Truncated};
+use erpc_transport::codec::{ByteReader, ByteSink, ByteWriter, Truncated};
 
 /// Raft node identifier.
 pub type NodeId = u32;
@@ -48,7 +48,28 @@ pub enum RaftMsg {
 }
 
 impl RaftMsg {
-    pub fn encode(&self, out: &mut Vec<u8>) {
+    /// Exact encoded size in bytes — sizes pooled msgbufs so messages
+    /// serialize directly into them with no intermediate `Vec`.
+    pub fn encoded_len(&self) -> usize {
+        match self {
+            RaftMsg::RequestVote { .. } => 1 + 8 + 4 + 8 + 8,
+            RaftMsg::RequestVoteResp { .. } => 1 + 8 + 1,
+            RaftMsg::AppendEntries { entries, .. } => {
+                1 + 8
+                    + 4
+                    + 8
+                    + 8
+                    + 8
+                    + 4
+                    + entries.iter().map(|e| 8 + 4 + e.data.len()).sum::<usize>()
+            }
+            RaftMsg::AppendEntriesResp { .. } => 1 + 8 + 1 + 8,
+        }
+    }
+
+    /// Encode into any byte sink (`Vec<u8>`, or a msgbuf data region via
+    /// `SliceSink` on the allocation-free path).
+    pub fn encode<S: ByteSink>(&self, out: &mut S) {
         let mut w = ByteWriter::new(out);
         match self {
             RaftMsg::RequestVote {
@@ -152,6 +173,7 @@ mod tests {
     fn roundtrip(m: RaftMsg) {
         let mut buf = Vec::new();
         m.encode(&mut buf);
+        assert_eq!(buf.len(), m.encoded_len(), "encoded_len must be exact");
         assert_eq!(RaftMsg::decode(&buf).unwrap(), m);
     }
 

@@ -23,7 +23,7 @@ use erpc::{
     DeferredHandle, LatencyHistogram, Rpc, RpcCall, RpcConfig, RpcError, RpcMessage, SessionHandle,
 };
 use erpc_store::Mica;
-use erpc_transport::codec::{ByteReader, ByteWriter};
+use erpc_transport::codec::{ByteReader, ByteSink, ByteWriter};
 use erpc_transport::{Addr, Transport};
 
 use crate::msg::{NodeId, RaftMsg};
@@ -42,7 +42,7 @@ pub const ST_NOT_LEADER: u8 = 1;
 pub const ST_NOT_FOUND: u8 = 2;
 
 /// Encode a PUT request (also the Raft log entry format).
-pub fn encode_put(key: &[u8], val: &[u8], out: &mut Vec<u8>) {
+pub fn encode_put<S: ByteSink>(key: &[u8], val: &[u8], out: &mut S) {
     ByteWriter::new(out).bytes(key).bytes(val);
 }
 
@@ -69,7 +69,7 @@ pub struct KvPut {
 }
 
 impl RpcMessage for KvPut {
-    fn encode(&self, out: &mut Vec<u8>) {
+    fn encode<S: ByteSink>(&self, out: &mut S) {
         encode_put(&self.key, &self.val, out);
     }
 
@@ -101,7 +101,7 @@ pub enum KvPutResp {
 }
 
 impl RpcMessage for KvPutResp {
-    fn encode(&self, out: &mut Vec<u8>) {
+    fn encode<S: ByteSink>(&self, out: &mut S) {
         match self {
             KvPutResp::Ok => {
                 ByteWriter::new(out).u8(ST_OK);
@@ -140,8 +140,8 @@ pub struct KvGet {
 }
 
 impl RpcMessage for KvGet {
-    fn encode(&self, out: &mut Vec<u8>) {
-        out.extend_from_slice(&self.key);
+    fn encode<S: ByteSink>(&self, out: &mut S) {
+        out.put(&self.key);
     }
 
     fn decode(bytes: &[u8]) -> Result<Self, RpcError> {
@@ -168,7 +168,7 @@ pub enum KvGetResp {
 }
 
 impl RpcMessage for KvGetResp {
-    fn encode(&self, out: &mut Vec<u8>) {
+    fn encode<S: ByteSink>(&self, out: &mut S) {
         match self {
             KvGetResp::Found(v) => {
                 ByteWriter::new(out).u8(ST_OK).raw(v);
@@ -258,9 +258,11 @@ impl<T: Transport> Replica<T> {
                 let reply = raft_h.borrow_mut().handle_message(from, msg, now);
                 match reply {
                     Some(m) => {
-                        let mut buf = Vec::with_capacity(64);
-                        m.encode(&mut buf);
-                        ctx.respond(&buf);
+                        // Serialize straight into a pooled msgbuf and
+                        // install it — no intermediate Vec, no copy.
+                        let mut buf = ctx.alloc_msg_buffer(m.encoded_len());
+                        buf.fill_with(|sink| m.encode(sink));
+                        ctx.respond_with(buf);
                     }
                     None => ctx.respond(&[]),
                 }
@@ -281,9 +283,9 @@ impl<T: Transport> Replica<T> {
                         pending_h.borrow_mut().insert(idx, (handle, now_h.get()));
                     }
                     Err(e) => {
-                        let mut buf = Vec::with_capacity(8);
-                        KvPutResp::NotLeader { hint: e.hint }.encode(&mut buf);
-                        ctx.respond(&buf);
+                        // Typed response: serialized into the slot's
+                        // preallocated msgbuf, no Vec.
+                        ctx.respond_typed(&KvPutResp::NotLeader { hint: e.hint });
                     }
                 }
             }),
@@ -360,11 +362,14 @@ impl<T: Transport> Replica<T> {
             let Some(&sess) = self.peer_sessions.get(&peer) else {
                 continue;
             };
-            let mut body = Vec::with_capacity(96);
-            ByteWriter::new(&mut body).u32(self.id);
-            msg.encode(&mut body);
-            let mut req = self.rpc.alloc_msg_buffer(body.len());
-            req.fill(&body);
+            // Serialize [sender id | RaftMsg] straight into the pooled
+            // request msgbuf — the exact size is known, so no Vec and no
+            // copy on the replication path.
+            let mut req = self.rpc.alloc_msg_buffer(4 + msg.encoded_len());
+            req.fill_with(|sink| {
+                ByteWriter::new(sink).u32(self.id);
+                msg.encode(sink);
+            });
             let resp = self.rpc.alloc_msg_buffer(256);
             // Per-request continuation: captures which peer this RPC went
             // to (the old API smuggled that through the `tag`). It feeds
@@ -575,7 +580,7 @@ mod tests {
             poll_all(&mut replicas);
             assert!(start.elapsed().as_secs() < 10, "PUT stalled");
         }
-        assert_eq!(put.try_take().unwrap().unwrap(), KvPutResp::Ok);
+        assert_eq!(put.try_take(&mut client).unwrap().unwrap(), KvPutResp::Ok);
         // Every replica applies it (followers learn the commit index from
         // the next AppendEntries, so poll until it propagates).
         let start = std::time::Instant::now();
@@ -603,7 +608,7 @@ mod tests {
             assert!(start.elapsed().as_secs() < 10, "GET stalled");
         }
         assert_eq!(
-            get.try_take().unwrap().unwrap(),
+            get.try_take(&mut client).unwrap().unwrap(),
             KvGetResp::Found(b"beta".to_vec())
         );
     }

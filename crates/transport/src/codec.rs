@@ -1,8 +1,10 @@
 //! Minimal byte-cursor codec used for management messages, Raft wire
 //! formats, and store request payloads.
 //!
-//! All integers are little-endian. The encoder writes into a caller-owned
-//! `Vec<u8>` (so buffers can be pooled); the decoder is a non-consuming
+//! All integers are little-endian. The encoder writes into any caller-owned
+//! [`ByteSink`] — a growable `Vec<u8>`, or a [`SliceSink`] over a
+//! preallocated buffer (e.g. a msgbuf's data region) so the datapath can
+//! serialize without touching the allocator. The decoder is a non-consuming
 //! cursor over a `&[u8]` that reports truncation instead of panicking.
 
 /// Error returned when a [`ByteReader`] runs out of bytes.
@@ -26,49 +28,114 @@ impl core::fmt::Display for Truncated {
 
 impl std::error::Error for Truncated {}
 
-/// Append-only little-endian encoder over a borrowed `Vec<u8>`.
-pub struct ByteWriter<'a> {
-    buf: &'a mut Vec<u8>,
+/// Destination for encoded bytes: a growable `Vec<u8>` on cold paths, or a
+/// [`SliceSink`] over preallocated memory on the zero-allocation datapath.
+pub trait ByteSink {
+    /// Append `bytes` at the current write position.
+    fn put(&mut self, bytes: &[u8]);
+
+    /// Bytes written so far (including any pre-existing contents).
+    fn written(&self) -> usize;
 }
 
-impl<'a> ByteWriter<'a> {
+impl ByteSink for Vec<u8> {
+    #[inline]
+    fn put(&mut self, bytes: &[u8]) {
+        self.extend_from_slice(bytes);
+    }
+
+    #[inline]
+    fn written(&self) -> usize {
+        self.len()
+    }
+}
+
+/// Fixed-capacity write cursor over a borrowed byte slice — the no-copy
+/// encode path: messages serialize directly into a msgbuf's data region.
+///
+/// # Panics
+/// Writing past the slice's end panics: sinks are sized by
+/// `encoded_len_hint`, which is documented as an upper bound, so overflow
+/// is a codec bug, not a runtime condition.
+pub struct SliceSink<'b> {
+    buf: &'b mut [u8],
+    pos: usize,
+}
+
+impl<'b> SliceSink<'b> {
+    pub fn new(buf: &'b mut [u8]) -> Self {
+        Self { buf, pos: 0 }
+    }
+
+    /// Remaining capacity.
+    pub fn remaining(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+}
+
+impl ByteSink for SliceSink<'_> {
+    #[inline]
+    fn put(&mut self, bytes: &[u8]) {
+        assert!(
+            bytes.len() <= self.remaining(),
+            "SliceSink overflow: encoded_len_hint under-estimated ({} bytes left, {} needed)",
+            self.remaining(),
+            bytes.len()
+        );
+        self.buf[self.pos..self.pos + bytes.len()].copy_from_slice(bytes);
+        self.pos += bytes.len();
+    }
+
+    #[inline]
+    fn written(&self) -> usize {
+        self.pos
+    }
+}
+
+/// Append-only little-endian encoder over a borrowed [`ByteSink`]
+/// (defaults to `Vec<u8>`, the historical signature).
+pub struct ByteWriter<'a, S: ByteSink = Vec<u8>> {
+    buf: &'a mut S,
+}
+
+impl<'a, S: ByteSink> ByteWriter<'a, S> {
     /// Wrap `buf`, appending after its current contents.
-    pub fn new(buf: &'a mut Vec<u8>) -> Self {
+    pub fn new(buf: &'a mut S) -> Self {
         Self { buf }
     }
 
     /// Bytes written so far (including any pre-existing contents).
     pub fn len(&self) -> usize {
-        self.buf.len()
+        self.buf.written()
     }
 
     /// True if the underlying buffer is empty.
     pub fn is_empty(&self) -> bool {
-        self.buf.is_empty()
+        self.buf.written() == 0
     }
 
     pub fn u8(&mut self, v: u8) -> &mut Self {
-        self.buf.push(v);
+        self.buf.put(&[v]);
         self
     }
 
     pub fn u16(&mut self, v: u16) -> &mut Self {
-        self.buf.extend_from_slice(&v.to_le_bytes());
+        self.buf.put(&v.to_le_bytes());
         self
     }
 
     pub fn u32(&mut self, v: u32) -> &mut Self {
-        self.buf.extend_from_slice(&v.to_le_bytes());
+        self.buf.put(&v.to_le_bytes());
         self
     }
 
     pub fn u64(&mut self, v: u64) -> &mut Self {
-        self.buf.extend_from_slice(&v.to_le_bytes());
+        self.buf.put(&v.to_le_bytes());
         self
     }
 
     pub fn i64(&mut self, v: i64) -> &mut Self {
-        self.buf.extend_from_slice(&v.to_le_bytes());
+        self.buf.put(&v.to_le_bytes());
         self
     }
 
@@ -78,7 +145,7 @@ impl<'a> ByteWriter<'a> {
 
     /// Raw bytes with no length prefix.
     pub fn raw(&mut self, v: &[u8]) -> &mut Self {
-        self.buf.extend_from_slice(v);
+        self.buf.put(v);
         self
     }
 
@@ -205,6 +272,41 @@ mod tests {
         assert_eq!(err.remaining, 2);
         // Cursor unchanged: a smaller read still succeeds.
         assert_eq!(r.u16().unwrap(), 0x0201);
+    }
+
+    #[test]
+    fn slice_sink_roundtrip_matches_vec() {
+        let mut vec_buf = Vec::new();
+        ByteWriter::new(&mut vec_buf)
+            .u8(7)
+            .u32(0xDEAD_BEEF)
+            .bytes(b"hello")
+            .bool(true);
+        let mut backing = [0u8; 64];
+        let mut sink = SliceSink::new(&mut backing);
+        ByteWriter::new(&mut sink)
+            .u8(7)
+            .u32(0xDEAD_BEEF)
+            .bytes(b"hello")
+            .bool(true);
+        let n = sink.written();
+        assert_eq!(&backing[..n], &vec_buf[..]);
+    }
+
+    #[test]
+    fn slice_sink_zero_length_writes() {
+        let mut backing = [0u8; 8];
+        let mut sink = SliceSink::new(&mut backing);
+        ByteWriter::new(&mut sink).raw(&[]).bytes(b"");
+        assert_eq!(sink.written(), 4); // just the empty string's u32 prefix
+    }
+
+    #[test]
+    #[should_panic(expected = "SliceSink overflow")]
+    fn slice_sink_overflow_panics() {
+        let mut backing = [0u8; 3];
+        let mut sink = SliceSink::new(&mut backing);
+        ByteWriter::new(&mut sink).u32(1);
     }
 
     #[test]

@@ -103,7 +103,8 @@ impl MemFabric {
             addr,
             fabric: Arc::clone(&self.inner),
             rx: ring,
-            route_cache: HashMap::new(),
+            last_route: None,
+            routes: (0..ROUTE_WAYS).map(|_| None).collect(),
             claimed: Vec::with_capacity(64),
             rng: SmallRng::seed_from_u64(cfg.seed ^ (addr.key() as u64) << 17),
             stats: TransportStats::default(),
@@ -122,13 +123,28 @@ impl MemFabric {
     }
 }
 
+/// Ways in the direct-mapped route table. Power of two; 256 covers a full
+/// benchmark cluster without conflict misses (distinct nodes with the same
+/// low `Addr::key` bits evict each other, which only costs a registry
+/// re-resolve).
+const ROUTE_WAYS: usize = 256;
+
+/// One route-table entry: the full `Addr::key` tag plus the ring.
+type RouteEntry = Option<(u32, Arc<PacketRing>)>;
+
 /// One endpoint of a [`MemFabric`]. Owned by exactly one thread.
 pub struct MemTransport {
     addr: Addr,
     fabric: Arc<FabricInner>,
     rx: Arc<PacketRing>,
-    /// Destination ring cache so the datapath avoids the registry lock.
-    route_cache: HashMap<u32, Arc<PacketRing>>,
+    /// One-entry last-destination cache: the common case (a burst of
+    /// packets to the same peer) resolves with one compare, no hashing.
+    last_route: Option<(u32, Arc<PacketRing>)>,
+    /// Direct-mapped route table indexed by `Addr::key & (ROUTE_WAYS-1)`
+    /// — a fixed-stride array probe instead of the old per-packet
+    /// `HashMap` lookup. The registry lock is taken only on a miss or
+    /// when a cached ring has closed.
+    routes: Box<[RouteEntry]>,
     /// Slots claimed since the last `rx_release`: (pos, len).
     claimed: Vec<(u64, u32)>,
     rng: SmallRng,
@@ -136,22 +152,42 @@ pub struct MemTransport {
 }
 
 impl MemTransport {
+    #[inline]
     fn route(&mut self, dst: Addr) -> Option<Arc<PacketRing>> {
-        if let Some(r) = self.route_cache.get(&dst.key()) {
-            if !r.is_closed() {
+        let key = dst.key();
+        if let Some((k, r)) = &self.last_route {
+            if *k == key && !r.is_closed() {
                 return Some(Arc::clone(r));
             }
-            // The cached peer died (endpoint dropped or removed): forget
-            // the ghost ring and re-resolve — the address may have been
-            // re-registered by a replacement endpoint.
-            self.route_cache.remove(&dst.key());
         }
-        let r = self.fabric.endpoints.read().get(&dst.key()).cloned()?;
+        self.route_slow(key)
+    }
+
+    fn route_slow(&mut self, key: u32) -> Option<Arc<PacketRing>> {
+        let idx = key as usize & (ROUTE_WAYS - 1);
+        if let Some((k, r)) = &self.routes[idx] {
+            if *k == key {
+                if !r.is_closed() {
+                    let r = Arc::clone(r);
+                    self.last_route = Some((key, Arc::clone(&r)));
+                    return Some(r);
+                }
+                // The cached peer died (endpoint dropped or removed):
+                // forget the ghost ring and re-resolve — the address may
+                // have been re-registered by a replacement endpoint.
+                self.routes[idx] = None;
+            }
+        }
+        if matches!(&self.last_route, Some((k, _)) if *k == key) {
+            self.last_route = None;
+        }
+        let r = self.fabric.endpoints.read().get(&key).cloned()?;
         if r.is_closed() {
             // Raced a teardown between registry read and use.
             return None;
         }
-        self.route_cache.insert(dst.key(), Arc::clone(&r));
+        self.routes[idx] = Some((key, Arc::clone(&r)));
+        self.last_route = Some((key, Arc::clone(&r)));
         Some(r)
     }
 
@@ -160,7 +196,14 @@ impl MemTransport {
     /// drop/removal, stale cache entries also self-invalidate; this hook
     /// remains for tests and explicit failover.
     pub fn invalidate_route(&mut self, dst: Addr) {
-        self.route_cache.remove(&dst.key());
+        let key = dst.key();
+        if matches!(&self.last_route, Some((k, _)) if *k == key) {
+            self.last_route = None;
+        }
+        let idx = key as usize & (ROUTE_WAYS - 1);
+        if matches!(&self.routes[idx], Some((k, _)) if *k == key) {
+            self.routes[idx] = None;
+        }
     }
 }
 
@@ -410,6 +453,49 @@ mod tests {
         send(&mut a, dst, b"x", b"");
         assert_eq!(a.stats().tx_drop_no_route, 1);
         drop(b); // second close + registry check are no-ops
+    }
+
+    #[test]
+    fn conflicting_route_slots_still_deliver() {
+        // Addr::new(1, 5) and Addr::new(2, 5) map to the same direct-mapped
+        // way (key & 0xFF == 5): alternating sends must evict-and-reload
+        // without losing packets.
+        let f = MemFabric::new(MemFabricConfig::default());
+        let mut a = f.create_transport(Addr::new(0, 0));
+        let mut b = f.create_transport(Addr::new(1, 5));
+        let mut c = f.create_transport(Addr::new(2, 5));
+        for _ in 0..10 {
+            send(&mut a, b.addr(), b"to-b", b"");
+            send(&mut a, c.addr(), b"to-c", b"");
+        }
+        assert_eq!(a.stats().tx_pkts, 20);
+        let mut toks = Vec::new();
+        assert_eq!(b.rx_burst(32, &mut toks), 10);
+        assert!(toks.iter().all(|t| b.rx_bytes(t) == b"to-b"));
+        b.rx_release();
+        toks.clear();
+        assert_eq!(c.rx_burst(32, &mut toks), 10);
+        assert!(toks.iter().all(|t| c.rx_bytes(t) == b"to-c"));
+        c.rx_release();
+    }
+
+    #[test]
+    fn last_route_survives_peer_replacement() {
+        // The one-entry fast path must observe ring closure like the
+        // direct-mapped table does.
+        let f = MemFabric::new(MemFabricConfig::default());
+        let mut a = f.create_transport(Addr::new(0, 0));
+        let addr = Addr::new(1, 0);
+        let b = f.create_transport(addr);
+        send(&mut a, addr, b"one", b"");
+        send(&mut a, addr, b"two", b""); // hits the last-dst fast path
+        drop(b);
+        let mut b2 = f.create_transport(addr);
+        send(&mut a, addr, b"three", b"");
+        let mut toks = Vec::new();
+        assert_eq!(b2.rx_burst(8, &mut toks), 1);
+        assert_eq!(b2.rx_bytes(&toks[0]), b"three");
+        b2.rx_release();
     }
 
     #[test]

@@ -52,12 +52,12 @@ fn main() {
     let t_scan = Arc::clone(&tree);
     server.register_worker_handler(
         SCAN,
-        Arc::new(move |req: &[u8], out: &mut Vec<u8>| {
+        Arc::new(move |req: &[u8], out: &mut erpc::MsgBuf| {
             // req = start key; return the next 10 keys newline-separated.
             let mut n = 0;
             t_scan.read().scan_from(req, |k, v| {
-                out.extend_from_slice(k);
-                out.extend_from_slice(format!(" => {v}\n").as_bytes());
+                out.append(k);
+                out.append(format!(" => {v}\n").as_bytes());
                 n += 1;
                 n < 10
             });

@@ -38,11 +38,11 @@ fn main() {
     // served by every thread with no per-thread plumbing.
     nexus.register_worker_handler(
         HASH,
-        Arc::new(|req: &[u8], out: &mut Vec<u8>| {
+        Arc::new(|req: &[u8], out: &mut erpc::MsgBuf| {
             let h = req.iter().fold(0xcbf29ce484222325u64, |a, &b| {
                 (a ^ b as u64).wrapping_mul(0x100000001b3)
             });
-            out.extend_from_slice(&h.to_le_bytes());
+            out.append(&h.to_le_bytes());
         }),
     );
 

@@ -244,7 +244,10 @@ fn channel_call_roundtrip_over_sim_transport() {
         driver::run(&h.net, &mut h.eps, t);
         assert!(t < 10_000_000_000, "channel call stalled in sim");
     }
-    assert_eq!(call.try_take().unwrap().unwrap(), b"detalumis");
+    assert_eq!(
+        call.try_take_vec(&mut h.eps[1].rpc).unwrap().unwrap(),
+        b"detalumis"
+    );
 
     // A lossy fabric still resolves the call (go-back-N under the hood).
     let mut h = harness(
@@ -269,5 +272,10 @@ fn channel_call_roundtrip_over_sim_transport() {
         assert!(t < 60_000_000_000, "lossy channel call stalled");
     }
     let expect: Vec<u8> = payload.iter().rev().copied().collect();
-    assert_eq!(call.try_take().unwrap().unwrap(), expect);
+    // Zero-copy take: borrow-decode from the pooled response msgbuf.
+    let matched = call
+        .try_take_with(&mut h.eps[1].rpc, |bytes| bytes == &expect[..])
+        .unwrap()
+        .unwrap();
+    assert!(matched);
 }
