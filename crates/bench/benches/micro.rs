@@ -37,6 +37,28 @@ fn bench_pkthdr(c: &mut Criterion) {
     c.bench_function("pkthdr_decode", |b| {
         b.iter(|| PktHdr::decode(black_box(&bytes)).unwrap())
     });
+    // The §5.2 header-template fast path: per-packet TX cost is *patching*
+    // an already-encoded template (pkt_num poke + ECN poke), not a full
+    // construct-and-encode. Regressions here show directly in BENCH
+    // output next to the full-encode row above.
+    c.bench_function("pkthdr_template_patch", |b| {
+        let mut tmpl = hdr.encode();
+        let mut i = 0u16;
+        b.iter(|| {
+            i = i.wrapping_add(1);
+            erpc::pkthdr::patch_pkt_num(&mut tmpl, i);
+            erpc::pkthdr::patch_ecn(&mut tmpl, i & 1 == 0);
+            black_box(&tmpl);
+        })
+    });
+    // RX counterpart: the zero-decode view's per-field reads vs the eager
+    // full decode above.
+    c.bench_function("pkthdr_view_fields", |b| {
+        b.iter(|| {
+            let (v, ty) = erpc::pkthdr::PktHdrView::parse(black_box(&bytes)).unwrap();
+            black_box((ty, v.dest_session(), v.req_num(), v.msg_size(), v.pkt_num()));
+        })
+    });
 }
 
 fn bench_bufpool(c: &mut Criterion) {

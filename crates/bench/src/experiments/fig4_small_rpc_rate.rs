@@ -54,6 +54,11 @@ pub fn run() -> String {
     let mut pool_new = 0u64;
     let mut pool_reused = 0u64;
     let mut total_rpcs = 0u64;
+    // Fast-path hit rate across all runs (satellite of the §5.2
+    // common-case dispatch: in this workload virtually every packet is an
+    // in-order single-packet request or response).
+    let mut fast_hits = 0u64;
+    let mut slow_entries = 0u64;
     // Best-of-2 per cell: tames shared-core scheduler noise.
     let mut best = |cfg: &RpcConfig, batch: usize| -> f64 {
         (0..2)
@@ -68,6 +73,8 @@ pub fn run() -> String {
                 pool_new += r.stats.pool_allocs_new;
                 pool_reused += r.stats.pool_allocs_reused;
                 total_rpcs += r.total_completed;
+                fast_hits += r.stats.fast_path_hits;
+                slow_entries += r.stats.slow_path_entries;
                 r.per_core_rate
             })
             .fold(0.0, f64::max)
@@ -89,6 +96,19 @@ pub fn run() -> String {
         pool_new as f64 / total_rpcs.max(1) as f64
     ));
     t.note("each thread also *serves* its peers, so it processes ≈2× its request rate in RPCs/s");
+    let hit_rate = fast_hits as f64 / (fast_hits + slow_entries).max(1) as f64;
+    t.note(format!(
+        "common-case fast path: {:.2} % of packets ({fast_hits} hits / {slow_entries} slow-path entries)",
+        hit_rate * 100.0
+    ));
+    // Smoke gate: this workload is all in-order single-packet RPCs on
+    // healthy sessions, so almost nothing may fall off the fast path
+    // (only the connect handshakes and CRs-free control traffic do).
+    assert!(
+        hit_rate >= 0.99,
+        "fast-path hit rate regressed: {:.4} < 0.99",
+        hit_rate
+    );
     t.print();
     t.render()
 }

@@ -110,6 +110,13 @@ pub fn run() -> String {
         opt_tx_batching: false,
         ..base_cfg()
     });
+    // Header templates + zero-decode RX + fast-path dispatch (§5.2's
+    // common-case packet path), also ablated alone against the baseline:
+    // like transmit batching, the paper's Table 3 has no such row.
+    let hdr_template_off = measure(RpcConfig {
+        opt_hdr_template: false,
+        ..base_cfg()
+    });
 
     let mut t = Table::new(
         format!(
@@ -155,6 +162,13 @@ pub fn run() -> String {
         "disable transmit batching (alone)".to_string(),
         mrps(tx_batching_off),
         format!("{:.1} %", (base - tx_batching_off) / base * 100.0),
+        "–".to_string(),
+        "–".to_string(),
+    ]);
+    t.row(&[
+        "disable header templates + fast path (alone)".to_string(),
+        mrps(hdr_template_off),
+        format!("{:.1} %", (base - hdr_template_off) / base * 100.0),
         "–".to_string(),
         "–".to_string(),
     ]);

@@ -64,6 +64,15 @@ pub struct RpcConfig {
     /// `Transport::tx_burst` at once — one DMA doorbell per burst instead
     /// of one per packet. When off, each packet is burst individually.
     pub opt_tx_batching: bool,
+    /// §5.2's common-case packet path: encode each message's wire headers
+    /// *once* at enqueue/install time (template write into the msgbuf's
+    /// inline header room, per-packet bytes patched with direct pokes),
+    /// dispatch received data packets through a zero-decode
+    /// [`crate::pkthdr::PktHdrView`], and take the branch-lean fast path
+    /// for in-order single-packet requests/responses. When off, every
+    /// packet pays the fully general construct-encode/decode-dispatch
+    /// cost on both directions.
+    pub opt_hdr_template: bool,
 
     // ── Event loop tuning ───────────────────────────────────────────────
     /// Max packets per RX burst.
@@ -128,6 +137,7 @@ impl Default for RpcConfig {
             opt_zero_copy_rx: true,
             opt_multi_packet_rq: true,
             opt_tx_batching: true,
+            opt_hdr_template: true,
             rx_batch: 32,
             tx_batch: 32,
             wheel_slots: 4096,
@@ -166,6 +176,7 @@ impl RpcConfig {
         self.opt_zero_copy_rx = false;
         self.opt_multi_packet_rq = false;
         self.opt_tx_batching = false;
+        self.opt_hdr_template = false;
         self
     }
 
@@ -211,5 +222,6 @@ mod tests {
         assert!(!c.opt_zero_copy_rx);
         assert!(!c.opt_multi_packet_rq);
         assert!(!c.opt_tx_batching);
+        assert!(!c.opt_hdr_template);
     }
 }

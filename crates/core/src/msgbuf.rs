@@ -155,6 +155,36 @@ impl MsgBuf {
         hdr.encode_into(&mut self.buf[off..off + PKT_HDR_SIZE]);
     }
 
+    /// Write the message's header *template* into every packet-header slot
+    /// at once: one encode, then a 16-byte copy per packet with only the
+    /// per-packet `pkt_num` patched in place. Done once at enqueue/install
+    /// time, it makes transmission — and every retransmission — free of
+    /// header construction (§5.2's header-template optimization).
+    ///
+    /// `hdr.pkt_num` is ignored; each slot gets its own index.
+    pub fn write_hdr_template(&mut self, hdr: &PktHdr) {
+        let mut bytes = hdr.encode();
+        for i in 0..self.num_pkts() {
+            crate::pkthdr::patch_pkt_num(&mut bytes, i as u16);
+            let off = self.hdr_offset(i);
+            self.buf[off..off + PKT_HDR_SIZE].copy_from_slice(&bytes);
+        }
+    }
+
+    /// Direct poke of packet `i`'s ECN bit in its already-written header
+    /// (template patch path — no header re-encode).
+    pub fn patch_hdr_ecn(&mut self, i: usize, ecn: bool) {
+        let off = self.hdr_offset(i);
+        crate::pkthdr::patch_ecn(&mut self.buf[off..off + PKT_HDR_SIZE], ecn);
+    }
+
+    /// Raw bytes of packet `i`'s header (tests verify template-write-then-
+    /// patch against fresh encodes through this).
+    pub fn hdr_bytes(&self, i: usize) -> &[u8] {
+        let off = self.hdr_offset(i);
+        &self.buf[off..off + PKT_HDR_SIZE]
+    }
+
     /// TX view of packet `i`: `(hdr_slice, data_slice)`.
     ///
     /// For packet 0 the header and its data chunk are contiguous, so the
@@ -415,6 +445,40 @@ mod tests {
         // the sink, not left stale).
         m.fill_with(|sink| erpc_transport::codec::ByteSink::put(sink, b"abc"));
         assert_eq!(m.data(), b"abc");
+    }
+
+    #[test]
+    fn hdr_template_equals_per_packet_encode() {
+        let mut p = pool();
+        let total = 1024 * 2 + 500; // 3 packets
+        let mut a = p.alloc(total);
+        let mut b = p.alloc(total);
+        let payload: Vec<u8> = (0..total).map(|i| (i % 251) as u8).collect();
+        a.fill(&payload);
+        b.fill(&payload);
+        let mut hdr = PktHdr {
+            pkt_type: PktType::Resp,
+            ecn: true,
+            req_type: 9,
+            dest_session: 4,
+            msg_size: total as u32,
+            req_num: 1234,
+            pkt_num: 0,
+        };
+        a.write_hdr_template(&hdr);
+        for i in 0..3 {
+            hdr.pkt_num = i as u16;
+            b.write_hdr(i, &hdr);
+            assert_eq!(a.hdr_bytes(i), b.hdr_bytes(i), "packet {i} header");
+        }
+        // Patching ECN off matches a fresh encode with ecn = false.
+        a.patch_hdr_ecn(1, false);
+        hdr.pkt_num = 1;
+        hdr.ecn = false;
+        b.write_hdr(1, &hdr);
+        assert_eq!(a.hdr_bytes(1), b.hdr_bytes(1));
+        // Data untouched by header writes.
+        assert_eq!(a.data(), &payload[..]);
     }
 
     #[test]

@@ -26,6 +26,30 @@ pub const MAGIC: u8 = 0b101;
 pub const ECN_BYTE: usize = 0;
 pub const ECN_MASK: u8 = 0x10;
 
+/// Byte offset of the little-endian `pkt_num` field — the only field that
+/// differs between the packets of one message, and therefore the only
+/// bytes the header-template fast path patches per packet (§5.2's
+/// common-case rule: encode the header once, poke what changes).
+pub const PKT_NUM_OFF: usize = 14;
+
+/// Patch `pkt_num` in an already-encoded header: a 2-byte store, no
+/// [`PktHdr`] construction, no re-encode.
+#[inline]
+pub fn patch_pkt_num(hdr: &mut [u8], pkt_num: u16) {
+    hdr[PKT_NUM_OFF..PKT_NUM_OFF + 2].copy_from_slice(&pkt_num.to_le_bytes());
+}
+
+/// Patch the ECN bit in an already-encoded header: a 1-byte read-modify-
+/// write, no re-encode.
+#[inline]
+pub fn patch_ecn(hdr: &mut [u8], ecn: bool) {
+    if ecn {
+        hdr[ECN_BYTE] |= ECN_MASK;
+    } else {
+        hdr[ECN_BYTE] &= !ECN_MASK;
+    }
+}
+
 /// Packet types of the wire protocol (§5.1) plus in-band session
 /// management (the paper uses a sockets side channel; we stay in-band).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -129,6 +153,13 @@ impl PktHdr {
         })
     }
 
+    /// Decode assuming `b` already passed [`PktHdrView::parse`]'s up-front
+    /// checks (length, magic, known type) — the slow-path decode after the
+    /// dispatcher's one validity check.
+    pub fn decode_validated(b: &[u8]) -> Self {
+        Self::decode(b).expect("caller validated magic/type/length")
+    }
+
     /// A control header (CR / RFR / management) with no message payload.
     pub fn control(pkt_type: PktType, dest_session: u16, req_num: u64, pkt_num: u16) -> Self {
         Self {
@@ -140,6 +171,90 @@ impl PktHdr {
             req_num,
             pkt_num,
         }
+    }
+}
+
+/// Zero-decode view of a packet header over the RX-ring bytes (§5.2).
+///
+/// [`PktHdrView::parse`] performs the *one* up-front validity check every
+/// received packet needs (length, magic, known packet type) and nothing
+/// else; each field is read lazily, straight from the borrowed bytes, only
+/// where a code path actually uses it. The data-path fast paths dispatch on
+/// this view; management and slow paths fall back to the eager
+/// [`PktHdr::decode`].
+#[derive(Clone, Copy)]
+pub struct PktHdrView<'a> {
+    b: &'a [u8; PKT_HDR_SIZE],
+}
+
+impl<'a> PktHdrView<'a> {
+    /// Validate the header prefix of `b` once: long enough, magic intact,
+    /// known packet type. Returns the view plus the packet type (the only
+    /// field the dispatcher always needs). No other field is touched.
+    #[inline]
+    pub fn parse(b: &'a [u8]) -> Option<(Self, PktType)> {
+        if b.len() < PKT_HDR_SIZE {
+            return None;
+        }
+        let hd: &[u8; PKT_HDR_SIZE] = b[..PKT_HDR_SIZE].try_into().unwrap();
+        if hd[0] >> 5 != MAGIC {
+            return None;
+        }
+        let ty = PktType::from_bits(hd[0] & 0x0F)?;
+        Some((Self { b: hd }, ty))
+    }
+
+    /// Re-borrow a view over bytes that already passed [`Self::parse`]
+    /// (the fast paths re-materialize the view after the dispatcher's
+    /// check; the debug assertions re-verify the contract).
+    #[inline]
+    pub fn trusted(b: &'a [u8]) -> Self {
+        debug_assert!(b.len() >= PKT_HDR_SIZE && b[0] >> 5 == MAGIC);
+        Self {
+            b: b[..PKT_HDR_SIZE].try_into().unwrap(),
+        }
+    }
+
+    #[inline]
+    pub fn pkt_type(&self) -> PktType {
+        PktType::from_bits(self.b[0] & 0x0F).expect("validated at parse")
+    }
+
+    #[inline]
+    pub fn ecn(&self) -> bool {
+        self.b[ECN_BYTE] & ECN_MASK != 0
+    }
+
+    #[inline]
+    pub fn req_type(&self) -> u8 {
+        self.b[1]
+    }
+
+    #[inline]
+    pub fn dest_session(&self) -> u16 {
+        u16::from_le_bytes([self.b[2], self.b[3]])
+    }
+
+    #[inline]
+    pub fn msg_size(&self) -> u32 {
+        u32::from_le_bytes(self.b[4..8].try_into().unwrap())
+    }
+
+    #[inline]
+    pub fn req_num(&self) -> u64 {
+        let mut n = [0u8; 8];
+        n[..6].copy_from_slice(&self.b[8..14]);
+        u64::from_le_bytes(n)
+    }
+
+    #[inline]
+    pub fn pkt_num(&self) -> u16 {
+        u16::from_le_bytes([self.b[14], self.b[15]])
+    }
+
+    /// Materialize the full header (slow/management paths).
+    pub fn to_hdr(&self) -> PktHdr {
+        PktHdr::decode_validated(self.b)
     }
 }
 
@@ -220,5 +335,56 @@ mod tests {
     #[test]
     fn header_is_16_bytes() {
         assert_eq!(sample().encode().len(), 16);
+    }
+
+    #[test]
+    fn patch_pkt_num_matches_fresh_encode() {
+        let mut h = sample();
+        let mut b = h.encode();
+        for pkt in [0u16, 1, 7, 977, u16::MAX] {
+            patch_pkt_num(&mut b, pkt);
+            h.pkt_num = pkt;
+            assert_eq!(b, h.encode(), "patched bytes must equal re-encode");
+        }
+    }
+
+    #[test]
+    fn patch_ecn_sets_and_clears_only_that_bit() {
+        let mut h = sample();
+        let mut b = h.encode();
+        patch_ecn(&mut b, true);
+        h.ecn = true;
+        assert_eq!(b, h.encode());
+        patch_ecn(&mut b, false);
+        h.ecn = false;
+        assert_eq!(b, h.encode());
+    }
+
+    #[test]
+    fn view_accessors_agree_with_decode() {
+        let mut h = sample();
+        h.ecn = true;
+        let b = h.encode();
+        let (v, ty) = PktHdrView::parse(&b).unwrap();
+        assert_eq!(ty, h.pkt_type);
+        assert_eq!(v.pkt_type(), h.pkt_type);
+        assert_eq!(v.ecn(), h.ecn);
+        assert_eq!(v.req_type(), h.req_type);
+        assert_eq!(v.dest_session(), h.dest_session);
+        assert_eq!(v.msg_size(), h.msg_size);
+        assert_eq!(v.req_num(), h.req_num);
+        assert_eq!(v.pkt_num(), h.pkt_num);
+        assert_eq!(v.to_hdr(), h);
+    }
+
+    #[test]
+    fn view_rejects_what_decode_rejects() {
+        assert!(PktHdrView::parse(&[0u8; 4]).is_none()); // short
+        let mut b = sample().encode();
+        b[0] = 0x00; // kills magic
+        assert!(PktHdrView::parse(&b).is_none());
+        let mut b = sample().encode();
+        b[0] = (MAGIC << 5) | 0x0F; // bad type, good magic
+        assert!(PktHdrView::parse(&b).is_none());
     }
 }

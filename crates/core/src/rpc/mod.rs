@@ -397,9 +397,16 @@ pub struct Rpc<T: Transport> {
     /// Deferred TX queue: drained into one `tx_burst` per event-loop pass
     /// (or when it reaches `cfg.tx_batch`).
     tx_queue: Vec<TxDesc>,
+    /// Live sessions (client + server), maintained on create/free so the
+    /// per-`create_session` limit check is O(1) instead of an O(n) scan
+    /// over the session table.
+    live_session_count: usize,
     /// Reusable scratch for `flush_tx_batch`'s validation pass.
     tx_resolved: Vec<TxResolved>,
     pending_ops: Vec<QueuedOp>,
+    /// Spare buffer rotated with `pending_ops` by `drain_pending_ops` so
+    /// callback-queued ops never pay a heap round trip per pass.
+    ops_scratch: Vec<QueuedOp>,
     /// Worker-pool attachment: `Rpc`-owned threads (standalone) or a handle
     /// into the process-wide pool of the owning [`crate::Nexus`].
     worker: Option<WorkerHandle>,
@@ -414,7 +421,10 @@ pub struct Rpc<T: Transport> {
     rtt_hist: crate::stats::LatencyHistogram,
     /// Emulated RX descriptor ring for the multi-packet-RQ cost model.
     desc_scratch: Vec<u8>,
+    /// Descriptor re-post events so far (advances the emulated ring).
     desc_counter: u64,
+    /// Packets until the next re-post (1 or `rq_multi_packet_factor`).
+    desc_countdown: u64,
     /// Data bytes per packet: transport MTU − 16 B header.
     dpp: usize,
 }
@@ -457,8 +467,10 @@ impl<T: Transport> Rpc<T> {
             wheel: TimingWheel::new(cfg.wheel_slots, cfg.wheel_granularity_ns, now),
             wheel_scratch: Vec::new(),
             tx_queue: Vec::with_capacity(cfg.tx_batch),
+            live_session_count: 0,
             tx_resolved: Vec::with_capacity(cfg.tx_batch),
             pending_ops: Vec::new(),
+            ops_scratch: Vec::new(),
             worker,
             worker_done_scratch: Vec::new(),
             stats: RpcStats::default(),
@@ -469,6 +481,11 @@ impl<T: Transport> Rpc<T> {
             rtt_hist: crate::stats::LatencyHistogram::new(),
             desc_scratch: vec![0u8; 64 * 64],
             desc_counter: 0,
+            desc_countdown: if cfg.opt_multi_packet_rq {
+                (cfg.rq_multi_packet_factor as u64).max(1)
+            } else {
+                1
+            },
             dpp,
             transport,
             cfg,
@@ -507,8 +524,13 @@ impl<T: Transport> Rpc<T> {
         (self.transport.rx_ring_size() / self.cfg.session_credits as usize).max(1)
     }
 
-    fn live_sessions(&self) -> usize {
-        self.sessions.iter().flatten().count()
+    pub(super) fn live_sessions(&self) -> usize {
+        debug_assert_eq!(
+            self.live_session_count,
+            self.sessions.iter().flatten().count(),
+            "live-session counter out of sync with the session table"
+        );
+        self.live_session_count
     }
 
     /// Number of live sessions (client + server roles) on this endpoint.
@@ -625,6 +647,7 @@ impl<T: Transport> Rpc<T> {
             now,
         );
         self.sessions[num as usize] = Some(sess);
+        self.live_session_count += 1;
         self.init_session_cc(num);
         self.tx_connect_req(num);
         Ok(SessionHandle(num))
@@ -815,6 +838,7 @@ impl<T: Transport> Rpc<T> {
         slot.resp = Some(buf);
         slot.resp_is_prealloc = is_prealloc;
         slot.phase = crate::session::SrvPhase::Responding;
+        self.write_resp_hdr_template(handle.sess, handle.slot as usize);
         self.tx_resp_pkt(handle.sess, handle.slot as usize, 0);
         Ok(())
     }

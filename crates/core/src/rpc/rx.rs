@@ -10,7 +10,7 @@ use erpc_transport::{RxToken, Transport};
 
 use crate::error::RpcError;
 use crate::msgbuf::MsgBuf;
-use crate::pkthdr::{PktHdr, PktType, PKT_HDR_SIZE};
+use crate::pkthdr::{PktHdr, PktHdrView, PktType, PKT_HDR_SIZE};
 use crate::session::{Role, SessionState, SrvPhase};
 
 use super::{Completion, ContContext, Continuation, DeferredHandle, HandlerEntry};
@@ -38,40 +38,80 @@ impl<T: Transport> Rpc<T> {
     /// The multi-packet RQ cost model (§4.1.1, Table 3): with 512-way
     /// descriptors the CPU re-posts one descriptor per 512 packets; with
     /// traditional RQs it writes one descriptor per packet. The descriptor
-    /// write is real work (64 B into the emulated ring).
+    /// write is real work (64 B into the emulated ring); the per-packet
+    /// bookkeeping is a countdown decrement, not a division.
     #[inline]
     fn emulate_rq_descriptor_repost(&mut self) {
-        self.desc_counter += 1;
-        let factor = if self.cfg.opt_multi_packet_rq {
-            self.cfg.rq_multi_packet_factor as u64
+        self.desc_countdown -= 1;
+        if self.desc_countdown > 0 {
+            return;
+        }
+        // `.max(1)`: a (nonsensical but representable) zero factor must
+        // degrade to per-packet re-posts, not underflow the countdown.
+        self.desc_countdown = if self.cfg.opt_multi_packet_rq {
+            (self.cfg.rq_multi_packet_factor as u64).max(1)
         } else {
             1
         };
-        if self.desc_counter.is_multiple_of(factor) {
-            let idx = ((self.desc_counter / factor) % 64) as usize * 64;
-            let ctr = self.desc_counter;
-            for (i, b) in self.desc_scratch[idx..idx + 64].iter_mut().enumerate() {
-                *b = (ctr as u8).wrapping_add(i as u8);
-            }
-            std::hint::black_box(&mut self.desc_scratch[idx]);
+        self.desc_counter += 1; // re-post events
+        let idx = (self.desc_counter % 64) as usize * 64;
+        let ctr = self.desc_counter;
+        for (i, b) in self.desc_scratch[idx..idx + 64].iter_mut().enumerate() {
+            *b = (ctr as u8).wrapping_add(i as u8);
         }
+        std::hint::black_box(&mut self.desc_scratch[idx]);
     }
 
+    /// Per-packet dispatch, restructured around the common case (§5.2):
+    /// one up-front validity check (length, magic, known type) that every
+    /// packet needs, then the branch-lean fast path for data packets —
+    /// fields read lazily through a zero-decode [`PktHdrView`], handled
+    /// inline, response queued in the same pass. Anything unusual falls
+    /// through to the cold general path, which pays the full decode.
     fn process_one_pkt(&mut self, tok: RxToken) {
         self.stats.pkts_rx += 1;
         self.work.rx_pkts += 1;
         self.work.rx_bytes += tok.len() as u64;
-        let hdr = {
+        let ty = {
             let b = self.transport.rx_bytes(&tok);
-            match PktHdr::decode(b) {
-                Ok(h) => h,
-                Err(_) => {
+            match PktHdrView::parse(b) {
+                Some((_, ty)) => ty,
+                None => {
+                    // Malformed (short / bad magic / unknown type): dropped
+                    // by the one check, before any path-specific work.
                     self.stats.rx_dropped_stale += 1;
                     return;
                 }
             }
         };
-        match hdr.pkt_type {
+        if self.cfg.opt_hdr_template {
+            let hit = match ty {
+                PktType::Req => self.server_rx_req_fast(&tok),
+                PktType::Resp => self.client_rx_resp_fast(&tok),
+                _ => false,
+            };
+            if hit {
+                self.stats.fast_path_hits += 1;
+                return;
+            }
+        }
+        self.process_one_pkt_slow(ty, tok);
+    }
+
+    /// The fully general (cold) packet path: multi-packet messages,
+    /// reordering, duplicates, credit returns, RFRs, and management.
+    /// `#[inline(never)]` keeps its code out of the dispatcher's
+    /// instruction stream; it eagerly decodes the whole header, which is
+    /// fine off the common case.
+    #[inline(never)]
+    fn process_one_pkt_slow(&mut self, ty: PktType, tok: RxToken) {
+        self.stats.slow_path_entries += 1;
+        let hdr = {
+            let b = self.transport.rx_bytes(&tok);
+            PktHdr::decode_validated(b)
+        };
+        debug_assert_eq!(hdr.pkt_type, ty);
+        match ty {
             PktType::Req => self.server_rx_req(hdr, tok),
             PktType::Resp => self.client_rx_resp(hdr, tok),
             PktType::CreditReturn => self.client_rx_cr(hdr),
@@ -83,6 +123,207 @@ impl<T: Transport> Rpc<T> {
             PktType::Ping => self.rx_ping(hdr),
             PktType::Pong => self.rx_pong(hdr),
         }
+    }
+
+    /// §5.2 common-case fast path for a received request packet: connected
+    /// server session, new in-order single-packet request, dispatch-mode
+    /// handler, payload length consistent with the header — the handler
+    /// runs inline on the RX-ring bytes and the response is installed and
+    /// queued in the same pass. Returns `false` (having mutated *nothing*)
+    /// when any entry condition fails; the general path then re-dispatches
+    /// the packet from scratch.
+    fn server_rx_req_fast(&mut self, tok: &RxToken) -> bool {
+        if !self.cfg.opt_zero_copy_rx {
+            return false;
+        }
+        let dpp = self.dpp;
+        let (dest, req_num, msg_size, req_type, pkt_num, ecn, payload_len) = {
+            let b = self.transport.rx_bytes(tok);
+            let v = PktHdrView::trusted(b);
+            (
+                v.dest_session(),
+                v.req_num(),
+                v.msg_size() as usize,
+                v.req_type(),
+                v.pkt_num(),
+                v.ecn(),
+                b.len() - PKT_HDR_SIZE,
+            )
+        };
+        // Entry conditions (§5.2), checked before any state changes: the
+        // up-front length check doubles as the malformed-payload guard.
+        if pkt_num != 0 || msg_size > dpp || payload_len != msg_size {
+            return false;
+        }
+        if !matches!(self.handlers[req_type as usize], HandlerEntry::Dispatch(_)) {
+            return false;
+        }
+        let Some(Some(sess)) = self.sessions.get_mut(dest as usize) else {
+            return false;
+        };
+        if sess.role != Role::Server {
+            return false;
+        }
+        let slot_idx = (req_num % sess.slots.len() as u64) as usize;
+        {
+            let s = sess.slots[slot_idx].server();
+            let is_new = s.req_num == u64::MAX || req_num > s.req_num;
+            if !is_new || matches!(s.phase, SrvPhase::Processing | SrvPhase::Receiving) {
+                return false;
+            }
+        }
+
+        // ── Commit: a healthy single-packet request on a live session. ──
+        sess.last_rx_ns = self.now_cache;
+        let remote = sess.remote_num;
+        let s = sess.slots[slot_idx].server_mut();
+        // The client only reuses a slot after completing its previous
+        // request; reclaim the previous response.
+        if let Some(old) = s.resp.take() {
+            if s.resp_is_prealloc {
+                s.prealloc = Some(old);
+            } else {
+                self.pool.free(old);
+            }
+        }
+        s.phase = SrvPhase::Processing;
+        s.req_num = req_num;
+        s.req_type = req_type;
+        s.req_rcvd = 1;
+        s.req_total = 1;
+        s.resp_ecn = ecn;
+        let prealloc = s.prealloc.take();
+        self.stats.handlers_invoked += 1;
+        self.work.callbacks += 1;
+        let handle = DeferredHandle {
+            sess: dest,
+            slot: slot_idx as u8,
+            req_num,
+        };
+
+        // Run the handler inline on the RX-ring bytes (§4.2.3).
+        let this = &mut *self;
+        let mut ctx = ReqContext {
+            pool: &mut this.pool,
+            ops: &mut this.pending_ops,
+            prealloc,
+            prealloc_enabled: this.cfg.opt_preallocated_responses,
+            resp_built: None,
+            deferred: false,
+            handle,
+            max_msg_size: this.cfg.max_msg_size,
+        };
+        let HandlerEntry::Dispatch(f) = &mut this.handlers[req_type as usize] else {
+            unreachable!("handler entry checked above")
+        };
+        let payload = &this.transport.rx_bytes(tok)[PKT_HDR_SIZE..];
+        f(&mut ctx, payload);
+        let ReqContext {
+            prealloc,
+            resp_built,
+            deferred,
+            ..
+        } = ctx;
+        let s = this.sessions[dest as usize].as_mut().unwrap().slots[slot_idx].server_mut();
+        s.prealloc = prealloc;
+        match resp_built {
+            Some((mut buf, is_prealloc)) => {
+                // Install + header template + queue inline, with the slot
+                // borrow already in hand (no helper re-lookups): the §5.2
+                // "enqueue the response in the same pass" tail.
+                let hdr = PktHdr {
+                    pkt_type: PktType::Resp,
+                    ecn,
+                    req_type,
+                    dest_session: remote,
+                    msg_size: buf.len() as u32,
+                    req_num,
+                    pkt_num: 0,
+                };
+                buf.write_hdr_template(&hdr);
+                s.resp = Some(buf);
+                s.resp_is_prealloc = is_prealloc;
+                s.phase = SrvPhase::Responding;
+                self.queue_tx(super::TxDesc::SrvResp {
+                    sess: dest,
+                    slot: slot_idx as u8,
+                    req_num,
+                    pkt: 0,
+                });
+            }
+            None => {
+                assert!(
+                    deferred,
+                    "dispatch handler must respond() or defer() (req_type {req_type})"
+                );
+                // Stays Processing until enqueue_response.
+            }
+        }
+        true
+    }
+
+    /// §5.2 common-case fast path for a received response packet: current
+    /// slot, first-and-only response packet, fits the application buffer,
+    /// payload length consistent with the header — copied out, credits
+    /// returned, completion invoked, all in one pass. Returns `false`
+    /// (having mutated nothing) when any condition fails.
+    fn client_rx_resp_fast(&mut self, tok: &RxToken) -> bool {
+        let dpp = self.dpp;
+        let (dest, req_num, msg_size, pkt_num, ecn, payload_len) = {
+            let b = self.transport.rx_bytes(tok);
+            let v = PktHdrView::trusted(b);
+            (
+                v.dest_session(),
+                v.req_num(),
+                v.msg_size() as usize,
+                v.pkt_num(),
+                v.ecn(),
+                b.len() - PKT_HDR_SIZE,
+            )
+        };
+        if pkt_num != 0 || msg_size > dpp || payload_len != msg_size {
+            return false;
+        }
+        let Some(Some(sess)) = self.sessions.get(dest as usize) else {
+            return false;
+        };
+        if sess.role != Role::Client || sess.state != SessionState::Connected {
+            return false;
+        }
+        let slot_idx = (req_num % sess.slots.len() as u64) as usize;
+        {
+            let c = sess.slots[slot_idx].client();
+            if !c.active || c.req_num != req_num || c.resp_rcvd != 0 || c.num_rx >= c.req_total {
+                return false;
+            }
+            if msg_size > c.resp.as_ref().unwrap().capacity() {
+                return false; // MsgTooLarge completion is the general path's job
+            }
+        }
+
+        // ── Commit: the response, whole, in one packet. ──
+        let now = self.pkt_now();
+        let this = &mut *self;
+        let sess = this.sessions[dest as usize].as_mut().unwrap();
+        sess.last_rx_ns = this.now_cache;
+        let c = sess.slots[slot_idx].client_mut();
+        let rtt = c.rtt_sample(c.req_total - 1, now);
+        let returned = c.req_total - c.num_rx;
+        c.num_rx = c.req_total;
+        c.resp_total = 1;
+        c.resp_rcvd = 1;
+        c.last_progress_ns = now;
+        c.retries = 0;
+        let resp_buf = c.resp.as_mut().unwrap();
+        resp_buf.resize(msg_size);
+        let payload = &this.transport.rx_bytes(tok)[PKT_HDR_SIZE..];
+        resp_buf.write_pkt_data(0, payload);
+        sess.credits += returned;
+        this.cc_on_ack(dest, rtt, ecn, now);
+        // `done()` holds by construction (num_rx == req_total, resp_total
+        // == 1): complete straight into the continuation.
+        this.complete_slot(dest, slot_idx, Ok(()));
+        true
     }
 
     pub(super) fn touch_session_rx(&mut self, sess_idx: u16) {
@@ -398,7 +639,7 @@ impl<T: Transport> Rpc<T> {
             s.req_type = hdr.req_type;
             s.req_rcvd = 0;
             s.req_total = req_pkts;
-            s.echo_ecn = false;
+            s.resp_ecn = false;
             if req_pkts > 1 {
                 let mut buf = self.pool.alloc(hdr.msg_size as usize);
                 buf.resize(hdr.msg_size as usize);
@@ -499,7 +740,7 @@ impl<T: Transport> Rpc<T> {
         }
         if hdr.ecn {
             let s = self.sessions[sess_idx as usize].as_mut().unwrap().slots[slot_idx].server_mut();
-            s.echo_ecn = true;
+            s.resp_ecn = true;
         }
 
         // Last packet: the request is complete once req_rcvd == req_total.
@@ -644,7 +885,10 @@ impl<T: Transport> Rpc<T> {
             }
         };
         match after {
-            After::SendRespPkt0 => self.tx_resp_pkt(sess_idx, slot_idx, 0),
+            After::SendRespPkt0 => {
+                self.write_resp_hdr_template(sess_idx, slot_idx);
+                self.tx_resp_pkt(sess_idx, slot_idx, 0)
+            }
             After::RespondEmpty => {
                 let _ = self.finish_response(handle, &[]);
             }
@@ -685,6 +929,7 @@ impl<T: Transport> Rpc<T> {
         slot.resp = Some(buf);
         slot.resp_is_prealloc = is_prealloc;
         slot.phase = SrvPhase::Responding;
+        self.write_resp_hdr_template(handle.sess, handle.slot as usize);
         self.tx_resp_pkt(handle.sess, handle.slot as usize, 0);
         Ok(())
     }
@@ -716,6 +961,7 @@ impl<T: Transport> Rpc<T> {
         slot.resp = Some(resp);
         slot.resp_is_prealloc = false;
         slot.phase = SrvPhase::Responding;
+        self.write_resp_hdr_template(handle.sess, handle.slot as usize);
         self.tx_resp_pkt(handle.sess, handle.slot as usize, 0);
         Ok(())
     }
@@ -779,8 +1025,13 @@ impl<T: Transport> Rpc<T> {
         while !self.pending_ops.is_empty() {
             guard += 1;
             assert!(guard < 1_000_000, "callback op livelock");
-            let ops = std::mem::take(&mut self.pending_ops);
-            for op in ops {
+            // Two capacity-retaining buffers rotate: the drained batch and
+            // the list callbacks push follow-up ops into. A take-and-drop
+            // here would free and re-grow the ops Vec every pass — a heap
+            // round trip per event loop on the closed-loop common case.
+            let mut ops =
+                std::mem::replace(&mut self.pending_ops, std::mem::take(&mut self.ops_scratch));
+            for op in ops.drain(..) {
                 match op {
                     QueuedOp::Request {
                         sess,
@@ -810,6 +1061,7 @@ impl<T: Transport> Rpc<T> {
                     }
                 }
             }
+            self.ops_scratch = ops;
         }
     }
 }

@@ -93,6 +93,7 @@ impl<T: Transport> Rpc<T> {
             self.now_cache,
         );
         self.sessions[num as usize] = Some(sess);
+        self.live_session_count += 1;
         self.connect_map.insert(key, num);
         let resp = ConnectResp {
             client_session: body.client_session,
@@ -184,6 +185,7 @@ impl<T: Transport> Rpc<T> {
         }
         // Return slot msgbufs (none should be active) and free.
         self.sessions[hdr.dest_session as usize] = None;
+        self.live_session_count -= 1;
     }
 
     pub(super) fn rx_ping(&mut self, hdr: PktHdr) {
@@ -202,6 +204,7 @@ impl<T: Transport> Rpc<T> {
 
     pub(super) fn free_server_session(&mut self, idx: u16) {
         if let Some(sess) = self.sessions[idx as usize].take() {
+            self.live_session_count -= 1;
             self.connect_map.remove(&(sess.peer.key(), sess.remote_num));
             for slot in sess.slots {
                 if let Slot::Server(mut s) = slot {
@@ -300,6 +303,7 @@ impl<T: Transport> Rpc<T> {
                     if now.saturating_sub(sess.last_ping_tx_ns) >= self.cfg.failure_timeout_ns {
                         self.stats.sessions_failed += 1;
                         self.sessions[idx as usize] = None;
+                        self.live_session_count -= 1;
                     } else if now.saturating_sub(sess.connect_sent_ns) >= self.cfg.connect_retry_ns
                     {
                         self.tx_disconnect_req(idx);

@@ -156,22 +156,29 @@ impl<T: Transport> Rpc<T> {
                             self.stats.clock_reads += 1;
                             self.transport.now_ns()
                         };
+                        let hdr_template = self.cfg.opt_hdr_template;
                         let sess_ref = self.sessions[*sess as usize].as_mut().unwrap();
                         let remote = sess_ref.remote_num;
                         let c = sess_ref.slots[*slot as usize].client_mut();
                         c.stamp_tx(*seq, t);
                         if *seq < c.req_total {
-                            let req = c.req.as_mut().unwrap();
-                            let hdr = PktHdr {
-                                pkt_type: PktType::Req,
-                                ecn: false,
-                                req_type: c.req_type,
-                                dest_session: remote,
-                                msg_size: req.len() as u32,
-                                req_num: *req_num,
-                                pkt_num: *seq as u16,
-                            };
-                            req.write_hdr(*seq as usize, &hdr);
+                            // Header-template fast path: the full wire
+                            // header (incl. this packet's `pkt_num`) was
+                            // written once at `start_request`; transmission
+                            // and every retransmission reuse it untouched.
+                            if !hdr_template {
+                                let req = c.req.as_mut().unwrap();
+                                let hdr = PktHdr {
+                                    pkt_type: PktType::Req,
+                                    ecn: false,
+                                    req_type: c.req_type,
+                                    dest_session: remote,
+                                    msg_size: req.len() as u32,
+                                    req_num: *req_num,
+                                    pkt_num: *seq as u16,
+                                };
+                                req.write_hdr(*seq as usize, &hdr);
+                            }
                             TxResolved::Data
                         } else {
                             let p = *seq - c.req_total + 1;
@@ -201,34 +208,32 @@ impl<T: Transport> Rpc<T> {
                         self.stats.tx_stale_dropped += 1;
                         TxResolved::Skip
                     } else {
-                        let sess_ref = self.sessions[*sess as usize].as_mut().unwrap();
-                        let remote = sess_ref.remote_num;
-                        let srv = sess_ref.slots[*slot as usize].server_mut();
-                        let echo_ecn = std::mem::take(&mut srv.echo_ecn);
-                        let resp = srv.resp.as_mut().unwrap();
-                        let mut hdr = PktHdr {
-                            pkt_type: PktType::Resp,
-                            ecn: echo_ecn,
-                            req_type: srv.req_type,
-                            dest_session: remote,
-                            msg_size: resp.len() as u32,
-                            req_num: *req_num,
-                            pkt_num: *pkt,
-                        };
-                        // Duplicate descriptors for the same response packet
-                        // (retransmitted request + lost first response) share
-                        // this header region. The first took `echo_ecn`; a
-                        // later rewrite must not clear its ECN mark before
-                        // the batch has even left — keep the mark sticky when
-                        // the in-place header is this same packet.
-                        if !hdr.ecn {
-                            if let Ok(prev) = PktHdr::decode(resp.tx_view(*pkt as usize).0) {
-                                if prev.ecn && (PktHdr { ecn: false, ..prev }) == hdr {
-                                    hdr.ecn = true;
-                                }
-                            }
+                        // With header templates on there is nothing to do:
+                        // the full header (incl. the slot's explicit
+                        // `resp_ecn` echo state) was written once when the
+                        // response was installed. Without templates, build
+                        // and encode the header per packet from the same
+                        // explicit state — either way the old "re-decode
+                        // the in-place header to keep a taken ECN mark
+                        // sticky" hack is gone.
+                        if !self.cfg.opt_hdr_template {
+                            let sess_ref = self.sessions[*sess as usize].as_mut().unwrap();
+                            let remote = sess_ref.remote_num;
+                            let srv = sess_ref.slots[*slot as usize].server_mut();
+                            let ecn = srv.resp_ecn;
+                            let req_type = srv.req_type;
+                            let resp = srv.resp.as_mut().unwrap();
+                            let hdr = PktHdr {
+                                pkt_type: PktType::Resp,
+                                ecn,
+                                req_type,
+                                dest_session: remote,
+                                msg_size: resp.len() as u32,
+                                req_num: *req_num,
+                                pkt_num: *pkt,
+                            };
+                            resp.write_hdr(*pkt as usize, &hdr);
                         }
-                        resp.write_hdr(*pkt as usize, &hdr);
                         TxResolved::Resp
                     }
                 }
@@ -247,16 +252,24 @@ impl<T: Transport> Rpc<T> {
             hdr: &[],
             data: &[],
         };
-        // Single-descriptor flushes (the `opt_tx_batching = false` ablation
-        // flushes per packet) use a 1-element buffer so the per-packet path
-        // does not pay the full chunk's initialization.
-        let (mut chunk1, mut chunk64);
-        let chunk: &mut [TxPacket<'_>] = if self.tx_queue.len() == 1 {
-            chunk1 = [empty; 1];
-            &mut chunk1
-        } else {
-            chunk64 = [empty; TX_CHUNK];
-            &mut chunk64
+        // The chunk is sized to the batch (1 / 8 / 64): the common small
+        // batch (a handful of packets per event-loop pass) must not pay
+        // the full 64-entry chunk's initialization, and the per-packet
+        // ablation (`opt_tx_batching = false`) pays for exactly one.
+        let (mut chunk1, mut chunk8, mut chunk64);
+        let chunk: &mut [TxPacket<'_>] = match self.tx_queue.len() {
+            1 => {
+                chunk1 = [empty; 1];
+                &mut chunk1
+            }
+            2..=8 => {
+                chunk8 = [empty; 8];
+                &mut chunk8
+            }
+            _ => {
+                chunk64 = [empty; TX_CHUNK];
+                &mut chunk64
+            }
         };
         let mut n = 0usize;
         let mut sent = 0usize;
@@ -359,6 +372,34 @@ impl<T: Transport> Rpc<T> {
         });
     }
 
+    /// Write the header template for a freshly installed response (§5.2):
+    /// one encode covering every response packet, with the slot's explicit
+    /// `resp_ecn` echo state baked in. Called exactly once per response,
+    /// at install time (`phase → Responding`); every transmission and
+    /// retransmission of any response packet then reuses these bytes.
+    pub(super) fn write_resp_hdr_template(&mut self, sess_idx: u16, slot_idx: usize) {
+        if !self.cfg.opt_hdr_template {
+            return;
+        }
+        let sess = self.sessions[sess_idx as usize].as_mut().unwrap();
+        let remote = sess.remote_num;
+        let srv = sess.slots[slot_idx].server_mut();
+        let ecn = srv.resp_ecn;
+        let req_type = srv.req_type;
+        let req_num = srv.req_num;
+        let resp = srv.resp.as_mut().expect("installed response");
+        let hdr = PktHdr {
+            pkt_type: PktType::Resp,
+            ecn,
+            req_type,
+            dest_session: remote,
+            msg_size: resp.len() as u32,
+            req_num,
+            pkt_num: 0,
+        };
+        resp.write_hdr_template(&hdr);
+    }
+
     /// Queue response packet `p` of a server slot (unpaced: servers are
     /// passive, §5). The header is written and the msgbuf view taken at
     /// drain time, so a slot reused before the drain drops the packet.
@@ -391,23 +432,85 @@ impl<T: Transport> Rpc<T> {
                     continue;
                 }
             }
-            // Transmit pending sequences, round-robin across slots.
+            // Transmit pending sequences, slot by slot. The common case —
+            // pacer bypassed (§5.2.2 opt 2) — takes one slot borrow and
+            // one credit/counter update for the slot's whole transmittable
+            // window, then queues the descriptors; only the paced path
+            // pays the per-sequence reservation arithmetic.
+            enum Act {
+                Bulk {
+                    first: u32,
+                    n: u32,
+                    req_num: u64,
+                    epoch: u32,
+                },
+                Paced {
+                    seq: u32,
+                },
+                Done,
+            }
             let mut sent_any = false;
             for slot_idx in 0..n_slots {
                 loop {
-                    let sess = self.sessions[sess_idx as usize].as_mut().unwrap();
-                    if sess.credits == 0 {
-                        break;
+                    let uncontrolled = matches!(self.cfg.cc, CcAlgorithm::None);
+                    let bypass_ok = self.cfg.opt_rate_limiter_bypass;
+                    let act = {
+                        let sess = self.sessions[sess_idx as usize].as_mut().unwrap();
+                        let credits = sess.credits;
+                        if credits == 0 {
+                            Act::Done
+                        } else {
+                            let bypass = uncontrolled || (bypass_ok && sess.cc.is_uncongested());
+                            let c = sess.slots[slot_idx].client_mut();
+                            let target = c.tx_target();
+                            if !c.active || c.num_tx >= target {
+                                Act::Done
+                            } else if bypass {
+                                let first = c.num_tx;
+                                let n = (target - first).min(credits);
+                                let (req_num, epoch) = (c.req_num, c.tx_epoch);
+                                c.num_tx += n;
+                                sess.credits -= n;
+                                Act::Bulk {
+                                    first,
+                                    n,
+                                    req_num,
+                                    epoch,
+                                }
+                            } else {
+                                let seq = c.num_tx;
+                                c.num_tx += 1;
+                                sess.credits -= 1;
+                                Act::Paced { seq }
+                            }
+                        }
+                    };
+                    match act {
+                        Act::Done => break,
+                        Act::Bulk {
+                            first,
+                            n,
+                            req_num,
+                            epoch,
+                        } => {
+                            self.stats.pkts_bypassed_pacer += n as u64;
+                            for seq in first..first + n {
+                                self.queue_tx(TxDesc::ClientSeq {
+                                    sess: sess_idx,
+                                    slot: slot_idx as u8,
+                                    req_num,
+                                    epoch,
+                                    seq,
+                                });
+                            }
+                            sent_any = true;
+                            break; // window exhausted for this slot
+                        }
+                        Act::Paced { seq } => {
+                            self.pace_or_send(sess_idx, slot_idx, seq);
+                            sent_any = true;
+                        }
                     }
-                    let c = sess.slots[slot_idx].client_mut();
-                    if !c.active || c.num_tx >= c.tx_target() {
-                        break;
-                    }
-                    let seq = c.num_tx;
-                    c.num_tx += 1;
-                    sess.credits -= 1;
-                    self.pace_or_send(sess_idx, slot_idx, seq);
-                    sent_any = true;
                 }
             }
             if !sent_any {
@@ -423,7 +526,9 @@ impl<T: Transport> Rpc<T> {
     fn start_request(&mut self, sess_idx: u16, slot_idx: usize, p: PendingReq) {
         let now = self.now_cache;
         let dpp = self.dpp;
+        let hdr_template = self.cfg.opt_hdr_template;
         let sess = self.sessions[sess_idx as usize].as_mut().unwrap();
+        let remote = sess.remote_num;
         let c = sess.slots[slot_idx].client_mut();
         debug_assert!(!c.active);
         c.active = true;
@@ -446,6 +551,23 @@ impl<T: Transport> Rpc<T> {
         c.resp_total = 0;
         c.last_progress_ns = now;
         c.retries = 0;
+        // Header templates (§5.2): every field of every request packet's
+        // header is known right here — write them all once. Transmission
+        // and go-back-N retransmission then touch no header bytes at all
+        // (request headers never change; responses patch ECN only).
+        if hdr_template {
+            let req = c.req.as_mut().unwrap();
+            let hdr = PktHdr {
+                pkt_type: PktType::Req,
+                ecn: false,
+                req_type: p.req_type,
+                dest_session: remote,
+                msg_size: req.len() as u32,
+                req_num: c.req_num,
+                pkt_num: 0,
+            };
+            req.write_hdr_template(&hdr);
+        }
     }
 
     /// Send TX sequence `seq` of a slot now, or schedule it in the pacing

@@ -212,10 +212,14 @@ pub(crate) struct ServerSlot {
     pub resp_is_prealloc: bool,
     /// MTU-sized preallocated response buffer (§4.3 optimization).
     pub prealloc: Option<MsgBuf>,
-    /// An ECN mark arrived on a request packet that gets no CR (e.g. the
-    /// last one): echo it on the next response packet so the client's
-    /// DCQCN sees the congestion notification.
-    pub echo_ecn: bool,
+    /// Explicit per-slot ECN echo state: an ECN mark arrived on a request
+    /// packet that gets no CR (e.g. the last one), so the response packets
+    /// for this request carry the mark back to the client's DCQCN. Set
+    /// while the request is received, cleared when a new request takes the
+    /// slot, and baked into the response's header template at install
+    /// time — retransmitted response packets re-carry the echo with no
+    /// header re-diffing.
+    pub resp_ecn: bool,
 }
 
 impl ServerSlot {
@@ -230,7 +234,7 @@ impl ServerSlot {
             resp: None,
             resp_is_prealloc: false,
             prealloc: Some(prealloc),
-            echo_ecn: false,
+            resp_ecn: false,
         }
     }
 }

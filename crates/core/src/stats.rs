@@ -26,6 +26,15 @@ pub struct RpcStats {
     /// Received packets dropped as stale/out-of-order (§5.3 treats
     /// reordering as loss).
     pub rx_dropped_stale: u64,
+    /// Data packets fully handled by the §5.2 common-case fast path
+    /// (in-order single-packet request/response on a healthy session,
+    /// zero-decode dispatch, response enqueued in the same pass).
+    pub fast_path_hits: u64,
+    /// Packets that entered the cold general path (multi-packet, reorder,
+    /// retransmit, management, or `opt_hdr_template` off). With the fast
+    /// path on, `fast_path_hits / (fast_path_hits + slow_path_entries)`
+    /// is the steady-state hit rate — the bench smoke run asserts ≥99%.
+    pub slow_path_entries: u64,
     /// Go-back-N rollbacks (retransmission events).
     pub retransmissions: u64,
     /// TX DMA queue flushes (rare path, §4.2.2).
@@ -80,6 +89,8 @@ impl RpcStats {
             mgmt_pkts_tx,
             pkts_rx,
             rx_dropped_stale,
+            fast_path_hits,
+            slow_path_entries,
             retransmissions,
             tx_flushes,
             tx_bursts,
@@ -105,6 +116,8 @@ impl RpcStats {
         self.mgmt_pkts_tx += mgmt_pkts_tx;
         self.pkts_rx += pkts_rx;
         self.rx_dropped_stale += rx_dropped_stale;
+        self.fast_path_hits += fast_path_hits;
+        self.slow_path_entries += slow_path_entries;
         self.retransmissions += retransmissions;
         self.tx_flushes += tx_flushes;
         self.tx_bursts += tx_bursts;

@@ -195,6 +195,118 @@ fn client_drops_forged_response_payloads() {
     assert_eq!(done.get(), Some(1500), "call completes after recovery");
 }
 
+/// Fast-path up-front check (§5.2): with `opt_hdr_template` on (the
+/// default), malformed packets — bad magic, short header, unknown type,
+/// payload inconsistent with the header — are rejected by the dispatcher's
+/// single validity check or the fast path's entry conditions, land in
+/// `rx_dropped_stale`, and never count as fast-path hits; a well-formed
+/// request right after still takes the fast path.
+#[test]
+fn malformed_packets_dropped_by_fast_path_upfront_check() {
+    let fabric = MemFabric::new(MemFabricConfig::default());
+    let mut server = Rpc::new(fabric.create_transport(Addr::new(0, 0)), cfg());
+    assert!(server.config().opt_hdr_template, "fast path must be on");
+    server.register_request_handler(3, Box::new(|ctx, req| ctx.respond(req)));
+    let fake_addr = Addr::new(9, 0);
+    let mut fake = fabric.create_transport(fake_addr);
+
+    // Handshake from the fake client.
+    let mut creq_body = Vec::new();
+    ConnectReq {
+        client_addr: fake_addr,
+        client_session: 0,
+        credits: 32,
+        num_slots: 8,
+    }
+    .encode(&mut creq_body);
+    send(
+        &mut fake,
+        server.addr(),
+        &PktHdr::control(PktType::ConnectReq, u16::MAX, 0, 0),
+        &creq_body,
+    );
+    let srv_sess = loop {
+        server.run_event_loop_once();
+        let pkts = recv_all(&mut fake);
+        if let Some((_, body)) = pkts
+            .iter()
+            .find(|(h, _)| h.pkt_type == PktType::ConnectResp)
+        {
+            break ConnectResp::decode(body).unwrap().server_session;
+        }
+    };
+
+    let good = PktHdr {
+        pkt_type: PktType::Req,
+        ecn: false,
+        req_type: 3,
+        dest_session: srv_sess,
+        msg_size: 8,
+        req_num: 0,
+        pkt_num: 0,
+    };
+    let dropped_before = server.stats().rx_dropped_stale;
+    let hits_before = server.stats().fast_path_hits;
+
+    // (1) Bad magic: a valid header whose magic bits are zeroed.
+    let mut bad_magic = good.encode();
+    bad_magic[0] &= 0x1F;
+    fake.tx_burst(&[TxPacket {
+        dst: server.addr(),
+        hdr: &bad_magic,
+        data: &[0xAA; 8],
+    }]);
+    // (2) Short header: fewer than 16 bytes on the wire.
+    fake.tx_burst(&[TxPacket {
+        dst: server.addr(),
+        hdr: &good.encode()[..7],
+        data: &[],
+    }]);
+    // (3) Unknown packet type with intact magic.
+    let mut bad_type = good.encode();
+    bad_type[0] = (bad_type[0] & 0xF0) | 0x0F;
+    fake.tx_burst(&[TxPacket {
+        dst: server.addr(),
+        hdr: &bad_type,
+        data: &[0xAA; 8],
+    }]);
+    // (4) Inconsistent length: msg_size says 8, payload carries 100.
+    send(&mut fake, server.addr(), &good, &[0xAA; 100]);
+    for _ in 0..10 {
+        server.run_event_loop_once();
+    }
+    assert_eq!(
+        server.stats().rx_dropped_stale,
+        dropped_before + 4,
+        "all four malformed shapes must land in rx_dropped_stale"
+    );
+    assert_eq!(
+        server.stats().fast_path_hits,
+        hits_before,
+        "malformed packets must never count as fast-path hits"
+    );
+    assert_eq!(server.stats().handlers_invoked, 0);
+
+    // A well-formed request right after is served — on the fast path. A
+    // fresh req_num (slot 1): the inconsistent-length packet above carried
+    // a valid header, so it legitimately moved slot 0 into `Receiving`
+    // before its payload check dropped it, and that slot now rightly
+    // belongs to the general path.
+    let good2 = PktHdr { req_num: 1, ..good };
+    send(&mut fake, server.addr(), &good2, &[0xAB; 8]);
+    loop {
+        server.run_event_loop_once();
+        let pkts = recv_all(&mut fake);
+        if let Some((h, body)) = pkts.iter().find(|(h, _)| h.pkt_type == PktType::Resp) {
+            assert_eq!(h.msg_size, 8);
+            assert_eq!(body, &[0xAB; 8]);
+            break;
+        }
+    }
+    assert_eq!(server.stats().fast_path_hits, hits_before + 1);
+    assert_eq!(server.stats().handlers_invoked, 1);
+}
+
 /// Forged *request* packets at a real server: a continuation packet whose
 /// payload exceeds the expected chunk used to overrun the request
 /// assembly buffer; single-packet requests with payload ≠ msg_size are

@@ -134,6 +134,13 @@ pub struct TransportStats {
     pub rx_drop_truncated: u64,
     /// `tx_flush` invocations (rare path: retransmission / failure).
     pub tx_flushes: u64,
+    /// Kernel send syscalls issued (socket transports only). With
+    /// syscall batching one `sendmmsg` covers a whole TX burst, so this
+    /// grows per *burst*, not per packet.
+    pub tx_syscalls: u64,
+    /// Kernel receive syscalls issued (socket transports only). With
+    /// syscall batching one `recvmmsg` claims a whole RX burst.
+    pub rx_syscalls: u64,
 }
 
 #[cfg(test)]

@@ -11,7 +11,7 @@
 use std::cell::Cell;
 use std::rc::Rc;
 
-use erpc::pkthdr::{PktHdr, PktType};
+use erpc::pkthdr::{patch_ecn, patch_pkt_num, PktHdr, PktHdrView, PktType, ECN_MASK};
 use erpc::{Rpc, RpcConfig};
 use erpc_transport::codec::{ByteReader, ByteWriter};
 use erpc_transport::{Addr, MemFabric, MemFabricConfig};
@@ -136,6 +136,133 @@ fn pkthdr_roundtrip() {
             pkt_num: rng.gen::<u16>(),
         };
         assert_eq!(PktHdr::decode(&hdr.encode()).unwrap(), hdr);
+    }
+}
+
+fn random_hdr(rng: &mut SmallRng) -> PktHdr {
+    let pkt_type = match rng.gen_range(0u8..10) {
+        0 => PktType::Req,
+        1 => PktType::Resp,
+        2 => PktType::CreditReturn,
+        3 => PktType::Rfr,
+        4 => PktType::ConnectReq,
+        5 => PktType::ConnectResp,
+        6 => PktType::DisconnectReq,
+        7 => PktType::DisconnectResp,
+        8 => PktType::Ping,
+        _ => PktType::Pong,
+    };
+    PktHdr {
+        pkt_type,
+        ecn: rng.gen::<bool>(),
+        req_type: rng.gen::<u8>(),
+        dest_session: rng.gen::<u16>(),
+        msg_size: rng.gen_range(0u32..=(8 << 20)),
+        req_num: rng.gen_range(0u64..(1 << 48)),
+        pkt_num: rng.gen::<u16>(),
+    }
+}
+
+/// §5.2 header-template property: for any header and any sequence of
+/// per-packet patches (pkt_num pokes, ECN pokes), the patched template
+/// bytes are *identical* to a fresh full `encode` of the equivalently
+/// mutated struct. This is what lets the TX path write headers once and
+/// never re-encode.
+#[test]
+fn hdr_template_patch_equals_fresh_encode() {
+    let mut rng = SmallRng::seed_from_u64(0x7E391A7E);
+    for _ in 0..2000 {
+        let mut hdr = random_hdr(&mut rng);
+        let mut bytes = hdr.encode();
+        for _ in 0..rng.gen_range(1usize..8) {
+            if rng.gen::<bool>() {
+                let p = rng.gen::<u16>();
+                patch_pkt_num(&mut bytes, p);
+                hdr.pkt_num = p;
+            } else {
+                let e = rng.gen::<bool>();
+                patch_ecn(&mut bytes, e);
+                hdr.ecn = e;
+            }
+            assert_eq!(bytes, hdr.encode(), "patched bytes diverged for {hdr:?}");
+        }
+    }
+}
+
+/// Whole-msgbuf variant: `write_hdr_template` across a multi-packet
+/// message must byte-for-byte equal per-packet `write_hdr` encodes, and
+/// per-packet ECN pokes must stay equivalent to re-encodes.
+#[test]
+fn msgbuf_template_equals_per_packet_encodes() {
+    let mut rng = SmallRng::seed_from_u64(0x7E3B0F);
+    for _ in 0..300 {
+        let dpp = *[512usize, 1024, 4096]
+            .get(rng.gen_range(0usize..3))
+            .unwrap();
+        let size = rng.gen_range(0usize..20_000);
+        let mut pool = erpc::BufPool::new(dpp);
+        let mut a = pool.alloc(size);
+        let mut b = pool.alloc(size);
+        let payload: Vec<u8> = (0..size).map(|i| (i % 253) as u8).collect();
+        a.fill(&payload);
+        b.fill(&payload);
+        let mut hdr = random_hdr(&mut rng);
+        hdr.msg_size = size as u32;
+        a.write_hdr_template(&hdr);
+        for i in 0..a.num_pkts() {
+            hdr.pkt_num = i as u16;
+            b.write_hdr(i, &hdr);
+            assert_eq!(a.hdr_bytes(i), b.hdr_bytes(i), "pkt {i} of {size} B");
+        }
+        // Random ECN pokes stay equivalent.
+        for _ in 0..4 {
+            let i = rng.gen_range(0usize..a.num_pkts());
+            let e = rng.gen::<bool>();
+            a.patch_hdr_ecn(i, e);
+            hdr.pkt_num = i as u16;
+            hdr.ecn = e;
+            b.write_hdr(i, &hdr);
+            assert_eq!(a.hdr_bytes(i), b.hdr_bytes(i));
+        }
+        assert_eq!(a.data(), &payload[..], "templates must not touch data");
+    }
+}
+
+/// Zero-decode RX view property: for any encoded header — including ones
+/// whose ECN bit a switch flipped in flight — every lazy accessor agrees
+/// with the eager `PktHdr::decode`, and the view's up-front validity
+/// check accepts exactly what `decode` accepts.
+#[test]
+fn hdr_view_agrees_with_decode() {
+    let mut rng = SmallRng::seed_from_u64(0x71E3D0DE);
+    for _ in 0..2000 {
+        let hdr = random_hdr(&mut rng);
+        let mut bytes = hdr.encode();
+        if rng.gen::<bool>() {
+            bytes[0] |= ECN_MASK; // switch marks the packet in flight
+        }
+        let decoded = PktHdr::decode(&bytes).unwrap();
+        let (v, ty) = PktHdrView::parse(&bytes).expect("valid header must parse");
+        assert_eq!(ty, decoded.pkt_type);
+        assert_eq!(v.pkt_type(), decoded.pkt_type);
+        assert_eq!(v.ecn(), decoded.ecn);
+        assert_eq!(v.req_type(), decoded.req_type);
+        assert_eq!(v.dest_session(), decoded.dest_session);
+        assert_eq!(v.msg_size(), decoded.msg_size);
+        assert_eq!(v.req_num(), decoded.req_num);
+        assert_eq!(v.pkt_num(), decoded.pkt_num);
+        assert_eq!(v.to_hdr(), decoded);
+    }
+    // Garbage agreement: the view's single up-front check rejects exactly
+    // the inputs the eager decode rejects (short, bad magic, bad type).
+    for _ in 0..5000 {
+        let len = rng.gen_range(0usize..64);
+        let bytes: Vec<u8> = (0..len).map(|_| rng.gen::<u8>()).collect();
+        assert_eq!(
+            PktHdrView::parse(&bytes).is_some(),
+            PktHdr::decode(&bytes).is_ok(),
+            "view/decode validity disagreement on {bytes:?}"
+        );
     }
 }
 

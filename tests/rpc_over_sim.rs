@@ -29,6 +29,10 @@ impl driver::PolledEndpoint for Ep {
 }
 
 fn harness(faults: FaultConfig, rto_ns: u64) -> Harness {
+    harness_cfg(faults, rto_ns, true)
+}
+
+fn harness_cfg(faults: FaultConfig, rto_ns: u64, hdr_template: bool) -> Harness {
     let mut cfg = Cluster::Cx4.config();
     cfg.topology = Topology::SingleSwitch { hosts: 2 };
     cfg.faults = faults;
@@ -36,6 +40,7 @@ fn harness(faults: FaultConfig, rto_ns: u64) -> Harness {
     let rpc_cfg = RpcConfig {
         ping_interval_ns: 0,
         rto_ns,
+        opt_hdr_template: hdr_template,
         ..RpcConfig::default()
     };
     let mut server = Rpc::new(
@@ -137,6 +142,73 @@ fn reordering_treated_as_loss() {
     let stale = h.eps[0].rpc.stats().rx_dropped_stale + h.eps[1].rpc.stats().rx_dropped_stale;
     assert!(stale > 0, "reordered packets must be dropped (§5.3)");
     assert_eq!(h.eps[0].rpc.stats().handlers_invoked, 10);
+}
+
+/// Run the adverse-network suites (loss, reorder, heavy retransmit) with
+/// `opt_hdr_template` on and off and compare: the fast/slow-path split
+/// must be behaviorally invisible. In deterministic virtual time the two
+/// runs must produce *identical* completions, handler invocations,
+/// retransmissions, and stale-drop counts — the knob may only change CPU
+/// cost, never a protocol decision.
+fn equivalence_case(faults: FaultConfig, n: u64, size: usize, budget: u64) {
+    let run = |tmpl: bool| {
+        let mut h = harness_cfg(faults.clone(), 1_000_000, tmpl);
+        let retx = run_echos(&mut h, n, size, budget);
+        let srv = h.eps[0].rpc.stats();
+        let cli = h.eps[1].rpc.stats();
+        (
+            retx,
+            srv.handlers_invoked,
+            cli.responses_completed,
+            srv.rx_dropped_stale + cli.rx_dropped_stale,
+            cli.fast_path_hits + srv.fast_path_hits,
+        )
+    };
+    let on = run(true);
+    let off = run(false);
+    assert_eq!(
+        (on.0, on.1, on.2, on.3),
+        (off.0, off.1, off.2, off.3),
+        "fast path changed protocol behavior (retx, handlers, completions, stale drops)"
+    );
+    assert_eq!(off.4, 0, "knob off must never enter the fast path");
+    if size <= 1024 {
+        assert!(
+            on.4 > 0,
+            "small RPCs with the knob on must hit the fast path"
+        );
+    }
+}
+
+#[test]
+fn fast_slow_equivalence_under_loss() {
+    let faults = FaultConfig {
+        drop_prob: 0.05,
+        ..Default::default()
+    };
+    // Single-packet echoes (the fast path's case) and multi-packet ones.
+    equivalence_case(faults.clone(), 12, 32, 60_000_000_000);
+    equivalence_case(faults, 6, 4000, 60_000_000_000);
+}
+
+#[test]
+fn fast_slow_equivalence_under_reordering() {
+    let faults = FaultConfig {
+        reorder_prob: 0.05,
+        reorder_delay_ns: 30_000,
+        ..Default::default()
+    };
+    equivalence_case(faults.clone(), 12, 32, 60_000_000_000);
+    equivalence_case(faults, 6, 4000, 60_000_000_000);
+}
+
+#[test]
+fn fast_slow_equivalence_under_heavy_retransmission() {
+    let faults = FaultConfig {
+        drop_prob: 0.25,
+        ..Default::default()
+    };
+    equivalence_case(faults, 8, 2500, 120_000_000_000);
 }
 
 #[test]
