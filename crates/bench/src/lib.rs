@@ -23,6 +23,8 @@
 //! * `ERPC_BENCH_FULL=1` — run full-scale configurations (100-node
 //!   Figure 5, 100-way incast); several minutes.
 
+// This crate needs no unsafe code; keep it that way.
+#![forbid(unsafe_code)]
 pub mod experiments;
 pub mod multi_thread_cluster;
 pub mod sim_harness;

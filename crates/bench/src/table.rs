@@ -65,6 +65,8 @@ impl Table {
 
     /// Render to stdout.
     pub fn print(&self) {
+        // lint:allow(no-print): rendering paper tables to stdout is this
+        // type's documented job; the datapath never calls it.
         print!("{}", self.render());
     }
 }

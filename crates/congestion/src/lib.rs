@@ -19,6 +19,8 @@
 //!   is O(1) insertion and reaping with a bounded scheduling horizon, which
 //!   is what lets software pacing scale to thousands of sessions.
 
+// This crate needs no unsafe code; keep it that way.
+#![forbid(unsafe_code)]
 pub mod dcqcn;
 pub mod timely;
 pub mod wheel;

@@ -61,6 +61,15 @@
 //! across cores, create one process-wide [`Nexus`] and one `Rpc` per
 //! OS thread from it (§3's threading model; see `nexus` module docs).
 
+// Unsafe code is denied crate-wide; the single exception is the
+// counting allocator (`alloc_count`), which opts back in at the module
+// level and documents every site (see DESIGN.md's unsafe audit).
+#![deny(unsafe_code)]
+#![deny(unsafe_op_in_unsafe_fn)]
+// The one module allowed to contain unsafe code: the `GlobalAlloc`
+// wrapper cannot be written without it. Every site carries a SAFETY
+// comment and appears in DESIGN.md's unsafe audit.
+#[allow(unsafe_code)]
 pub mod alloc_count;
 pub mod channel;
 pub mod config;

@@ -79,6 +79,9 @@ impl MsgBuf {
     /// Shrink or grow the message within capacity (like eRPC's
     /// `resize_msg_buffer`; no reallocation).
     pub fn resize(&mut self, len: usize) {
+        // lint:allow(hot-path-panic): this assert IS the API's bounds
+        // check (documented panic, relied on by tests); resize is called
+        // per message, not per packet.
         assert!(len <= self.max_data as usize, "resize beyond capacity");
         self.data_len = len as u32;
     }
@@ -259,6 +262,8 @@ impl BufPool {
             b
         } else {
             self.allocs_new += 1;
+            // lint:allow(hot-path-alloc): pool-miss path — counted by
+            // allocs_new and asserted zero in alloc_steady_state.
             vec![0u8; 1 << class].into_boxed_slice()
         };
         MsgBuf {

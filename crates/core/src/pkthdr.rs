@@ -146,10 +146,10 @@ impl PktHdr {
             pkt_type,
             ecn: b[0] & ECN_MASK != 0,
             req_type: b[1],
-            dest_session: u16::from_le_bytes(b[2..4].try_into().unwrap()),
-            msg_size: u32::from_le_bytes(b[4..8].try_into().unwrap()),
+            dest_session: u16::from_le_bytes([b[2], b[3]]),
+            msg_size: u32::from_le_bytes([b[4], b[5], b[6], b[7]]),
             req_num: u64::from_le_bytes(req_num_bytes),
-            pkt_num: u16::from_le_bytes(b[14..16].try_into().unwrap()),
+            pkt_num: u16::from_le_bytes([b[14], b[15]]),
         })
     }
 
@@ -157,6 +157,9 @@ impl PktHdr {
     /// checks (length, magic, known type) — the slow-path decode after the
     /// dispatcher's one validity check.
     pub fn decode_validated(b: &[u8]) -> Self {
+        // lint:allow(hot-path-panic): trusted-caller contract — decode
+        // cannot fail on bytes that passed PktHdrView::parse, and this
+        // helper only serves the slow/management paths (to_hdr).
         Self::decode(b).expect("caller validated magic/type/length")
     }
 
@@ -187,16 +190,17 @@ pub struct PktHdrView<'a> {
     b: &'a [u8; PKT_HDR_SIZE],
 }
 
+/// Inert fallback for a contract breach in [`PktHdrView::trusted`]: no
+/// magic bits, so it can never be mistaken for a valid header.
+static ZERO_HDR: [u8; PKT_HDR_SIZE] = [0u8; PKT_HDR_SIZE];
+
 impl<'a> PktHdrView<'a> {
     /// Validate the header prefix of `b` once: long enough, magic intact,
     /// known packet type. Returns the view plus the packet type (the only
     /// field the dispatcher always needs). No other field is touched.
     #[inline]
     pub fn parse(b: &'a [u8]) -> Option<(Self, PktType)> {
-        if b.len() < PKT_HDR_SIZE {
-            return None;
-        }
-        let hd: &[u8; PKT_HDR_SIZE] = b[..PKT_HDR_SIZE].try_into().unwrap();
+        let hd = b.first_chunk::<PKT_HDR_SIZE>()?;
         if hd[0] >> 5 != MAGIC {
             return None;
         }
@@ -210,14 +214,20 @@ impl<'a> PktHdrView<'a> {
     #[inline]
     pub fn trusted(b: &'a [u8]) -> Self {
         debug_assert!(b.len() >= PKT_HDR_SIZE && b[0] >> 5 == MAGIC);
-        Self {
-            b: b[..PKT_HDR_SIZE].try_into().unwrap(),
+        match b.first_chunk::<PKT_HDR_SIZE>() {
+            Some(hd) => Self { b: hd },
+            // Contract breach (caught by the debug_assert above in tests):
+            // fall back to an all-zero header, which has no magic and so
+            // reads as inert garbage rather than aborting the event loop.
+            None => Self { b: &ZERO_HDR },
         }
     }
 
     #[inline]
     pub fn pkt_type(&self) -> PktType {
-        PktType::from_bits(self.b[0] & 0x0F).expect("validated at parse")
+        let ty = PktType::from_bits(self.b[0] & 0x0F);
+        debug_assert!(ty.is_some(), "view constructed without parse()");
+        ty.unwrap_or(PktType::Req)
     }
 
     #[inline]
@@ -237,7 +247,7 @@ impl<'a> PktHdrView<'a> {
 
     #[inline]
     pub fn msg_size(&self) -> u32 {
-        u32::from_le_bytes(self.b[4..8].try_into().unwrap())
+        u32::from_le_bytes([self.b[4], self.b[5], self.b[6], self.b[7]])
     }
 
     #[inline]

@@ -17,6 +17,18 @@ use super::{Completion, ContContext, Continuation, DeferredHandle, HandlerEntry}
 use super::{QueuedOp, ReqContext, Rpc};
 
 impl<T: Transport> Rpc<T> {
+    /// Count a datapath-invariant breach — a state the protocol logic
+    /// says is unreachable — and, in test builds, fail loudly. Release
+    /// builds drop-and-count instead of panicking: a counted drop is
+    /// recoverable via retransmission (§5.3); an aborted event loop is
+    /// not. See `RpcStats::rx_invariant_breach`.
+    #[cold]
+    #[inline(never)]
+    pub(super) fn invariant_breach(stats: &mut crate::stats::RpcStats, what: &str) {
+        stats.rx_invariant_breach += 1;
+        debug_assert!(false, "datapath invariant breached: {what}");
+    }
+
     // ── RX path ────────────────────────────────────────────────────────
 
     pub(super) fn process_rx(&mut self) {
@@ -214,7 +226,9 @@ impl<T: Transport> Rpc<T> {
             max_msg_size: this.cfg.max_msg_size,
         };
         let HandlerEntry::Dispatch(f) = &mut this.handlers[req_type as usize] else {
-            unreachable!("handler entry checked above")
+            // Entry-checked before the commit point above.
+            Self::invariant_breach(&mut this.stats, "handler entry changed mid-pass");
+            return true;
         };
         let payload = &this.transport.rx_bytes(tok)[PKT_HDR_SIZE..];
         f(&mut ctx, payload);
@@ -224,7 +238,11 @@ impl<T: Transport> Rpc<T> {
             deferred,
             ..
         } = ctx;
-        let s = this.sessions[dest as usize].as_mut().unwrap().slots[slot_idx].server_mut();
+        let Some(sess) = this.sessions[dest as usize].as_mut() else {
+            Self::invariant_breach(&mut this.stats, "server session vanished mid-dispatch");
+            return true;
+        };
+        let s = sess.slots[slot_idx].server_mut();
         s.prealloc = prealloc;
         match resp_built {
             Some((mut buf, is_prealloc)) => {
@@ -252,10 +270,15 @@ impl<T: Transport> Rpc<T> {
                 });
             }
             None => {
-                assert!(
-                    deferred,
-                    "dispatch handler must respond() or defer() (req_type {req_type})"
-                );
+                if !deferred {
+                    // Handler-contract bug: neither respond() nor defer().
+                    // The slot stays Processing; the client retries or
+                    // times out (§5.3) instead of the server aborting.
+                    Self::invariant_breach(
+                        &mut self.stats,
+                        "dispatch handler must respond() or defer()",
+                    );
+                }
                 // Stays Processing until enqueue_response.
             }
         }
@@ -296,7 +319,7 @@ impl<T: Transport> Rpc<T> {
             if !c.active || c.req_num != req_num || c.resp_rcvd != 0 || c.num_rx >= c.req_total {
                 return false;
             }
-            if msg_size > c.resp.as_ref().unwrap().capacity() {
+            if c.resp.as_ref().is_none_or(|r| msg_size > r.capacity()) {
                 return false; // MsgTooLarge completion is the general path's job
             }
         }
@@ -304,7 +327,10 @@ impl<T: Transport> Rpc<T> {
         // ── Commit: the response, whole, in one packet. ──
         let now = self.pkt_now();
         let this = &mut *self;
-        let sess = this.sessions[dest as usize].as_mut().unwrap();
+        let Some(sess) = this.sessions[dest as usize].as_mut() else {
+            Self::invariant_breach(&mut this.stats, "client session vanished pre-commit");
+            return false;
+        };
         sess.last_rx_ns = this.now_cache;
         let c = sess.slots[slot_idx].client_mut();
         let rtt = c.rtt_sample(c.req_total - 1, now);
@@ -314,7 +340,10 @@ impl<T: Transport> Rpc<T> {
         c.resp_rcvd = 1;
         c.last_progress_ns = now;
         c.retries = 0;
-        let resp_buf = c.resp.as_mut().unwrap();
+        let Some(resp_buf) = c.resp.as_mut() else {
+            Self::invariant_breach(&mut this.stats, "active client slot lost resp buffer");
+            return true;
+        };
         resp_buf.resize(msg_size);
         let payload = &this.transport.rx_bytes(tok)[PKT_HDR_SIZE..];
         resp_buf.write_pkt_data(0, payload);
@@ -359,7 +388,10 @@ impl<T: Transport> Rpc<T> {
         };
         let now = self.pkt_now();
         let n_slots = self.cfg.slots_per_session as u64;
-        let sess = self.sessions[sess_idx as usize].as_mut().unwrap();
+        let Some(sess) = self.sessions[sess_idx as usize].as_mut() else {
+            Self::invariant_breach(&mut self.stats, "client session vanished (CR)");
+            return;
+        };
         let slot_idx = (hdr.req_num % n_slots) as usize;
         let c = sess.slots[slot_idx].client_mut();
         // A CR acknowledges request packet `pkt_num`; in-order fabrics make
@@ -392,7 +424,10 @@ impl<T: Transport> Rpc<T> {
 
         // Split borrows: payload from transport, slot from sessions.
         let this = &mut *self;
-        let sess = this.sessions[sess_idx as usize].as_mut().unwrap();
+        let Some(sess) = this.sessions[sess_idx as usize].as_mut() else {
+            Self::invariant_breach(&mut this.stats, "client session vanished (resp)");
+            return;
+        };
         let c = sess.slots[slot_idx].client_mut();
         let p = hdr.pkt_num as u32;
 
@@ -420,7 +455,11 @@ impl<T: Transport> Rpc<T> {
                 this.stats.rx_dropped_stale += 1;
                 return;
             }
-            if hdr.msg_size as usize > c.resp.as_ref().unwrap().capacity() {
+            let Some(resp_cap) = c.resp.as_ref().map(|r| r.capacity()) else {
+                Self::invariant_breach(&mut this.stats, "active client slot lost resp buffer");
+                return;
+            };
+            if hdr.msg_size as usize > resp_cap {
                 // Response doesn't fit the application's buffer: complete
                 // with an error (buffers returned to the app).
                 let returned = c.num_tx - c.num_rx;
@@ -436,16 +475,19 @@ impl<T: Transport> Rpc<T> {
             c.resp_rcvd = 1;
             c.last_progress_ns = now;
             c.retries = 0;
-            let resp_buf = c.resp.as_mut().unwrap();
+            let Some(resp_buf) = c.resp.as_mut() else {
+                Self::invariant_breach(&mut this.stats, "active client slot lost resp buffer");
+                return;
+            };
             resp_buf.resize(hdr.msg_size as usize);
             let payload = &this.transport.rx_bytes(&tok)[PKT_HDR_SIZE..];
             resp_buf.write_pkt_data(0, payload);
             sess.credits += returned;
             this.cc_on_ack(sess_idx, rtt, hdr.ecn, now);
-            if this.sessions[sess_idx as usize].as_ref().unwrap().slots[slot_idx]
-                .client()
-                .done()
-            {
+            let done = this.sessions[sess_idx as usize]
+                .as_ref()
+                .is_some_and(|s| s.slots[slot_idx].client().done());
+            if done {
                 this.complete_slot(sess_idx, slot_idx, Ok(()));
             } else {
                 this.pump_session(sess_idx);
@@ -467,7 +509,11 @@ impl<T: Transport> Rpc<T> {
         // Malformed-packet hardening: later response packets must carry
         // exactly the chunk the (already-sized) response buffer expects at
         // index `p`, or the copy below would index out of range.
-        if tok.len() - PKT_HDR_SIZE != c.resp.as_ref().unwrap().pkt_data_len(p as usize) {
+        let Some(expected_len) = c.resp.as_ref().map(|r| r.pkt_data_len(p as usize)) else {
+            Self::invariant_breach(&mut this.stats, "sized resp slot lost its buffer");
+            return;
+        };
+        if tok.len() - PKT_HDR_SIZE != expected_len {
             this.stats.rx_dropped_stale += 1;
             return;
         }
@@ -477,13 +523,17 @@ impl<T: Transport> Rpc<T> {
         c.last_progress_ns = now;
         c.retries = 0;
         let payload = &this.transport.rx_bytes(&tok)[PKT_HDR_SIZE..];
-        c.resp.as_mut().unwrap().write_pkt_data(p as usize, payload);
+        let Some(resp_buf) = c.resp.as_mut() else {
+            Self::invariant_breach(&mut this.stats, "sized resp slot lost its buffer");
+            return;
+        };
+        resp_buf.write_pkt_data(p as usize, payload);
         sess.credits += 1;
         this.cc_on_ack(sess_idx, rtt, hdr.ecn, now);
-        if this.sessions[sess_idx as usize].as_ref().unwrap().slots[slot_idx]
-            .client()
-            .done()
-        {
+        let done = this.sessions[sess_idx as usize]
+            .as_ref()
+            .is_some_and(|s| s.slots[slot_idx].client().done());
+        if done {
             this.complete_slot(sess_idx, slot_idx, Ok(()));
         } else {
             this.pump_session(sess_idx);
@@ -497,7 +547,10 @@ impl<T: Transport> Rpc<T> {
         if self.cfg.record_rtt_samples {
             self.rtt_hist.record(rtt_ns);
         }
-        let sess = self.sessions[sess_idx as usize].as_mut().unwrap();
+        let Some(sess) = self.sessions[sess_idx as usize].as_mut() else {
+            Self::invariant_breach(&mut self.stats, "cc_on_ack on missing session");
+            return;
+        };
         if ecn {
             self.stats.ecn_marks_seen += 1;
         }
@@ -526,12 +579,19 @@ impl<T: Transport> Rpc<T> {
     ) {
         let n_slots = self.cfg.slots_per_session as u64;
         let now = self.now_cache;
-        let sess = self.sessions[sess_idx as usize].as_mut().unwrap();
+        let Some(sess) = self.sessions[sess_idx as usize].as_mut() else {
+            Self::invariant_breach(&mut self.stats, "complete_slot on missing session");
+            return;
+        };
         let c = sess.slots[slot_idx].client_mut();
         debug_assert!(c.active);
-        let req = c.req.take().unwrap();
-        let resp = c.resp.take().unwrap();
-        let cont = c.cont.take().expect("active slot owns its continuation");
+        let (Some(req), Some(resp), Some(cont)) = (c.req.take(), c.resp.take(), c.cont.take())
+        else {
+            // An active slot owns req+resp+cont; a torn slot forfeits the
+            // completion (buffers drop) rather than aborting the loop.
+            Self::invariant_breach(&mut self.stats, "active slot missing req/resp/cont");
+            return;
+        };
         let latency_ns = now.saturating_sub(c.start_ns);
         c.active = false;
         c.req_num += n_slots;
@@ -651,7 +711,11 @@ impl<T: Transport> Rpc<T> {
         }
 
         let (phase, req_rcvd, req_total) = {
-            let s = self.sessions[sess_idx as usize].as_mut().unwrap().slots[slot_idx].server_mut();
+            let Some(sess) = self.sessions[sess_idx as usize].as_ref() else {
+                Self::invariant_breach(&mut self.stats, "server session vanished mid-pass");
+                return;
+            };
+            let s = sess.slots[slot_idx].server();
             (s.phase, s.req_rcvd, s.req_total)
         };
         let p = hdr.pkt_num as u32;
@@ -690,7 +754,11 @@ impl<T: Transport> Rpc<T> {
         // index out of the buffer's range. Dropped like a loss (§5.3).
         let payload_len = tok.len() - PKT_HDR_SIZE;
         let expected = {
-            let s = self.sessions[sess_idx as usize].as_ref().unwrap().slots[slot_idx].server();
+            let Some(sess) = self.sessions[sess_idx as usize].as_ref() else {
+                Self::invariant_breach(&mut self.stats, "server session vanished mid-pass");
+                return;
+            };
+            let s = sess.slots[slot_idx].server();
             match &s.req_buf {
                 Some(b) => b.pkt_data_len(p as usize),
                 None => hdr.msg_size as usize, // single-packet request
@@ -701,21 +769,28 @@ impl<T: Transport> Rpc<T> {
             return;
         }
         {
-            let s = self.sessions[sess_idx as usize].as_mut().unwrap().slots[slot_idx].server_mut();
-            s.req_rcvd += 1;
+            let Some(sess) = self.sessions[sess_idx as usize].as_mut() else {
+                Self::invariant_breach(&mut self.stats, "server session vanished mid-pass");
+                return;
+            };
+            sess.slots[slot_idx].server_mut().req_rcvd += 1;
         }
 
         // Multi-packet requests are assembled by copying; single-packet
         // requests stay zero-copy (§4.2.3).
         if req_total > 1 {
             let this = &mut *self;
-            let sess = this.sessions[sess_idx as usize].as_mut().unwrap();
+            let Some(sess) = this.sessions[sess_idx as usize].as_mut() else {
+                Self::invariant_breach(&mut this.stats, "server session vanished mid-pass");
+                return;
+            };
             let s = sess.slots[slot_idx].server_mut();
             let payload = &this.transport.rx_bytes(&tok)[PKT_HDR_SIZE..];
-            s.req_buf
-                .as_mut()
-                .unwrap()
-                .write_pkt_data(p as usize, payload);
+            let Some(req_buf) = s.req_buf.as_mut() else {
+                Self::invariant_breach(&mut this.stats, "multi-packet request lost its buffer");
+                return;
+            };
+            req_buf.write_pkt_data(p as usize, payload);
         }
 
         // CR for request packets before the last (§5.1). An ECN mark on
@@ -726,7 +801,10 @@ impl<T: Transport> Rpc<T> {
         // client's credit window keeps sliding.
         if p + 1 < req_pkts {
             let batch = {
-                let sess = self.sessions[sess_idx as usize].as_ref().unwrap();
+                let Some(sess) = self.sessions[sess_idx as usize].as_ref() else {
+                    Self::invariant_breach(&mut self.stats, "server session vanished mid-pass");
+                    return;
+                };
                 self.cfg
                     .cr_batch
                     .clamp(1, (sess.credits as usize / 2).max(1))
@@ -739,13 +817,20 @@ impl<T: Transport> Rpc<T> {
             return;
         }
         if hdr.ecn {
-            let s = self.sessions[sess_idx as usize].as_mut().unwrap().slots[slot_idx].server_mut();
-            s.resp_ecn = true;
+            let Some(sess) = self.sessions[sess_idx as usize].as_mut() else {
+                Self::invariant_breach(&mut self.stats, "server session vanished mid-pass");
+                return;
+            };
+            sess.slots[slot_idx].server_mut().resp_ecn = true;
         }
 
         // Last packet: the request is complete once req_rcvd == req_total.
         let complete = {
-            let s = self.sessions[sess_idx as usize].as_mut().unwrap().slots[slot_idx].server_mut();
+            let Some(sess) = self.sessions[sess_idx as usize].as_ref() else {
+                Self::invariant_breach(&mut self.stats, "server session vanished mid-pass");
+                return;
+            };
+            let s = sess.slots[slot_idx].server();
             s.req_rcvd == s.req_total
         };
         if complete {
@@ -766,7 +851,11 @@ impl<T: Transport> Rpc<T> {
 
         // Extract what the handler needs from the slot.
         let (multi_buf, prealloc) = {
-            let s = self.sessions[sess_idx as usize].as_mut().unwrap().slots[slot_idx].server_mut();
+            let Some(sess) = self.sessions[sess_idx as usize].as_mut() else {
+                Self::invariant_breach(&mut self.stats, "dispatch on missing session");
+                return;
+            };
+            let s = sess.slots[slot_idx].server_mut();
             s.phase = SrvPhase::Processing;
             (s.req_buf.take(), s.prealloc.take())
         };
@@ -786,9 +875,11 @@ impl<T: Transport> Rpc<T> {
                     if let Some(b) = multi_buf {
                         this.pool.free(b);
                     }
-                    let s = this.sessions[sess_idx as usize].as_mut().unwrap().slots[slot_idx]
-                        .server_mut();
-                    s.prealloc = prealloc;
+                    let Some(sess) = this.sessions[sess_idx as usize].as_mut() else {
+                        Self::invariant_breach(&mut this.stats, "dispatch on missing session");
+                        return;
+                    };
+                    sess.slots[slot_idx].server_mut().prealloc = prealloc;
                     After::RespondEmpty
                 }
                 HandlerEntry::Dispatch(f) => {
@@ -831,8 +922,11 @@ impl<T: Transport> Rpc<T> {
                     if let Some(b) = multi_buf {
                         this.pool.free(b);
                     }
-                    let s = this.sessions[sess_idx as usize].as_mut().unwrap().slots[slot_idx]
-                        .server_mut();
+                    let Some(sess) = this.sessions[sess_idx as usize].as_mut() else {
+                        Self::invariant_breach(&mut this.stats, "dispatch on missing session");
+                        return;
+                    };
+                    let s = sess.slots[slot_idx].server_mut();
                     s.prealloc = prealloc;
                     match resp_built {
                         Some((buf, is_prealloc)) => {
@@ -842,11 +936,13 @@ impl<T: Transport> Rpc<T> {
                             After::SendRespPkt0
                         }
                         None => {
-                            assert!(
-                                deferred,
-                                "dispatch handler must respond() or defer() (req_type {})",
-                                hdr.req_type
-                            );
+                            if !deferred {
+                                // Handler-contract bug; see server_rx_req_fast.
+                                Self::invariant_breach(
+                                    &mut this.stats,
+                                    "dispatch handler must respond() or defer()",
+                                );
+                            }
                             After::Nothing // stays Processing until enqueue_response
                         }
                     }
@@ -869,17 +965,16 @@ impl<T: Transport> Rpc<T> {
                         }
                     };
                     let resp = this.pool.alloc(this.worker_resp_cap());
-                    let s = this.sessions[sess_idx as usize].as_mut().unwrap().slots[slot_idx]
-                        .server_mut();
-                    s.prealloc = prealloc;
-                    this.worker.as_ref().unwrap().submit(
-                        sess_idx,
-                        slot_idx as u8,
-                        req_num,
-                        hdr.req_type,
-                        req,
-                        resp,
-                    );
+                    let Some(sess) = this.sessions[sess_idx as usize].as_mut() else {
+                        Self::invariant_breach(&mut this.stats, "dispatch on missing session");
+                        return;
+                    };
+                    sess.slots[slot_idx].server_mut().prealloc = prealloc;
+                    let Some(worker) = this.worker.as_ref() else {
+                        Self::invariant_breach(&mut this.stats, "worker handler without a pool");
+                        return;
+                    };
+                    worker.submit(sess_idx, slot_idx as u8, req_num, hdr.req_type, req, resp);
                     After::Nothing
                 }
             }
@@ -983,7 +1078,10 @@ impl<T: Transport> Rpc<T> {
             self.stats.rx_dropped_stale += 1;
             return;
         }
-        let total = s.resp.as_ref().unwrap().num_pkts() as u32;
+        let Some(total) = s.resp.as_ref().map(|r| r.num_pkts() as u32) else {
+            Self::invariant_breach(&mut self.stats, "responding slot lost its resp buffer");
+            return;
+        };
         let p = hdr.pkt_num as u32;
         if p == 0 || p >= total {
             self.stats.rx_dropped_stale += 1;
@@ -1024,6 +1122,9 @@ impl<T: Transport> Rpc<T> {
         let mut guard = 0u32;
         while !self.pending_ops.is_empty() {
             guard += 1;
+            // lint:allow(hot-path-panic): livelock guard — fires only when
+            // a continuation endlessly re-queues ops within one drain call
+            // (an app bug); runs per event-loop pass, not per packet.
             assert!(guard < 1_000_000, "callback op livelock");
             // Two capacity-retaining buffers rotate: the drained batch and
             // the list callbacks push follow-up ops into. A take-and-drop

@@ -157,33 +157,56 @@ impl<T: Transport> Rpc<T> {
                             self.transport.now_ns()
                         };
                         let hdr_template = self.cfg.opt_hdr_template;
-                        let sess_ref = self.sessions[*sess as usize].as_mut().unwrap();
-                        let remote = sess_ref.remote_num;
-                        let c = sess_ref.slots[*slot as usize].client_mut();
-                        c.stamp_tx(*seq, t);
-                        if *seq < c.req_total {
-                            // Header-template fast path: the full wire
-                            // header (incl. this packet's `pkt_num`) was
-                            // written once at `start_request`; transmission
-                            // and every retransmission reuse it untouched.
-                            if !hdr_template {
-                                let req = c.req.as_mut().unwrap();
-                                let hdr = PktHdr {
-                                    pkt_type: PktType::Req,
-                                    ecn: false,
-                                    req_type: c.req_type,
-                                    dest_session: remote,
-                                    msg_size: req.len() as u32,
-                                    req_num: *req_num,
-                                    pkt_num: *seq as u16,
-                                };
-                                req.write_hdr(*seq as usize, &hdr);
+                        match self.sessions[*sess as usize].as_mut() {
+                            None => {
+                                Self::invariant_breach(
+                                    &mut self.stats,
+                                    "validated packet lost its session",
+                                );
+                                TxResolved::Skip
                             }
-                            TxResolved::Data
-                        } else {
-                            let p = *seq - c.req_total + 1;
-                            let hdr = PktHdr::control(PktType::Rfr, remote, *req_num, p as u16);
-                            TxResolved::Rfr(hdr.encode())
+                            Some(sess_ref) => {
+                                let remote = sess_ref.remote_num;
+                                let c = sess_ref.slots[*slot as usize].client_mut();
+                                c.stamp_tx(*seq, t);
+                                if *seq >= c.req_total {
+                                    let p = *seq - c.req_total + 1;
+                                    let hdr =
+                                        PktHdr::control(PktType::Rfr, remote, *req_num, p as u16);
+                                    TxResolved::Rfr(hdr.encode())
+                                } else if hdr_template {
+                                    // Header-template fast path: the full
+                                    // wire header (incl. this packet's
+                                    // `pkt_num`) was written once at
+                                    // `start_request`; transmission and
+                                    // every retransmission reuse it
+                                    // untouched.
+                                    TxResolved::Data
+                                } else {
+                                    match c.req.as_mut() {
+                                        None => {
+                                            Self::invariant_breach(
+                                                &mut self.stats,
+                                                "active slot lost its req buffer",
+                                            );
+                                            TxResolved::Skip
+                                        }
+                                        Some(req) => {
+                                            let hdr = PktHdr {
+                                                pkt_type: PktType::Req,
+                                                ecn: false,
+                                                req_type: c.req_type,
+                                                dest_session: remote,
+                                                msg_size: req.len() as u32,
+                                                req_num: *req_num,
+                                                pkt_num: *seq as u16,
+                                            };
+                                            req.write_hdr(*seq as usize, &hdr);
+                                            TxResolved::Data
+                                        }
+                                    }
+                                }
+                            }
                         }
                     }
                 }
@@ -207,34 +230,54 @@ impl<T: Transport> Rpc<T> {
                     if !valid {
                         self.stats.tx_stale_dropped += 1;
                         TxResolved::Skip
-                    } else {
+                    } else if self.cfg.opt_hdr_template {
                         // With header templates on there is nothing to do:
                         // the full header (incl. the slot's explicit
                         // `resp_ecn` echo state) was written once when the
-                        // response was installed. Without templates, build
-                        // and encode the header per packet from the same
-                        // explicit state — either way the old "re-decode
-                        // the in-place header to keep a taken ECN mark
-                        // sticky" hack is gone.
-                        if !self.cfg.opt_hdr_template {
-                            let sess_ref = self.sessions[*sess as usize].as_mut().unwrap();
-                            let remote = sess_ref.remote_num;
-                            let srv = sess_ref.slots[*slot as usize].server_mut();
-                            let ecn = srv.resp_ecn;
-                            let req_type = srv.req_type;
-                            let resp = srv.resp.as_mut().unwrap();
-                            let hdr = PktHdr {
-                                pkt_type: PktType::Resp,
-                                ecn,
-                                req_type,
-                                dest_session: remote,
-                                msg_size: resp.len() as u32,
-                                req_num: *req_num,
-                                pkt_num: *pkt,
-                            };
-                            resp.write_hdr(*pkt as usize, &hdr);
-                        }
+                        // response was installed.
                         TxResolved::Resp
+                    } else {
+                        // Without templates, build and encode the header
+                        // per packet from the same explicit state — either
+                        // way the old "re-decode the in-place header to
+                        // keep a taken ECN mark sticky" hack is gone.
+                        match self.sessions[*sess as usize].as_mut() {
+                            None => {
+                                Self::invariant_breach(
+                                    &mut self.stats,
+                                    "validated response lost its session",
+                                );
+                                TxResolved::Skip
+                            }
+                            Some(sess_ref) => {
+                                let remote = sess_ref.remote_num;
+                                let srv = sess_ref.slots[*slot as usize].server_mut();
+                                let ecn = srv.resp_ecn;
+                                let req_type = srv.req_type;
+                                match srv.resp.as_mut() {
+                                    None => {
+                                        Self::invariant_breach(
+                                            &mut self.stats,
+                                            "responding slot lost its resp buffer",
+                                        );
+                                        TxResolved::Skip
+                                    }
+                                    Some(resp) => {
+                                        let hdr = PktHdr {
+                                            pkt_type: PktType::Resp,
+                                            ecn,
+                                            req_type,
+                                            dest_session: remote,
+                                            msg_size: resp.len() as u32,
+                                            req_num: *req_num,
+                                            pkt_num: *pkt,
+                                        };
+                                        resp.write_hdr(*pkt as usize, &hdr);
+                                        TxResolved::Resp
+                                    }
+                                }
+                            }
+                        }
                     }
                 }
             };
@@ -298,9 +341,16 @@ impl<T: Transport> Rpc<T> {
                     },
                     TxResolved::Data,
                 ) => {
-                    let s = self.sessions[*sess as usize].as_ref().unwrap();
+                    let Some(s) = self.sessions[*sess as usize].as_ref() else {
+                        Self::invariant_breach(&mut self.stats, "resolved pkt lost its session");
+                        continue;
+                    };
                     let c = s.slots[*slot as usize].client();
-                    let (h, d) = c.req.as_ref().unwrap().tx_view(*seq as usize);
+                    let Some(req) = c.req.as_ref() else {
+                        Self::invariant_breach(&mut self.stats, "resolved pkt lost its buffer");
+                        continue;
+                    };
+                    let (h, d) = req.tx_view(*seq as usize);
                     self.stats.data_pkts_tx += 1;
                     TxPacket {
                         dst: s.peer,
@@ -309,7 +359,10 @@ impl<T: Transport> Rpc<T> {
                     }
                 }
                 (TxDesc::ClientSeq { sess, .. }, TxResolved::Rfr(bytes)) => {
-                    let s = self.sessions[*sess as usize].as_ref().unwrap();
+                    let Some(s) = self.sessions[*sess as usize].as_ref() else {
+                        Self::invariant_breach(&mut self.stats, "resolved RFR lost its session");
+                        continue;
+                    };
                     self.stats.ctrl_pkts_tx += 1;
                     TxPacket {
                         dst: s.peer,
@@ -323,9 +376,16 @@ impl<T: Transport> Rpc<T> {
                     },
                     TxResolved::Resp,
                 ) => {
-                    let s = self.sessions[*sess as usize].as_ref().unwrap();
+                    let Some(s) = self.sessions[*sess as usize].as_ref() else {
+                        Self::invariant_breach(&mut self.stats, "resolved resp lost its session");
+                        continue;
+                    };
                     let srv = s.slots[*slot as usize].server();
-                    let (h, d) = srv.resp.as_ref().unwrap().tx_view(*pkt as usize);
+                    let Some(resp) = srv.resp.as_ref() else {
+                        Self::invariant_breach(&mut self.stats, "resolved resp lost its buffer");
+                        continue;
+                    };
+                    let (h, d) = resp.tx_view(*pkt as usize);
                     self.stats.data_pkts_tx += 1;
                     TxPacket {
                         dst: s.peer,
@@ -333,7 +393,10 @@ impl<T: Transport> Rpc<T> {
                         data: d,
                     }
                 }
-                _ => unreachable!("descriptor/resolution mismatch"),
+                _ => {
+                    Self::invariant_breach(&mut self.stats, "descriptor/resolution mismatch");
+                    continue;
+                }
             };
             chunk[n] = pkt;
             n += 1;
@@ -381,13 +444,19 @@ impl<T: Transport> Rpc<T> {
         if !self.cfg.opt_hdr_template {
             return;
         }
-        let sess = self.sessions[sess_idx as usize].as_mut().unwrap();
+        let Some(sess) = self.sessions[sess_idx as usize].as_mut() else {
+            Self::invariant_breach(&mut self.stats, "resp template on missing session");
+            return;
+        };
         let remote = sess.remote_num;
         let srv = sess.slots[slot_idx].server_mut();
         let ecn = srv.resp_ecn;
         let req_type = srv.req_type;
         let req_num = srv.req_num;
-        let resp = srv.resp.as_mut().expect("installed response");
+        let Some(resp) = srv.resp.as_mut() else {
+            Self::invariant_breach(&mut self.stats, "resp template without installed response");
+            return;
+        };
         let hdr = PktHdr {
             pkt_type: PktType::Resp,
             ecn,
@@ -404,9 +473,13 @@ impl<T: Transport> Rpc<T> {
     /// passive, §5). The header is written and the msgbuf view taken at
     /// drain time, so a slot reused before the drain drops the packet.
     pub(super) fn tx_resp_pkt(&mut self, sess_idx: u16, slot_idx: usize, p: usize) {
-        let req_num = self.sessions[sess_idx as usize].as_ref().unwrap().slots[slot_idx]
-            .server()
-            .req_num;
+        let Some(req_num) = self.sessions[sess_idx as usize]
+            .as_ref()
+            .map(|s| s.slots[slot_idx].server().req_num)
+        else {
+            Self::invariant_breach(&mut self.stats, "tx_resp_pkt on missing session");
+            return;
+        };
         self.queue_tx(TxDesc::SrvResp {
             sess: sess_idx,
             slot: slot_idx as u8,
@@ -454,34 +527,45 @@ impl<T: Transport> Rpc<T> {
                 loop {
                     let uncontrolled = matches!(self.cfg.cc, CcAlgorithm::None);
                     let bypass_ok = self.cfg.opt_rate_limiter_bypass;
-                    let act = {
-                        let sess = self.sessions[sess_idx as usize].as_mut().unwrap();
-                        let credits = sess.credits;
-                        if credits == 0 {
+                    let act = match self.sessions[sess_idx as usize].as_mut() {
+                        None => {
+                            // Checked Connected at loop entry; vanishing
+                            // mid-pump is statically unreachable.
+                            Self::invariant_breach(
+                                &mut self.stats,
+                                "client session vanished mid-pump",
+                            );
                             Act::Done
-                        } else {
-                            let bypass = uncontrolled || (bypass_ok && sess.cc.is_uncongested());
-                            let c = sess.slots[slot_idx].client_mut();
-                            let target = c.tx_target();
-                            if !c.active || c.num_tx >= target {
+                        }
+                        Some(sess) => {
+                            let credits = sess.credits;
+                            if credits == 0 {
                                 Act::Done
-                            } else if bypass {
-                                let first = c.num_tx;
-                                let n = (target - first).min(credits);
-                                let (req_num, epoch) = (c.req_num, c.tx_epoch);
-                                c.num_tx += n;
-                                sess.credits -= n;
-                                Act::Bulk {
-                                    first,
-                                    n,
-                                    req_num,
-                                    epoch,
-                                }
                             } else {
-                                let seq = c.num_tx;
-                                c.num_tx += 1;
-                                sess.credits -= 1;
-                                Act::Paced { seq }
+                                let bypass =
+                                    uncontrolled || (bypass_ok && sess.cc.is_uncongested());
+                                let c = sess.slots[slot_idx].client_mut();
+                                let target = c.tx_target();
+                                if !c.active || c.num_tx >= target {
+                                    Act::Done
+                                } else if bypass {
+                                    let first = c.num_tx;
+                                    let n = (target - first).min(credits);
+                                    let (req_num, epoch) = (c.req_num, c.tx_epoch);
+                                    c.num_tx += n;
+                                    sess.credits -= n;
+                                    Act::Bulk {
+                                        first,
+                                        n,
+                                        req_num,
+                                        epoch,
+                                    }
+                                } else {
+                                    let seq = c.num_tx;
+                                    c.num_tx += 1;
+                                    sess.credits -= 1;
+                                    Act::Paced { seq }
+                                }
                             }
                         }
                     };
@@ -527,7 +611,11 @@ impl<T: Transport> Rpc<T> {
         let now = self.now_cache;
         let dpp = self.dpp;
         let hdr_template = self.cfg.opt_hdr_template;
-        let sess = self.sessions[sess_idx as usize].as_mut().unwrap();
+        let Some(sess) = self.sessions[sess_idx as usize].as_mut() else {
+            // Dropping `p` here forfeits the request (bufs + continuation).
+            Self::invariant_breach(&mut self.stats, "start_request on missing session");
+            return;
+        };
         let remote = sess.remote_num;
         let c = sess.slots[slot_idx].client_mut();
         debug_assert!(!c.active);
@@ -556,7 +644,10 @@ impl<T: Transport> Rpc<T> {
         // and go-back-N retransmission then touch no header bytes at all
         // (request headers never change; responses patch ECN only).
         if hdr_template {
-            let req = c.req.as_mut().unwrap();
+            let Some(req) = c.req.as_mut() else {
+                Self::invariant_breach(&mut self.stats, "fresh slot lost its req buffer");
+                return;
+            };
             let hdr = PktHdr {
                 pkt_type: PktType::Req,
                 ecn: false,
@@ -575,7 +666,10 @@ impl<T: Transport> Rpc<T> {
     fn pace_or_send(&mut self, sess_idx: u16, slot_idx: usize, seq: u32) {
         let now = self.pkt_now();
         let uncontrolled = matches!(self.cfg.cc, CcAlgorithm::None);
-        let sess = self.sessions[sess_idx as usize].as_mut().unwrap();
+        let Some(sess) = self.sessions[sess_idx as usize].as_mut() else {
+            Self::invariant_breach(&mut self.stats, "pace_or_send on missing session");
+            return;
+        };
         if uncontrolled || (self.cfg.opt_rate_limiter_bypass && sess.cc.is_uncongested()) {
             self.stats.pkts_bypassed_pacer += 1;
             self.tx_client_seq(sess_idx, slot_idx, seq);
@@ -591,8 +685,11 @@ impl<T: Transport> Rpc<T> {
         let rate = sess.cc.rate_bps().unwrap_or(self.cfg.link_bps);
         let c = sess.slots[slot_idx].client_mut();
         let bytes = if seq < c.req_total {
-            let chunk = c.req.as_ref().unwrap().pkt_data_len(seq as usize);
-            PKT_HDR_SIZE + chunk
+            let Some(req) = c.req.as_ref() else {
+                Self::invariant_breach(&mut self.stats, "paced slot lost its req buffer");
+                return;
+            };
+            PKT_HDR_SIZE + req.pkt_data_len(seq as usize)
         } else {
             PKT_HDR_SIZE
         };
@@ -624,7 +721,11 @@ impl<T: Transport> Rpc<T> {
     /// the batch drains invalidates it.
     fn tx_client_seq(&mut self, sess_idx: u16, slot_idx: usize, seq: u32) {
         let (req_num, epoch) = {
-            let c = self.sessions[sess_idx as usize].as_ref().unwrap().slots[slot_idx].client();
+            let Some(sess) = self.sessions[sess_idx as usize].as_ref() else {
+                Self::invariant_breach(&mut self.stats, "tx_client_seq on missing session");
+                return;
+            };
+            let c = sess.slots[slot_idx].client();
             (c.req_num, c.tx_epoch)
         };
         self.queue_tx(TxDesc::ClientSeq {

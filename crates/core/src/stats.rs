@@ -69,6 +69,13 @@ pub struct RpcStats {
     /// Msgbuf-pool hits: allocations served from a freelist (steady-state
     /// allocations are all of this kind).
     pub pool_allocs_reused: u64,
+    /// Packets dropped because an internal datapath invariant did not
+    /// hold (a state the protocol logic says is unreachable). The hot
+    /// paths drop-and-count instead of panicking — a counted drop is
+    /// recoverable via retransmission (§5.3), an abort of the event loop
+    /// is not. Non-zero values are a bug; `debug_assert!`s catch the
+    /// same states in test builds.
+    pub rx_invariant_breach: u64,
 }
 
 impl RpcStats {
@@ -105,6 +112,7 @@ impl RpcStats {
             ecn_marks_seen,
             pool_allocs_new,
             pool_allocs_reused,
+            rx_invariant_breach,
         } = other;
         self.requests_sent += requests_sent;
         self.responses_completed += responses_completed;
@@ -132,6 +140,7 @@ impl RpcStats {
         self.ecn_marks_seen += ecn_marks_seen;
         self.pool_allocs_new += pool_allocs_new;
         self.pool_allocs_reused += pool_allocs_reused;
+        self.rx_invariant_breach += rx_invariant_breach;
     }
 }
 

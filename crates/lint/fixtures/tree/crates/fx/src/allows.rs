@@ -1,0 +1,18 @@
+// Fixture: the `lint:allow` escape machinery. One justified violation
+// (suppressed), an identical one right after it (an allow covers
+// exactly one finding), an unused allow, and a malformed allow.
+
+pub fn hot_fn(x: Option<u8>, y: Option<u8>) -> u8 {
+    // lint:allow(hot-path-panic): fixture — justified unwrap.
+    let a = x.unwrap(); // suppressed by the allow above
+    let b = y.unwrap(); // line 8: hot-path-panic finding (allow spent)
+    a + b
+}
+
+// lint:allow(hot-path-alloc): nothing below allocates.
+pub fn nothing_to_allow() {} // line 12: unused-allow finding
+
+pub fn malformed() {
+    // lint:allow(bogus-rule): no such rule.
+    let _ = 1; // line 16: malformed-allow finding
+}

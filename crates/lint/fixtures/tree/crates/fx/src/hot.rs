@@ -1,0 +1,13 @@
+// Fixture: R2 (hot-path purity). `hot_fn` is in the declared hot set;
+// `cold_fn` is not, so its identical violation must NOT be reported.
+
+pub fn hot_fn(x: Option<u8>) -> u8 {
+    let _label = format!("pkt {}", 7); // line 5: hot-path-alloc
+    let _t = std::time::Instant::now(); // line 6: hot-path-clock
+    x.unwrap() // line 7: hot-path-panic
+}
+
+pub fn cold_fn(x: Option<u8>) -> u8 {
+    let _label = format!("pkt {}", 7);
+    x.unwrap()
+}

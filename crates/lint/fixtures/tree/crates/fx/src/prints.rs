@@ -1,0 +1,8 @@
+// Fixture: R3 (`no-print`). Library sources must not print; a string
+// mentioning println!("x") must not count.
+
+pub fn report(n: u64) {
+    println!("rate {n}"); // line 5: no-print finding
+    eprintln!("warn {n}"); // line 6: no-print finding
+    let _doc = "calling println!(\"x\") is fine inside a string";
+}

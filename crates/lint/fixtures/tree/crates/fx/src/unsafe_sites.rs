@@ -1,0 +1,14 @@
+// Fixture: R1 (`safety-comment`). One documented site of each flavor,
+// then undocumented ones that must each produce a finding.
+
+// SAFETY: fixture — nothing to uphold, the body is empty.
+// COVERS: lint fixture tests
+unsafe fn documented() {}
+
+unsafe fn undocumented() {} // line 8: safety-comment finding
+
+fn caller() {
+    // SAFETY: fixture — `documented` has no requirements.
+    unsafe { documented() };
+    unsafe { undocumented() }; // line 13: safety-comment finding
+}

@@ -1,0 +1,256 @@
+//! Hand-parsed configuration (`lint.toml`) — a deliberately tiny TOML
+//! subset, honoring the repo's zero-new-deps shims discipline.
+//!
+//! Supported grammar:
+//!
+//! ```toml
+//! # top-level string arrays
+//! exclude = ["target", "crates/lint/fixtures"]
+//! print_allow = ["crates/lint"]
+//!
+//! # one table per hot file
+//! [[hot]]
+//! file = "crates/core/src/rpc/rx.rs"          # whole file is hot …
+//! fns = ["process_pkt", "rx_burst"]           # … or only these fns
+//! skip_fns = ["new"]                          # … or all but these
+//! ```
+//!
+//! Anything outside this subset (nested tables, inline tables, multi-line
+//! arrays with comments between entries, non-string values) is a parse
+//! error — better to fail loudly than to silently skip a hot module.
+
+use std::path::Path;
+
+/// Hot-module declaration: which file, and which functions inside it.
+#[derive(Debug, Clone)]
+pub struct HotSpec {
+    /// Repo-relative path with forward slashes, e.g. `crates/core/src/rpc/rx.rs`.
+    pub file: String,
+    /// If non-empty, only these functions are hot.
+    pub fns: Vec<String>,
+    /// If non-empty, all functions except these are hot.
+    pub skip_fns: Vec<String>,
+}
+
+impl HotSpec {
+    /// Is function `name` in this file's hot set?
+    pub fn fn_is_hot(&self, name: &str) -> bool {
+        if !self.fns.is_empty() {
+            return self.fns.iter().any(|f| f == name);
+        }
+        if !self.skip_fns.is_empty() {
+            return !self.skip_fns.iter().any(|f| f == name);
+        }
+        true
+    }
+}
+
+/// Parsed `lint.toml`.
+#[derive(Debug, Default, Clone)]
+pub struct Config {
+    /// Path prefixes (repo-relative) to skip entirely.
+    pub exclude: Vec<String>,
+    /// Path prefixes where `println!`/`eprintln!` are permitted (R3).
+    pub print_allow: Vec<String>,
+    /// Hot-module declarations (R2).
+    pub hot: Vec<HotSpec>,
+}
+
+impl Config {
+    pub fn parse(src: &str) -> Result<Config, String> {
+        let mut cfg = Config::default();
+        // None = top level; Some(idx) = inside cfg.hot[idx].
+        let mut cur_hot: Option<usize> = None;
+
+        for (lineno, raw) in src.lines().enumerate() {
+            let line = strip_comment(raw).trim();
+            if line.is_empty() {
+                continue;
+            }
+            if line == "[[hot]]" {
+                cfg.hot.push(HotSpec {
+                    file: String::new(),
+                    fns: Vec::new(),
+                    skip_fns: Vec::new(),
+                });
+                cur_hot = Some(cfg.hot.len() - 1);
+                continue;
+            }
+            if line.starts_with('[') {
+                return Err(format!(
+                    "lint.toml:{}: unsupported table `{line}` (only [[hot]] is known)",
+                    lineno + 1
+                ));
+            }
+            let (key, val) = line
+                .split_once('=')
+                .ok_or_else(|| format!("lint.toml:{}: expected `key = value`", lineno + 1))?;
+            let (key, val) = (key.trim(), val.trim());
+            match (cur_hot, key) {
+                (None, "exclude") => cfg.exclude = parse_str_array(val, lineno)?,
+                (None, "print_allow") => cfg.print_allow = parse_str_array(val, lineno)?,
+                (Some(i), "file") => cfg.hot[i].file = parse_str(val, lineno)?,
+                (Some(i), "fns") => cfg.hot[i].fns = parse_str_array(val, lineno)?,
+                (Some(i), "skip_fns") => cfg.hot[i].skip_fns = parse_str_array(val, lineno)?,
+                _ => {
+                    return Err(format!(
+                        "lint.toml:{}: unknown key `{key}` in this context",
+                        lineno + 1
+                    ))
+                }
+            }
+        }
+        for h in &cfg.hot {
+            if h.file.is_empty() {
+                return Err("lint.toml: [[hot]] entry missing `file`".into());
+            }
+            if !h.fns.is_empty() && !h.skip_fns.is_empty() {
+                return Err(format!(
+                    "lint.toml: hot entry `{}` sets both `fns` and `skip_fns`",
+                    h.file
+                ));
+            }
+        }
+        Ok(cfg)
+    }
+
+    /// Is a repo-relative path excluded from all analysis?
+    pub fn is_excluded(&self, rel: &str) -> bool {
+        self.exclude.iter().any(|p| path_has_prefix(rel, p))
+    }
+
+    /// Is a repo-relative path allowed to print (R3)?
+    pub fn print_allowed(&self, rel: &str) -> bool {
+        self.print_allow.iter().any(|p| path_has_prefix(rel, p))
+    }
+
+    /// The hot spec for a repo-relative path, if any.
+    pub fn hot_spec(&self, rel: &str) -> Option<&HotSpec> {
+        self.hot.iter().find(|h| h.file == rel)
+    }
+}
+
+/// Prefix match on `/`-separated path components (so `crates/lint` does
+/// not match `crates/lint-extras`).
+fn path_has_prefix(rel: &str, prefix: &str) -> bool {
+    rel == prefix || rel.starts_with(&format!("{prefix}/"))
+}
+
+/// Normalize an OS path (relative to the repo root) to the `/`-separated
+/// form used throughout the config.
+pub fn rel_str(p: &Path) -> String {
+    p.components()
+        .map(|c| c.as_os_str().to_string_lossy())
+        .collect::<Vec<_>>()
+        .join("/")
+}
+
+fn strip_comment(line: &str) -> &str {
+    // Safe because the subset only has double-quoted strings with no
+    // escapes, so `#` inside a value string must be honored.
+    let mut in_str = false;
+    for (i, c) in line.char_indices() {
+        match c {
+            '"' => in_str = !in_str,
+            '#' if !in_str => return &line[..i],
+            _ => {}
+        }
+    }
+    line
+}
+
+fn parse_str(val: &str, lineno: usize) -> Result<String, String> {
+    let v = val.trim();
+    if v.len() >= 2 && v.starts_with('"') && v.ends_with('"') {
+        Ok(v[1..v.len() - 1].to_string())
+    } else {
+        Err(format!(
+            "lint.toml:{}: expected a double-quoted string, got `{v}`",
+            lineno + 1
+        ))
+    }
+}
+
+fn parse_str_array(val: &str, lineno: usize) -> Result<Vec<String>, String> {
+    let v = val.trim();
+    if !(v.starts_with('[') && v.ends_with(']')) {
+        return Err(format!(
+            "lint.toml:{}: expected a single-line string array, got `{v}`",
+            lineno + 1
+        ));
+    }
+    let inner = v[1..v.len() - 1].trim();
+    if inner.is_empty() {
+        return Ok(Vec::new());
+    }
+    inner
+        .split(',')
+        .filter(|s| !s.trim().is_empty())
+        .map(|s| parse_str(s, lineno))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_full_config() {
+        let src = r#"
+# comment
+exclude = ["target", "crates/lint/fixtures"]
+print_allow = ["crates/lint"]
+
+[[hot]]
+file = "crates/core/src/rpc/rx.rs"
+
+[[hot]]
+file = "crates/core/src/msgbuf.rs"
+skip_fns = ["new"]
+
+[[hot]]
+file = "crates/transport/src/ring.rs"
+fns = ["push", "try_claim"]
+"#;
+        let cfg = Config::parse(src).unwrap();
+        assert_eq!(cfg.exclude.len(), 2);
+        assert!(cfg.is_excluded("target/debug/foo.rs"));
+        assert!(cfg.is_excluded("crates/lint/fixtures/bad.rs"));
+        assert!(!cfg.is_excluded("crates/lint/src/lib.rs"));
+        assert!(cfg.print_allowed("crates/lint/src/main.rs"));
+        assert!(!cfg.print_allowed("crates/lint-extras/src/main.rs"));
+
+        let rx = cfg.hot_spec("crates/core/src/rpc/rx.rs").unwrap();
+        assert!(rx.fn_is_hot("anything"));
+        let mb = cfg.hot_spec("crates/core/src/msgbuf.rs").unwrap();
+        assert!(!mb.fn_is_hot("new"));
+        assert!(mb.fn_is_hot("alloc"));
+        let ring = cfg.hot_spec("crates/transport/src/ring.rs").unwrap();
+        assert!(ring.fn_is_hot("push"));
+        assert!(!ring.fn_is_hot("len_approx"));
+    }
+
+    #[test]
+    fn rejects_missing_file() {
+        assert!(Config::parse("[[hot]]\nfns = [\"f\"]").is_err());
+    }
+
+    #[test]
+    fn rejects_fns_and_skip_fns_together() {
+        let src = "[[hot]]\nfile = \"a.rs\"\nfns = [\"f\"]\nskip_fns = [\"g\"]";
+        assert!(Config::parse(src).is_err());
+    }
+
+    #[test]
+    fn rejects_unknown_keys_and_tables() {
+        assert!(Config::parse("[general]").is_err());
+        assert!(Config::parse("bogus = [\"x\"]").is_err());
+        assert!(Config::parse("[[hot]]\nfile = \"a.rs\"\nexclude = [\"x\"]").is_err());
+    }
+
+    #[test]
+    fn hash_inside_string_value_is_kept() {
+        let cfg = Config::parse("exclude = [\"weird#dir\"] # trailing").unwrap();
+        assert_eq!(cfg.exclude, vec!["weird#dir"]);
+    }
+}

@@ -1,0 +1,176 @@
+//! R4: the unsafe-audit inventory. Renders every `unsafe` site in the
+//! tree as a markdown table and keeps the copy embedded in DESIGN.md
+//! from drifting.
+//!
+//! The table lives between these markers in DESIGN.md:
+//!
+//! ```text
+//! <!-- erpc-lint:unsafe-audit:begin -->
+//! …generated table…
+//! <!-- erpc-lint:unsafe-audit:end -->
+//! ```
+//!
+//! Columns come from the `SAFETY:` comment adjacent to each site: the
+//! justification is its first sentence; a `COVERS: <test / Miri run>`
+//! line inside the same comment run fills the coverage column.
+
+use crate::rules::{Finding, UnsafeSite, R_INVENTORY};
+
+pub const BEGIN: &str = "<!-- erpc-lint:unsafe-audit:begin -->";
+pub const END: &str = "<!-- erpc-lint:unsafe-audit:end -->";
+
+/// One row of the audit table.
+#[derive(Debug, Clone)]
+pub struct Row {
+    pub file: String,
+    pub site: UnsafeSite,
+}
+
+/// Render the audit table (markers not included).
+pub fn render(rows: &[Row]) -> String {
+    let mut out = String::new();
+    out.push_str("| Site | Kind | Justification | Coverage |\n");
+    out.push_str("|------|------|---------------|----------|\n");
+    for r in rows {
+        let (just, covers) = split_safety(r.site.safety.as_deref());
+        out.push_str(&format!(
+            "| `{}:{}` | {} | {} | {} |\n",
+            r.file,
+            r.site.line,
+            r.site.kind,
+            escape_cell(&just),
+            escape_cell(&covers),
+        ));
+    }
+    out
+}
+
+/// Split a joined SAFETY comment run into (first sentence, coverage).
+fn split_safety(safety: Option<&str>) -> (String, String) {
+    let Some(text) = safety else {
+        return ("**UNDOCUMENTED**".into(), "—".into());
+    };
+    let covers = text
+        .split("COVERS:")
+        .nth(1)
+        .map(|s| s.trim().trim_end_matches('.').to_string())
+        .unwrap_or_else(|| "—".into());
+    let body = text
+        .split("SAFETY:")
+        .nth(1)
+        .unwrap_or(text)
+        .split("COVERS:")
+        .next()
+        .unwrap_or("")
+        .trim();
+    let sentence = match body.find(". ") {
+        Some(i) => &body[..i + 1],
+        None => body,
+    };
+    (sentence.trim().to_string(), covers)
+}
+
+fn escape_cell(s: &str) -> String {
+    s.replace('|', "\\|")
+}
+
+/// Replace the region between the markers in `design` with `table`.
+pub fn splice(design: &str, table: &str) -> Result<String, String> {
+    let begin = design
+        .find(BEGIN)
+        .ok_or_else(|| format!("DESIGN.md: missing `{BEGIN}` marker"))?;
+    let end = design
+        .find(END)
+        .ok_or_else(|| format!("DESIGN.md: missing `{END}` marker"))?;
+    if end < begin {
+        return Err("DESIGN.md: end marker precedes begin marker".into());
+    }
+    let mut out = String::with_capacity(design.len() + table.len());
+    out.push_str(&design[..begin + BEGIN.len()]);
+    out.push('\n');
+    out.push_str(table);
+    out.push_str(&design[end..]);
+    Ok(out)
+}
+
+/// Compare the embedded table against the freshly rendered one.
+pub fn check_drift(design: &str, table: &str) -> Option<Finding> {
+    let embedded = match (design.find(BEGIN), design.find(END)) {
+        (Some(b), Some(e)) if e >= b => design[b + BEGIN.len()..e].trim(),
+        _ => {
+            return Some(Finding {
+                rule: R_INVENTORY,
+                file: "DESIGN.md".into(),
+                line: 1,
+                msg: format!("missing `{BEGIN}` / `{END}` markers"),
+            })
+        }
+    };
+    if embedded == table.trim() {
+        None
+    } else {
+        Some(Finding {
+            rule: R_INVENTORY,
+            file: "DESIGN.md".into(),
+            line: 1,
+            msg: "unsafe-audit table is stale — run `cargo run -p erpc-lint -- inventory --write`"
+                .into(),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn row(file: &str, line: u32, kind: &'static str, safety: Option<&str>) -> Row {
+        Row {
+            file: file.into(),
+            site: UnsafeSite {
+                line,
+                kind,
+                safety: safety.map(String::from),
+            },
+        }
+    }
+
+    #[test]
+    fn renders_first_sentence_and_covers() {
+        let rows = vec![row(
+            "a.rs",
+            7,
+            "impl",
+            Some(
+                "SAFETY: Slots are owned exclusively. More detail here. COVERS: ring_stress (Miri)",
+            ),
+        )];
+        let t = render(&rows);
+        assert!(
+            t.contains("| `a.rs:7` | impl | Slots are owned exclusively. | ring_stress (Miri) |"),
+            "{t}"
+        );
+    }
+
+    #[test]
+    fn undocumented_site_is_flagged_in_table() {
+        let t = render(&[row("b.rs", 3, "block", None)]);
+        assert!(t.contains("**UNDOCUMENTED**"));
+    }
+
+    #[test]
+    fn splice_and_drift_roundtrip() {
+        let design = format!("# Doc\n\n{BEGIN}\nold\n{END}\n\ntail\n");
+        let table = render(&[row("a.rs", 1, "fn", Some("SAFETY: Fine."))]);
+        let updated = splice(&design, &table).unwrap();
+        assert!(check_drift(&updated, &table).is_none());
+        assert!(check_drift(&design, &table).is_some());
+        // Idempotent.
+        assert_eq!(splice(&updated, &table).unwrap(), updated);
+    }
+
+    #[test]
+    fn missing_markers_is_drift() {
+        let f = check_drift("# Doc with no markers", "x").unwrap();
+        assert_eq!(f.rule, R_INVENTORY);
+    }
+}

@@ -1,0 +1,511 @@
+//! A comment/string/raw-string-aware Rust tokenizer.
+//!
+//! This is not a full Rust lexer — it is exactly the subset the rule
+//! engine needs to be *sound against false positives*: an `unsafe` or
+//! `unwrap` inside a string literal, a raw string, a (possibly nested)
+//! block comment, or a doc example must never look like code, and a
+//! lifetime `'a` must never swallow the rest of the line as an unclosed
+//! char literal. Everything else (numbers, punctuation) is tokenized just
+//! precisely enough to match call/path patterns like `.unwrap(`,
+//! `Instant::now`, or `vec!`.
+//!
+//! Tokens carry their 1-based start line so findings are clickable.
+
+/// Lexical class of a [`Token`].
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum TokKind {
+    /// Identifier or keyword (incl. raw identifiers, `r#match`).
+    Ident,
+    /// Lifetime (`'a`, `'static`) — distinguished from char literals.
+    Lifetime,
+    /// Char or byte-char literal (`'x'`, `b'\n'`).
+    CharLit,
+    /// String literal of any flavor (`"…"`, `r#"…"#`, `b"…"`, `br"…"`).
+    StrLit,
+    /// Numeric literal (integer part only; `1.5` lexes as Num Punct Num).
+    Num,
+    /// Line or block comment, text preserved verbatim (incl. delimiters).
+    Comment,
+    /// Punctuation. Single char, except `::` which is fused.
+    Punct,
+}
+
+/// One lexeme with its source position.
+#[derive(Clone, Debug)]
+pub struct Token {
+    pub kind: TokKind,
+    /// The lexeme text. For comments: the full comment incl. `//` / `/*`.
+    pub text: String,
+    /// 1-based line where the token starts.
+    pub line: u32,
+}
+
+impl Token {
+    fn new(kind: TokKind, text: impl Into<String>, line: u32) -> Self {
+        Self {
+            kind,
+            text: text.into(),
+            line,
+        }
+    }
+}
+
+fn is_ident_start(c: char) -> bool {
+    c.is_alphabetic() || c == '_'
+}
+
+fn is_ident_continue(c: char) -> bool {
+    c.is_alphanumeric() || c == '_'
+}
+
+/// Tokenize `src`. Never fails: unterminated literals are consumed to EOF
+/// (the lint runs on code that already passed rustc, so this is defensive).
+pub fn lex(src: &str) -> Vec<Token> {
+    let chars: Vec<char> = src.chars().collect();
+    let n = chars.len();
+    let mut toks = Vec::new();
+    let mut i = 0usize;
+    let mut line = 1u32;
+
+    while i < n {
+        let c = chars[i];
+        if c == '\n' {
+            line += 1;
+            i += 1;
+            continue;
+        }
+        if c.is_whitespace() {
+            i += 1;
+            continue;
+        }
+
+        // ── Comments ──────────────────────────────────────────────────
+        if c == '/' && i + 1 < n && chars[i + 1] == '/' {
+            let (start, l) = (i, line);
+            while i < n && chars[i] != '\n' {
+                i += 1;
+            }
+            toks.push(Token::new(
+                TokKind::Comment,
+                chars[start..i].iter().collect::<String>(),
+                l,
+            ));
+            continue;
+        }
+        if c == '/' && i + 1 < n && chars[i + 1] == '*' {
+            let (start, l) = (i, line);
+            let mut depth = 1usize;
+            i += 2;
+            while i < n && depth > 0 {
+                if chars[i] == '\n' {
+                    line += 1;
+                    i += 1;
+                } else if chars[i] == '/' && i + 1 < n && chars[i + 1] == '*' {
+                    depth += 1; // block comments nest in Rust
+                    i += 2;
+                } else if chars[i] == '*' && i + 1 < n && chars[i + 1] == '/' {
+                    depth -= 1;
+                    i += 2;
+                } else {
+                    i += 1;
+                }
+            }
+            toks.push(Token::new(
+                TokKind::Comment,
+                chars[start..i].iter().collect::<String>(),
+                l,
+            ));
+            continue;
+        }
+
+        // ── Raw strings / byte strings (before plain identifiers) ─────
+        // r"…", r#"…"#, br"…", b"…", b'…'. `r#ident` is a raw identifier,
+        // not a raw string — disambiguated by what follows the `#`s.
+        if c == 'r' || c == 'b' {
+            if let Some((end, newlines)) = try_str_prefix(&chars, i) {
+                toks.push(Token::new(
+                    TokKind::StrLit,
+                    chars[i..end].iter().collect::<String>(),
+                    line,
+                ));
+                line += newlines;
+                i = end;
+                continue;
+            }
+            if c == 'b' && i + 1 < n && chars[i + 1] == '\'' {
+                let (end, _) = scan_char_literal(&chars, i + 1);
+                toks.push(Token::new(
+                    TokKind::CharLit,
+                    chars[i..end].iter().collect::<String>(),
+                    line,
+                ));
+                i = end;
+                continue;
+            }
+        }
+
+        // ── Identifiers (incl. raw identifiers) ───────────────────────
+        if is_ident_start(c) {
+            let start = i;
+            i += 1;
+            while i < n && is_ident_continue(chars[i]) {
+                i += 1;
+            }
+            toks.push(Token::new(
+                TokKind::Ident,
+                chars[start..i].iter().collect::<String>(),
+                line,
+            ));
+            continue;
+        }
+        if c == 'r' && i + 1 < n && chars[i + 1] == '#' && i + 2 < n && is_ident_start(chars[i + 2])
+        {
+            // Unreachable in practice (the ident arm above consumes `r`),
+            // kept for clarity: raw identifiers are plain identifiers.
+        }
+
+        // ── Plain string literal ──────────────────────────────────────
+        if c == '"' {
+            let (start, l) = (i, line);
+            i += 1;
+            while i < n {
+                match chars[i] {
+                    '\\' => i += 2,
+                    '\n' => {
+                        line += 1;
+                        i += 1;
+                    }
+                    '"' => {
+                        i += 1;
+                        break;
+                    }
+                    _ => i += 1,
+                }
+            }
+            toks.push(Token::new(
+                TokKind::StrLit,
+                chars[start..i.min(n)].iter().collect::<String>(),
+                l,
+            ));
+            continue;
+        }
+
+        // ── Char literal vs lifetime ──────────────────────────────────
+        if c == '\'' {
+            // `'\n'` / `'\''` — escaped char literal.
+            if i + 1 < n && chars[i + 1] == '\\' {
+                let (end, _) = scan_char_literal(&chars, i);
+                toks.push(Token::new(
+                    TokKind::CharLit,
+                    chars[i..end].iter().collect::<String>(),
+                    line,
+                ));
+                i = end;
+                continue;
+            }
+            // `'x'` (any single char, incl. digits and punctuation).
+            if i + 2 < n && chars[i + 2] == '\'' && chars[i + 1] != '\'' {
+                toks.push(Token::new(
+                    TokKind::CharLit,
+                    chars[i..i + 3].iter().collect::<String>(),
+                    line,
+                ));
+                i += 3;
+                continue;
+            }
+            // `'a`, `'static` — lifetime: ident chars, no closing quote.
+            if i + 1 < n && is_ident_start(chars[i + 1]) {
+                let start = i;
+                i += 2;
+                while i < n && is_ident_continue(chars[i]) {
+                    i += 1;
+                }
+                toks.push(Token::new(
+                    TokKind::Lifetime,
+                    chars[start..i].iter().collect::<String>(),
+                    line,
+                ));
+                continue;
+            }
+            // Stray quote: emit as punctuation and move on.
+            toks.push(Token::new(TokKind::Punct, "'", line));
+            i += 1;
+            continue;
+        }
+
+        // ── Numbers ───────────────────────────────────────────────────
+        if c.is_ascii_digit() {
+            let start = i;
+            i += 1;
+            // Covers 0xFF, 0b1010, 1_000, suffixes (1u64). `.` is left as
+            // punctuation so `0..10` cannot confuse the scanner.
+            while i < n && (is_ident_continue(chars[i])) {
+                i += 1;
+            }
+            toks.push(Token::new(
+                TokKind::Num,
+                chars[start..i].iter().collect::<String>(),
+                line,
+            ));
+            continue;
+        }
+
+        // ── Punctuation (`::` fused for path matching) ────────────────
+        if c == ':' && i + 1 < n && chars[i + 1] == ':' {
+            toks.push(Token::new(TokKind::Punct, "::", line));
+            i += 2;
+            continue;
+        }
+        toks.push(Token::new(TokKind::Punct, c.to_string(), line));
+        i += 1;
+    }
+    toks
+}
+
+/// If position `i` starts a (raw/byte) string literal prefix — `r"`,
+/// `r#"`, `br#"`, `b"` — return `(end_index, newline_count)`.
+fn try_str_prefix(chars: &[char], i: usize) -> Option<(usize, u32)> {
+    let n = chars.len();
+    let mut j = i;
+    let mut raw = false;
+    if chars[j] == 'b' {
+        j += 1;
+        if j < n && chars[j] == 'r' {
+            raw = true;
+            j += 1;
+        }
+    } else if chars[j] == 'r' {
+        raw = true;
+        j += 1;
+    }
+    if raw {
+        let mut hashes = 0usize;
+        while j < n && chars[j] == '#' {
+            hashes += 1;
+            j += 1;
+        }
+        if j >= n || chars[j] != '"' {
+            return None; // `r#ident` (raw identifier) or plain `r` / `b`
+        }
+        j += 1;
+        let mut newlines = 0u32;
+        // Scan for `"` followed by `hashes` × `#`.
+        while j < n {
+            if chars[j] == '\n' {
+                newlines += 1;
+                j += 1;
+                continue;
+            }
+            if chars[j] == '"' {
+                let mut k = 0usize;
+                while k < hashes && j + 1 + k < n && chars[j + 1 + k] == '#' {
+                    k += 1;
+                }
+                if k == hashes {
+                    return Some((j + 1 + hashes, newlines));
+                }
+            }
+            j += 1;
+        }
+        return Some((n, newlines));
+    }
+    // Non-raw byte string: `b"…"` with escapes.
+    if j < n && chars[j] == '"' {
+        j += 1;
+        let mut newlines = 0u32;
+        while j < n {
+            match chars[j] {
+                '\\' => j += 2,
+                '\n' => {
+                    newlines += 1;
+                    j += 1;
+                }
+                '"' => return Some((j + 1, newlines)),
+                _ => j += 1,
+            }
+        }
+        return Some((n, newlines));
+    }
+    None
+}
+
+/// Scan a (possibly escaped) char literal starting at the `'` at `i`.
+fn scan_char_literal(chars: &[char], i: usize) -> (usize, u32) {
+    let n = chars.len();
+    let mut j = i + 1;
+    let mut guard = 0;
+    while j < n && guard < 12 {
+        match chars[j] {
+            '\\' => j += 2,
+            '\'' => return (j + 1, 0),
+            _ => j += 1,
+        }
+        guard += 1;
+    }
+    (j.min(n), 0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<(TokKind, String)> {
+        lex(src).into_iter().map(|t| (t.kind, t.text)).collect()
+    }
+
+    fn idents(src: &str) -> Vec<String> {
+        lex(src)
+            .into_iter()
+            .filter(|t| t.kind == TokKind::Ident)
+            .map(|t| t.text)
+            .collect()
+    }
+
+    #[test]
+    fn unsafe_inside_string_is_not_code() {
+        let src = r#"let s = "unsafe { }"; let t = 1;"#;
+        assert_eq!(idents(src), vec!["let", "s", "let", "t"]);
+    }
+
+    #[test]
+    fn unsafe_inside_raw_string_is_not_code() {
+        let src = "let s = r#\"unsafe fn unwrap()\"#; call();";
+        assert_eq!(idents(src), vec!["let", "s", "call"]);
+        // The raw string is one literal token.
+        assert_eq!(
+            lex(src)
+                .iter()
+                .filter(|t| t.kind == TokKind::StrLit)
+                .count(),
+            1
+        );
+    }
+
+    #[test]
+    fn raw_string_with_hashes_and_quotes() {
+        let src = r##"let s = r#"she said "unsafe""#; x"##;
+        assert_eq!(idents(src), vec!["let", "s", "x"]);
+    }
+
+    #[test]
+    fn byte_strings_and_byte_chars() {
+        let src = r#"let a = b"unsafe"; let c = b'u'; let r = br"unwrap()";"#;
+        assert_eq!(idents(src), vec!["let", "a", "let", "c", "let", "r"]);
+        let toks = lex(src);
+        assert_eq!(toks.iter().filter(|t| t.kind == TokKind::StrLit).count(), 2);
+        assert_eq!(
+            toks.iter().filter(|t| t.kind == TokKind::CharLit).count(),
+            1
+        );
+    }
+
+    #[test]
+    fn unsafe_inside_line_comment_is_comment() {
+        let src = "// this mentions unsafe and unwrap()\nlet x = 1;";
+        assert_eq!(idents(src), vec!["let", "x"]);
+    }
+
+    #[test]
+    fn nested_block_comments() {
+        let src = "/* outer /* inner unsafe */ still comment */ fn f() {}";
+        let toks = lex(src);
+        assert_eq!(toks[0].kind, TokKind::Comment);
+        assert!(toks[0].text.contains("inner unsafe"));
+        assert_eq!(idents(src), vec!["fn", "f"]);
+    }
+
+    #[test]
+    fn lifetime_vs_char_literal() {
+        // `'a` must not swallow `>` as part of a char literal.
+        let src = "fn f<'a>(x: &'a str) { let c = 'a'; let nl = '\\n'; }";
+        let toks = lex(src);
+        let lifetimes: Vec<_> = toks
+            .iter()
+            .filter(|t| t.kind == TokKind::Lifetime)
+            .map(|t| t.text.clone())
+            .collect();
+        assert_eq!(lifetimes, vec!["'a", "'a"]);
+        let chars: Vec<_> = toks
+            .iter()
+            .filter(|t| t.kind == TokKind::CharLit)
+            .map(|t| t.text.clone())
+            .collect();
+        assert_eq!(chars, vec!["'a'", "'\\n'"]);
+    }
+
+    #[test]
+    fn static_lifetime_and_quote_escape() {
+        let src = "static S: &'static str = \"x\"; let q = '\\'';";
+        let toks = lex(src);
+        assert!(toks
+            .iter()
+            .any(|t| t.kind == TokKind::Lifetime && t.text == "'static"));
+        assert!(toks
+            .iter()
+            .any(|t| t.kind == TokKind::CharLit && t.text == "'\\''"));
+    }
+
+    #[test]
+    fn line_numbers_track_newlines_everywhere() {
+        let src = "fn a() {}\n/* two\nlines */\nlet s = \"multi\nline\";\nfn b() {}";
+        let toks = lex(src);
+        let b = toks
+            .iter()
+            .find(|t| t.kind == TokKind::Ident && t.text == "b")
+            .unwrap();
+        // fn a @1, comment @2-3, let s @4 (string spans 4-5), fn b @6.
+        assert_eq!(b.line, 6);
+    }
+
+    #[test]
+    fn double_colon_is_fused() {
+        let src = "Instant::now()";
+        let k = kinds(src);
+        assert_eq!(
+            k,
+            vec![
+                (TokKind::Ident, "Instant".into()),
+                (TokKind::Punct, "::".into()),
+                (TokKind::Ident, "now".into()),
+                (TokKind::Punct, "(".into()),
+                (TokKind::Punct, ")".into()),
+            ]
+        );
+    }
+
+    #[test]
+    fn raw_identifier_is_not_a_raw_string() {
+        let src = "let r#fn = 1; let x = r\"str\";";
+        let toks = lex(src);
+        // r#fn lexes as Ident(r) Punct(#) Ident(fn) — good enough, and
+        // crucially the following tokens are not swallowed as a string.
+        assert!(toks
+            .iter()
+            .any(|t| t.kind == TokKind::Ident && t.text == "x"));
+        assert_eq!(toks.iter().filter(|t| t.kind == TokKind::StrLit).count(), 1);
+    }
+
+    #[test]
+    fn ranges_do_not_confuse_numbers() {
+        let src = "for i in 0..10 { a[i] }";
+        let nums: Vec<_> = lex(src)
+            .into_iter()
+            .filter(|t| t.kind == TokKind::Num)
+            .map(|t| t.text)
+            .collect();
+        assert_eq!(nums, vec!["0", "10"]);
+    }
+
+    #[test]
+    fn doc_comments_are_comments() {
+        let src = "/// calls unwrap() in the example\n//! unsafe in crate doc\nfn f() {}";
+        assert_eq!(idents(src), vec!["fn", "f"]);
+    }
+
+    #[test]
+    fn unterminated_string_consumes_to_eof_without_panic() {
+        let src = "let s = \"never closed";
+        let toks = lex(src);
+        assert_eq!(toks.last().unwrap().kind, TokKind::StrLit);
+    }
+}

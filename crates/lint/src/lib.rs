@@ -1,0 +1,85 @@
+//! In-repo static analysis for the eRPC reproduction.
+//!
+//! The paper's fast-path discipline (§5.2: no allocation, no branches to
+//! panic machinery, no syscalls per packet) and the repo's unsafe-audit
+//! policy are enforced here as build-time checks that clippy cannot
+//! express. See DESIGN.md § "Static analysis & invariant enforcement".
+//!
+//! Rules:
+//! - `safety-comment` (R1): every `unsafe` block/fn/impl/trait needs an
+//!   adjacent `// SAFETY:` comment.
+//! - `hot-path-alloc` / `hot-path-panic` / `hot-path-clock` (R2): the
+//!   declared hot-module set (lint.toml `[[hot]]`) must not allocate,
+//!   panic, or read the clock per packet.
+//! - `no-print` (R3): no `println!`/`eprintln!` in library sources.
+//! - `inventory-drift` (R4): the unsafe-audit table in DESIGN.md must
+//!   match the tree.
+//!
+//! Escape hatch: a `// lint:allow(<rule>): <reason>` comment suppresses
+//! exactly one finding on its own line, within its comment run, or on
+//! the first line below it; unused or malformed allows are themselves
+//! findings.
+
+#![forbid(unsafe_code)]
+
+pub mod config;
+pub mod inventory;
+pub mod lexer;
+pub mod rules;
+pub mod walk;
+
+use config::Config;
+use inventory::Row;
+use rules::Finding;
+use std::path::Path;
+
+/// Load `lint.toml` from the repo root (required).
+pub fn load_config(root: &Path) -> Result<Config, String> {
+    let path = root.join("lint.toml");
+    let src = std::fs::read_to_string(&path)
+        .map_err(|e| format!("cannot read {}: {e}", path.display()))?;
+    Config::parse(&src)
+}
+
+/// Collect all unsafe sites in the tree, for the audit table.
+pub fn collect_unsafe_rows(root: &Path, cfg: &Config) -> Result<Vec<Row>, String> {
+    let mut rows = Vec::new();
+    for (rel, abs) in walk::rust_files(root, cfg)? {
+        let src = std::fs::read_to_string(&abs)
+            .map_err(|e| format!("cannot read {}: {e}", abs.display()))?;
+        for site in rules::scan_unsafe(&lexer::lex(&src)) {
+            rows.push(Row {
+                file: rel.clone(),
+                site,
+            });
+        }
+    }
+    Ok(rows)
+}
+
+/// Run every rule over the tree rooted at `root`. Returns all findings
+/// (empty = clean).
+pub fn run_check(root: &Path) -> Result<Vec<Finding>, String> {
+    let cfg = load_config(root)?;
+    let mut findings = Vec::new();
+
+    for (rel, abs) in walk::rust_files(root, &cfg)? {
+        let src = std::fs::read_to_string(&abs)
+            .map_err(|e| format!("cannot read {}: {e}", abs.display()))?;
+        let apply_print = walk::is_library_source(&rel) && !cfg.print_allowed(&rel);
+        findings.extend(rules::check_file(&rel, &src, &cfg, apply_print));
+    }
+
+    // R4: the DESIGN.md audit table must match the tree.
+    let rows = collect_unsafe_rows(root, &cfg)?;
+    let table = inventory::render(&rows);
+    let design_path = root.join("DESIGN.md");
+    let design = std::fs::read_to_string(&design_path)
+        .map_err(|e| format!("cannot read {}: {e}", design_path.display()))?;
+    if let Some(f) = inventory::check_drift(&design, &table) {
+        findings.push(f);
+    }
+
+    findings.sort_by(|a, b| (&a.file, a.line).cmp(&(&b.file, b.line)));
+    Ok(findings)
+}

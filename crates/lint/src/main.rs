@@ -1,0 +1,100 @@
+//! `erpc-lint` — repo-specific static analysis driver.
+//!
+//! Usage:
+//!   erpc-lint [--root <dir>] check              # all rules; exit 1 on findings
+//!   erpc-lint [--root <dir>] inventory          # print the unsafe-audit table
+//!   erpc-lint [--root <dir>] inventory --write  # regenerate the table in DESIGN.md
+
+#![forbid(unsafe_code)]
+
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let mut args = std::env::args().skip(1);
+    let mut root = default_root();
+    let mut cmd = String::from("check");
+    let mut write = false;
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--root" => match args.next() {
+                Some(r) => root = PathBuf::from(r),
+                None => {
+                    eprintln!("erpc-lint: --root needs a path");
+                    return ExitCode::from(2);
+                }
+            },
+            "--write" => write = true,
+            "check" | "inventory" => cmd = a,
+            other => {
+                eprintln!("erpc-lint: unknown argument `{other}`");
+                return ExitCode::from(2);
+            }
+        }
+    }
+
+    let result = match cmd.as_str() {
+        "check" => run_check(&root),
+        "inventory" => run_inventory(&root, write),
+        _ => unreachable!(),
+    };
+    match result {
+        Ok(code) => code,
+        Err(e) => {
+            eprintln!("erpc-lint: {e}");
+            ExitCode::from(2)
+        }
+    }
+}
+
+/// The repo root: walk up from CWD until a `lint.toml` is found.
+fn default_root() -> PathBuf {
+    let mut dir = std::env::current_dir().unwrap_or_else(|_| PathBuf::from("."));
+    loop {
+        if dir.join("lint.toml").is_file() {
+            return dir;
+        }
+        if !dir.pop() {
+            return PathBuf::from(".");
+        }
+    }
+}
+
+fn run_check(root: &Path) -> Result<ExitCode, String> {
+    let findings = erpc_lint::run_check(root)?;
+    if findings.is_empty() {
+        println!("erpc-lint: clean");
+        return Ok(ExitCode::SUCCESS);
+    }
+    for f in &findings {
+        println!("{f}");
+    }
+    println!(
+        "erpc-lint: {} finding{} — fix or justify with `// lint:allow(<rule>): <reason>`",
+        findings.len(),
+        if findings.len() == 1 { "" } else { "s" }
+    );
+    Ok(ExitCode::FAILURE)
+}
+
+fn run_inventory(root: &Path, write: bool) -> Result<ExitCode, String> {
+    let cfg = erpc_lint::load_config(root)?;
+    let rows = erpc_lint::collect_unsafe_rows(root, &cfg)?;
+    let table = erpc_lint::inventory::render(&rows);
+    if write {
+        let design_path = root.join("DESIGN.md");
+        let design = std::fs::read_to_string(&design_path)
+            .map_err(|e| format!("cannot read {}: {e}", design_path.display()))?;
+        let updated = erpc_lint::inventory::splice(&design, &table)?;
+        if updated != design {
+            std::fs::write(&design_path, updated)
+                .map_err(|e| format!("cannot write {}: {e}", design_path.display()))?;
+            println!("erpc-lint: DESIGN.md unsafe-audit table updated");
+        } else {
+            println!("erpc-lint: DESIGN.md unsafe-audit table already current");
+        }
+    } else {
+        print!("{table}");
+    }
+    Ok(ExitCode::SUCCESS)
+}

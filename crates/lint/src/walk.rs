@@ -1,0 +1,73 @@
+//! Deterministic workspace walker: every `.rs` file under the repo
+//! root, minus `.git`, `target`, and config excludes, sorted by path.
+
+use crate::config::{rel_str, Config};
+use std::path::{Path, PathBuf};
+
+/// All Rust sources as (repo-relative `/`-path, absolute path), sorted.
+pub fn rust_files(root: &Path, cfg: &Config) -> Result<Vec<(String, PathBuf)>, String> {
+    let mut out = Vec::new();
+    let mut stack = vec![root.to_path_buf()];
+    while let Some(dir) = stack.pop() {
+        let entries =
+            std::fs::read_dir(&dir).map_err(|e| format!("read_dir {}: {e}", dir.display()))?;
+        for entry in entries {
+            let entry = entry.map_err(|e| format!("walk {}: {e}", dir.display()))?;
+            let path = entry.path();
+            let name = entry.file_name();
+            let name = name.to_string_lossy();
+            if path.is_dir() {
+                if name == ".git" || name == "target" {
+                    continue;
+                }
+                let rel = rel_str(path.strip_prefix(root).unwrap_or(&path));
+                if cfg.is_excluded(&rel) {
+                    continue;
+                }
+                stack.push(path);
+            } else if name.ends_with(".rs") {
+                let rel = rel_str(path.strip_prefix(root).unwrap_or(&path));
+                if cfg.is_excluded(&rel) {
+                    continue;
+                }
+                out.push((rel, path));
+            }
+        }
+    }
+    out.sort();
+    Ok(out)
+}
+
+/// Does R3 (no-print) apply to this repo-relative path? Library sources
+/// only: `crates/*/src/**` and the umbrella `suite.rs` — not tests/,
+/// examples/, benches/, or fixtures.
+pub fn is_library_source(rel: &str) -> bool {
+    if rel == "suite.rs" {
+        return true;
+    }
+    let mut parts = rel.split('/');
+    matches!(
+        (parts.next(), parts.next(), parts.next()),
+        (Some("crates"), Some(_), Some("src"))
+    ) || {
+        // shims live one level deeper: crates/shims/<name>/src/…
+        let p: Vec<&str> = rel.split('/').collect();
+        p.len() >= 4 && p[0] == "crates" && p[1] == "shims" && p[3] == "src"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn library_source_classification() {
+        assert!(is_library_source("crates/core/src/rpc/rx.rs"));
+        assert!(is_library_source("crates/shims/rand/src/lib.rs"));
+        assert!(is_library_source("suite.rs"));
+        assert!(!is_library_source("crates/core/tests/integration.rs"));
+        assert!(!is_library_source("tests/figure5.rs"));
+        assert!(!is_library_source("examples/hello.rs"));
+        assert!(!is_library_source("crates/bench/benches/fig4.rs"));
+    }
+}

@@ -1,0 +1,78 @@
+//! End-to-end run over the fixture mini-tree in `fixtures/tree/`: a fake
+//! repo (own `lint.toml`, stale `DESIGN.md`, one library crate) with one
+//! seeded violation per rule. This is the "linter actually fires" half
+//! of the contract; `real_tree.rs` is the "tree is actually clean" half.
+
+use std::path::PathBuf;
+
+fn fixture_root() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("fixtures/tree")
+}
+
+fn findings() -> Vec<erpc_lint::rules::Finding> {
+    erpc_lint::run_check(&fixture_root()).expect("fixture tree must load")
+}
+
+#[test]
+fn every_seeded_violation_fires() {
+    let got: Vec<(String, String, u32)> = findings()
+        .iter()
+        .map(|f| (f.rule.to_string(), f.file.clone(), f.line))
+        .collect();
+    let want = [
+        ("inventory-drift", "DESIGN.md", 1),
+        ("hot-path-panic", "crates/fx/src/allows.rs", 8),
+        ("unused-allow", "crates/fx/src/allows.rs", 12),
+        ("malformed-allow", "crates/fx/src/allows.rs", 16),
+        ("hot-path-alloc", "crates/fx/src/hot.rs", 5),
+        ("hot-path-clock", "crates/fx/src/hot.rs", 6),
+        ("hot-path-panic", "crates/fx/src/hot.rs", 7),
+        ("no-print", "crates/fx/src/prints.rs", 5),
+        ("no-print", "crates/fx/src/prints.rs", 6),
+        ("safety-comment", "crates/fx/src/unsafe_sites.rs", 8),
+        ("safety-comment", "crates/fx/src/unsafe_sites.rs", 13),
+    ];
+    let want: Vec<(String, String, u32)> = want
+        .iter()
+        .map(|(r, f, l)| (r.to_string(), f.to_string(), *l))
+        .collect();
+    assert_eq!(
+        got, want,
+        "fixture findings drifted — update fixtures or rules"
+    );
+}
+
+#[test]
+fn suppressed_and_cold_violations_stay_silent() {
+    let fs = findings();
+    // The justified unwrap in allows.rs (line 7) is suppressed…
+    assert!(
+        !fs.iter()
+            .any(|f| f.file.ends_with("allows.rs") && f.line == 7),
+        "allow on line 6 must suppress the line-7 unwrap"
+    );
+    // …and `cold_fn` (not in the hot set) never reports at all.
+    assert!(
+        !fs.iter().any(|f| f.file.ends_with("hot.rs") && f.line > 9),
+        "cold_fn is outside the declared hot set"
+    );
+}
+
+#[test]
+fn inventory_write_would_fix_the_drift() {
+    let root = fixture_root();
+    let cfg = erpc_lint::load_config(&root).unwrap();
+    let rows = erpc_lint::collect_unsafe_rows(&root, &cfg).unwrap();
+    let table = erpc_lint::inventory::render(&rows);
+    // The fixture's stale DESIGN.md drifts…
+    let stale = std::fs::read_to_string(root.join("DESIGN.md")).unwrap();
+    assert!(erpc_lint::inventory::check_drift(&stale, &table).is_some());
+    // …and splicing the generated table in makes it clean (the fix the
+    // CLI's `inventory --write` applies).
+    let fixed = erpc_lint::inventory::splice(&stale, &table).unwrap();
+    assert!(erpc_lint::inventory::check_drift(&fixed, &table).is_none());
+    // The undocumented fixture sites surface as UNDOCUMENTED rows.
+    assert!(table.contains("**UNDOCUMENTED**"));
+    // The documented one carries its justification + coverage.
+    assert!(table.contains("fixture — nothing to uphold"));
+}

@@ -1,0 +1,27 @@
+//! The repo's own tree must lint clean: every unsafe site documented,
+//! every hot-path impurity fixed or justified inline, the DESIGN.md
+//! unsafe audit current. This is the same check CI runs as
+//! `cargo run -p erpc-lint -- check`, hooked into `cargo test` so a
+//! drift cannot land without failing tests either.
+
+use std::path::PathBuf;
+
+#[test]
+fn repo_lints_clean() {
+    let root = PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .parent()
+        .and_then(|p| p.parent())
+        .expect("crates/lint lives two levels under the repo root")
+        .to_path_buf();
+    let findings = erpc_lint::run_check(&root).expect("repo tree must load");
+    assert!(
+        findings.is_empty(),
+        "erpc-lint found {} problem(s):\n{}",
+        findings.len(),
+        findings
+            .iter()
+            .map(|f| f.to_string())
+            .collect::<Vec<_>>()
+            .join("\n")
+    );
+}

@@ -18,6 +18,8 @@
 //! Table 6's experiment (3-way replicated PUT latency) runs this stack on
 //! the simulated CX5 cluster; see `erpc-bench`.
 
+// This crate needs no unsafe code; keep it that way.
+#![forbid(unsafe_code)]
 pub mod msg;
 pub mod node;
 pub mod service;

@@ -5,6 +5,8 @@
 //! mean ns/iteration. Good enough for the micro-benchmarks' "tens of
 //! nanoseconds" sanity gauges.
 
+// This crate needs no unsafe code; keep it that way.
+#![forbid(unsafe_code)]
 use std::time::{Duration, Instant};
 
 pub use std::hint::black_box;
@@ -54,6 +56,8 @@ impl Criterion {
         };
         f(&mut b);
         if b.mean_ns.is_empty() {
+            // lint:allow(no-print): criterion-compatible console report
+            // is this shim's entire purpose.
             println!("{name:<40} (no iterations recorded)");
             return self;
         }
@@ -61,6 +65,7 @@ impl Criterion {
         let median = b.mean_ns[b.mean_ns.len() / 2];
         let min = b.mean_ns.first().copied().unwrap_or(median);
         let max = b.mean_ns.last().copied().unwrap_or(median);
+        // lint:allow(no-print): criterion-compatible console report.
         println!("{name:<40} time: [{min:>10.1} ns {median:>10.1} ns {max:>10.1} ns]");
         self
     }

@@ -2,6 +2,8 @@
 //! `channel::{unbounded, Sender, Receiver}` (MPMC, clonable receivers)
 //! and `utils::CachePadded`.
 
+// This crate needs no unsafe code; keep it that way.
+#![forbid(unsafe_code)]
 pub mod channel {
     use std::collections::VecDeque;
     use std::sync::atomic::{AtomicUsize, Ordering};

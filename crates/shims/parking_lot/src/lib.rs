@@ -3,6 +3,8 @@
 //! `std::sync`; a poisoned std lock (panicking holder) just yields the
 //! inner data, matching parking_lot's no-poisoning semantics.
 
+// This crate needs no unsafe code; keep it that way.
+#![forbid(unsafe_code)]
 pub use std::sync::{MutexGuard, RwLockReadGuard, RwLockWriteGuard};
 
 /// Reader-writer lock with parking_lot's panic-free `read()` / `write()`.

@@ -4,6 +4,8 @@
 //! (`shuffle`, `choose`). Deterministic, seedable, fast — everything the
 //! simulators and property tests need, nothing more.
 
+// This crate needs no unsafe code; keep it that way.
+#![forbid(unsafe_code)]
 use std::ops::{Range, RangeInclusive};
 
 /// Core RNG interface: a 64-bit generator.

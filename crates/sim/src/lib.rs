@@ -24,6 +24,8 @@
 //! * [`config::Cluster`] — the paper's CX3/CX4/CX5 testbeds (Table 1) as
 //!   presets.
 
+// This crate needs no unsafe code; keep it that way.
+#![forbid(unsafe_code)]
 pub mod config;
 pub mod driver;
 pub mod net;

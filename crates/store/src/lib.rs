@@ -14,6 +14,8 @@
 //! service glue lives in the benchmarks and examples, mirroring how the
 //! paper wires "unmodified existing storage software" to eRPC.
 
+// This crate needs no unsafe code; keep it that way.
+#![forbid(unsafe_code)]
 pub mod bptree;
 pub mod masstree;
 pub mod mica;

@@ -20,6 +20,10 @@
 //! wall-clock monotonic nanoseconds normally, virtual nanoseconds in the
 //! simulator, so the protocol layer is oblivious to the difference.
 
+// Every unsafe operation must sit in its own narrow `unsafe {}` block
+// with a `// SAFETY:` comment, even inside unsafe fns (none today).
+// The full site inventory lives in DESIGN.md's unsafe audit.
+#![deny(unsafe_op_in_unsafe_fn)]
 pub mod clock;
 pub mod codec;
 pub mod mem;
