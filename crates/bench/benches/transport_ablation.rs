@@ -1,0 +1,7 @@
+//! Bench target regenerating this experiment; see
+//! `erpc_bench::experiments::transport_ablation` for the cost-ladder
+//! mapping (per-packet loop → sendmmsg → io_uring → io_uring+SQPOLL).
+
+fn main() {
+    erpc_bench::experiments::transport_ablation::run();
+}

@@ -14,3 +14,4 @@ pub mod tab3_factor_analysis;
 pub mod tab4_loss_tolerance;
 pub mod tab5_incast;
 pub mod tab6_raft_replication;
+pub mod transport_ablation;

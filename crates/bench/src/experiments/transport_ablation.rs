@@ -1,0 +1,133 @@
+//! **Transport ablation** — the kernel-boundary cost ladder, measured.
+//!
+//! Companion to Table 3's software ablation and ROADMAP item 3: the same
+//! symmetric small-RPC workload (fig4 shape, loopback sockets) over the
+//! three kernel datapaths, pricing each rung of syscall elimination:
+//!
+//! 1. per-packet `send_to`/`recv_from` loop — O(packets) syscalls/pass,
+//! 2. `sendmmsg`/`recvmmsg` (`syscall_batching`, PR 5) — O(1),
+//! 3. io_uring SQ/CQ rings — at most one `io_uring_enter` per pass,
+//! 4. io_uring + SQPOLL — O(0): the kernel polls the SQ.
+//!
+//! io_uring rows run only where the runtime probe succeeds (seccomp or
+//! an old kernel yields a typed `Unavailable`); the probe result itself
+//! is printed so CI logs show *why* a row is missing.
+
+use crate::table::{mrps, us, Table};
+use crate::udp_cluster::{run_udp_symmetric, UdpBackend, UdpSymmetricOpts};
+
+fn fmt_rate(v: f64) -> String {
+    if v >= 0.095 {
+        format!("{v:.2}")
+    } else {
+        format!("{v:.3}")
+    }
+}
+
+pub fn run() -> String {
+    let opts = UdpSymmetricOpts {
+        measure_ms: crate::bench_millis(),
+        ..Default::default()
+    };
+    let mut t = Table::new(
+        format!(
+            "Transport ablation: symmetric {} B RPCs over loopback sockets ({} endpoints, one core, window {})",
+            opts.req_size, opts.endpoints, opts.window
+        ),
+        &[
+            "backend",
+            "Mrps",
+            "p50",
+            "p99",
+            "syscalls/RPC",
+            "enters/RPC",
+            "enters/pass",
+        ],
+    );
+    #[cfg(target_os = "linux")]
+    {
+        use erpc_transport::IoUringTransport;
+        match IoUringTransport::probe() {
+            Ok(()) => t.note("io_uring probe: ok"),
+            Err(e) => t.note(format!("io_uring probe: {e}")),
+        };
+    }
+    #[cfg(not(target_os = "linux"))]
+    t.note("io_uring probe: skipped (Linux-only backend)");
+
+    let backends = [
+        UdpBackend::UdpLoop,
+        UdpBackend::UdpMmsg,
+        UdpBackend::Uring { sqpoll: false },
+        UdpBackend::Uring { sqpoll: true },
+    ];
+    for backend in backends {
+        let Some(r) = run_udp_symmetric(&opts, backend) else {
+            t.row(&[
+                backend.label().to_string(),
+                "—".into(),
+                "—".into(),
+                "—".into(),
+                "—".into(),
+                "—".into(),
+                "—".into(),
+            ]);
+            continue;
+        };
+        t.row(&[
+            backend.label().to_string(),
+            mrps(r.per_core_rate),
+            us(r.latency.percentile(50.0)),
+            us(r.latency.percentile(99.0)),
+            fmt_rate(r.syscalls_per_rpc()),
+            fmt_rate(r.enters_per_rpc()),
+            fmt_rate(r.enters_per_pass()),
+        ]);
+        // Acceptance gates (ROADMAP item 3): without SQPOLL at most one
+        // enter per event-loop pass; with it, sub-syscall-per-RPC.
+        match backend {
+            UdpBackend::Uring { sqpoll: false } => {
+                assert!(
+                    r.enters_per_pass() <= 1.0 + 1e-9,
+                    "io_uring must cost ≤ 1 enter per pass, got {:.3}",
+                    r.enters_per_pass()
+                );
+            }
+            UdpBackend::Uring { sqpoll: true } => {
+                // Gate only on a meaningful sample: on a host without
+                // spare cores for the SQ-polling threads, a short window
+                // completes a handful of RPCs and the ratio is park-wakeup
+                // noise, not steady state.
+                if r.total_completed >= 200 {
+                    assert!(
+                        r.enters_per_rpc() < 1.0,
+                        "SQPOLL steady state must beat 1 enter/RPC, got {:.3} ({} enters / {} RPCs)",
+                        r.enters_per_rpc(),
+                        r.ring_enters,
+                        r.total_completed
+                    );
+                }
+                // SQPOLL's polling threads (one per ring) need spare
+                // cores; when the host can't grant them, throughput is
+                // scheduler-rotation-bound — say so in the output rather
+                // than leaving a mysteriously slow row.
+                if crate::host_cores() < opts.endpoints + 1 {
+                    t.note(format!(
+                        "SQPOLL row is core-starved: {} endpoints want {} SQ-polling threads + 1 app core, host has {}",
+                        opts.endpoints,
+                        opts.endpoints,
+                        crate::host_cores()
+                    ));
+                }
+            }
+            _ => {}
+        }
+    }
+    t.note(
+        "syscalls/RPC counts send+recv syscalls plus io_uring_enter, measure-window deltas only",
+    );
+    t.note("the per-packet loop is the `syscall_batching = false` ablation; sendmmsg is PR 5's O(1) rung");
+    t.note("SQPOLL trades one kernel polling thread for a zero-syscall submit path (idle → one wakeup enter)");
+    t.print();
+    t.render()
+}

@@ -30,6 +30,7 @@ pub mod multi_thread_cluster;
 pub mod sim_harness;
 pub mod table;
 pub mod thread_cluster;
+pub mod udp_cluster;
 
 /// Wall-clock measurement window.
 pub fn bench_millis() -> u64 {

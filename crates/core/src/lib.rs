@@ -81,6 +81,8 @@ pub mod pkthdr;
 pub mod rpc;
 pub mod session;
 pub mod stats;
+#[cfg(target_os = "linux")]
+pub mod uring_pool;
 pub mod worker;
 
 pub use channel::{CallHandle, Channel, RpcCall, RpcMessage, TypedCallHandle};

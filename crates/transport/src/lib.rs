@@ -28,14 +28,20 @@ pub mod clock;
 pub mod codec;
 pub mod mem;
 pub mod pkt;
+#[cfg(target_os = "linux")]
+pub mod rawsock;
 pub mod ring;
 pub mod udp;
+#[cfg(target_os = "linux")]
+pub mod uring;
 
 pub use clock::MonoClock;
 pub use mem::{MemFabric, MemFabricConfig, MemTransport};
 pub use pkt::{Addr, RxToken, TransportStats, TxPacket};
 pub use ring::PacketRing;
-pub use udp::UdpTransport;
+pub use udp::{UdpConfig, UdpTransport};
+#[cfg(target_os = "linux")]
+pub use uring::{IoUringTransport, UringConfig, UringError};
 
 /// Unreliable, connectionless, burst-oriented packet I/O — the substrate
 /// eRPC runs on (§3: "a transport layer that provides basic unreliable
@@ -95,4 +101,16 @@ pub trait Transport {
     /// flight toward this endpoint across all sessions (§4.3.1 sizes session
     /// credits against this).
     fn rx_ring_size(&self) -> usize;
+}
+
+/// The extra surface real-socket transports share beyond [`Transport`]:
+/// an OS socket address and explicit peer routing. Lets harnesses (bench
+/// clusters, integration tests) run the same body over [`UdpTransport`]
+/// and `IoUringTransport` generically.
+pub trait SocketTransport: Transport {
+    /// The socket address this transport is bound to.
+    fn local_addr(&self) -> std::io::Result<std::net::SocketAddr>;
+
+    /// Install the socket address for a peer endpoint id.
+    fn add_route(&mut self, peer: Addr, at: std::net::SocketAddr);
 }

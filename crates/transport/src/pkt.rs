@@ -141,6 +141,22 @@ pub struct TransportStats {
     /// Kernel receive syscalls issued (socket transports only). With
     /// syscall batching one `recvmmsg` claims a whole RX burst.
     pub rx_syscalls: u64,
+    /// `rx_burst` calls that stopped early because the transport's RX
+    /// drain cap truncated the claim while more packets were (or may
+    /// have been) pending — the fairness valve that keeps a flooding
+    /// peer from starving TX/timers within one event-loop pass.
+    pub rx_drain_capped: u64,
+    /// Submission-queue entries handed to the kernel (io_uring only).
+    pub sqe_submitted: u64,
+    /// Completion-queue entries harvested from the shared CQ ring
+    /// (io_uring only; harvesting is a memory read, not a syscall).
+    pub cqe_harvested: u64,
+    /// `io_uring_enter` syscalls issued. The io_uring steady state is
+    /// **zero** with SQPOLL (the kernel's SQ thread polls the ring) and
+    /// at most one per event-loop pass without it — compare with
+    /// `tx_syscalls`/`rx_syscalls`, which grow per *burst* under
+    /// `sendmmsg`/`recvmmsg` and per *packet* without batching.
+    pub ring_enters: u64,
 }
 
 #[cfg(test)]

@@ -1,0 +1,112 @@
+//! Raw socket-API FFI shared by the kernel-bypassing datapaths of
+//! [`crate::UdpTransport`] (`sendmmsg`/`recvmmsg`) and
+//! [`crate::IoUringTransport`] (`sendmsg` SQEs, multishot `recvmsg`).
+//!
+//! Linux-only. Struct layouts follow the x86-64/aarch64 Linux ABI
+//! (`struct iovec`, `struct msghdr`, `struct mmsghdr`,
+//! `sockaddr_in{,6}`); compile-time assertions in [`crate::uring`] pin
+//! the io_uring side, and the `layout` test below pins these.
+
+use std::net::SocketAddr;
+use std::os::raw::{c_int, c_uint, c_void};
+
+pub const AF_INET: u16 = 2;
+pub const AF_INET6: u16 = 10;
+
+/// `struct iovec`.
+#[repr(C)]
+#[derive(Clone, Copy)]
+pub struct IoVec {
+    pub base: *mut c_void,
+    pub len: usize,
+}
+
+/// `struct msghdr`.
+#[repr(C)]
+pub struct MsgHdr {
+    pub name: *mut c_void,
+    pub namelen: u32,
+    pub iov: *mut IoVec,
+    pub iovlen: usize,
+    pub control: *mut c_void,
+    pub controllen: usize,
+    pub flags: c_int,
+}
+
+/// `struct mmsghdr`.
+#[repr(C)]
+pub struct MMsgHdr {
+    pub hdr: MsgHdr,
+    /// Bytes transferred for this message (filled by the kernel).
+    pub len: c_uint,
+}
+
+/// One raw socket address, sized for the larger `sockaddr_in6`.
+#[repr(C, align(8))]
+#[derive(Clone, Copy)]
+pub struct RawAddr {
+    pub buf: [u8; 28],
+    pub len: u32,
+}
+
+impl RawAddr {
+    pub fn from_sockaddr(sa: &SocketAddr) -> Self {
+        let mut buf = [0u8; 28];
+        let len = match sa {
+            SocketAddr::V4(a) => {
+                // sockaddr_in: family (native), port (BE), addr (BE).
+                buf[0..2].copy_from_slice(&AF_INET.to_ne_bytes());
+                buf[2..4].copy_from_slice(&a.port().to_be_bytes());
+                buf[4..8].copy_from_slice(&a.ip().octets());
+                16
+            }
+            SocketAddr::V6(a) => {
+                // sockaddr_in6: family, port (BE), addr, scope_id
+                // (native). flowinfo is stored unswapped to match
+                // what std's `send_to` passes on the fallback path —
+                // the two doorbells must emit identical bytes.
+                buf[0..2].copy_from_slice(&AF_INET6.to_ne_bytes());
+                buf[2..4].copy_from_slice(&a.port().to_be_bytes());
+                buf[4..8].copy_from_slice(&a.flowinfo().to_ne_bytes());
+                buf[8..24].copy_from_slice(&a.ip().octets());
+                buf[24..28].copy_from_slice(&a.scope_id().to_ne_bytes());
+                28
+            }
+        };
+        Self { buf, len }
+    }
+}
+
+extern "C" {
+    pub fn sendmmsg(fd: c_int, msgvec: *mut MMsgHdr, vlen: c_uint, flags: c_int) -> c_int;
+    pub fn recvmmsg(
+        fd: c_int,
+        msgvec: *mut MMsgHdr,
+        vlen: c_uint,
+        flags: c_int,
+        timeout: *mut c_void,
+    ) -> c_int;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn layout_matches_linux_abi() {
+        // 64-bit Linux: iovec = {ptr, size_t} = 16; msghdr = 56;
+        // mmsghdr = msghdr + u32 (+4 pad) = 64.
+        assert_eq!(std::mem::size_of::<IoVec>(), 16);
+        assert_eq!(std::mem::size_of::<MsgHdr>(), 56);
+        assert_eq!(std::mem::size_of::<MMsgHdr>(), 64);
+        assert_eq!(std::mem::offset_of!(MsgHdr, iov), 16);
+        assert_eq!(std::mem::offset_of!(MsgHdr, flags), 48);
+        // sockaddr_in6 is 28 bytes; RawAddr::buf must hold it exactly.
+        let v6: SocketAddr = "[::1]:9000".parse().unwrap();
+        assert_eq!(RawAddr::from_sockaddr(&v6).len, 28);
+        let v4: SocketAddr = "127.0.0.1:9000".parse().unwrap();
+        let ra = RawAddr::from_sockaddr(&v4);
+        assert_eq!(ra.len, 16);
+        assert_eq!(&ra.buf[0..2], &AF_INET.to_ne_bytes());
+    }
+}

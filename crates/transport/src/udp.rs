@@ -45,6 +45,11 @@ pub struct UdpConfig {
     /// elsewhere the per-packet loop is always used). Off = the portable
     /// per-packet `send_to`/`recv_from` loop, kept as the ablation.
     pub syscall_batching: bool,
+    /// Fairness valve: max packets consumed per `rx_burst` call even if
+    /// the caller asks for more, so a flooding peer cannot starve TX and
+    /// timers within one event-loop pass. Early exits are counted in
+    /// `TransportStats::rx_drain_capped`.
+    pub rx_drain_cap: usize,
 }
 
 impl Default for UdpConfig {
@@ -55,92 +60,17 @@ impl Default for UdpConfig {
             loss_prob: 0.0,
             seed: 0x5eed,
             syscall_batching: true,
+            rx_drain_cap: 512,
         }
     }
 }
 
-/// Direct FFI to Linux's multi-message socket syscalls. Struct layouts
-/// follow the x86-64/aarch64 Linux ABI (`struct iovec`, `struct msghdr`,
-/// `struct mmsghdr`, `sockaddr_in{,6}`).
+/// FFI scratch for Linux's multi-message socket syscalls; the struct
+/// layouts and extern declarations live in [`crate::rawsock`], shared
+/// with the io_uring backend.
 #[cfg(target_os = "linux")]
 mod mmsg {
-    use std::net::SocketAddr;
-    use std::os::raw::{c_int, c_uint, c_void};
-
-    const AF_INET: u16 = 2;
-    const AF_INET6: u16 = 10;
-
-    #[repr(C)]
-    #[derive(Clone, Copy)]
-    pub struct IoVec {
-        pub base: *mut c_void,
-        pub len: usize,
-    }
-
-    #[repr(C)]
-    pub struct MsgHdr {
-        pub name: *mut c_void,
-        pub namelen: u32,
-        pub iov: *mut IoVec,
-        pub iovlen: usize,
-        pub control: *mut c_void,
-        pub controllen: usize,
-        pub flags: c_int,
-    }
-
-    #[repr(C)]
-    pub struct MMsgHdr {
-        pub hdr: MsgHdr,
-        /// Bytes transferred for this message (filled by the kernel).
-        pub len: c_uint,
-    }
-
-    /// One raw socket address, sized for the larger `sockaddr_in6`.
-    #[repr(C, align(8))]
-    #[derive(Clone, Copy)]
-    pub struct RawAddr {
-        pub buf: [u8; 28],
-        pub len: u32,
-    }
-
-    impl RawAddr {
-        pub fn from_sockaddr(sa: &SocketAddr) -> Self {
-            let mut buf = [0u8; 28];
-            let len = match sa {
-                SocketAddr::V4(a) => {
-                    // sockaddr_in: family (native), port (BE), addr (BE).
-                    buf[0..2].copy_from_slice(&AF_INET.to_ne_bytes());
-                    buf[2..4].copy_from_slice(&a.port().to_be_bytes());
-                    buf[4..8].copy_from_slice(&a.ip().octets());
-                    16
-                }
-                SocketAddr::V6(a) => {
-                    // sockaddr_in6: family, port (BE), addr, scope_id
-                    // (native). flowinfo is stored unswapped to match
-                    // what std's `send_to` passes on the fallback path —
-                    // the two doorbells must emit identical bytes.
-                    buf[0..2].copy_from_slice(&AF_INET6.to_ne_bytes());
-                    buf[2..4].copy_from_slice(&a.port().to_be_bytes());
-                    buf[4..8].copy_from_slice(&a.flowinfo().to_ne_bytes());
-                    buf[8..24].copy_from_slice(&a.ip().octets());
-                    buf[24..28].copy_from_slice(&a.scope_id().to_ne_bytes());
-                    28
-                }
-            };
-            Self { buf, len }
-        }
-    }
-
-    extern "C" {
-        pub fn sendmmsg(fd: c_int, msgvec: *mut MMsgHdr, vlen: c_uint, flags: c_int) -> c_int;
-        pub fn recvmmsg(
-            fd: c_int,
-            msgvec: *mut MMsgHdr,
-            vlen: c_uint,
-            flags: c_int,
-            timeout: *mut c_void,
-        ) -> c_int;
-    }
+    pub use crate::rawsock::{recvmmsg, sendmmsg, IoVec, MMsgHdr, MsgHdr, RawAddr};
 
     /// Reusable scratch arrays for one burst's FFI call. The raw pointers
     /// inside are rebuilt from live buffers at the start of every burst
@@ -512,11 +442,23 @@ impl Transport for UdpTransport {
     }
 
     fn rx_burst(&mut self, max: usize, out: &mut Vec<RxToken>) -> usize {
+        // Fairness valve: never drain more than `rx_drain_cap` packets in
+        // one call, no matter how large a burst the caller asks for.
+        let effective = max.min(self.cfg.rx_drain_cap);
         #[cfg(target_os = "linux")]
-        if self.cfg.syscall_batching {
-            return self.rx_burst_mmsg(max, out);
+        let n = if self.cfg.syscall_batching {
+            self.rx_burst_mmsg(effective, out)
+        } else {
+            self.rx_burst_loop(effective, out)
+        };
+        #[cfg(not(target_os = "linux"))]
+        let n = self.rx_burst_loop(effective, out);
+        // The cap truncated a full drain: more datagrams may be queued,
+        // but they wait for the next event-loop pass.
+        if n == effective && effective < max {
+            self.stats.rx_drain_capped += 1;
         }
-        self.rx_burst_loop(max, out)
+        n
     }
 
     fn rx_bytes(&self, tok: &RxToken) -> &[u8] {
@@ -533,6 +475,16 @@ impl Transport for UdpTransport {
 
     fn rx_ring_size(&self) -> usize {
         self.slots.len()
+    }
+}
+
+impl crate::SocketTransport for UdpTransport {
+    fn local_addr(&self) -> std::io::Result<SocketAddr> {
+        UdpTransport::local_addr(self)
+    }
+
+    fn add_route(&mut self, peer: Addr, at: SocketAddr) {
+        UdpTransport::add_route(self, peer, at)
     }
 }
 
@@ -750,6 +702,49 @@ mod tests {
             assert_eq!(b.rx_bytes(t), b"hdrXbody");
         }
         b.rx_release();
+    }
+
+    #[test]
+    fn rx_drain_cap_bounds_one_burst() {
+        for batching in [true, false] {
+            let cfg = UdpConfig {
+                rx_drain_cap: 2,
+                syscall_batching: batching,
+                ..UdpConfig::default()
+            };
+            let (mut a, mut b) = pair_with(cfg);
+            let pkts: Vec<TxPacket<'_>> = (0..6)
+                .map(|_| TxPacket {
+                    dst: Addr::new(1, 0),
+                    hdr: b"dcap",
+                    data: &[],
+                })
+                .collect();
+            a.tx_burst(&pkts);
+            // Wait until the flood is queued, then ask for far more than
+            // the cap: one call must stop at 2 and count the early exit.
+            let mut toks = Vec::new();
+            let mut got = 0usize;
+            let mut calls = 0usize;
+            for _ in 0..10_000 {
+                let n = b.rx_burst(32, &mut toks);
+                assert!(n <= 2, "rx_drain_cap=2 exceeded: {n}");
+                got += n;
+                calls += 1;
+                toks.clear();
+                b.rx_release();
+                if got == 6 {
+                    break;
+                }
+                std::thread::yield_now();
+            }
+            assert_eq!(got, 6, "capped drain must still deliver everything");
+            assert!(calls >= 3, "6 packets cannot fit fewer than 3 capped calls");
+            assert!(
+                b.stats().rx_drain_capped >= 2,
+                "truncated drains must be counted (batching={batching})"
+            );
+        }
     }
 
     #[cfg(target_os = "linux")]
