@@ -1,0 +1,9 @@
+//! Chaos smoke bench target: multi-seed fault-injection campaigns over
+//! real UDP sockets, plus the adaptive-RTO p99 gate. A failing campaign
+//! panics with its seed in the message for deterministic replay; see
+//! `erpc_bench::chaos` for the guarantees each campaign asserts.
+
+fn main() {
+    erpc_bench::chaos::run_smoke(&[0xC4A0_0001, 0xC4A0_0002, 0xC4A0_0003]);
+    erpc_bench::chaos::run_rto_ablation(erpc_bench::bench_millis());
+}

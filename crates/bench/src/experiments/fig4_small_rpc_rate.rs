@@ -59,6 +59,9 @@ pub fn run() -> String {
     // in-order single-packet request or response).
     let mut fast_hits = 0u64;
     let mut slow_entries = 0u64;
+    let mut rto_events = 0u64;
+    let mut retransmissions = 0u64;
+    let mut incarnation_resets = 0u64;
     // Best-of-2 per cell: tames shared-core scheduler noise.
     let mut best = |cfg: &RpcConfig, batch: usize| -> f64 {
         (0..2)
@@ -75,6 +78,9 @@ pub fn run() -> String {
                 total_rpcs += r.total_completed;
                 fast_hits += r.stats.fast_path_hits;
                 slow_entries += r.stats.slow_path_entries;
+                rto_events += r.stats.rto_events;
+                retransmissions += r.stats.retransmissions;
+                incarnation_resets += r.stats.sessions_reset_incarnation;
                 r.per_core_rate
             })
             .fold(0.0, f64::max)
@@ -100,6 +106,12 @@ pub fn run() -> String {
     t.note(format!(
         "common-case fast path: {:.2} % of packets ({fast_hits} hits / {slow_entries} slow-path entries)",
         hit_rate * 100.0
+    ));
+    // Robustness counters: the fabric is lossless here, so any nonzero
+    // RTO/retransmit activity flags a timer or estimator bug rather than
+    // real loss (the lossy story is gated in the chaos_smoke target).
+    t.note(format!(
+        "robustness: {rto_events} RTO events, {retransmissions} retransmits, {incarnation_resets} incarnation resets (expect 0/0/0 on a lossless fabric)"
     ));
     // Smoke gate: this workload is all in-order single-packet RPCs on
     // healthy sessions, so almost nothing may fall off the fast path

@@ -23,7 +23,7 @@ const ECHO: u8 = 1;
 /// Measured median eRPC latency on a cluster preset, virtual ns, plus
 /// the endpoints' msgbuf-pool (miss, hit) counters for the table's pool
 /// note.
-pub fn erpc_median_latency_ns(cluster: Cluster, rpcs: u64) -> (u64, u64, u64) {
+pub fn erpc_median_latency_ns(cluster: Cluster, rpcs: u64) -> (u64, u64, u64, u64) {
     let mut cfg = cluster.config();
     cfg.topology = Topology::SingleSwitch { hosts: 2 };
     let mut sim = SimCluster::new(cfg);
@@ -95,11 +95,15 @@ pub fn erpc_median_latency_ns(cluster: Cluster, rpcs: u64) -> (u64, u64, u64) {
     }
     let p50 = hist.borrow().percentile(50.0);
     let (mut pool_new, mut pool_reused) = (0u64, 0u64);
+    let mut robust = 0u64;
     for ep in &sim.endpoints {
         pool_new += ep.rpc.stats().pool_allocs_new;
         pool_reused += ep.rpc.stats().pool_allocs_reused;
+        robust += ep.rpc.stats().rto_events
+            + ep.rpc.stats().retransmissions
+            + ep.rpc.stats().sessions_reset_incarnation;
     }
-    (p50, pool_new, pool_reused)
+    (p50, pool_new, pool_reused, robust)
 }
 
 pub fn run() -> String {
@@ -119,8 +123,10 @@ pub fn run() -> String {
         (Cluster::Cx5, "CX5 (Ethernet)", "2.3 µs", "2.0 µs"),
     ];
     let (mut pool_new, mut pool_reused) = (0u64, 0u64);
+    let mut robust = 0u64;
     for (cluster, name, paper_erpc, paper_rdma) in rows {
-        let (e, pn, pr) = erpc_median_latency_ns(cluster, 300);
+        let (e, pn, pr, rb) = erpc_median_latency_ns(cluster, 300);
+        robust += rb;
         pool_new += pn;
         pool_reused += pr;
         let r = cluster.rdma_read_latency_ns();
@@ -135,6 +141,9 @@ pub fn run() -> String {
     t.note("shape to hold: both µs-scale; eRPC within ≈0.8 µs of RDMA reads on every cluster");
     t.note(format!(
         "msgbuf pool: {pool_new} misses / {pool_reused} hits across all clusters — closed-loop latency runs recycle two buffers forever"
+    ));
+    t.note(format!(
+        "robustness: {robust} RTO events + retransmits + incarnation resets across all clusters (expect 0: lossless sim, no restarts)"
     ));
     t.print();
     t.render()

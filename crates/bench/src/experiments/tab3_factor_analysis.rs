@@ -117,6 +117,14 @@ pub fn run() -> String {
         opt_hdr_template: false,
         ..base_cfg()
     });
+    // Adaptive RTO (robustness PR), ablated alone: with no injected loss
+    // the estimator never fires, so this row prices the bookkeeping —
+    // one SRTT/RTTVAR fold per Karn-valid ack — which should be ~free.
+    // Its latency win under loss is gated in the chaos_smoke target.
+    let adaptive_rto_off = measure(RpcConfig {
+        opt_adaptive_rto: false,
+        ..base_cfg()
+    });
 
     let mut t = Table::new(
         format!(
@@ -169,6 +177,13 @@ pub fn run() -> String {
         "disable header templates + fast path (alone)".to_string(),
         mrps(hdr_template_off),
         format!("{:.1} %", (base - hdr_template_off) / base * 100.0),
+        "–".to_string(),
+        "–".to_string(),
+    ]);
+    t.row(&[
+        "disable adaptive RTO (alone)".to_string(),
+        mrps(adaptive_rto_off),
+        format!("{:.1} %", (base - adaptive_rto_off) / base * 100.0),
         "–".to_string(),
         "–".to_string(),
     ]);

@@ -25,6 +25,7 @@
 
 // This crate needs no unsafe code; keep it that way.
 #![forbid(unsafe_code)]
+pub mod chaos;
 pub mod experiments;
 pub mod multi_thread_cluster;
 pub mod sim_harness;

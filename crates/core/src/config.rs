@@ -73,6 +73,13 @@ pub struct RpcConfig {
     /// packet pays the fully general construct-encode/decode-dispatch
     /// cost on both directions.
     pub opt_hdr_template: bool,
+    /// Adaptive retransmission timeout: per-session SRTT/RTTVAR (Jacobson,
+    /// RFC 6298) fed by the same RTT samples Timely consumes, Karn's rule
+    /// across go-back-N rollbacks (no samples from retransmitted windows),
+    /// and exponential backoff per consecutive RTO (capped). `rto_ns`
+    /// becomes the adaptive *upper bound*; when off, `rto_ns` is the fixed
+    /// timeout exactly as before (the paper's conservative 5 ms).
+    pub opt_adaptive_rto: bool,
 
     // ── Event loop tuning ───────────────────────────────────────────────
     /// Max packets per RX burst.
@@ -138,6 +145,7 @@ impl Default for RpcConfig {
             opt_multi_packet_rq: true,
             opt_tx_batching: true,
             opt_hdr_template: true,
+            opt_adaptive_rto: true,
             rx_batch: 32,
             tx_batch: 32,
             wheel_slots: 4096,
@@ -177,6 +185,7 @@ impl RpcConfig {
         self.opt_multi_packet_rq = false;
         self.opt_tx_batching = false;
         self.opt_hdr_template = false;
+        self.opt_adaptive_rto = false;
         self
     }
 
@@ -223,5 +232,6 @@ mod tests {
         assert!(!c.opt_multi_packet_rq);
         assert!(!c.opt_tx_batching);
         assert!(!c.opt_hdr_template);
+        assert!(!c.opt_adaptive_rto);
     }
 }

@@ -24,6 +24,13 @@ pub struct ConnectReq {
     pub credits: u32,
     /// Slots per session (must match on both ends).
     pub num_slots: u8,
+    /// The client endpoint's incarnation id — a per-process-lifetime
+    /// random value. A ConnectReq whose `(client_addr, client_session)`
+    /// matches an existing server session but whose incarnation differs
+    /// identifies a *restarted* client: the server resets the stale
+    /// session instead of replaying the old ConnectResp (which would
+    /// silently blackhole the new endpoint behind stale slot state).
+    pub incarnation: u64,
 }
 
 impl ConnectReq {
@@ -32,7 +39,8 @@ impl ConnectReq {
             .u32(self.client_addr.key())
             .u16(self.client_session)
             .u32(self.credits)
-            .u8(self.num_slots);
+            .u8(self.num_slots)
+            .u64(self.incarnation);
     }
 
     pub fn decode(b: &[u8]) -> Result<Self, Truncated> {
@@ -42,6 +50,7 @@ impl ConnectReq {
             client_session: r.u16()?,
             credits: r.u32()?,
             num_slots: r.u8()?,
+            incarnation: r.u64()?,
         })
     }
 }
@@ -159,10 +168,14 @@ mod tests {
             client_session: 7,
             credits: 32,
             num_slots: 8,
+            incarnation: 0xDEAD_BEEF_CAFE_F00D,
         };
         let mut buf = Vec::new();
         m.encode(&mut buf);
         assert_eq!(ConnectReq::decode(&buf).unwrap(), m);
+        // A pre-incarnation (short) body no longer parses: both ends of a
+        // deployment speak the same in-repo protocol revision.
+        assert!(ConnectReq::decode(&buf[..buf.len() - 8]).is_err());
     }
 
     #[test]

@@ -26,6 +26,11 @@ pub const MAGIC: u8 = 0b101;
 pub const ECN_BYTE: usize = 0;
 pub const ECN_MASK: u8 = 0x10;
 
+/// Mask of the header's 48-bit `req_num` field. Pings and pongs reuse
+/// `req_num` to carry the sender's incarnation id (truncated to these 48
+/// bits); a zero value there means "incarnation unknown".
+pub const REQ_NUM_MASK: u64 = (1 << 48) - 1;
+
 /// Byte offset of the little-endian `pkt_num` field — the only field that
 /// differs between the packets of one message, and therefore the only
 /// bytes the header-template fast path patches per packet (§5.2's

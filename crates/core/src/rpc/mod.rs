@@ -427,6 +427,13 @@ pub struct Rpc<T: Transport> {
     desc_countdown: u64,
     /// Data bytes per packet: transport MTU − 16 B header.
     dpp: usize,
+    /// Per-process-lifetime incarnation id, stamped into every ConnectReq
+    /// and ping this endpoint sends (truncated to the header's 48-bit
+    /// `req_num` field on pings). A peer seeing the same `(addr, session)`
+    /// with a *different* incarnation knows this endpoint restarted and
+    /// resets its stale session instead of blackholing us. Never zero
+    /// (zero means "unknown" on the receiving side).
+    incarnation: u64,
 }
 
 impl<T: Transport> Rpc<T> {
@@ -487,9 +494,38 @@ impl<T: Transport> Rpc<T> {
                 1
             },
             dpp,
+            incarnation: Self::fresh_incarnation(transport.addr()),
             transport,
             cfg,
         }
+    }
+
+    /// A new per-endpoint incarnation id: wall-clock entropy mixed with a
+    /// process-wide counter (uniqueness within one process even if the
+    /// clock stalls) and the endpoint address, finalized with SplitMix64.
+    /// The low 48 bits are forced nonzero because pings carry them in the
+    /// header's `req_num` field, where zero means "incarnation unknown".
+    fn fresh_incarnation(addr: Addr) -> u64 {
+        use std::sync::atomic::{AtomicU64, Ordering};
+        static COUNTER: AtomicU64 = AtomicU64::new(1);
+        let t = std::time::SystemTime::now()
+            .duration_since(std::time::UNIX_EPOCH)
+            .map(|d| d.as_nanos() as u64)
+            .unwrap_or(0);
+        let c = COUNTER.fetch_add(1, Ordering::Relaxed);
+        let mut z = t ^ (c << 32) ^ ((addr.key() as u64) << 17);
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^= z >> 31;
+        if z & crate::pkthdr::REQ_NUM_MASK == 0 {
+            z |= 1;
+        }
+        z
+    }
+
+    /// This endpoint's incarnation id (see the field docs).
+    pub fn incarnation(&self) -> u64 {
+        self.incarnation
     }
 
     // ── Accessors ───────────────────────────────────────────────────────

@@ -334,6 +334,10 @@ impl<T: Transport> Rpc<T> {
         sess.last_rx_ns = this.now_cache;
         let c = sess.slots[slot_idx].client_mut();
         let rtt = c.rtt_sample(c.req_total - 1, now);
+        // Karn's rule: an RTT sample is only trusted for the RTO estimator
+        // if this slot's window was never retransmitted since its last
+        // progress — captured *before* the reset below.
+        let karn_ok = c.retries == 0;
         let returned = c.req_total - c.num_rx;
         c.num_rx = c.req_total;
         c.resp_total = 1;
@@ -348,7 +352,7 @@ impl<T: Transport> Rpc<T> {
         let payload = &this.transport.rx_bytes(tok)[PKT_HDR_SIZE..];
         resp_buf.write_pkt_data(0, payload);
         sess.credits += returned;
-        this.cc_on_ack(dest, rtt, ecn, now);
+        this.cc_on_ack(dest, rtt, ecn, karn_ok, now);
         // `done()` holds by construction (num_rx == req_total, resp_total
         // == 1): complete straight into the continuation.
         this.complete_slot(dest, slot_idx, Ok(()));
@@ -401,13 +405,14 @@ impl<T: Transport> Rpc<T> {
             self.stats.rx_dropped_stale += 1;
             return;
         }
+        let karn_ok = c.retries == 0; // Karn: capture before the reset
         let newly = rx_seq + 1 - c.num_rx;
         c.num_rx = rx_seq + 1;
         c.last_progress_ns = now;
         c.retries = 0;
         let rtt = c.rtt_sample(rx_seq, now);
         sess.credits += newly;
-        self.cc_on_ack(sess_idx, rtt, hdr.ecn, now);
+        self.cc_on_ack(sess_idx, rtt, hdr.ecn, karn_ok, now);
         self.pump_session(sess_idx);
     }
 
@@ -429,6 +434,7 @@ impl<T: Transport> Rpc<T> {
             return;
         };
         let c = sess.slots[slot_idx].client_mut();
+        let karn_ok = c.retries == 0; // Karn: capture before any reset below
         let p = hdr.pkt_num as u32;
 
         // First response packet: reveals size, acks all request packets.
@@ -465,7 +471,7 @@ impl<T: Transport> Rpc<T> {
                 let returned = c.num_tx - c.num_rx;
                 c.num_rx = c.num_tx;
                 sess.credits += returned;
-                this.cc_on_ack(sess_idx, rtt, hdr.ecn, now);
+                this.cc_on_ack(sess_idx, rtt, hdr.ecn, karn_ok, now);
                 this.complete_slot(sess_idx, slot_idx, Err(RpcError::MsgTooLarge));
                 return;
             }
@@ -483,7 +489,7 @@ impl<T: Transport> Rpc<T> {
             let payload = &this.transport.rx_bytes(&tok)[PKT_HDR_SIZE..];
             resp_buf.write_pkt_data(0, payload);
             sess.credits += returned;
-            this.cc_on_ack(sess_idx, rtt, hdr.ecn, now);
+            this.cc_on_ack(sess_idx, rtt, hdr.ecn, karn_ok, now);
             let done = this.sessions[sess_idx as usize]
                 .as_ref()
                 .is_some_and(|s| s.slots[slot_idx].client().done());
@@ -529,7 +535,7 @@ impl<T: Transport> Rpc<T> {
         };
         resp_buf.write_pkt_data(p as usize, payload);
         sess.credits += 1;
-        this.cc_on_ack(sess_idx, rtt, hdr.ecn, now);
+        this.cc_on_ack(sess_idx, rtt, hdr.ecn, karn_ok, now);
         let done = this.sessions[sess_idx as usize]
             .as_ref()
             .is_some_and(|s| s.slots[slot_idx].client().done());
@@ -543,7 +549,7 @@ impl<T: Transport> Rpc<T> {
     /// Congestion-control reaction to an acked packet (client side only,
     /// §5.2.1). ECN feeds DCQCN; RTT feeds Timely, subject to the Timely
     /// bypass (§5.2.2 opt 1).
-    fn cc_on_ack(&mut self, sess_idx: u16, rtt_ns: u64, ecn: bool, now: u64) {
+    fn cc_on_ack(&mut self, sess_idx: u16, rtt_ns: u64, ecn: bool, karn_ok: bool, now: u64) {
         if self.cfg.record_rtt_samples {
             self.rtt_hist.record(rtt_ns);
         }
@@ -553,6 +559,13 @@ impl<T: Transport> Rpc<T> {
         };
         if ecn {
             self.stats.ecn_marks_seen += 1;
+        }
+        // Adaptive RTO (RFC 6298): fold Karn-valid samples into the
+        // per-session SRTT/RTTVAR estimator. Samples taken while the slot's
+        // window had been retransmitted are ambiguous (the ack may answer
+        // the original or the retransmission) and are excluded.
+        if karn_ok && self.cfg.opt_adaptive_rto {
+            sess.cc.on_rtt_sample(rtt_ns);
         }
         if let Some(d) = sess.cc.dcqcn.as_mut() {
             if ecn {

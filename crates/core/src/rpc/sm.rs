@@ -57,15 +57,25 @@ impl<T: Transport> Rpc<T> {
             }
         };
         let key = (body.client_addr.key(), body.client_session);
-        // Duplicate ConnectReq (retry): re-send the stored answer.
         if let Some(&num) = self.connect_map.get(&key) {
-            let resp = ConnectResp {
-                client_session: body.client_session,
-                server_session: num,
-                ok: true,
-            };
-            self.tx_connect_resp(body.client_addr, resp);
-            return;
+            let stored = self.sessions[num as usize]
+                .as_ref()
+                .map_or(0, |s| s.peer_incarnation);
+            if stored == body.incarnation {
+                // Duplicate ConnectReq (retry): re-send the stored answer.
+                let resp = ConnectResp {
+                    client_session: body.client_session,
+                    server_session: num,
+                    ok: true,
+                };
+                self.tx_connect_resp(body.client_addr, resp);
+                return;
+            }
+            // Same (addr, session) but a different incarnation: the client
+            // restarted. Replaying the old ConnectResp would point it at a
+            // session full of stale slot state — reset and accept fresh.
+            self.stats.sessions_reset_incarnation += 1;
+            self.free_server_session(num);
         }
         // Config compatibility and capacity checks (§4.3.1 session limit).
         let acceptable = body.num_slots as usize == self.cfg.slots_per_session
@@ -84,7 +94,7 @@ impl<T: Transport> Rpc<T> {
         let slots: Vec<Slot> = (0..self.cfg.slots_per_session)
             .map(|_| Slot::Server(ServerSlot::new(self.pool.alloc(dpp))))
             .collect();
-        let sess = Session::new_server(
+        let mut sess = Session::new_server(
             num,
             body.client_addr,
             body.client_session,
@@ -92,6 +102,7 @@ impl<T: Transport> Rpc<T> {
             slots,
             self.now_cache,
         );
+        sess.peer_incarnation = body.incarnation;
         self.sessions[num as usize] = Some(sess);
         self.live_session_count += 1;
         self.connect_map.insert(key, num);
@@ -189,17 +200,59 @@ impl<T: Transport> Rpc<T> {
     }
 
     pub(super) fn rx_ping(&mut self, hdr: PktHdr) {
-        self.touch_session_rx(hdr.dest_session);
+        // Pings carry the sender's incarnation (low 48 bits) in `req_num`.
+        // A mismatch against this session's stored peer incarnation means
+        // the pinger is *stale* — a session from before a restart on one
+        // side, whose session number now maps to someone else here. Don't
+        // count it as liveness for our current peer, and don't tear
+        // anything down from an unauthenticated 16 B header (identity-
+        // checked resets happen on the ConnectReq path): just answer with
+        // our incarnation so the stale pinger fails itself.
         let Some(Some(sess)) = self.sessions.get(hdr.dest_session as usize) else {
             return;
         };
-        let pong = PktHdr::control(PktType::Pong, sess.remote_num, 0, 0);
+        let stale = hdr.req_num != 0
+            && sess.peer_incarnation != 0
+            && sess.peer_incarnation & crate::pkthdr::REQ_NUM_MASK != hdr.req_num;
+        if !stale {
+            self.touch_session_rx(hdr.dest_session);
+        }
+        let sess = self.sessions[hdr.dest_session as usize].as_ref().unwrap();
+        // Address the pong to the *pinging* session (carried in the ping's
+        // `pkt_num`), not the stored `remote_num`: after a restart on
+        // either side, this server session may be bound to a different
+        // client session than the stale one still pinging the old number —
+        // the stale session must receive the pong (and its incarnation) to
+        // detect that.
+        let pong = PktHdr::control(
+            PktType::Pong,
+            hdr.pkt_num,
+            self.incarnation & crate::pkthdr::REQ_NUM_MASK,
+            0,
+        );
         let dst = sess.peer;
         self.tx_ctrl(dst, pong);
     }
 
     pub(super) fn rx_pong(&mut self, hdr: PktHdr) {
         self.touch_session_rx(hdr.dest_session);
+        // Pongs carry the server's incarnation: adopt it on first sight;
+        // a *change* afterwards means the server restarted and silently
+        // dropped our session state — fail fast so every pending caller
+        // gets a typed error instead of retransmitting into a blackhole
+        // until the 100-retry give-up.
+        let Some(Some(sess)) = self.sessions.get_mut(hdr.dest_session as usize) else {
+            return;
+        };
+        if sess.role != Role::Client || hdr.req_num == 0 {
+            return;
+        }
+        if sess.peer_incarnation == 0 {
+            sess.peer_incarnation = hdr.req_num;
+        } else if sess.peer_incarnation != hdr.req_num {
+            self.stats.sessions_reset_incarnation += 1;
+            self.fail_session(hdr.dest_session, RpcError::RemoteFailure);
+        }
     }
 
     pub(super) fn free_server_session(&mut self, idx: u16) {
@@ -236,6 +289,7 @@ impl<T: Transport> Rpc<T> {
             client_session: sess.local_num,
             credits: self.cfg.session_credits,
             num_slots: self.cfg.slots_per_session as u8,
+            incarnation: self.incarnation,
         };
         let dst = sess.peer;
         let mut buf = Vec::with_capacity(16);
@@ -281,16 +335,27 @@ impl<T: Transport> Rpc<T> {
                 continue;
             };
             match (sess.role, sess.state) {
-                (Role::Client, SessionState::Connecting)
-                    if now.saturating_sub(sess.connect_sent_ns) >= self.cfg.connect_retry_ns =>
-                {
-                    // Give up after `failure_timeout_ns` with no response,
-                    // unconditionally: connect liveness must not depend on
-                    // pings being enabled, or a dead peer strands every
-                    // enqueued request in the backlog forever.
-                    if now.saturating_sub(sess.last_rx_ns) >= self.cfg.failure_timeout_ns {
+                (Role::Client, SessionState::Connecting) => {
+                    // Arm the give-up deadline on the first scan, not at
+                    // creation: time between `create_session` and the first
+                    // event-loop poll (apps constructing many endpoints
+                    // before polling any) must not count against the
+                    // handshake, or the session fails before its first
+                    // retry ever goes out.
+                    if sess.connect_deadline_ns == 0 {
+                        let sess = self.sessions[idx as usize].as_mut().unwrap();
+                        sess.connect_deadline_ns =
+                            now.saturating_add(self.cfg.failure_timeout_ns).max(1);
+                    }
+                    let sess = self.sessions[idx as usize].as_ref().unwrap();
+                    // Give up at the deadline, unconditionally: connect
+                    // liveness must not depend on pings being enabled, or a
+                    // dead peer strands every enqueued request in the
+                    // backlog forever.
+                    if now >= sess.connect_deadline_ns {
                         self.fail_session(idx, RpcError::RemoteFailure);
-                    } else {
+                    } else if now.saturating_sub(sess.connect_sent_ns) >= self.cfg.connect_retry_ns
+                    {
                         self.tx_connect_req(idx);
                     }
                 }
@@ -344,9 +409,13 @@ impl<T: Transport> Rpc<T> {
                 return;
             }
             if idle && now.saturating_sub(last_ping) >= self.cfg.ping_interval_ns {
+                let inc = self.incarnation & crate::pkthdr::REQ_NUM_MASK;
                 let sess = self.sessions[idx as usize].as_mut().unwrap();
                 sess.last_ping_tx_ns = now;
-                let hdr = PktHdr::control(PktType::Ping, sess.remote_num, 0, 0);
+                // `req_num` carries our incarnation; `pkt_num` carries our
+                // session number so the pong can be routed back to *this*
+                // session even if the server's mapping has changed.
+                let hdr = PktHdr::control(PktType::Ping, sess.remote_num, inc, sess.local_num);
                 let dst = sess.peer;
                 self.tx_ctrl(dst, hdr);
             }
@@ -359,11 +428,23 @@ impl<T: Transport> Rpc<T> {
             let needs_rto = {
                 let sess = self.sessions[idx as usize].as_ref().unwrap();
                 let c = sess.slots[slot_idx].client();
-                c.active
-                    && c.in_flight() > 0
-                    && now.saturating_sub(c.last_progress_ns) >= self.cfg.rto_ns
+                if c.active && c.in_flight() > 0 {
+                    // Per-session adaptive RTO (RFC 6298) with exponential
+                    // backoff per consecutive retry of this window; fixed
+                    // `cfg.rto_ns` when the knob is off.
+                    let rto = sess.cc.effective_rto_ns(
+                        self.cfg.rto_ns,
+                        self.cfg.opt_adaptive_rto,
+                        c.retries,
+                    );
+                    (now.saturating_sub(c.last_progress_ns) >= rto).then_some(rto)
+                } else {
+                    None
+                }
             };
-            if needs_rto {
+            if let Some(rto) = needs_rto {
+                self.stats.rto_events += 1;
+                self.stats.rto_backoff_hist.record(rto);
                 self.rollback_and_retransmit(idx, slot_idx, now);
             }
         }

@@ -283,9 +283,62 @@ pub(crate) struct SessionCc {
     pub dcqcn: Option<Dcqcn>,
     /// Pacing horizon: earliest time the next paced packet may leave.
     pub next_tx_ns: u64,
+    /// Smoothed RTT (Jacobson/Karn, RFC 6298); valid once `has_rtt`.
+    pub srtt_ns: u64,
+    /// RTT variance estimate.
+    pub rttvar_ns: u64,
+    /// Whether at least one Karn-valid RTT sample has been folded in.
+    pub has_rtt: bool,
 }
 
+/// Floor for the adaptive RTO: kernel-UDP loopback RTTs are tens of µs,
+/// but a single scheduler hiccup on a loaded host is easily 100s of µs; a
+/// sub-millisecond floor would turn every hiccup into a spurious go-back-N
+/// round. Spurious retransmissions are *safe* (servers are at-most-once
+/// per req_num) but wasteful.
+pub(crate) const RTO_MIN_NS: u64 = 1_000_000;
+
+/// Cap on the exponential-backoff shift applied after consecutive RTOs of
+/// one slot (`min(retries, RTO_BACKOFF_MAX_SHIFT)` doublings).
+pub(crate) const RTO_BACKOFF_MAX_SHIFT: u32 = 6;
+
 impl SessionCc {
+    /// Fold one Karn-valid RTT sample into the Jacobson estimator
+    /// (RFC 6298 §2): first sample seeds `SRTT = R`, `RTTVAR = R/2`;
+    /// afterwards `RTTVAR += ¼(|R − SRTT| − RTTVAR)`, `SRTT += ⅛(R − SRTT)`.
+    pub fn on_rtt_sample(&mut self, sample_ns: u64) {
+        if !self.has_rtt {
+            self.srtt_ns = sample_ns;
+            self.rttvar_ns = sample_ns / 2;
+            self.has_rtt = true;
+        } else {
+            let delta = self.srtt_ns.abs_diff(sample_ns);
+            self.rttvar_ns = self.rttvar_ns - self.rttvar_ns / 4 + delta / 4;
+            self.srtt_ns = self.srtt_ns - self.srtt_ns / 8 + sample_ns / 8;
+        }
+    }
+
+    /// Effective retransmission timeout for a slot that has rolled back
+    /// `retries` times already. Adaptive mode uses `SRTT + 4·RTTVAR`
+    /// clamped to `[RTO_MIN_NS, cfg_rto_ns]` — the configured fixed RTO
+    /// doubles as the adaptive upper bound — then applies exponential
+    /// backoff, one doubling per consecutive RTO, capped at
+    /// [`RTO_BACKOFF_MAX_SHIFT`]. With `adaptive` off this returns
+    /// `cfg_rto_ns` untouched (the pre-adaptive fixed behavior, kept
+    /// bit-identical for the ablation baseline).
+    pub fn effective_rto_ns(&self, cfg_rto_ns: u64, adaptive: bool, retries: u32) -> u64 {
+        if !adaptive {
+            return cfg_rto_ns;
+        }
+        let base = if self.has_rtt {
+            (self.srtt_ns + 4 * self.rttvar_ns).clamp(RTO_MIN_NS.min(cfg_rto_ns), cfg_rto_ns)
+        } else {
+            cfg_rto_ns
+        };
+        let shift = retries.min(RTO_BACKOFF_MAX_SHIFT);
+        base.saturating_mul(1u64 << shift)
+    }
+
     /// Allowed rate in bits/sec, or `None` when uncontrolled.
     pub fn rate_bps(&self) -> Option<f64> {
         if let Some(t) = &self.timely {
@@ -324,8 +377,21 @@ pub(crate) struct Session {
     pub last_ping_tx_ns: u64,
     /// When the last ConnectReq went out (for retry).
     pub connect_sent_ns: u64,
+    /// Absolute give-up time for the connect handshake, armed by the
+    /// *first timer scan* that sees the session `Connecting` — not at
+    /// creation. Apps may construct several endpoints before polling any
+    /// of them (a debug build on a loaded 1-CPU CI host spends hundreds
+    /// of ms per endpoint); counting that pre-poll stall against the
+    /// handshake would fail the session before its first retry. 0 = not
+    /// yet armed.
+    pub connect_deadline_ns: u64,
     /// Requests enqueued on this session that have not completed.
     pub outstanding: u32,
+    /// The peer endpoint's incarnation id, for restart detection. Servers
+    /// learn it from the ConnectReq; clients adopt the low 48 bits from
+    /// the first pong. 0 = not yet known (pings from a pre-adoption client
+    /// carry the full client incarnation regardless).
+    pub peer_incarnation: u64,
 }
 
 impl Session {
@@ -351,7 +417,9 @@ impl Session {
             last_rx_ns: now_ns,
             last_ping_tx_ns: now_ns,
             connect_sent_ns: now_ns,
+            connect_deadline_ns: 0,
             outstanding: 0,
+            peer_incarnation: 0,
         }
     }
 
@@ -376,7 +444,9 @@ impl Session {
             last_rx_ns: now_ns,
             last_ping_tx_ns: now_ns,
             connect_sent_ns: now_ns,
+            connect_deadline_ns: 0,
             outstanding: 0,
+            peer_incarnation: 0,
         }
     }
 
@@ -454,5 +524,53 @@ mod tests {
         let cc = SessionCc::default();
         assert!(cc.is_uncongested());
         assert!(cc.rate_bps().is_none());
+    }
+
+    #[test]
+    fn jacobson_estimator_seeds_and_converges() {
+        let mut cc = SessionCc::default();
+        assert!(!cc.has_rtt);
+        cc.on_rtt_sample(8_000_000);
+        assert_eq!(cc.srtt_ns, 8_000_000);
+        assert_eq!(cc.rttvar_ns, 4_000_000);
+        // A steady stream of identical samples collapses the variance and
+        // pins SRTT to the sample.
+        for _ in 0..200 {
+            cc.on_rtt_sample(8_000_000);
+        }
+        assert!(cc.srtt_ns.abs_diff(8_000_000) < 100_000);
+        assert!(cc.rttvar_ns < 100_000);
+    }
+
+    #[test]
+    fn effective_rto_fixed_mode_is_untouched() {
+        let mut cc = SessionCc::default();
+        cc.on_rtt_sample(100_000);
+        // Knob off: the configured RTO, regardless of samples or retries.
+        assert_eq!(cc.effective_rto_ns(5_000_000, false, 0), 5_000_000);
+        assert_eq!(cc.effective_rto_ns(5_000_000, false, 9), 5_000_000);
+    }
+
+    #[test]
+    fn effective_rto_adapts_clamps_and_backs_off() {
+        let mut cc = SessionCc::default();
+        // No samples yet: fall back to the configured RTO.
+        assert_eq!(cc.effective_rto_ns(5_000_000, true, 0), 5_000_000);
+        // Converged fast path: SRTT+4·RTTVAR well under the fixed RTO, but
+        // never below the floor.
+        for _ in 0..200 {
+            cc.on_rtt_sample(50_000);
+        }
+        let rto = cc.effective_rto_ns(5_000_000, true, 0);
+        assert_eq!(rto, RTO_MIN_NS, "clamped to the floor, not ~50µs");
+        // The configured RTO is the adaptive ceiling.
+        let mut slow = SessionCc::default();
+        slow.on_rtt_sample(40_000_000);
+        assert_eq!(slow.effective_rto_ns(5_000_000, true, 0), 5_000_000);
+        // Exponential backoff doubles per consecutive RTO, capped.
+        assert_eq!(cc.effective_rto_ns(5_000_000, true, 1), 2 * RTO_MIN_NS);
+        assert_eq!(cc.effective_rto_ns(5_000_000, true, 3), 8 * RTO_MIN_NS);
+        let capped = cc.effective_rto_ns(5_000_000, true, 40);
+        assert_eq!(capped, RTO_MIN_NS << RTO_BACKOFF_MAX_SHIFT);
     }
 }

@@ -76,6 +76,20 @@ pub struct RpcStats {
     /// is not. Non-zero values are a bug; `debug_assert!`s catch the
     /// same states in test builds.
     pub rx_invariant_breach: u64,
+    /// Retransmission-timeout firings (each go-back-N rollback triggered
+    /// by the RTO scan; a subset of `retransmissions`, which also counts
+    /// other rollback causes).
+    pub rto_events: u64,
+    /// Distribution of the *effective* RTO (ns) in force at each RTO
+    /// event — with `opt_adaptive_rto` this shows the Jacobson estimate
+    /// plus exponential backoff actually applied; with the fixed RTO it
+    /// is a spike at `rto_ns`.
+    pub rto_backoff_hist: LatencyHistogram,
+    /// Server sessions reset because a ConnectReq or ping arrived from a
+    /// peer with a *different incarnation id* than the one that opened
+    /// the session — i.e. the peer process restarted and its old session
+    /// state would otherwise blackhole the new endpoint.
+    pub sessions_reset_incarnation: u64,
 }
 
 impl RpcStats {
@@ -113,6 +127,9 @@ impl RpcStats {
             pool_allocs_new,
             pool_allocs_reused,
             rx_invariant_breach,
+            rto_events,
+            rto_backoff_hist,
+            sessions_reset_incarnation,
         } = other;
         self.requests_sent += requests_sent;
         self.responses_completed += responses_completed;
@@ -141,6 +158,9 @@ impl RpcStats {
         self.pool_allocs_new += pool_allocs_new;
         self.pool_allocs_reused += pool_allocs_reused;
         self.rx_invariant_breach += rx_invariant_breach;
+        self.rto_events += rto_events;
+        self.rto_backoff_hist.merge(rto_backoff_hist);
+        self.sessions_reset_incarnation += sessions_reset_incarnation;
     }
 }
 
@@ -359,9 +379,12 @@ mod tests {
             requests_sent: 5,
             responses_completed: 5,
             retransmissions: 2,
+            rto_events: 3,
+            sessions_reset_incarnation: 1,
             ..RpcStats::default()
         };
         b.tx_batch_hist.record(8);
+        b.rto_backoff_hist.record(5_000_000);
         a.merge(&b);
         assert_eq!(a.requests_sent, 15);
         assert_eq!(a.responses_completed, 14);
@@ -369,6 +392,9 @@ mod tests {
         assert_eq!(a.retransmissions, 2);
         assert_eq!(a.tx_batch_hist.count(), 2);
         assert_eq!(a.tx_batch_hist.max(), 8);
+        assert_eq!(a.rto_events, 3);
+        assert_eq!(a.rto_backoff_hist.count(), 1);
+        assert_eq!(a.sessions_reset_incarnation, 1);
     }
 
     #[test]

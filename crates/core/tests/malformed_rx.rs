@@ -217,6 +217,7 @@ fn malformed_packets_dropped_by_fast_path_upfront_check() {
         client_session: 0,
         credits: 32,
         num_slots: 8,
+        incarnation: 7,
     }
     .encode(&mut creq_body);
     send(
@@ -334,6 +335,7 @@ fn server_drops_forged_request_payloads() {
         client_session: 0,
         credits: 32,
         num_slots: 8,
+        incarnation: 7,
     }
     .encode(&mut creq_body);
     send(

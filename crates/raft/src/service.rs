@@ -434,9 +434,16 @@ mod tests {
 
     fn raft_cfg() -> RaftConfig {
         RaftConfig {
-            election_timeout_min_ns: 3_000_000,
-            election_timeout_max_ns: 9_000_000,
-            heartbeat_interval_ns: 1_000_000,
+            // Timeouts sized for 1-CPU CI hosts, where a multi-ms
+            // scheduler hiccup between polls is routine: with 3–9 ms
+            // election timers such a stall looks like a dead leader and
+            // dissolves the cluster into dueling elections (flaky "no
+            // leader elected" timeouts). 30–90 ms keeps the timer-to-
+            // hiccup ratio ≥ 10× while elections still finish in well
+            // under the tests' 10–30 s deadlines.
+            election_timeout_min_ns: 30_000_000,
+            election_timeout_max_ns: 90_000_000,
+            heartbeat_interval_ns: 5_000_000,
             max_batch: 16,
         }
     }

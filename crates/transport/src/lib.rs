@@ -26,6 +26,7 @@
 #![deny(unsafe_op_in_unsafe_fn)]
 pub mod clock;
 pub mod codec;
+pub mod fault;
 pub mod mem;
 pub mod pkt;
 #[cfg(target_os = "linux")]
@@ -36,6 +37,7 @@ pub mod udp;
 pub mod uring;
 
 pub use clock::MonoClock;
+pub use fault::{FaultConfig, FaultStats, FaultTransport};
 pub use mem::{MemFabric, MemFabricConfig, MemTransport};
 pub use pkt::{Addr, RxToken, TransportStats, TxPacket};
 pub use ring::PacketRing;

@@ -21,7 +21,7 @@ fn fig1_shape_cache_cliff() {
 #[test]
 fn tab2_latency_shapes() {
     for cluster in [Cluster::Cx3, Cluster::Cx4, Cluster::Cx5] {
-        let (erpc_ns, _, _) = tab2_small_rpc_latency::erpc_median_latency_ns(cluster, 50);
+        let (erpc_ns, _, _, _) = tab2_small_rpc_latency::erpc_median_latency_ns(cluster, 50);
         let rdma_ns = cluster.rdma_read_latency_ns();
         // Both µs-scale; eRPC within ~1 µs above RDMA (paper: ≤ 0.8 µs).
         assert!(
